@@ -1,0 +1,183 @@
+package benu
+
+// Ablation benchmarks: each isolates one design choice of DESIGN.md —
+// the triangle cache (Opt-3), its clique generalization, VCBC
+// compression, the degree filter, and the DB cache — by running the same
+// enumeration with the feature on and off and reporting the feature's
+// effect as benchmark metrics.
+
+import (
+	"testing"
+
+	"benu/internal/cluster"
+	"benu/internal/estimate"
+	"benu/internal/exec"
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/kv"
+	"benu/internal/plan"
+)
+
+// ablationEnv resolves the shared dataset once.
+func ablationEnv(b *testing.B) (*graph.Graph, *graph.TotalOrder, *estimate.Stats) {
+	b.Helper()
+	g := gen.PresetByNameMust("ok").Cached()
+	return g, graph.NewTotalOrder(g), estimate.NewStats(g, estimate.MaxMomentDefault)
+}
+
+// runPlanLocal executes every task of a plan in-process and returns stats.
+func runPlanLocal(b *testing.B, pl *plan.Plan, g *graph.Graph, ord *graph.TotalOrder, opts exec.Options) exec.Stats {
+	b.Helper()
+	prog, err := exec.Compile(pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := exec.NewExecutor(prog, exec.GraphSource{G: g}, g.NumVertices(), ord, opts)
+	for v := 0; v < g.NumVertices(); v++ {
+		if _, err := e.Run(exec.Task{Start: int64(v)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e.Stats()
+}
+
+// BenchmarkAblationTriangleCache runs q3 (triangle-rich) with and without
+// the triangle cache; the hit count quantifies the redundant triangle
+// enumeration Opt-3 removes.
+func BenchmarkAblationTriangleCache(b *testing.B) {
+	g, ord, st := ablationEnv(b)
+	res, err := plan.GenerateBestPlan(gen.Q(3), st, plan.OptimizedUncompressed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var withHits, withoutOps int64
+	for i := 0; i < b.N; i++ {
+		on := runPlanLocal(b, res.Plan, g, ord, exec.Options{TriangleCacheEntries: 1 << 14})
+		off := runPlanLocal(b, res.Plan, g, ord, exec.Options{})
+		if on.Matches != off.Matches {
+			b.Fatalf("cache changed the result: %d vs %d", on.Matches, off.Matches)
+		}
+		withHits = on.TriHits
+		withoutOps = off.IntOps
+	}
+	b.ReportMetric(float64(withHits), "tri-hits")
+	b.ReportMetric(float64(withoutOps), "int-ops-nocache")
+}
+
+// BenchmarkAblationCliqueCache compares the classic triangle cache with
+// the clique-cache generalization on q2 (4-clique with a handle) under a
+// matching order that enumerates the handle between the clique vertices:
+// the 3-clique intersection T_{u1u2u3} then recurs once per handle
+// assignment, which only the generalized cache can memoize. (On pure
+// clique patterns every cached key occurs exactly once, so neither cache
+// helps — caching pays when non-key ENUs interleave between key ENUs.)
+func BenchmarkAblationCliqueCache(b *testing.B) {
+	g, ord, _ := ablationEnv(b)
+	order := []int{0, 1, 4, 2, 3}
+	base, err := plan.Generate(gen.Q(2), order, plan.OptimizedUncompressed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cliqueOpts := plan.OptimizedUncompressed
+	cliqueOpts.CliqueCache = true
+	wide, err := plan.Generate(gen.Q(2), order, cliqueOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tri := runPlanLocal(b, base, g, ord, exec.Options{TriangleCacheEntries: 1 << 14})
+		cl := runPlanLocal(b, wide, g, ord, exec.Options{TriangleCacheEntries: 1 << 14})
+		if tri.Matches != cl.Matches {
+			b.Fatalf("clique cache changed the result: %d vs %d", cl.Matches, tri.Matches)
+		}
+		b.ReportMetric(float64(tri.TriHits), "hits-triangle-only")
+		b.ReportMetric(float64(cl.TriHits), "hits-clique-cache")
+	}
+}
+
+// BenchmarkAblationVCBC compares compressed and uncompressed result sizes
+// on q4 — the compression ratio the VCBC rewrite buys.
+func BenchmarkAblationVCBC(b *testing.B) {
+	g, ord, st := ablationEnv(b)
+	comp, err := plan.GenerateBestPlan(gen.Q(4), st, plan.AllOptions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, err := plan.GenerateBestPlan(gen.Q(4), st, plan.OptimizedUncompressed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		c := runPlanLocal(b, comp.Plan, g, ord, exec.Options{TriangleCacheEntries: 1 << 14})
+		r := runPlanLocal(b, raw.Plan, g, ord, exec.Options{TriangleCacheEntries: 1 << 14})
+		if c.Matches != r.Matches {
+			b.Fatalf("compression changed the result: %d vs %d", c.Matches, r.Matches)
+		}
+		if c.ResultSize > 0 {
+			b.ReportMetric(float64(r.ResultSize)/float64(c.ResultSize), "compression-x")
+		}
+	}
+}
+
+// BenchmarkAblationDegreeFilter measures the degree filter's pruning on a
+// hub-and-satellite graph where it shines.
+func BenchmarkAblationDegreeFilter(b *testing.B) {
+	bld := graph.NewBuilder(2000)
+	for i := int64(0); i < 20; i++ {
+		for j := i + 1; j < 20; j++ {
+			bld.AddEdge(i, j)
+		}
+	}
+	for i := int64(20); i < 2000; i++ {
+		bld.AddEdge(i%20, i)
+	}
+	g := bld.Build()
+	ord := graph.NewTotalOrder(g)
+	p := gen.Clique(4)
+	order := []int{0, 1, 2, 3}
+	base, err := plan.Generate(p, order, plan.OptimizedUncompressed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fOpts := plan.OptimizedUncompressed
+	fOpts.DegreeFilter = true
+	filt, err := plan.Generate(p, order, fOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		off := runPlanLocal(b, base, g, ord, exec.Options{})
+		on := runPlanLocal(b, filt, g, ord, exec.Options{DegreeOf: g.Degree})
+		if off.Matches != on.Matches {
+			b.Fatalf("degree filter changed the result")
+		}
+	}
+}
+
+// BenchmarkAblationDBCache runs q4 on the cluster with and without the DB
+// cache and reports the communication saved.
+func BenchmarkAblationDBCache(b *testing.B) {
+	g, ord, st := ablationEnv(b)
+	res, err := plan.GenerateBestPlan(gen.Q(4), st, plan.AllOptions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := kv.NewLocal(g)
+	for i := 0; i < b.N; i++ {
+		on := cluster.Defaults(g)
+		off := cluster.Defaults(g)
+		off.CacheBytes = 0
+		ron, err := cluster.Run(res.Plan, store, ord, g.Degree, on)
+		if err != nil {
+			b.Fatal(err)
+		}
+		roff, err := cluster.Run(res.Plan, store, ord, g.Degree, off)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ron.Matches != roff.Matches {
+			b.Fatal("cache changed the result")
+		}
+		b.ReportMetric(float64(roff.DBQueries)/float64(ron.DBQueries), "query-reduction-x")
+	}
+}

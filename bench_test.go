@@ -1,0 +1,329 @@
+package benu
+
+// One benchmark per table and figure of the paper's evaluation (§VII),
+// wrapping internal/experiments in Quick mode so the whole suite runs in
+// minutes, plus micro-benchmarks of the hot paths. Key shape numbers are
+// exposed through b.ReportMetric so `go test -bench` output documents the
+// reproduced results. Run `cmd/benu-bench -exp all` for the full-size
+// sweeps and formatted tables.
+
+import (
+	"testing"
+	"time"
+
+	"benu/internal/cluster"
+	"benu/internal/estimate"
+	"benu/internal/exec"
+	"benu/internal/experiments"
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/join"
+	"benu/internal/kv"
+	"benu/internal/plan"
+	"benu/internal/vcbc"
+)
+
+var quickOpts = experiments.Options{Quick: true, CellDeadline: 10 * time.Second}
+
+// BenchmarkTableI regenerates Table I: match counts of the core
+// structures across all dataset presets.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.TableI(quickOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rep.Rows[len(rep.Rows)-1]
+		b.ReportMetric(float64(last.Triangles), "fs-triangles")
+		b.ReportMetric(float64(last.ChordalSquares), "fs-chordal-squares")
+	}
+}
+
+// BenchmarkTableIV regenerates Table IV (Exp-1): plan-generation
+// efficiency — relative α/β and planning time.
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.TableIV(quickOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxBeta float64
+		for _, row := range rep.Rows {
+			if row.RelBeta > maxBeta {
+				maxBeta = row.RelBeta
+			}
+		}
+		b.ReportMetric(maxBeta, "max-rel-beta-%")
+	}
+}
+
+// BenchmarkFig7 regenerates Fig. 7 (Exp-2): the optimization ablation.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig7(quickOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := rep.Cases[0]
+		raw := c.Points[0].IntOps
+		opt := c.Points[len(c.Points)-1].IntOps
+		if opt > 0 {
+			b.ReportMetric(float64(raw)/float64(opt), "q2-intops-reduction-x")
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Fig. 8 (Exp-3): the DB-cache capacity sweep.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig8(quickOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := rep.Series[0]
+		b.ReportMetric(s.Points[len(s.Points)-1].HitRate*100, "q4-hitrate-100%-cap")
+		b.ReportMetric(float64(s.Points[0].Queries), "q4-queries-no-cache")
+		b.ReportMetric(float64(s.Points[len(s.Points)-1].Queries), "q4-queries-full-cache")
+	}
+}
+
+// BenchmarkFig9 regenerates Fig. 9 (Exp-4): task splitting.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig9(quickOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		off, on := rep.Runs[0], rep.Runs[1]
+		b.ReportMetric(off.MaxTask.Seconds()*1000, "max-task-ms-nosplit")
+		b.ReportMetric(on.MaxTask.Seconds()*1000, "max-task-ms-split")
+	}
+}
+
+// BenchmarkTableV regenerates Table V (Exp-5): BENU vs the BFS-style
+// join baseline.
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.TableV(quickOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wins := 0
+		for _, c := range rep.Cells {
+			if c.BENUWins {
+				wins++
+			}
+		}
+		b.ReportMetric(float64(wins), "benu-wins")
+		b.ReportMetric(float64(len(rep.Cells)), "cells")
+	}
+}
+
+// BenchmarkTableVI regenerates Table VI (Exp-6): BENU vs the WCOJ
+// baseline.
+func BenchmarkTableVI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.TableVI(quickOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wins := 0
+		for _, c := range rep.Cells {
+			if c.BENUWins {
+				wins++
+			}
+		}
+		b.ReportMetric(float64(wins), "benu-wins")
+		b.ReportMetric(float64(len(rep.Cells)), "cells")
+	}
+}
+
+// BenchmarkFig10 regenerates Fig. 10: machine scalability (simulated
+// makespan over 1–4 workers in quick mode).
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig10(quickOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := rep.Series[0]
+		b.ReportMetric(s.Points[len(s.Points)-1].Speedup, "q9-ok-speedup")
+	}
+}
+
+// --- Micro-benchmarks of the hot paths -----------------------------------
+
+func benchGraph() *graph.Graph {
+	p, _ := gen.PresetByName("ok")
+	return p.Cached()
+}
+
+// BenchmarkIntersectMerge measures the merge-walk set intersection on
+// typical adjacency-set sizes.
+func BenchmarkIntersectMerge(b *testing.B) {
+	g := benchGraph()
+	// Two mid-degree vertices.
+	var u, v int64 = -1, -1
+	for i := 0; i < g.NumVertices(); i++ {
+		if d := g.Degree(int64(i)); d > 30 && d < 60 {
+			if u < 0 {
+				u = int64(i)
+			} else if v < 0 {
+				v = int64(i)
+				break
+			}
+		}
+	}
+	dst := make([]int64, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = graph.IntersectSorted(dst[:0], g.Adj(u), g.Adj(v))
+	}
+	_ = dst
+}
+
+// BenchmarkIntersectGalloping measures the skewed small×large case that
+// triggers galloping search.
+func BenchmarkIntersectGalloping(b *testing.B) {
+	g := benchGraph()
+	var small, hub int64 = 0, 0
+	for i := 1; i < g.NumVertices(); i++ {
+		d := g.Degree(int64(i))
+		if d > g.Degree(hub) {
+			hub = int64(i)
+		}
+		if d > 0 && (g.Degree(small) == 0 || d < g.Degree(small)) {
+			small = int64(i)
+		}
+	}
+	dst := make([]int64, 0, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = graph.IntersectSorted(dst[:0], g.Adj(small), g.Adj(hub))
+	}
+	_ = dst
+}
+
+// BenchmarkPlanGenerationQ4 measures Algorithm 3 end to end on q4.
+func BenchmarkPlanGenerationQ4(b *testing.B) {
+	st := estimate.UniformStats(100000, 20)
+	p := gen.Q(4)
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.GenerateBestPlan(p, st, plan.AllOptions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanGenerationClique8 measures the planner's exponential-worst
+// case family (dual pruning keeps it tractable).
+func BenchmarkPlanGenerationClique8(b *testing.B) {
+	st := estimate.UniformStats(100000, 20)
+	p := gen.Clique(8)
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.GenerateBestPlan(p, st, plan.AllOptions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteQ4Task measures single local search tasks (with the
+// triangle cache) on the ok dataset.
+func BenchmarkExecuteQ4Task(b *testing.B) {
+	g := benchGraph()
+	ord := graph.NewTotalOrder(g)
+	st := estimate.NewStats(g, estimate.MaxMomentDefault)
+	res, err := plan.GenerateBestPlan(gen.Q(4), st, plan.AllOptions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := exec.Compile(res.Plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := exec.NewExecutor(prog, exec.GraphSource{G: g}, g.NumVertices(), ord,
+		exec.Options{TriangleCacheEntries: 1 << 14})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(exec.Task{Start: int64(i % g.NumVertices())}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterTriangle measures a whole distributed triangle count.
+func BenchmarkClusterTriangle(b *testing.B) {
+	g := benchGraph()
+	ord := graph.NewTotalOrder(g)
+	st := estimate.NewStats(g, estimate.MaxMomentDefault)
+	res, err := plan.GenerateBestPlan(gen.Triangle(), st, plan.AllOptions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := kv.NewLocal(g)
+	cfg := cluster.Defaults(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Run(res.Plan, store, ord, g.Degree, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVCBCCount measures compressed-code expansion counting.
+func BenchmarkVCBCCount(b *testing.B) {
+	ord := graph.IdentityOrder(1000)
+	images := [][]int64{
+		{1, 5, 9, 13, 17, 21, 25, 29},
+		{3, 5, 11, 13, 19, 21, 27, 29},
+		{5, 13, 21, 29, 37, 45},
+	}
+	free := []int{2, 3, 4}
+	cons := [][2]int{{2, 3}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vcbc.CountInjective(free, images, cons, ord)
+	}
+}
+
+// BenchmarkLRUCache measures the shared DB cache under a hot-get workload.
+func BenchmarkLRUCache(b *testing.B) {
+	g := benchGraph()
+	c := exec.NewCachedSource(kv.NewLocal(g), g.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.GetAdj(int64(i % g.NumVertices())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWCOJTriangle measures the BiGJoin-style baseline on triangles.
+func BenchmarkWCOJTriangle(b *testing.B) {
+	g := benchGraph()
+	ord := graph.NewTotalOrder(g)
+	for i := 0; i < b.N; i++ {
+		if _, err := join.WCOJ(gen.Triangle(), g, ord, join.WCOJConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTwinTwigQ4 measures the join-based baseline on q4 with the
+// same intermediate-result budget Table V uses; budget overruns (the
+// baseline's CRASH outcome) are part of the measured behaviour.
+func BenchmarkTwinTwigQ4(b *testing.B) {
+	p, _ := gen.PresetByName("as")
+	g := p.Cached()
+	ord := graph.NewTotalOrder(g)
+	crashes := 0
+	for i := 0; i < b.N; i++ {
+		_, err := join.TwinTwig(gen.Q(4), g, ord, join.TwinTwigConfig{MaxTuples: 2_000_000})
+		if err == join.ErrBudgetExceeded {
+			crashes++
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(crashes), "budget-crashes")
+}

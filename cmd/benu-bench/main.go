@@ -1,0 +1,170 @@
+// Command benu-bench regenerates the paper's evaluation tables and
+// figures (§VII) on the scaled synthetic datasets.
+//
+// Usage:
+//
+//	benu-bench -exp all            # the full suite (minutes)
+//	benu-bench -exp table5 -quick  # one experiment, reduced sweep
+//	benu-bench -list
+//
+// Experiment names: table1, exp1/table4, exp2/fig7, exp3/fig8, exp4/fig9,
+// exp5/table5, exp6/table6, exp7/fig10, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"benu/internal/experiments"
+)
+
+type experiment struct {
+	names []string
+	about string
+	run   func(experiments.Options, io.Writer) error
+}
+
+var suite = []experiment{
+	{[]string{"table1"}, "Table I: match counts of core structures per dataset",
+		func(o experiments.Options, w io.Writer) error {
+			rep, err := experiments.TableI(o)
+			if err != nil {
+				return err
+			}
+			rep.WriteText(w)
+			return nil
+		}},
+	{[]string{"exp1", "table4"}, "Exp-1 / Table IV: best execution plan generation efficiency",
+		func(o experiments.Options, w io.Writer) error {
+			rep, err := experiments.TableIV(o)
+			if err != nil {
+				return err
+			}
+			rep.WriteText(w)
+			return nil
+		}},
+	{[]string{"exp2", "fig7"}, "Exp-2 / Fig. 7: execution plan optimization ablation",
+		func(o experiments.Options, w io.Writer) error {
+			rep, err := experiments.Fig7(o)
+			if err != nil {
+				return err
+			}
+			rep.WriteText(w)
+			return nil
+		}},
+	{[]string{"exp3", "fig8"}, "Exp-3 / Fig. 8: local database cache capacity sweep",
+		func(o experiments.Options, w io.Writer) error {
+			rep, err := experiments.Fig8(o)
+			if err != nil {
+				return err
+			}
+			rep.WriteText(w)
+			return nil
+		}},
+	{[]string{"exp4", "fig9"}, "Exp-4 / Fig. 9: task splitting",
+		func(o experiments.Options, w io.Writer) error {
+			rep, err := experiments.Fig9(o)
+			if err != nil {
+				return err
+			}
+			rep.WriteText(w)
+			return nil
+		}},
+	{[]string{"exp5", "table5"}, "Exp-5 / Table V: BENU vs BFS-style join (CBF stand-in)",
+		func(o experiments.Options, w io.Writer) error {
+			rep, err := experiments.TableV(o)
+			if err != nil {
+				return err
+			}
+			rep.WriteText(w)
+			return nil
+		}},
+	{[]string{"exp6", "table6"}, "Exp-6 / Table VI: BENU vs WCOJ (BiGJoin stand-in)",
+		func(o experiments.Options, w io.Writer) error {
+			rep, err := experiments.TableVI(o)
+			if err != nil {
+				return err
+			}
+			rep.WriteText(w)
+			return nil
+		}},
+	{[]string{"exp7", "fig10"}, "Fig. 10: machine scalability",
+		func(o experiments.Options, w io.Writer) error {
+			rep, err := experiments.Fig10(o)
+			if err != nil {
+				return err
+			}
+			rep.WriteText(w)
+			return nil
+		}},
+	{[]string{"updates"}, "Extension: data-graph updates — index maintenance vs BENU's on-demand store",
+		func(o experiments.Options, w io.Writer) error {
+			rep, err := experiments.Updates(o)
+			if err != nil {
+				return err
+			}
+			rep.WriteText(w)
+			return nil
+		}},
+	{[]string{"baselines"}, "Extension: BENU vs all three competitor families side by side",
+		func(o experiments.Options, w io.Writer) error {
+			rep, err := experiments.Baselines(o)
+			if err != nil {
+				return err
+			}
+			rep.WriteText(w)
+			return nil
+		}},
+}
+
+func main() {
+	var (
+		expName  = flag.String("exp", "all", "experiment to run (see -list)")
+		quick    = flag.Bool("quick", false, "reduced sweeps and budgets")
+		deadline = flag.Duration("deadline", 0, "per-cell time budget for the comparison tables")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		progress = flag.Bool("progress", true, "print per-cell progress to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range suite {
+			fmt.Printf("%-16v %s\n", e.names, e.about)
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick, CellDeadline: *deadline}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+
+	run := func(e experiment) {
+		t0 := time.Now()
+		if err := e.run(opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benu-bench %s: %v\n", e.names[0], err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s finished in %s]\n\n", e.names[0], time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *expName == "all" {
+		for _, e := range suite {
+			run(e)
+		}
+		return
+	}
+	for _, e := range suite {
+		for _, n := range e.names {
+			if n == *expName {
+				run(e)
+				return
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benu-bench: unknown experiment %q (try -list)\n", *expName)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"benu/internal/experiments"
+)
+
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range suite {
+		if len(e.names) == 0 || e.about == "" || e.run == nil {
+			t.Errorf("incomplete suite entry %v", e.names)
+		}
+		for _, n := range e.names {
+			if seen[n] {
+				t.Errorf("duplicate experiment name %q", n)
+			}
+			seen[n] = true
+		}
+	}
+	// Every table and figure of the paper is covered.
+	for _, want := range []string{"table1", "table4", "fig7", "fig8", "fig9", "table5", "table6", "fig10"} {
+		if !seen[want] {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+}
+
+func TestSuiteEntriesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Run the two fastest entries end to end through the suite plumbing.
+	opts := experiments.Options{Quick: true, CellDeadline: 5 * time.Second}
+	var sb strings.Builder
+	for _, e := range suite {
+		if e.names[0] != "exp3" && e.names[0] != "exp2" {
+			continue
+		}
+		sb.Reset()
+		if err := e.run(opts, &sb); err != nil {
+			t.Fatalf("%s: %v", e.names[0], err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("%s produced no output", e.names[0])
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command benu-gen generates synthetic data graphs — the scaled dataset
+// presets or custom power-law / Erdős–Rényi graphs — as edge-list files.
+//
+// Usage:
+//
+//	benu-gen -preset ok -o ok.txt
+//	benu-gen -n 10000 -k 5 -triad 0.4 -seed 7 -o pl.txt
+//	benu-gen -er -n 1000 -m 5000 -o er.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"benu/internal/gen"
+	"benu/internal/graph"
+)
+
+// genConfig mirrors the command-line flags.
+type genConfig struct {
+	preset   string
+	n, k, m  int
+	triad    float64
+	er       bool
+	seed     int64
+	outPath  string
+	stats    bool
+	statsOut io.Writer
+}
+
+func main() {
+	var cfg genConfig
+	flag.StringVar(&cfg.preset, "preset", "", "dataset preset to materialize (as, lj, ok, uk, fs)")
+	flag.IntVar(&cfg.n, "n", 1000, "vertex count (custom graphs)")
+	flag.IntVar(&cfg.k, "k", 4, "edges per vertex (power-law)")
+	flag.Float64Var(&cfg.triad, "triad", 0.4, "triad-formation probability (power-law)")
+	flag.IntVar(&cfg.m, "m", 0, "edge count (Erdős–Rényi; requires -er)")
+	flag.BoolVar(&cfg.er, "er", false, "generate Erdős–Rényi instead of power-law")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed")
+	flag.StringVar(&cfg.outPath, "o", "-", "output file (default stdout)")
+	flag.BoolVar(&cfg.stats, "stats", false, "print graph statistics to stderr")
+	flag.Parse()
+	cfg.statsOut = os.Stderr
+
+	w := io.Writer(os.Stdout)
+	if cfg.outPath != "-" {
+		f, err := os.Create(cfg.outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := generate(cfg, w); err != nil {
+		fatal(err)
+	}
+}
+
+// generate builds the requested graph and writes it as an edge list.
+func generate(cfg genConfig, w io.Writer) error {
+	var g *graph.Graph
+	switch {
+	case cfg.preset != "":
+		preset, err := gen.PresetByName(cfg.preset)
+		if err != nil {
+			return err
+		}
+		g = preset.Generate()
+	case cfg.er:
+		if cfg.m <= 0 {
+			return fmt.Errorf("-er requires -m > 0")
+		}
+		g = gen.ErdosRenyi(cfg.n, cfg.m, cfg.seed)
+	default:
+		g = gen.PowerLaw(gen.PowerLawConfig{N: cfg.n, EdgesPer: cfg.k, Triad: cfg.triad, Seed: cfg.seed})
+	}
+	if cfg.stats && cfg.statsOut != nil {
+		fmt.Fprintf(cfg.statsOut, "N=%d M=%d maxdeg=%d triangles=%d size=%dB\n",
+			g.NumVertices(), g.NumEdges(), g.MaxDegree(), graph.CountTriangles(g), g.SizeBytes())
+	}
+	return graph.WriteEdgeList(w, g)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benu-gen:", err)
+	os.Exit(1)
+}

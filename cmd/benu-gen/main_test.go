@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"benu/internal/graph"
+)
+
+func TestGeneratePreset(t *testing.T) {
+	var out, stats bytes.Buffer
+	err := generate(genConfig{preset: "as", stats: true, statsOut: &stats}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.ReadEdgeList(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2000 {
+		t.Errorf("preset as: N = %d", g.NumVertices())
+	}
+	if !strings.Contains(stats.String(), "maxdeg=") {
+		t.Errorf("stats output missing: %q", stats.String())
+	}
+}
+
+func TestGenerateCustom(t *testing.T) {
+	var out bytes.Buffer
+	if err := generate(genConfig{n: 200, k: 3, triad: 0.3, seed: 4}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.ReadEdgeList(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 200 || g.NumEdges() == 0 {
+		t.Errorf("power-law graph shape: %v", g)
+	}
+
+	out.Reset()
+	if err := generate(genConfig{er: true, n: 100, m: 250, seed: 4}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graph.ReadEdgeList(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 250 {
+		t.Errorf("ER edges = %d", g2.NumEdges())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := generate(genConfig{preset: "nope"}, &out); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if err := generate(genConfig{er: true, n: 10}, &out); err == nil {
+		t.Error("-er without -m accepted")
+	}
+}

@@ -1,0 +1,114 @@
+// Command benu-plan generates and prints BENU execution plans: the raw
+// plan, each optimization stage, and the best plan chosen by Algorithm 3.
+//
+// Usage:
+//
+//	benu-plan -pattern q4                 # best plan, all optimizations
+//	benu-plan -pattern demo -stages       # show Fig. 3's optimization pipeline
+//	benu-plan -pattern q2 -order 1,2,3,4,5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"benu/internal/estimate"
+	"benu/internal/gen"
+	"benu/internal/plan"
+)
+
+func main() {
+	var (
+		patternName = flag.String("pattern", "demo", "pattern name (see benu -help for the list)")
+		orderStr    = flag.String("order", "", "fixed matching order as 1-based comma-separated vertices (default: search for the best)")
+		stages      = flag.Bool("stages", false, "print the plan after each optimization stage")
+		compressed  = flag.Bool("compressed", true, "apply VCBC compression")
+		n           = flag.Int("n", 100000, "assumed data graph vertex count for cost estimation")
+		d           = flag.Float64("d", 20, "assumed average degree for cost estimation")
+	)
+	flag.Parse()
+
+	if err := run(*patternName, *orderStr, *stages, *compressed, *n, *d); err != nil {
+		fmt.Fprintln(os.Stderr, "benu-plan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(patternName, orderStr string, stages, compressed bool, n int, d float64) error {
+	p, err := gen.PatternByName(patternName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pattern: %s\n", p)
+	if sbc := p.SymmetryBreaking(); len(sbc) > 0 {
+		fmt.Printf("symmetry breaking:")
+		for _, c := range sbc {
+			fmt.Printf(" u%d<u%d", c[0]+1, c[1]+1)
+		}
+		fmt.Println()
+	}
+	st := estimate.UniformStats(n, d)
+
+	var order []int
+	if orderStr != "" {
+		for _, tok := range strings.Split(orderStr, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				return fmt.Errorf("bad order element %q", tok)
+			}
+			order = append(order, v-1)
+		}
+	} else {
+		opts := plan.AllOptions
+		opts.VCBC = compressed
+		best, err := plan.GenerateBestPlan(p, st, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("search: alpha=%d (%.1f%% of bound) beta=%d (%.1f%% of bound) in %s\n",
+			best.Stats.Alpha, 100*float64(best.Stats.Alpha)/plan.AlphaUpperBound(p.NumVertices()),
+			best.Stats.Beta, 100*float64(best.Stats.Beta)/plan.BetaUpperBound(p.NumVertices()),
+			best.Stats.Elapsed.Round(1e6))
+		order = best.Plan.Order
+	}
+
+	if !stages {
+		opts := plan.AllOptions
+		opts.VCBC = compressed
+		pl, err := plan.Generate(p, order, opts)
+		if err != nil {
+			return err
+		}
+		cost := plan.EstimateCost(pl, st)
+		fmt.Printf("estimated cost: comm=%.4g comp=%.4g\n\n%s", cost.Communication, cost.Computation, pl)
+		return nil
+	}
+
+	stagesList := []struct {
+		name string
+		opts plan.Options
+	}{
+		{"raw", plan.Options{}},
+		{"+Opt1 (CSE)", plan.Options{CSE: true}},
+		{"+Opt2 (reorder)", plan.Options{CSE: true, Reorder: true}},
+		{"+Opt3 (triangle cache)", plan.OptimizedUncompressed},
+	}
+	if compressed {
+		stagesList = append(stagesList, struct {
+			name string
+			opts plan.Options
+		}{"+VCBC compression", plan.AllOptions})
+	}
+	for _, s := range stagesList {
+		pl, err := plan.Generate(p, order, s.opts)
+		if err != nil {
+			return err
+		}
+		cost := plan.EstimateCost(pl, st)
+		fmt.Printf("--- %s (est. comm=%.4g comp=%.4g) ---\n%s\n", s.name, cost.Communication, cost.Computation, pl)
+	}
+	return nil
+}

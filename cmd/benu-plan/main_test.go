@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestRunBestPlan(t *testing.T) {
+	if err := run("q4", "", false, true, 10000, 15); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFixedOrderStages(t *testing.T) {
+	// The paper's running example: the fan with order u1,u3,u5,u2,u6,u4.
+	if err := run("demo", "1,3,5,2,6,4", true, true, 100000, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("demo", "1,3,5,2,6,4", true, false, 100000, 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "", false, true, 100, 5); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	if err := run("triangle", "1,x,3", false, true, 100, 5); err == nil {
+		t.Error("malformed order accepted")
+	}
+	if err := run("triangle", "1,1,2", false, true, 100, 5); err == nil {
+		t.Error("duplicate order accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"benu/internal/gen"
+	"benu/internal/graph"
+)
+
+func TestRunOnPreset(t *testing.T) {
+	err := run(runConfig{
+		pattern: "triangle", preset: "as",
+		workers: 2, threads: 2, cacheRel: 1, tau: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithExtensions(t *testing.T) {
+	err := run(runConfig{
+		pattern: "q4", preset: "as",
+		workers: 2, threads: 2, cacheRel: 0.5, tau: 100,
+		degreeFilter: true, cliqueCache: true, verbose: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromEdgeListFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, gen.DemoDataGraph()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	err = run(runConfig{
+		pattern: "demo", graphPath: path,
+		workers: 1, threads: 1, cacheRel: 1, tau: 0, uncompressed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(runConfig{pattern: "nope", preset: "as", workers: 1, threads: 1}); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	if err := run(runConfig{pattern: "triangle", preset: "nope", workers: 1, threads: 1}); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if err := run(runConfig{pattern: "triangle", graphPath: "/does/not/exist", workers: 1, threads: 1}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// Dynamic data graphs: maintain a motif count under edge insertions with
+// delta enumeration — no index, no recount.
+//
+// The example streams edge insertions into an updatable store and keeps
+// a running triangle and q4 count via anchored plans (matches containing
+// the new edge), verifying periodically against a full recount. This is
+// the workload BiGJoin advertises for dynamic graphs; BENU handles it
+// with zero maintenance because the data graph is the only state.
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"benu"
+	"benu/internal/exec"
+	"benu/internal/gen"
+	"benu/internal/graph"
+)
+
+func main() {
+	base := gen.PresetByNameMust("as").Cached()
+	store := benu.NewMutableStore(base)
+	// A stable, update-independent total order keeps previously counted
+	// matches canonical as the graph evolves (degree-based orders shift
+	// with every insertion).
+	ord := graph.IdentityOrder(base.NumVertices())
+
+	patterns := []*benu.Pattern{mustPattern("triangle"), mustPattern("q4")}
+	deltas := make([]*benu.DeltaEnumerator, len(patterns))
+	counts := make([]int64, len(patterns))
+	for i, p := range patterns {
+		d, err := benu.NewDeltaEnumerator(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		deltas[i] = d
+		counts[i] = graph.RefCount(p, base, ord)
+	}
+	fmt.Printf("initial graph: N=%d M=%d  triangles=%d  q4=%d\n",
+		base.NumVertices(), base.NumEdges(), counts[0], counts[1])
+
+	rng := rand.New(rand.NewSource(42))
+	const inserts = 300
+	t0 := time.Now()
+	applied := 0
+	for applied < inserts {
+		a := rng.Int63n(int64(store.NumVertices()))
+		b := rng.Int63n(int64(store.NumVertices()))
+		if !store.AddEdge(a, b) {
+			continue
+		}
+		applied++
+		for i := range patterns {
+			d, err := deltas[i].Count(store, store.NumVertices(), ord, a, b, exec.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			counts[i] += d
+		}
+	}
+	fmt.Printf("applied %d insertions in %s (incl. per-edge delta queries)\n",
+		applied, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("maintained counts: triangles=%d  q4=%d\n", counts[0], counts[1])
+
+	// Verify against a full recount on the final graph.
+	final := store.Snapshot()
+	for i, p := range patterns {
+		want := graph.RefCount(p, final, ord)
+		status := "OK"
+		if want != counts[i] {
+			status = fmt.Sprintf("MISMATCH (recount %d)", want)
+		}
+		fmt.Printf("verify %-9s maintained=%d recount=%d  %s\n", p.Name()+":", counts[i], want, status)
+	}
+	fmt.Println("\nno index was built or maintained — the store itself is the only state.")
+}
+
+func mustPattern(name string) *benu.Pattern {
+	p, err := benu.PatternByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}

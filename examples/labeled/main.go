@@ -1,0 +1,125 @@
+// Labeled (property-graph) matching — the extension the paper lists as
+// future work (§VIII), implemented here over the same execution-plan
+// machinery.
+//
+// The scenario is a typed collaboration network: people (label 0),
+// projects (label 1), and organizations (label 2). The query finds
+// "co-contribution under one roof": two people from the same organization
+// who both contribute to the same project.
+//
+//	go run ./examples/labeled
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"benu/internal/cluster"
+	"benu/internal/estimate"
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/kv"
+	"benu/internal/plan"
+)
+
+const (
+	labelPerson = 0
+	labelProj   = 1
+	labelOrg    = 2
+)
+
+// buildNetwork synthesizes the typed graph: a power-law backbone whose
+// vertices are assigned types, with extra type-consistent edges so the
+// query has matches (people→projects, people→orgs).
+func buildNetwork(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	base := gen.PowerLaw(gen.PowerLawConfig{N: n, EdgesPer: 4, Triad: 0.3, Seed: seed})
+	labels := make([]int64, base.NumVertices())
+	for v := range labels {
+		switch {
+		case v%10 < 6:
+			labels[v] = labelPerson
+		case v%10 < 9:
+			labels[v] = labelProj
+		default:
+			labels[v] = labelOrg
+		}
+	}
+	// Densify person→project and person→org edges so typed squares exist.
+	b := graph.NewBuilder(base.NumVertices())
+	base.Edges(func(u, v int64) bool {
+		b.AddEdge(u, v)
+		return true
+	})
+	for i := 0; i < n; i++ {
+		p := int64(rng.Intn(n))
+		q := int64(rng.Intn(n))
+		if labels[p] == labelPerson && (labels[q] == labelProj || labels[q] == labelOrg) {
+			b.AddEdge(p, q)
+		}
+	}
+	g, err := b.Build().WithVertexLabels(labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+func main() {
+	g := buildNetwork(4000, 7)
+	fmt.Printf("typed network: N=%d M=%d (60%% people, 30%% projects, 10%% orgs)\n",
+		g.NumVertices(), g.NumEdges())
+
+	// The typed square: person–project–person–organization–(back to the
+	// first person). u1, u3 people; u2 a project; u4 an organization.
+	q, err := graph.NewLabeledPattern("co-contribution", 4,
+		[][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+		[]int64{labelPerson, labelProj, labelPerson, labelOrg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %s  (|Aut|=%d, %d symmetry constraints)\n",
+		q, len(q.Automorphisms()), len(q.SymmetryBreaking()))
+
+	st := estimate.NewStats(g, estimate.MaxMomentDefault)
+	best, err := plan.GenerateBestPlan(q, st, plan.OptimizedUncompressed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexecution plan (label filters inline):\n%s\n", best.Plan)
+
+	ord := graph.NewTotalOrder(g)
+	cfg := cluster.Defaults(g)
+	cfg.LabelOf = g.Label
+	shown := 0
+	cfg.Emit = func(f []int64) bool {
+		if shown < 5 {
+			fmt.Printf("  person v%d and person v%d share project v%d and org v%d\n",
+				f[0]+1, f[2]+1, f[1]+1, f[3]+1)
+			shown++
+		}
+		return true
+	}
+	cfg.Workers, cfg.ThreadsPerWorker = 1, 1 // keep Emit output ordered
+	res, err := cluster.Run(best.Plan, kv.NewLocal(g), ord, g.Degree, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d typed matches in %s (%d tasks — label pruning skipped %d start vertices)\n",
+		res.Matches, res.Wall.Round(1e6), res.Tasks, g.NumVertices()-res.Tasks)
+
+	// Contrast with the unlabeled skeleton: the type constraints are
+	// doing real selection work.
+	sq := gen.Square()
+	skeleton := graph.RefCount(sq, g, ord)
+	fmt.Printf("for reference, the unlabeled square has %d matches (%.1fx the typed count)\n",
+		skeleton, float64(skeleton)/float64(max64(res.Matches, 1)))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

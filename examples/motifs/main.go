@@ -1,0 +1,90 @@
+// Motif census: count every connected 4-vertex pattern in a social-style
+// graph and compare against a degree-matched random graph — the network
+// motif mining application from the paper's introduction [1].
+//
+// A motif is a pattern that is significantly more frequent in the real
+// network than at random; the census prints per-pattern counts and the
+// enrichment ratio.
+//
+//	go run ./examples/motifs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"benu/internal/cluster"
+	"benu/internal/estimate"
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/kv"
+	"benu/internal/plan"
+)
+
+// connected4Patterns is the full set of connected 4-vertex graphs.
+func connected4Patterns() []*graph.Pattern {
+	return []*graph.Pattern{
+		gen.Path(4),
+		gen.Star(3),
+		gen.Square(),
+		gen.ChordalSquare(),
+		gen.Clique(4),
+		graph.MustPattern("tailed-triangle", 4, [][2]int64{{0, 1}, {0, 2}, {1, 2}, {2, 3}}),
+	}
+}
+
+func census(g *graph.Graph, patterns []*graph.Pattern) (map[string]int64, error) {
+	ord := graph.NewTotalOrder(g)
+	st := estimate.NewStats(g, estimate.MaxMomentDefault)
+	store := kv.NewLocal(g)
+	out := make(map[string]int64, len(patterns))
+	for _, p := range patterns {
+		best, err := plan.GenerateBestPlan(p, st, plan.AllOptions)
+		if err != nil {
+			return nil, err
+		}
+		res, err := cluster.Run(best.Plan, store, ord, g.Degree, cluster.Defaults(g))
+		if err != nil {
+			return nil, err
+		}
+		out[p.Name()] = res.Matches
+	}
+	return out, nil
+}
+
+func main() {
+	// The "real" network: a clustered power-law graph (scaled as-Skitter).
+	preset, err := gen.PresetByName("as")
+	if err != nil {
+		log.Fatal(err)
+	}
+	real := preset.Cached()
+
+	// The null model: an Erdős–Rényi graph with the same |V| and |E|.
+	random := gen.ErdosRenyi(real.NumVertices(), int(real.NumEdges()), 12345)
+
+	patterns := connected4Patterns()
+	realCounts, err := census(real, patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	randCounts, err := census(random, patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("4-vertex motif census: %s (N=%d, M=%d) vs G(n,m) null model\n\n",
+		preset.FullName, real.NumVertices(), real.NumEdges())
+	fmt.Printf("%-18s %14s %14s %12s\n", "pattern", "real", "random", "enrichment")
+	for _, p := range patterns {
+		name := p.Name()
+		r, q := realCounts[name], randCounts[name]
+		enrich := "inf"
+		if q > 0 {
+			enrich = fmt.Sprintf("%.1fx", float64(r)/float64(q))
+		}
+		fmt.Printf("%-18s %14d %14d %12s\n", name, r, q, enrich)
+	}
+	fmt.Println("\npatterns enriched well above 1x are motif candidates —")
+	fmt.Println("clustered social graphs are rich in triangles, chordal squares and cliques.")
+}

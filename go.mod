@@ -1,0 +1,3 @@
+module benu
+
+go 1.22

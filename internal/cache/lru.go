@@ -1,0 +1,157 @@
+// Package cache implements the per-machine in-memory database cache of
+// §V-A: a byte-capacity-bounded LRU over adjacency sets, shared by all
+// working threads of a machine. The cache exploits both intra-task
+// locality (backtracking revisits the start vertex's neighborhood) and
+// inter-task locality (hot high-degree vertices are queried by many
+// tasks), trading memory for communication.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// entryOverhead approximates the per-entry bookkeeping cost in bytes
+// (map slot, list element, header), charged against capacity in addition
+// to the 8 bytes per adjacency entry.
+const entryOverhead = 64
+
+// Stats is a snapshot of cache counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Bytes     int64
+	Capacity  int64
+}
+
+// HitRate returns hits / (hits + misses), or 0 when the cache was never
+// queried.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// LRU is a thread-safe least-recently-used cache from vertex id to
+// adjacency set with a byte-denominated capacity. A single mutex guards
+// the structure — the paper's cache is likewise one shared structure per
+// machine, and the adjacency sets themselves are shared read-only so the
+// critical section is short.
+type LRU struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[int64]*list.Element
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type lruEntry struct {
+	key  int64
+	adj  []int64
+	size int64
+}
+
+// NewLRU creates a cache holding at most capacity bytes of adjacency data
+// (8 bytes per entry plus per-set overhead). A capacity ≤ 0 disables
+// caching: every Get misses and Put is a no-op.
+func NewLRU(capacity int64) *LRU {
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[int64]*list.Element),
+	}
+}
+
+// Get returns the cached adjacency set of v. The returned slice must be
+// treated as immutable.
+func (c *LRU) Get(v int64) ([]int64, bool) {
+	if c.capacity <= 0 {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[v]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).adj, true
+}
+
+// Put inserts the adjacency set of v, evicting least-recently-used
+// entries until the cache fits its capacity. Sets larger than the whole
+// capacity are not cached at all. Re-inserting an existing key refreshes
+// its recency.
+func (c *LRU) Put(v int64, adj []int64) {
+	if c.capacity <= 0 {
+		return
+	}
+	size := int64(len(adj))*8 + entryOverhead
+	if size > c.capacity {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[v]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*lruEntry)
+		c.bytes += size - e.size
+		e.adj, e.size = adj, size
+	} else {
+		el := c.ll.PushFront(&lruEntry{key: v, adj: adj, size: size})
+		c.items[v] = el
+		c.bytes += size
+	}
+	for c.bytes > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*lruEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= e.size
+		c.evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *LRU) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.items),
+		Bytes:     c.bytes,
+		Capacity:  c.capacity,
+	}
+}
+
+// Len returns the number of cached sets.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Bytes returns the current byte footprint.
+func (c *LRU) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

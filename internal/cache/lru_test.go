@@ -1,0 +1,147 @@
+package cache
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLRUBasicHitMiss(t *testing.T) {
+	c := NewLRU(1 << 20)
+	if _, ok := c.Get(1); ok {
+		t.Error("hit on empty cache")
+	}
+	c.Put(1, []int64{10, 20})
+	adj, ok := c.Get(1)
+	if !ok || len(adj) != 2 {
+		t.Fatalf("Get(1) = %v, %v", adj, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", st.HitRate())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// Room for exactly two single-entry sets.
+	c := NewLRU(2 * (8 + entryOverhead))
+	c.Put(1, []int64{1})
+	c.Put(2, []int64{2})
+	c.Get(1) // 1 is now more recent than 2
+	c.Put(3, []int64{3})
+	if _, ok := c.Get(2); ok {
+		t.Error("LRU entry 2 not evicted")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Error("recently used entry 1 evicted")
+	}
+	if _, ok := c.Get(3); !ok {
+		t.Error("new entry 3 missing")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestLRUCapacityNeverExceeded(t *testing.T) {
+	cap := int64(10 * (8*4 + entryOverhead))
+	c := NewLRU(cap)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		n := rng.Intn(8)
+		adj := make([]int64, n)
+		c.Put(rng.Int63n(100), adj)
+		if c.Bytes() > cap {
+			t.Fatalf("bytes %d exceed capacity %d", c.Bytes(), cap)
+		}
+	}
+}
+
+func TestLRUOversizedSetNotCached(t *testing.T) {
+	c := NewLRU(100)
+	big := make([]int64, 1000)
+	c.Put(1, big)
+	if _, ok := c.Get(1); ok {
+		t.Error("oversized set cached")
+	}
+	if c.Len() != 0 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestLRUZeroCapacityDisabled(t *testing.T) {
+	c := NewLRU(0)
+	c.Put(1, []int64{1})
+	if _, ok := c.Get(1); ok {
+		t.Error("zero-capacity cache stored something")
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d", st.Misses)
+	}
+}
+
+func TestLRUUpdateExistingKey(t *testing.T) {
+	c := NewLRU(1 << 20)
+	c.Put(1, []int64{1})
+	c.Put(1, []int64{1, 2, 3})
+	adj, ok := c.Get(1)
+	if !ok || len(adj) != 3 {
+		t.Fatalf("updated entry = %v", adj)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestLRUHitsPlusMissesEqualsGets(t *testing.T) {
+	check := func(keys []uint8) bool {
+		c := NewLRU(5 * (8 + entryOverhead))
+		gets := 0
+		for _, k := range keys {
+			key := int64(k % 16)
+			if _, ok := c.Get(key); !ok {
+				c.Put(key, []int64{key})
+			}
+			gets++
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == int64(gets)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRUConcurrentAccess(t *testing.T) {
+	c := NewLRU(1 << 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 2000; i++ {
+				k := rng.Int63n(200)
+				if adj, ok := c.Get(k); ok {
+					if len(adj) != int(k%7) {
+						t.Errorf("corrupted entry for %d", k)
+						return
+					}
+				} else {
+					c.Put(k, make([]int64, k%7))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*2000 {
+		t.Errorf("lost operations: %+v", st)
+	}
+}

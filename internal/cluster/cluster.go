@@ -1,0 +1,360 @@
+// Package cluster simulates the shared-nothing deployment of Fig. 2: a
+// master that generates local search tasks (with task splitting, §V-B)
+// and a set of worker machines, each running several working threads that
+// share one machine-local database cache and query the distributed
+// database as needed.
+//
+// The paper runs on Hadoop MapReduce with HBase; here each machine is a
+// goroutine group inside one process, the database is any kv.Store
+// (in-process or the TCP-backed client), and per-machine/per-task metrics
+// are collected directly. The execution structure the paper's experiments
+// measure — task parallelism, cache sharing scope, straggler behaviour,
+// communication volume — is preserved.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"benu/internal/cache"
+	"benu/internal/exec"
+	"benu/internal/graph"
+	"benu/internal/kv"
+	"benu/internal/plan"
+	"benu/internal/vcbc"
+)
+
+// Config parameterizes a run. The zero value is not valid; use Defaults
+// and override.
+type Config struct {
+	// Workers is the number of simulated worker machines.
+	Workers int
+	// ThreadsPerWorker is the number of working threads per machine
+	// (24 in the paper's setup).
+	ThreadsPerWorker int
+	// CacheBytes is the DB cache capacity per machine (30 GB in the
+	// paper). 0 disables caching.
+	CacheBytes int64
+	// Tau is the task-splitting degree threshold τ (500 in the paper).
+	// 0 disables task splitting.
+	Tau int
+	// TriangleCacheEntries bounds each thread's triangle cache
+	// (0 disables it).
+	TriangleCacheEntries int
+	// CollectTaskTimes records per-task wall durations (Exp-4).
+	CollectTaskTimes bool
+	// Deadline, when positive, stops dispatching new tasks once the run
+	// has lasted this long; Result.TimedOut reports whether it fired
+	// (the analogue of the paper's ">7200s" table entries).
+	Deadline time.Duration
+	// SequentialWorkers runs the simulated machines one after another
+	// instead of concurrently. Use when measuring per-worker busy time
+	// on a host with fewer cores than simulated machines: each machine's
+	// work is then timed in isolation and Result.MaxWorkerBusy() is the
+	// makespan a real shared-nothing cluster would see.
+	SequentialWorkers bool
+	// Emit optionally receives complete matches (uncompressed plans).
+	// It is called concurrently from worker threads and must be
+	// thread-safe; the slice is reused — copy to retain.
+	Emit func(f []int64) bool
+	// EmitCode optionally receives compressed codes (VCBC plans), under
+	// the same concurrency and lifetime rules as Emit.
+	EmitCode func(c *vcbc.Code) bool
+	// LabelOf supplies data-vertex labels; required when the plan's
+	// pattern is labeled (property-graph extension). Pass
+	// graph.Graph.Label for in-process data graphs.
+	LabelOf func(v int64) int64
+}
+
+// Defaults returns the configuration used by most experiments: 4 machines
+// × 4 threads, a DB cache sized to the whole data graph (the paper's 30 GB
+// cache likewise exceeded most of its data graphs, leaving Exp-3 to sweep
+// smaller capacities explicitly), τ=500, triangle cache on.
+func Defaults(g *graph.Graph) Config {
+	return Config{
+		Workers:              4,
+		ThreadsPerWorker:     4,
+		CacheBytes:           g.SizeBytes() + int64(g.NumVertices())*96,
+		Tau:                  500,
+		TriangleCacheEntries: 1 << 14,
+	}
+}
+
+// WorkerStats aggregates what one machine did during a run.
+type WorkerStats struct {
+	Machine   int
+	Tasks     int
+	BusyTime  time.Duration // summed task execution time across threads
+	Exec      exec.Stats
+	Cache     cache.Stats
+	RemoteQ   int64 // cache-missing queries issued to the store
+	RemoteB   int64 // bytes fetched from the store
+	TriHits   int64
+	TriMisses int64
+}
+
+// Result summarizes a distributed enumeration.
+type Result struct {
+	// Matches is the total number of matches (expanded count for
+	// compressed plans).
+	Matches int64
+	// Codes is the number of VCBC codes emitted (compressed plans only).
+	Codes int64
+	// Tasks is the number of local search tasks executed (after
+	// splitting).
+	Tasks int
+	// SplitTasks is how many of them were split subtasks.
+	SplitTasks int
+	// Wall is the end-to-end enumeration time.
+	Wall time.Duration
+	// DBQueries / BytesFetched are the communication cost: queries that
+	// reached the database (i.e. missed every cache) and their volume.
+	DBQueries    int64
+	BytesFetched int64
+	// ResultBytes is the size of the emitted results (compressed size
+	// for VCBC plans).
+	ResultBytes int64
+	// CacheHitRate is the average DB-cache hit rate across machines.
+	CacheHitRate float64
+	// PerWorker carries the per-machine breakdown.
+	PerWorker []WorkerStats
+	// TaskTimes holds per-task durations when Config.CollectTaskTimes.
+	TaskTimes []time.Duration
+	// TimedOut reports that Config.Deadline fired before all tasks ran;
+	// Matches is then a lower bound.
+	TimedOut bool
+}
+
+// Run executes pl against the data graph served by store, on a simulated
+// cluster described by cfg. degree reports d_G(v) for task splitting; pass
+// graph.Graph.Degree for in-process runs or a degree table fetched from
+// the store's metadata in a real deployment.
+func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int64) int, cfg Config) (*Result, error) {
+	if cfg.Workers < 1 || cfg.ThreadsPerWorker < 1 {
+		return nil, fmt.Errorf("cluster: need ≥1 worker and ≥1 thread, got %d×%d", cfg.Workers, cfg.ThreadsPerWorker)
+	}
+	prog, err := exec.Compile(pl)
+	if err != nil {
+		return nil, err
+	}
+	n := store.NumVertices()
+
+	if pl.Pattern.Labeled() && cfg.LabelOf == nil {
+		return nil, fmt.Errorf("cluster: labeled pattern %q requires Config.LabelOf", pl.Pattern.Name())
+	}
+	tasks, splitCount := generateTasks(pl, prog, n, degree, cfg.Tau, cfg.LabelOf)
+
+	// Shuffle tasks evenly to workers (round-robin, like the paper's
+	// even shuffle of map output to reducers).
+	queues := make([][]exec.Task, cfg.Workers)
+	for i, t := range tasks {
+		w := i % cfg.Workers
+		queues[w] = append(queues[w], t)
+	}
+
+	res := &Result{Tasks: len(tasks), SplitTasks: splitCount}
+	if cfg.CollectTaskTimes {
+		res.TaskTimes = make([]time.Duration, 0, len(tasks))
+	}
+
+	var (
+		mu       sync.Mutex // guards res.TaskTimes
+		wg       sync.WaitGroup
+		runErr   error
+		errOnce  sync.Once
+		timedOut atomic.Bool
+	)
+	perWorker := make([]WorkerStats, cfg.Workers)
+	start := time.Now()
+
+	runWorker := func(w int) {
+		{
+			// One machine: a shared cached source and a work queue
+			// drained by ThreadsPerWorker threads.
+			src := exec.NewCachedSource(store, cfg.CacheBytes)
+			queue := queues[w]
+			var next int
+			var qmu sync.Mutex
+			pop := func() (exec.Task, bool) {
+				if cfg.Deadline > 0 && time.Since(start) > cfg.Deadline {
+					timedOut.Store(true)
+					return exec.Task{}, false
+				}
+				qmu.Lock()
+				defer qmu.Unlock()
+				if next >= len(queue) {
+					return exec.Task{}, false
+				}
+				t := queue[next]
+				next++
+				return t, true
+			}
+
+			threadStats := make([]exec.Stats, cfg.ThreadsPerWorker)
+			busy := make([]time.Duration, cfg.ThreadsPerWorker)
+			taskCount := make([]int, cfg.ThreadsPerWorker)
+
+			var tw sync.WaitGroup
+			for th := 0; th < cfg.ThreadsPerWorker; th++ {
+				th := th
+				tw.Add(1)
+				go func() {
+					defer tw.Done()
+					eopts := exec.Options{
+						Emit:                 cfg.Emit,
+						EmitCode:             cfg.EmitCode,
+						TriangleCacheEntries: cfg.TriangleCacheEntries,
+					}
+					if pl.DegreeFiltered {
+						eopts.DegreeOf = degree
+					}
+					eopts.LabelOf = cfg.LabelOf
+					e := exec.NewExecutor(prog, src, n, ord, eopts)
+					for {
+						t, ok := pop()
+						if !ok {
+							break
+						}
+						t0 := time.Now()
+						if _, err := e.Run(t); err != nil {
+							errOnce.Do(func() { runErr = err })
+							break
+						}
+						d := time.Since(t0)
+						busy[th] += d
+						taskCount[th]++
+						if cfg.CollectTaskTimes {
+							mu.Lock()
+							res.TaskTimes = append(res.TaskTimes, d)
+							mu.Unlock()
+						}
+					}
+					threadStats[th] = e.Stats()
+				}()
+			}
+			tw.Wait()
+			ws := &perWorker[w]
+			ws.Machine = w
+			for th := range threadStats {
+				ws.Exec.Add(threadStats[th])
+				ws.BusyTime += busy[th]
+				ws.Tasks += taskCount[th]
+			}
+			ws.Cache = src.Cache().Stats()
+			ws.RemoteQ = src.RemoteQueries()
+			ws.RemoteB = src.RemoteBytes()
+			ws.TriHits = ws.Exec.TriHits
+			ws.TriMisses = ws.Exec.TriMisses
+		}
+	}
+	if cfg.SequentialWorkers {
+		for w := 0; w < cfg.Workers; w++ {
+			runWorker(w)
+		}
+	} else {
+		for w := 0; w < cfg.Workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runWorker(w)
+			}()
+		}
+		wg.Wait()
+	}
+	res.Wall = time.Since(start)
+	res.TimedOut = timedOut.Load()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	var hitSum float64
+	for w := range perWorker {
+		ws := &perWorker[w]
+		res.Matches += ws.Exec.Matches
+		res.Codes += ws.Exec.Codes
+		res.DBQueries += ws.RemoteQ
+		res.BytesFetched += ws.RemoteB
+		res.ResultBytes += ws.Exec.ResultSize
+		hitSum += ws.Cache.HitRate()
+	}
+	res.CacheHitRate = hitSum / float64(len(perWorker))
+	res.PerWorker = perWorker
+	return res, nil
+}
+
+// generateTasks produces one local search task per data vertex, splitting
+// heavy start vertices per §V-B: a vertex with degree ≥ τ yields
+// ⌈d/τ⌉ subtasks when the second matching-order vertex anchors on the
+// start's adjacency, or ⌈N/τ⌉ when its candidate set is V(G).
+func generateTasks(pl *plan.Plan, prog *exec.Program, n int, degree func(v int64) int, tau int, labelOf func(v int64) int64) ([]exec.Task, int) {
+	var tasks []exec.Task
+	split := 0
+	canSplit := tau > 0 && prog.SupportsSplitting() && degree != nil
+	secondAnchored := false
+	if len(pl.Order) >= 2 {
+		secondAnchored = pl.Pattern.HasEdge(int64(pl.Order[0]), int64(pl.Order[1]))
+	}
+	// For degree-filtered plans, a start vertex with degree below the
+	// first order vertex's pattern degree can never seed a match.
+	minStartDeg := 0
+	if pl.DegreeFiltered && degree != nil {
+		minStartDeg = len(pl.Pattern.Adj(int64(pl.Order[0])))
+	}
+	startLabel := int64(0)
+	labeled := pl.Pattern.Labeled() && labelOf != nil
+	if labeled {
+		startLabel = pl.Pattern.Label(int64(pl.Order[0]))
+	}
+	for v := 0; v < n; v++ {
+		if minStartDeg > 0 && degree(int64(v)) < minStartDeg {
+			continue
+		}
+		if labeled && labelOf(int64(v)) != startLabel {
+			continue
+		}
+		parts := 1
+		if canSplit {
+			d := degree(int64(v))
+			if d >= tau {
+				if secondAnchored {
+					parts = (d + tau - 1) / tau
+				} else {
+					parts = (n + tau - 1) / tau
+				}
+			}
+		}
+		if parts <= 1 {
+			tasks = append(tasks, exec.Task{Start: int64(v)})
+			continue
+		}
+		for i := 0; i < parts; i++ {
+			tasks = append(tasks, exec.Task{Start: int64(v), SplitIndex: i, SplitCount: parts})
+			split++
+		}
+	}
+	return tasks, split
+}
+
+// SortedTaskTimes returns the task durations sorted descending — the
+// straggler view of Fig. 9a.
+func (r *Result) SortedTaskTimes() []time.Duration {
+	out := append([]time.Duration(nil), r.TaskTimes...)
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+// MaxWorkerBusy returns the busiest machine's accumulated task time — the
+// straggler bound on wall time (Fig. 9b).
+func (r *Result) MaxWorkerBusy() time.Duration {
+	var m time.Duration
+	for _, w := range r.PerWorker {
+		if w.BusyTime > m {
+			m = w.BusyTime
+		}
+	}
+	return m
+}

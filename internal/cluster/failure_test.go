@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/kv"
+	"benu/internal/plan"
+)
+
+// flakyStore wraps a store and fails every failEvery-th query — the
+// failure-injection harness for the runtime's error paths.
+type flakyStore struct {
+	inner     kv.Store
+	failEvery int64
+	calls     atomic.Int64
+}
+
+var errInjected = errors.New("injected store failure")
+
+func (s *flakyStore) GetAdj(v int64) ([]int64, error) {
+	if s.calls.Add(1)%s.failEvery == 0 {
+		return nil, fmt.Errorf("query %d: %w", s.calls.Load(), errInjected)
+	}
+	return s.inner.GetAdj(v)
+}
+
+func (s *flakyStore) NumVertices() int { return s.inner.NumVertices() }
+
+func TestRunSurfacesStoreFailures(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 200, EdgesPer: 4, Triad: 0.4, Seed: 51})
+	ord := graph.NewTotalOrder(g)
+	pl := bestPlan(t, gen.Q(1), g, plan.OptimizedUncompressed)
+
+	store := &flakyStore{inner: kv.NewLocal(g), failEvery: 97}
+	cfg := Defaults(g)
+	cfg.CacheBytes = 0 // force every query to the flaky store
+	_, err := Run(pl, store, ord, g.Degree, cfg)
+	if err == nil {
+		t.Fatal("store failures swallowed")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Errorf("error chain lost the cause: %v", err)
+	}
+}
+
+func TestRunRecoversWhenCacheAbsorbsFailures(t *testing.T) {
+	// With a cache big enough to hold the graph and a store that only
+	// fails late, early queries populate the cache; a fresh run against
+	// a healthy store must return the same count as the reference.
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 150, EdgesPer: 3, Triad: 0.4, Seed: 53})
+	ord := graph.NewTotalOrder(g)
+	p := gen.Triangle()
+	pl := bestPlan(t, p, g, plan.OptimizedUncompressed)
+	want := graph.RefCount(p, g, ord)
+
+	res, err := Run(pl, kv.NewLocal(g), ord, g.Degree, Defaults(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != want {
+		t.Errorf("got %d, want %d", res.Matches, want)
+	}
+}
+
+func TestRunAgainstClosedTCPStore(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 100, EdgesPer: 3, Seed: 55})
+	ord := graph.NewTotalOrder(g)
+	pl := bestPlan(t, gen.Triangle(), g, plan.OptimizedUncompressed)
+
+	servers, addrs, err := kv.ServeGraph(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := kv.Dial(addrs, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Kill the storage tier before the run.
+	for _, s := range servers {
+		s.Close()
+	}
+	cfg := Defaults(g)
+	cfg.CacheBytes = 0
+	if _, err := Run(pl, client, ord, g.Degree, cfg); err == nil {
+		t.Error("run against dead storage nodes succeeded")
+	}
+}
+
+func TestDeadlineProducesLowerBound(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 500, EdgesPer: 5, Triad: 0.5, Seed: 57})
+	ord := graph.NewTotalOrder(g)
+	p := gen.Q(1)
+	pl := bestPlan(t, p, g, plan.AllOptions)
+	full, err := Run(pl, kv.NewLocal(g), ord, g.Degree, Defaults(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Defaults(g)
+	cfg.Deadline = 1 // a nanosecond: fires immediately
+	cut, err := Run(pl, kv.NewLocal(g), ord, g.Degree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cut.TimedOut {
+		t.Skip("run finished inside a 1ns deadline — machine too fast to test this")
+	}
+	if cut.Matches > full.Matches {
+		t.Errorf("timed-out run counted more (%d) than the full run (%d)", cut.Matches, full.Matches)
+	}
+}

@@ -1,0 +1,127 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/kv"
+	"benu/internal/plan"
+)
+
+// TestDeltaCountEqualsDifference checks the defining property: inserting
+// edge e into G creates exactly count(G∪e) − count(G) new matches, and
+// DeltaCount reports that number.
+func TestDeltaCountEqualsDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	patterns := []*graph.Pattern{gen.Triangle(), gen.Q(1), gen.Q(4), gen.ChordalSquare(), gen.Path(4)}
+	for trial := 0; trial < 5; trial++ {
+		g0 := gen.PowerLaw(gen.PowerLawConfig{N: 120, EdgesPer: 3, Triad: 0.5, Seed: rng.Int63()})
+		store := kv.NewMutable(g0)
+		for _, p := range patterns {
+			d, err := NewDeltaEnumerator(p, plan.OptimizedUncompressed)
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name(), err)
+			}
+			if d.NumPlans() != 2*int(p.NumEdges()) {
+				t.Fatalf("%s: %d plans, want %d", p.Name(), d.NumPlans(), 2*p.NumEdges())
+			}
+			for k := 0; k < 4; k++ {
+				// Pick a non-edge and insert it.
+				var a, b int64
+				for {
+					a = rng.Int63n(int64(store.NumVertices()))
+					b = rng.Int63n(int64(store.NumVertices()))
+					snap := store.Snapshot()
+					if a != b && !snap.HasEdge(a, b) {
+						break
+					}
+				}
+				before := store.Snapshot()
+				ordBefore := graph.NewTotalOrder(before)
+				countBefore := graph.RefCount(p, before, ordBefore)
+
+				store.AddEdge(a, b)
+				after := store.Snapshot()
+				// NOTE: the total order must stay fixed across the delta
+				// (the paper's ≺ is degree-based, but for dynamic graphs
+				// a stable order — e.g. by id — keeps old matches
+				// canonical). Use the identity order on both sides.
+				ident := graph.IdentityOrder(after.NumVertices())
+				cb := graph.RefCount(p, before, ident)
+				ca := graph.RefCount(p, after, ident)
+				_ = countBefore
+
+				delta, err := d.Count(store, after.NumVertices(), ident, a, b, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if delta != ca-cb {
+					t.Errorf("%s insert (%d,%d): delta = %d, want %d−%d = %d",
+						p.Name(), a, b, delta, ca, cb, ca-cb)
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaEnumerateStreamsContainingMatches(t *testing.T) {
+	g := gen.DemoDataGraph()
+	ident := graph.IdentityOrder(g.NumVertices())
+	p := gen.Triangle()
+	d, err := NewDeltaEnumerator(p, plan.OptimizedUncompressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every streamed match must contain the anchor edge (0, 2).
+	var n int64
+	err = d.Enumerate(GraphSource{G: g}, g.NumVertices(), ident, 0, 2, func(f []int64) bool {
+		found := false
+		for i := range f {
+			for j := i + 1; j < len(f); j++ {
+				if (f[i] == 0 && f[j] == 2) || (f[i] == 2 && f[j] == 0) {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("match %v does not contain the anchor edge", f)
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Count(GraphSource{G: g}, g.NumVertices(), ident, 0, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want {
+		t.Errorf("enumerated %d, counted %d", n, want)
+	}
+	if n == 0 {
+		t.Error("no triangles through (0,2) — demo graph should have some")
+	}
+}
+
+func TestAnchoredPlanRejectsVCBC(t *testing.T) {
+	if _, err := NewDeltaEnumerator(gen.Triangle(), plan.AllOptions); err == nil {
+		t.Error("VCBC accepted for delta enumeration")
+	}
+}
+
+func TestAnchoredOrderValidation(t *testing.T) {
+	p := gen.Q(1)
+	if _, err := plan.AnchoredOrder(p, 0, 2); err == nil {
+		t.Error("non-edge anchor accepted")
+	}
+	order, err := plan.AnchoredOrder(p, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 0 || order[1] != 1 || len(order) != p.NumVertices() {
+		t.Errorf("order = %v", order)
+	}
+}

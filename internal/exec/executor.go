@@ -1,0 +1,540 @@
+package exec
+
+import (
+	"fmt"
+
+	"benu/internal/graph"
+	"benu/internal/plan"
+	"benu/internal/vcbc"
+)
+
+// AdjSource provides adjacency sets to DBQ instructions. kv.Store
+// satisfies it, as do *CachedSource and the plain in-memory adapter
+// GraphSource.
+type AdjSource interface {
+	GetAdj(v int64) ([]int64, error)
+}
+
+// GraphSource adapts an in-memory graph as an AdjSource with zero
+// overhead; the single-machine (QFrag-style broadcast) configuration.
+type GraphSource struct{ G *graph.Graph }
+
+// GetAdj implements AdjSource.
+func (s GraphSource) GetAdj(v int64) ([]int64, error) {
+	if v < 0 || int(v) >= s.G.NumVertices() {
+		return nil, fmt.Errorf("exec: vertex %d out of range", v)
+	}
+	return s.G.Adj(v), nil
+}
+
+// Task is one local search task: enumerate all matches whose first
+// matching-order vertex maps to Start. SplitCount > 1 marks a subtask
+// produced by task splitting (§V-B): the candidate set of the second
+// matching-order vertex is partitioned into SplitCount slices and this
+// subtask processes slice SplitIndex.
+type Task struct {
+	Start int64
+	// Start2 pins the second matching-order vertex for anchored (delta)
+	// plans; ignored otherwise.
+	Start2     int64
+	SplitIndex int
+	SplitCount int
+}
+
+// Stats accumulates per-task (and, summed, per-run) counters.
+type Stats struct {
+	Matches    int64 // complete matches (expanded count for compressed plans)
+	Codes      int64 // compressed codes emitted (0 for uncompressed plans)
+	DBQueries  int64 // DBQ instruction executions (GetAdj calls issued)
+	IntOps     int64 // INT/TRC instruction executions
+	ResultSize int64 // bytes of emitted results (8 per reported vertex id)
+	TriHits    int64 // triangle-cache hits
+	TriMisses  int64 // triangle-cache misses
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Matches += o.Matches
+	s.Codes += o.Codes
+	s.DBQueries += o.DBQueries
+	s.IntOps += o.IntOps
+	s.ResultSize += o.ResultSize
+	s.TriHits += o.TriHits
+	s.TriMisses += o.TriMisses
+}
+
+// Options configures an Executor.
+type Options struct {
+	// Emit, if set, receives every complete match of an uncompressed
+	// plan. The slice is indexed by pattern vertex and reused; copy to
+	// retain. Return false to stop the current task early.
+	Emit func(f []int64) bool
+	// EmitCode, if set, receives every compressed code of a VCBC plan.
+	// The code's slices are reused; copy to retain. Return false to stop
+	// the current task early.
+	EmitCode func(c *vcbc.Code) bool
+	// TriangleCacheEntries bounds the per-executor triangle cache
+	// (0 disables the cache; TRC instructions then compute directly).
+	TriangleCacheEntries int
+	// DegreeOf supplies data-vertex degrees for plans generated with the
+	// degree filter (plan.Options.DegreeFilter). When nil, degree
+	// conditions pass vacuously — results are identical either way, only
+	// the pruning is lost.
+	DegreeOf func(v int64) int
+	// LabelOf supplies data-vertex labels. Required for plans of labeled
+	// patterns (the property-graph extension); Run fails without it.
+	LabelOf func(v int64) int64
+}
+
+// Executor runs local search tasks for one compiled program. It is
+// single-threaded: create one Executor per working thread and share the
+// Program, the adjacency source, and the total order across them.
+type Executor struct {
+	prog *Program
+	src  AdjSource
+	ord  *graph.TotalOrder
+	numV int
+
+	opts Options
+
+	f     []int64   // current partial match, indexed by pattern vertex
+	regs  [][]int64 // set registers
+	bufs  [][]int64 // scratch buffers, one per set-producing instruction
+	vgAll []int64   // materialized 0..N-1 range for V(G) ENU sources
+	ktmpA []int64   // ping-pong scratch for k-way intersections
+	ktmpB []int64
+	tri   *TriangleCache
+	stats Stats
+
+	start      int64
+	start2     int64
+	splitIdx   int
+	splitCnt   int
+	stopped    bool
+	code       vcbc.Code // reused compressed-code header
+	freeImages [][]int64 // reused image-set slice headers
+}
+
+// NewExecutor creates an executor for prog reading adjacency data from
+// src. numVertices is |V(G)| (needed to iterate V(G) operands), and ord
+// is the total order ≺ used by symmetry-breaking filters.
+func NewExecutor(prog *Program, src AdjSource, numVertices int, ord *graph.TotalOrder, opts Options) *Executor {
+	e := &Executor{
+		prog: prog,
+		src:  src,
+		ord:  ord,
+		numV: numVertices,
+		opts: opts,
+		f:    make([]int64, prog.n),
+		regs: make([][]int64, prog.numRegs),
+		bufs: make([][]int64, prog.numBufs),
+	}
+	for i := range e.f {
+		e.f[i] = -1
+	}
+	if opts.TriangleCacheEntries > 0 {
+		e.tri = NewTriangleCache(opts.TriangleCacheEntries)
+	}
+	if prog.Plan.Compressed {
+		e.code.CoverVertices = prog.coverVerts
+		e.code.FreeVertices = prog.freeVerts
+		e.code.Helve = make([]int64, len(prog.coverVerts))
+		e.freeImages = make([][]int64, len(prog.freeVerts))
+		e.code.Images = e.freeImages
+	}
+	return e
+}
+
+// Stats returns the counters accumulated since creation (across all tasks
+// this executor ran).
+func (e *Executor) Stats() Stats { return e.stats }
+
+// TriangleCache exposes the executor's triangle cache (nil when disabled).
+func (e *Executor) TriangleCache() *TriangleCache { return e.tri }
+
+// Run executes one local search task to completion and returns the
+// task-local stats delta.
+func (e *Executor) Run(t Task) (Stats, error) {
+	before := e.stats
+	if e.prog.needsLabels {
+		if e.opts.LabelOf == nil {
+			return Stats{}, fmt.Errorf("exec: plan for labeled pattern %q needs Options.LabelOf",
+				e.prog.Plan.Pattern.Name())
+		}
+		if e.opts.LabelOf(t.Start) != e.prog.startLabel {
+			return Stats{}, nil // start vertex can never match the first order vertex
+		}
+	}
+	e.start = t.Start
+	e.start2 = t.Start2
+	e.splitIdx, e.splitCnt = t.SplitIndex, t.SplitCount
+	if e.splitCnt < 1 {
+		e.splitCnt = 1
+	}
+	e.stopped = false
+	runnable := true
+	if e.prog.anchored {
+		// Evaluate the pinned-pair conditions once: bind f(order[0]) so
+		// the checks can compare Start2 against it.
+		k1 := e.prog.Plan.Order[0]
+		e.f[k1] = t.Start
+		if t.Start == t.Start2 || !e.passes(e.prog.anchorChecks, t.Start2) {
+			runnable = false
+		}
+		e.f[k1] = -1
+	}
+	var err error
+	if runnable {
+		err = e.run(0)
+	}
+	delta := e.stats
+	delta.Matches -= before.Matches
+	delta.Codes -= before.Codes
+	delta.DBQueries -= before.DBQueries
+	delta.IntOps -= before.IntOps
+	delta.ResultSize -= before.ResultSize
+	delta.TriHits -= before.TriHits
+	delta.TriMisses -= before.TriMisses
+	return delta, err
+}
+
+// run interprets instructions from pc onward; an ENU instruction loops
+// over its candidate set and recurses for the instruction suffix.
+func (e *Executor) run(pc int) error {
+	for pc < len(e.prog.instrs) {
+		in := &e.prog.instrs[pc]
+		switch in.op {
+		case plan.OpINI:
+			if in.iniIdx == 0 {
+				e.f[in.vertex] = e.start
+			} else {
+				e.f[in.vertex] = e.start2
+			}
+
+		case plan.OpDBQ:
+			adj, err := e.src.GetAdj(e.f[in.vertex])
+			if err != nil {
+				return err
+			}
+			e.stats.DBQueries++
+			e.regs[in.dst] = adj
+
+		case plan.OpINT:
+			e.execIntersect(in)
+
+		case plan.OpTRC:
+			e.execTriangle(in)
+
+		case plan.OpENU:
+			set := e.enuSource(in)
+			if pc == e.prog.splitPC && e.splitCnt > 1 {
+				for i := e.splitIdx; i < len(set); i += e.splitCnt {
+					e.f[in.vertex] = set[i]
+					if err := e.run(pc + 1); err != nil {
+						return err
+					}
+					if e.stopped {
+						break
+					}
+				}
+			} else {
+				for _, v := range set {
+					e.f[in.vertex] = v
+					if err := e.run(pc + 1); err != nil {
+						return err
+					}
+					if e.stopped {
+						break
+					}
+				}
+			}
+			e.f[in.vertex] = -1
+			return nil
+
+		case plan.OpRES:
+			e.emit()
+		}
+		if e.stopped {
+			return nil
+		}
+		pc++
+	}
+	return nil
+}
+
+// enuSource returns the candidate slice an ENU instruction iterates.
+// A V(G) source materializes the full vertex range once per executor.
+func (e *Executor) enuSource(in *cInstr) []int64 {
+	r := in.ops[0]
+	if r != vgReg {
+		return e.regs[r]
+	}
+	if len(e.vgAll) != e.numV {
+		e.vgAll = make([]int64, e.numV)
+		for i := range e.vgAll {
+			e.vgAll[i] = int64(i)
+		}
+	}
+	return e.vgAll
+}
+
+// execIntersect evaluates an INT instruction: intersect the operand sets
+// and apply the filtering conditions, writing the result into the
+// instruction's scratch buffer.
+func (e *Executor) execIntersect(in *cInstr) {
+	e.stats.IntOps++
+	buf := e.bufs[in.buf][:0]
+
+	// Collect concrete operand sets, ignoring V(G) (the identity of
+	// intersection) unless it is the only operand.
+	var sets [][]int64
+	for _, r := range in.ops {
+		if r != vgReg {
+			sets = append(sets, e.regs[r])
+		}
+	}
+	switch len(sets) {
+	case 0:
+		// Candidate set is all of V(G), filtered.
+		for v := int64(0); v < int64(e.numV); v++ {
+			if e.passes(in.filters, v) {
+				buf = append(buf, v)
+			}
+		}
+	case 1:
+		for _, v := range sets[0] {
+			if e.passes(in.filters, v) {
+				buf = append(buf, v)
+			}
+		}
+	case 2:
+		buf = e.intersectFiltered(buf, sets[0], sets[1], in.filters)
+	default:
+		// k-way: fold pairwise, smallest set first so intermediates
+		// shrink quickly. Intermediates ping-pong between two scratch
+		// buffers; the final step (with filters) writes the instruction's
+		// own buffer, which must outlive deeper recursion levels.
+		small := 0
+		for i, s := range sets {
+			if len(s) < len(sets[small]) {
+				small = i
+			}
+		}
+		sets[0], sets[small] = sets[small], sets[0]
+		cur := sets[0]
+		useA := true
+		for i := 1; i < len(sets); i++ {
+			if i == len(sets)-1 {
+				buf = e.intersectFiltered(buf, cur, sets[i], in.filters)
+				break
+			}
+			if useA {
+				e.ktmpA = e.intersectFiltered(e.ktmpA[:0], cur, sets[i], nil)
+				cur = e.ktmpA
+			} else {
+				e.ktmpB = e.intersectFiltered(e.ktmpB[:0], cur, sets[i], nil)
+				cur = e.ktmpB
+			}
+			useA = !useA
+			if len(cur) == 0 {
+				break // result is empty; buf stays empty
+			}
+		}
+	}
+	e.bufs[in.buf] = buf
+	e.regs[in.dst] = buf
+}
+
+// intersectFiltered merges two sorted sets applying filters on the fly.
+func (e *Executor) intersectFiltered(dst, a, b []int64, filters []cFilter) []int64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(filters) == 0 {
+		return graph.IntersectSorted(dst, a, b)
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			if e.passes(filters, a[i]) {
+				dst = append(dst, a[i])
+			}
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// passes evaluates the filtering conditions against candidate v.
+func (e *Executor) passes(filters []cFilter, v int64) bool {
+	for _, f := range filters {
+		fv := e.f[f.vertex]
+		switch f.kind {
+		case plan.FilterGT:
+			if !e.ord.Less(fv, v) {
+				return false
+			}
+		case plan.FilterLT:
+			if !e.ord.Less(v, fv) {
+				return false
+			}
+		case plan.FilterNE:
+			if v == fv {
+				return false
+			}
+		case plan.FilterMinDeg:
+			if e.opts.DegreeOf != nil && e.opts.DegreeOf(v) < f.degree {
+				return false
+			}
+		case plan.FilterLabel:
+			if e.opts.LabelOf(v) != f.label {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// execTriangle evaluates a TRC instruction through the triangle/clique
+// cache.
+func (e *Executor) execTriangle(in *cInstr) {
+	e.stats.IntOps++
+	var result []int64
+	if e.tri != nil {
+		var vals [TriKeyWidth]int64
+		for i, kv := range in.keys {
+			vals[i] = e.f[kv]
+		}
+		key := MakeTriKey(vals[:len(in.keys)])
+		if cached, ok := e.tri.Get(key); ok {
+			e.stats.TriHits++
+			result = cached
+		} else {
+			e.stats.TriMisses++
+			result = e.rawIntersect(nil, in)
+			e.tri.Put(key, result)
+		}
+	} else {
+		buf := e.rawIntersect(e.bufs[in.buf][:0], in)
+		e.bufs[in.buf] = buf
+		result = buf
+	}
+	if len(in.filters) > 0 {
+		// TRC caches the raw intersection; filters (if any) apply to a
+		// private copy so cached entries stay reusable across branches.
+		buf := e.bufs[in.buf][:0]
+		for _, v := range result {
+			if e.passes(in.filters, v) {
+				buf = append(buf, v)
+			}
+		}
+		e.bufs[in.buf] = buf
+		result = buf
+	}
+	e.regs[in.dst] = result
+}
+
+// rawIntersect intersects a TRC instruction's operand registers without
+// applying filters, appending to dst. Operands are never V(G) (cacheable
+// intersections are compositions of adjacency sets).
+func (e *Executor) rawIntersect(dst []int64, in *cInstr) []int64 {
+	switch len(in.ops) {
+	case 1:
+		return append(dst, e.regs[in.ops[0]]...)
+	case 2:
+		return graph.IntersectSorted(dst, e.regs[in.ops[0]], e.regs[in.ops[1]])
+	}
+	sets := make([][]int64, len(in.ops))
+	for i, r := range in.ops {
+		sets[i] = e.regs[r]
+	}
+	return graph.IntersectMany(dst, sets...)
+}
+
+// emit handles the RES instruction.
+func (e *Executor) emit() {
+	if !e.prog.Plan.Compressed {
+		e.stats.Matches++
+		e.stats.ResultSize += int64(e.prog.n) * 8
+		if e.opts.Emit != nil && !e.opts.Emit(e.f) {
+			e.stopped = true
+		}
+		return
+	}
+	// Compressed: assemble the code from cover f values and image
+	// registers, count its expansions, and optionally hand it out.
+	for i, v := range e.prog.coverVerts {
+		e.code.Helve[i] = e.f[v]
+	}
+	empty := false
+	for i, r := range e.prog.freeRegs {
+		img := e.regs[r]
+		e.freeImages[i] = img
+		if len(img) == 0 {
+			empty = true
+		}
+	}
+	if empty {
+		return // some free vertex has no candidate: zero expansions
+	}
+	n := e.countExpansions()
+	if n == 0 {
+		return
+	}
+	e.stats.Codes++
+	e.stats.Matches += n
+	e.stats.ResultSize += e.code.SizeBytes()
+	if e.opts.EmitCode != nil && !e.opts.EmitCode(&e.code) {
+		e.stopped = true
+	}
+}
+
+// countExpansions counts the injective, order-respecting expansions of the
+// current compressed code. The one- and two-set cases — the overwhelming
+// majority across the evaluation patterns — avoid the general DP in
+// vcbc.CountInjective, which allocates per call.
+func (e *Executor) countExpansions() int64 {
+	imgs := e.freeImages
+	switch len(imgs) {
+	case 1:
+		return int64(len(imgs[0]))
+	case 2:
+		if len(e.prog.constraints) == 0 {
+			// Injective pairs: |A|·|B| − |A ∩ B| (sets are id-sorted).
+			a, b := imgs[0], imgs[1]
+			if len(a) > len(b) {
+				a, b = b, a
+			}
+			var common int64
+			if len(b) >= 16*len(a) {
+				for _, x := range a {
+					if graph.ContainsSorted(b, x) {
+						common++
+					}
+				}
+			} else {
+				i, j := 0, 0
+				for i < len(a) && j < len(b) {
+					switch {
+					case a[i] < b[j]:
+						i++
+					case a[i] > b[j]:
+						j++
+					default:
+						common++
+						i++
+						j++
+					}
+				}
+			}
+			return int64(len(imgs[0]))*int64(len(imgs[1])) - common
+		}
+	}
+	return vcbc.CountInjective(e.prog.freeVerts, imgs, e.prog.constraints, e.ord)
+}

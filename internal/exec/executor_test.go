@@ -1,0 +1,180 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"benu/internal/estimate"
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/plan"
+)
+
+// countMatches runs every local search task of a plan over g in-process
+// and returns summed stats.
+func countMatches(t *testing.T, pl *plan.Plan, g *graph.Graph, ord *graph.TotalOrder, opts Options) Stats {
+	t.Helper()
+	prog, err := Compile(pl)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	e := NewExecutor(prog, GraphSource{G: g}, g.NumVertices(), ord, opts)
+	for v := 0; v < g.NumVertices(); v++ {
+		if _, err := e.Run(Task{Start: int64(v)}); err != nil {
+			t.Fatalf("Run(start=%d): %v", v, err)
+		}
+	}
+	return e.Stats()
+}
+
+// allOptionCombos enumerates the optimization lattice used throughout the
+// correctness tests.
+func allOptionCombos() []plan.Options {
+	var out []plan.Options
+	for _, cse := range []bool{false, true} {
+		for _, re := range []bool{false, true} {
+			for _, trc := range []bool{false, true} {
+				for _, vc := range []bool{false, true} {
+					out = append(out, plan.Options{CSE: cse, Reorder: re, TriangleCache: trc, VCBC: vc})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestExecutorMatchesReferenceOnDemoGraph(t *testing.T) {
+	g := gen.DemoDataGraph()
+	ord := graph.NewTotalOrder(g)
+	patterns := []*graph.Pattern{
+		gen.Triangle(), gen.Square(), gen.ChordalSquare(),
+		gen.DemoPattern(), gen.Q(1), gen.Q(4), gen.Path(4), gen.Star(3),
+	}
+	for _, p := range patterns {
+		want := graph.RefCount(p, g, ord)
+		st := estimate.NewStats(g, estimate.MaxMomentDefault)
+		for _, opts := range allOptionCombos() {
+			res, err := plan.GenerateBestPlan(p, st, opts)
+			if err != nil {
+				t.Fatalf("%s %+v: GenerateBestPlan: %v", p.Name(), opts, err)
+			}
+			got := countMatches(t, res.Plan, g, ord, Options{TriangleCacheEntries: 64}).Matches
+			if got != want {
+				t.Errorf("%s opts=%+v: got %d matches, want %d\nplan:\n%s", p.Name(), opts, got, want, res.Plan)
+			}
+		}
+	}
+}
+
+func TestExecutorMatchesReferenceOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		g := gen.ErdosRenyi(40, 160, rng.Int63())
+		ord := graph.NewTotalOrder(g)
+		st := estimate.NewStats(g, estimate.MaxMomentDefault)
+		for n := 3; n <= 5; n++ {
+			p := gen.RandomConnectedPattern(n, 0.4, rng)
+			want := graph.RefCount(p, g, ord)
+			for _, opts := range []plan.Options{{}, plan.OptimizedUncompressed, plan.AllOptions} {
+				res, err := plan.GenerateBestPlan(p, st, opts)
+				if err != nil {
+					t.Fatalf("GenerateBestPlan: %v", err)
+				}
+				got := countMatches(t, res.Plan, g, ord, Options{TriangleCacheEntries: 64}).Matches
+				if got != want {
+					t.Errorf("trial %d %s opts=%+v: got %d, want %d\nplan:\n%s",
+						trial, p, opts, got, want, res.Plan)
+				}
+			}
+		}
+	}
+}
+
+func TestSymmetryBreakingBijection(t *testing.T) {
+	// #matches with symmetry breaking × |Aut(P)| == #matches without.
+	g := gen.ErdosRenyi(30, 120, 42)
+	ord := graph.NewTotalOrder(g)
+	for i := 1; i <= 9; i++ {
+		p := gen.Q(i)
+		withSB := graph.RefCount(p, g, ord)
+		all := graph.RefCountAllMatches(p, g)
+		auts := int64(len(p.Automorphisms()))
+		if withSB*auts != all {
+			t.Errorf("q%d: withSB=%d × |Aut|=%d != all=%d", i, withSB, auts, all)
+		}
+	}
+}
+
+func TestTaskSplittingPreservesCounts(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 300, EdgesPer: 4, Triad: 0.5, Seed: 9})
+	ord := graph.NewTotalOrder(g)
+	st := estimate.NewStats(g, estimate.MaxMomentDefault)
+	for _, qi := range []int{1, 4, 5} {
+		p := gen.Q(qi)
+		res, err := plan.GenerateBestPlan(p, st, plan.OptimizedUncompressed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := Compile(res.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prog.SupportsSplitting() {
+			t.Fatalf("q%d: plan unexpectedly unsplittable", qi)
+		}
+		e := NewExecutor(prog, GraphSource{G: g}, g.NumVertices(), ord, Options{})
+		var whole, split int64
+		for v := 0; v < g.NumVertices(); v++ {
+			s, err := e.Run(Task{Start: int64(v)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			whole += s.Matches
+		}
+		const parts = 7
+		for v := 0; v < g.NumVertices(); v++ {
+			for i := 0; i < parts; i++ {
+				s, err := e.Run(Task{Start: int64(v), SplitIndex: i, SplitCount: parts})
+				if err != nil {
+					t.Fatal(err)
+				}
+				split += s.Matches
+			}
+		}
+		if whole != split {
+			t.Errorf("q%d: whole=%d split=%d", qi, whole, split)
+		}
+	}
+}
+
+func TestEmitStopsEarly(t *testing.T) {
+	g := gen.DemoDataGraph()
+	ord := graph.NewTotalOrder(g)
+	pl, err := plan.Generate(gen.Triangle(), []int{0, 1, 2}, plan.OptimizedUncompressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	e := NewExecutor(prog, GraphSource{G: g}, g.NumVertices(), ord, Options{
+		Emit: func(f []int64) bool {
+			seen++
+			return false // stop after the first match of each task
+		},
+	})
+	for v := 0; v < g.NumVertices(); v++ {
+		if _, err := e.Run(Task{Start: int64(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each task reports at most one match when the callback stops it.
+	if seen > g.NumVertices() {
+		t.Errorf("early stop ignored: %d emits for %d tasks", seen, g.NumVertices())
+	}
+	if seen == 0 {
+		t.Error("no matches emitted at all")
+	}
+}

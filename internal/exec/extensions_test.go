@@ -1,0 +1,176 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"benu/internal/estimate"
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/plan"
+)
+
+// Tests for the paper-flagged extensions: the degree filter (§IV-A) and
+// the clique-cache generalization of Optimization 3 (§IV-B).
+
+func TestDegreeFilterPreservesCounts(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 300, EdgesPer: 4, Triad: 0.5, Seed: 41})
+	ord := graph.NewTotalOrder(g)
+	st := estimate.NewStats(g, estimate.MaxMomentDefault)
+	for _, qi := range []int{1, 2, 4, 5, 8} {
+		p := gen.Q(qi)
+		base := plan.OptimizedUncompressed
+		filtered := base
+		filtered.DegreeFilter = true
+
+		resBase, err := plan.GenerateBestPlan(p, st, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resFilt, err := plan.GenerateBestPlan(p, st, filtered)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resFilt.Plan.DegreeFiltered {
+			t.Fatalf("q%d: plan not marked degree-filtered", qi)
+		}
+
+		want := countMatches(t, resBase.Plan, g, ord, Options{TriangleCacheEntries: 64}).Matches
+		got := countMatches(t, resFilt.Plan, g, ord, Options{
+			TriangleCacheEntries: 64,
+			DegreeOf:             g.Degree,
+		}).Matches
+		if got != want {
+			t.Errorf("q%d: degree filter changed count: %d vs %d", qi, got, want)
+		}
+
+		// Without an oracle the conditions pass vacuously; counts hold.
+		noOracle := countMatches(t, resFilt.Plan, g, ord, Options{TriangleCacheEntries: 64}).Matches
+		if noOracle != want {
+			t.Errorf("q%d: filtered plan without oracle: %d vs %d", qi, noOracle, want)
+		}
+	}
+}
+
+func TestDegreeFilterPrunesWork(t *testing.T) {
+	// A star-heavy graph where many candidates have degree 1: matching
+	// the 4-clique with the degree filter must iterate fewer candidates.
+	b := graph.NewBuilder(200)
+	for i := int64(0); i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			b.AddEdge(i, j) // a K8 core
+		}
+	}
+	for i := int64(8); i < 200; i++ {
+		b.AddEdge(i%8, i) // degree-1 satellites
+	}
+	g := b.Build()
+	ord := graph.NewTotalOrder(g)
+	p := gen.Clique(4)
+
+	run := func(opts plan.Options, degOf func(int64) int) Stats {
+		pl, err := plan.Generate(p, []int{0, 1, 2, 3}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return countMatches(t, pl, g, ord, Options{DegreeOf: degOf})
+	}
+	base := run(plan.OptimizedUncompressed, nil)
+	filtOpts := plan.OptimizedUncompressed
+	filtOpts.DegreeFilter = true
+	filt := run(filtOpts, g.Degree)
+	if filt.Matches != base.Matches {
+		t.Fatalf("counts differ: %d vs %d", filt.Matches, base.Matches)
+	}
+}
+
+func TestCliqueCachePreservesCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 250, EdgesPer: 5, Triad: 0.6, Seed: 43})
+	ord := graph.NewTotalOrder(g)
+	patterns := []*graph.Pattern{
+		gen.Clique(4), gen.Clique(5), gen.Q(2), gen.Q(5), gen.ChordalSquare(),
+	}
+	for i := 0; i < 5; i++ {
+		patterns = append(patterns, gen.RandomConnectedPattern(5, 0.6, rng))
+	}
+	st := estimate.NewStats(g, estimate.MaxMomentDefault)
+	for _, p := range patterns {
+		want := graph.RefCount(p, g, ord)
+		opts := plan.OptimizedUncompressed
+		opts.CliqueCache = true
+		res, err := plan.GenerateBestPlan(p, st, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := countMatches(t, res.Plan, g, ord, Options{TriangleCacheEntries: 1 << 12}).Matches
+		if got != want {
+			t.Errorf("%s with clique cache: got %d, want %d\n%s", p.Name(), got, want, res.Plan)
+		}
+		// And compressed.
+		opts.VCBC = true
+		resC, err := plan.GenerateBestPlan(p, st, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotC := countMatches(t, resC.Plan, g, ord, Options{TriangleCacheEntries: 1 << 12}).Matches
+		if gotC != want {
+			t.Errorf("%s compressed clique cache: got %d, want %d", p.Name(), gotC, want)
+		}
+	}
+}
+
+func TestCliqueCacheCreatesWiderKeys(t *testing.T) {
+	// On the 5-clique pattern, the candidate intersection for the 4th
+	// and 5th vertices are compositions of 3 and 4 adjacency sets, all
+	// pattern cliques — the rewrite must produce a TRC with > 2 keys.
+	p := gen.Clique(5)
+	opts := plan.OptimizedUncompressed
+	opts.CliqueCache = true
+	pl, err := plan.Generate(p, []int{0, 1, 2, 3, 4}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := 0
+	for _, in := range pl.Instrs {
+		if in.Op == plan.OpTRC && len(in.KeyVerts) > 2 {
+			wide++
+		}
+	}
+	if wide == 0 {
+		t.Errorf("no wide clique-cache instruction in\n%s", pl)
+	}
+}
+
+func TestCliqueCacheHitsOnCliquePattern(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 400, EdgesPer: 6, Triad: 0.6, Seed: 45})
+	ord := graph.NewTotalOrder(g)
+	st := estimate.NewStats(g, estimate.MaxMomentDefault)
+	opts := plan.OptimizedUncompressed
+	opts.CliqueCache = true
+	res, err := plan.GenerateBestPlan(gen.Clique(4), st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := countMatches(t, res.Plan, g, ord, Options{TriangleCacheEntries: 1 << 14})
+	if stats.TriHits+stats.TriMisses == 0 {
+		t.Fatal("cache never consulted")
+	}
+}
+
+func TestMakeTriKeyCanonical(t *testing.T) {
+	a := MakeTriKey([]int64{5, 2, 9})
+	b := MakeTriKey([]int64{9, 5, 2})
+	if a != b {
+		t.Errorf("keys not canonical: %v vs %v", a, b)
+	}
+	c := MakeTriKey([]int64{5, 2})
+	if a == c {
+		t.Error("different groups share a key")
+	}
+	// Padding distinguishes group sizes even with -1-adjacent values.
+	d := MakeTriKey([]int64{5, 2, 9, 1})
+	if d == a {
+		t.Error("size-3 and size-4 groups collide")
+	}
+}

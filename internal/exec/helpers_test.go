@@ -1,0 +1,41 @@
+package exec
+
+import (
+	"testing"
+
+	"benu/internal/graph"
+	"benu/internal/plan"
+)
+
+// identOrder returns the identity total order for n vertices.
+func identOrder(n int) *graph.TotalOrder { return graph.IdentityOrder(n) }
+
+// refCountWithIdentity counts matches under the identity order.
+func refCountWithIdentity(t *testing.T, p *graph.Pattern, g *graph.Graph) int64 {
+	t.Helper()
+	return graph.RefCount(p, g, graph.IdentityOrder(g.NumVertices()))
+}
+
+// handBuiltVGPlan constructs a minimal plan whose second and third ENUs
+// iterate V(G) directly, bypassing the generator (which always interposes
+// filtered candidate sets). Used to exercise the executor's raw V(G)
+// enumeration path.
+func handBuiltVGPlan(t *testing.T, p *graph.Pattern) *plan.Plan {
+	t.Helper()
+	pl := &plan.Plan{
+		Pattern: p,
+		Order:   []int{0, 1, 2},
+		Instrs: []plan.Instruction{
+			{Op: plan.OpINI, Target: plan.VarRef{Kind: plan.VarF, Index: 0}},
+			{Op: plan.OpENU, Target: plan.VarRef{Kind: plan.VarF, Index: 1}, Operands: []plan.VarRef{plan.VG}},
+			{Op: plan.OpENU, Target: plan.VarRef{Kind: plan.VarF, Index: 2}, Operands: []plan.VarRef{plan.VG}},
+			{Op: plan.OpRES, Operands: []plan.VarRef{
+				{Kind: plan.VarF, Index: 0}, {Kind: plan.VarF, Index: 1}, {Kind: plan.VarF, Index: 2},
+			}},
+		},
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("hand-built plan invalid: %v", err)
+	}
+	return pl
+}

@@ -1,0 +1,226 @@
+// Package exec interprets BENU execution plans. A plan is compiled once
+// into a register program (Compile) and then executed by per-thread
+// Executors against any adjacency source — the in-memory graph, the
+// distributed KV store, or the store behind a machine-local DB cache.
+//
+// The executor implements the backtracking search of Algorithm 1/2: each
+// ENU instruction opens one recursion level, set intersections run over
+// sorted adjacency sets, and the triangle cache (§IV-B Optimization 3)
+// serves repeated triangle enumerations around the task's start vertex.
+package exec
+
+import (
+	"fmt"
+
+	"benu/internal/plan"
+)
+
+// cFilter is a compiled filtering condition.
+type cFilter struct {
+	kind   plan.FilterKind
+	vertex int   // pattern vertex whose f value the condition references
+	degree int   // minimum data degree (FilterMinDeg)
+	label  int64 // required label (FilterLabel)
+}
+
+// vgReg marks the V(G) pseudo-operand in compiled operand lists.
+const vgReg = -1
+
+// cInstr is one compiled instruction.
+type cInstr struct {
+	op      plan.OpType
+	dst     int       // destination set register (INT/TRC/DBQ)
+	ops     []int     // set-register operands (INT/TRC; vgReg = V(G))
+	filters []cFilter // INT/TRC filters
+	vertex  int       // pattern vertex (INI/ENU target, DBQ source f)
+	buf     int       // scratch buffer index for set-producing instructions
+	keys    []int     // TRC cache-key pattern vertices
+	iniIdx  int       // 0 = Task.Start, 1 = Task.Start2 (anchored plans)
+}
+
+// resOperand describes one RES operand: either the f value of a pattern
+// vertex or (for compressed plans) the image-set register of a free one.
+type resOperand struct {
+	isSet bool
+	reg   int // set register when isSet
+	f     int // pattern vertex when !isSet
+}
+
+// Program is a compiled execution plan, shareable across executors and
+// goroutines (it is read-only after Compile).
+type Program struct {
+	Plan *plan.Plan
+
+	instrs  []cInstr
+	numRegs int
+	numBufs int
+	res     []resOperand
+
+	// splitPC is the pc of the ENU instruction of the second vertex of
+	// the matching order — the loop that task splitting partitions
+	// (§V-B) — or -1 when the plan has no ENU at all.
+	splitPC int
+
+	// n is the pattern vertex count.
+	n int
+
+	// needsLabels marks plans of labeled patterns: executors require a
+	// label oracle (Options.LabelOf), and tasks whose start vertex label
+	// differs from startLabel are empty.
+	needsLabels bool
+	startLabel  int64
+
+	// anchored marks delta plans; anchorChecks run once per task against
+	// Task.Start2 (with Task.Start already bound).
+	anchored     bool
+	anchorChecks []cFilter
+
+	// Compressed-result metadata (valid when Plan.Compressed).
+	freeVerts   []int
+	freeRegs    []int // image-set register per free vertex
+	coverVerts  []int
+	constraints [][2]int
+}
+
+// SupportsSplitting reports whether task splitting can apply: the plan
+// must enumerate at least a second vertex (a VCBC cover of size 1 — a
+// star pattern — leaves nothing to split).
+func (p *Program) SupportsSplitting() bool { return p.splitPC >= 0 }
+
+// Compile lowers pl into a register program. It validates the plan first;
+// a plan that passes Validate always compiles.
+func Compile(pl *plan.Plan) (*Program, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	prog := &Program{Plan: pl, splitPC: -1, n: pl.Pattern.NumVertices()}
+	regOf := make(map[plan.VarRef]int)
+	setReg := func(v plan.VarRef) int {
+		if v.Kind == plan.VarVG {
+			return vgReg
+		}
+		r, ok := regOf[v]
+		if !ok {
+			r = prog.numRegs
+			prog.numRegs++
+			regOf[v] = r
+		}
+		return r
+	}
+	enuSeen := 0
+	iniSeen := 0
+	for i := range pl.Instrs {
+		in := &pl.Instrs[i]
+		var ci cInstr
+		ci.op = in.Op
+		switch in.Op {
+		case plan.OpINI:
+			ci.vertex = in.Target.Index
+			ci.iniIdx = iniSeen
+			iniSeen++
+			if iniSeen > 2 {
+				return nil, fmt.Errorf("exec: more than two INI instructions")
+			}
+		case plan.OpDBQ:
+			ci.vertex = in.Operands[0].Index
+			ci.dst = setReg(in.Target)
+		case plan.OpINT, plan.OpTRC:
+			ci.dst = setReg(in.Target)
+			for _, o := range in.Operands {
+				if o.Kind == plan.VarVG {
+					ci.ops = append(ci.ops, vgReg)
+					continue
+				}
+				r, ok := regOf[o]
+				if !ok {
+					return nil, fmt.Errorf("exec: instruction %d reads unset %s", i, o)
+				}
+				ci.ops = append(ci.ops, r)
+			}
+			for _, f := range in.Filters {
+				ci.filters = append(ci.filters, cFilter{kind: f.Kind, vertex: f.Vertex, degree: f.Degree, label: f.Label})
+				if f.Kind == plan.FilterLabel {
+					prog.needsLabels = true
+				}
+			}
+			ci.buf = prog.numBufs
+			prog.numBufs++
+			if in.Op == plan.OpTRC {
+				if len(in.KeyVerts) < 2 || len(in.KeyVerts) > TriKeyWidth {
+					return nil, fmt.Errorf("exec: TRC instruction %d has %d key vertices (want 2..%d)",
+						i, len(in.KeyVerts), TriKeyWidth)
+				}
+				ci.keys = append([]int(nil), in.KeyVerts...)
+			}
+		case plan.OpENU:
+			ci.vertex = in.Target.Index
+			src := in.Operands[0]
+			if src.Kind == plan.VarVG {
+				ci.ops = []int{vgReg}
+			} else {
+				r, ok := regOf[src]
+				if !ok {
+					return nil, fmt.Errorf("exec: ENU at %d reads unset %s", i, src)
+				}
+				ci.ops = []int{r}
+			}
+			if enuSeen == 0 {
+				prog.splitPC = len(prog.instrs)
+			}
+			enuSeen++
+		case plan.OpRES:
+			for _, o := range in.Operands {
+				if o.Kind == plan.VarF {
+					prog.res = append(prog.res, resOperand{f: o.Index})
+				} else {
+					r, ok := regOf[o]
+					if !ok {
+						return nil, fmt.Errorf("exec: RES reads unset %s", o)
+					}
+					prog.res = append(prog.res, resOperand{isSet: true, reg: r})
+				}
+			}
+		}
+		prog.instrs = append(prog.instrs, ci)
+	}
+
+	if pl.Pattern.Labeled() {
+		prog.needsLabels = true
+		prog.startLabel = pl.Pattern.Label(int64(pl.Order[0]))
+	}
+	if pl.Anchored {
+		prog.anchored = true
+		for _, f := range pl.AnchorChecks {
+			prog.anchorChecks = append(prog.anchorChecks, cFilter{
+				kind: f.Kind, vertex: f.Vertex, degree: f.Degree, label: f.Label,
+			})
+		}
+	}
+
+	if pl.Compressed {
+		prog.freeVerts = append([]int(nil), pl.Free...)
+		prog.constraints = append([][2]int(nil), pl.FreeOrderConstraints...)
+		inFree := make(map[int]bool, len(pl.Free))
+		for _, v := range pl.Free {
+			inFree[v] = true
+		}
+		for v := 0; v < prog.n; v++ {
+			if !inFree[v] {
+				prog.coverVerts = append(prog.coverVerts, v)
+			}
+		}
+		// RES operands are in pattern-vertex order; pick out the image
+		// registers of the free vertices.
+		if len(prog.res) != prog.n {
+			return nil, fmt.Errorf("exec: compressed RES has %d operands, want %d", len(prog.res), prog.n)
+		}
+		for _, v := range pl.Free {
+			op := prog.res[v]
+			if !op.isSet {
+				return nil, fmt.Errorf("exec: free vertex u%d has a non-set RES operand", v+1)
+			}
+			prog.freeRegs = append(prog.freeRegs, op.reg)
+		}
+	}
+	return prog, nil
+}

@@ -1,0 +1,101 @@
+package exec
+
+import (
+	"testing"
+
+	"benu/internal/gen"
+	"benu/internal/plan"
+)
+
+func validSmallPlan(t *testing.T) *plan.Plan {
+	t.Helper()
+	pl, err := plan.Generate(gen.Triangle(), []int{0, 1, 2}, plan.OptimizedUncompressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestCompileRejectsInvalidPlans(t *testing.T) {
+	pl := validSmallPlan(t)
+
+	// An undefined operand must fail validation inside Compile.
+	bad := *pl
+	bad.Instrs = append([]plan.Instruction(nil), pl.Instrs...)
+	for i := range bad.Instrs {
+		in := &bad.Instrs[i]
+		if in.Op == plan.OpINT || in.Op == plan.OpTRC {
+			in.Operands = append([]plan.VarRef(nil), in.Operands...)
+			in.Operands[0] = plan.VarRef{Kind: plan.VarT, Index: 99}
+			break
+		}
+	}
+	if _, err := Compile(&bad); err == nil {
+		t.Error("plan with undefined operand compiled")
+	}
+}
+
+func TestCompileValidPlanShapes(t *testing.T) {
+	// Every optimization level of every evaluation pattern must compile.
+	for i := 1; i <= 9; i++ {
+		p := gen.Q(i)
+		order := make([]int, p.NumVertices())
+		for j := range order {
+			order[j] = j
+		}
+		for _, opts := range []plan.Options{{}, plan.OptimizedUncompressed, plan.AllOptions} {
+			pl, err := plan.Generate(p, order, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := Compile(pl)
+			if err != nil {
+				t.Errorf("q%d %+v: %v", i, opts, err)
+				continue
+			}
+			if prog.n != p.NumVertices() {
+				t.Errorf("q%d: wrong vertex count", i)
+			}
+		}
+	}
+}
+
+func TestSupportsSplitting(t *testing.T) {
+	// A compressed star plan has only the INI (cover size 1): nothing to
+	// split.
+	star := gen.Star(3)
+	pl, err := plan.Generate(star, []int{0, 1, 2, 3}, plan.AllOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Compressed && pl.CoverSize == 1 && prog.SupportsSplitting() {
+		t.Error("cover-1 plan claims splitting support")
+	}
+	// A plain triangle plan splits.
+	prog2, err := Compile(validSmallPlan(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog2.SupportsSplitting() {
+		t.Error("triangle plan cannot split")
+	}
+}
+
+func TestGraphSourceRange(t *testing.T) {
+	g := gen.DemoDataGraph()
+	src := GraphSource{G: g}
+	if _, err := src.GetAdj(-1); err == nil {
+		t.Error("negative vertex accepted")
+	}
+	if _, err := src.GetAdj(int64(g.NumVertices())); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	adj, err := src.GetAdj(0)
+	if err != nil || len(adj) != g.Degree(0) {
+		t.Errorf("GetAdj(0) = %v, %v", adj, err)
+	}
+}

@@ -1,0 +1,56 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"benu/internal/cache"
+	"benu/internal/kv"
+)
+
+// CachedSource is the per-machine adjacency source of Fig. 2: a shared
+// in-memory DB cache in front of the distributed database. Cache hits are
+// free; misses query the store, install the result, and count as
+// communication.
+//
+// A CachedSource is safe for concurrent use by all worker threads of a
+// machine (the underlying LRU locks internally; the miss counters are
+// atomic).
+type CachedSource struct {
+	store kv.Store
+	cache *cache.LRU
+
+	remoteQueries atomic.Int64
+	remoteBytes   atomic.Int64
+}
+
+// NewCachedSource wraps store with an LRU database cache of the given
+// byte capacity. capacity ≤ 0 disables caching (every query is remote).
+func NewCachedSource(store kv.Store, capacity int64) *CachedSource {
+	return &CachedSource{store: store, cache: cache.NewLRU(capacity)}
+}
+
+// GetAdj implements AdjSource.
+func (s *CachedSource) GetAdj(v int64) ([]int64, error) {
+	if adj, ok := s.cache.Get(v); ok {
+		return adj, nil
+	}
+	adj, err := s.store.GetAdj(v)
+	if err != nil {
+		return nil, err
+	}
+	s.remoteQueries.Add(1)
+	s.remoteBytes.Add(int64(len(adj)) * 8)
+	s.cache.Put(v, adj)
+	return adj, nil
+}
+
+// Cache exposes the underlying LRU (for stats).
+func (s *CachedSource) Cache() *cache.LRU { return s.cache }
+
+// RemoteQueries returns the number of queries that missed the cache and
+// hit the store.
+func (s *CachedSource) RemoteQueries() int64 { return s.remoteQueries.Load() }
+
+// RemoteBytes returns the bytes fetched from the store (8 per adjacency
+// entry).
+func (s *CachedSource) RemoteBytes() int64 { return s.remoteBytes.Load() }

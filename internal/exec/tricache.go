@@ -1,0 +1,70 @@
+package exec
+
+// TriangleCache memoizes triangle (and, with the clique-cache
+// generalization, clique) enumerations: the result of intersecting the
+// adjacency sets of a group of data vertices, keyed by the vertex group.
+// One cache per working thread (§IV-B Optimization 3, Fig. 2); no locking
+// needed.
+//
+// Keys are canonical: the group's data vertices sorted ascending, padded
+// to the fixed key width — the intersection depends only on the vertex
+// set, so any two instructions producing the same set share entries.
+// When the entry count exceeds the bound the cache clears wholesale;
+// entries cluster around the current task's start vertex, so stale ones
+// lose value quickly anyway.
+type TriangleCache struct {
+	entries map[TriKey][]int64
+	max     int
+}
+
+// TriKeyWidth is the maximum vertex-group size a cache key can hold. The
+// clique-cache rewrite never emits larger groups.
+const TriKeyWidth = 6
+
+// TriKey is a canonical cache key: sorted data vertices, padded with -1.
+type TriKey [TriKeyWidth]int64
+
+// MakeTriKey builds the canonical key for a vertex group of size ≤
+// TriKeyWidth (insertion sort: groups are tiny).
+func MakeTriKey(vals []int64) TriKey {
+	var k TriKey
+	for i := range k {
+		k[i] = -1
+	}
+	for i, v := range vals {
+		j := i
+		for j > 0 && k[j-1] > v {
+			k[j] = k[j-1]
+			j--
+		}
+		k[j] = v
+	}
+	return k
+}
+
+// NewTriangleCache creates a cache bounded to max entries (max ≥ 1).
+func NewTriangleCache(max int) *TriangleCache {
+	if max < 1 {
+		max = 1
+	}
+	return &TriangleCache{entries: make(map[TriKey][]int64), max: max}
+}
+
+// Get returns the cached intersection for the key, if present. The
+// returned slice must be treated as immutable.
+func (c *TriangleCache) Get(k TriKey) ([]int64, bool) {
+	v, ok := c.entries[k]
+	return v, ok
+}
+
+// Put stores the intersection for the key. The cache takes ownership of
+// the slice.
+func (c *TriangleCache) Put(k TriKey, result []int64) {
+	if len(c.entries) >= c.max {
+		c.entries = make(map[TriKey][]int64)
+	}
+	c.entries[k] = result
+}
+
+// Len returns the number of cached groups.
+func (c *TriangleCache) Len() int { return len(c.entries) }

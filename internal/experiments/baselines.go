@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/join"
+)
+
+// BaselinesRow compares all four implemented algorithms on one pattern.
+type BaselinesRow struct {
+	Pattern   string
+	BENU      CellResult
+	TwinTwig  CellResult
+	WCOJ      CellResult
+	Hypercube CellResult
+	// Replication is the hypercube's edge-replication factor.
+	Replication float64
+}
+
+// BaselinesReport is the 4-way comparison (an addition beyond the paper,
+// which compares pairwise across two tables).
+type BaselinesReport struct {
+	Dataset string
+	Rows    []BaselinesRow
+}
+
+// Baselines runs BENU and all three baseline families — the BFS-style
+// left-deep join (TwinTwig/CBF), the worst-case-optimal join (BiGJoin),
+// and the one-round multiway join (Afrati et al.) — on one small dataset,
+// putting the paper's taxonomy (§I, §VI) side by side.
+func Baselines(opts Options) (*BaselinesReport, error) {
+	deadline := opts.cellDeadline()
+	budget := int64(20_000_000)
+	if opts.Quick {
+		budget = 2_000_000
+	}
+	e, err := envByName("as")
+	if err != nil {
+		return nil, err
+	}
+	patterns := []*graph.Pattern{gen.Triangle(), gen.Q(1), gen.Q(4), gen.Q(6)}
+	if opts.Quick {
+		patterns = patterns[:3]
+	}
+	rep := &BaselinesReport{Dataset: "as"}
+	for _, p := range patterns {
+		row := BaselinesRow{Pattern: p.Name()}
+
+		pl, err := e.bestPlan(p, planAll())
+		if err != nil {
+			return nil, err
+		}
+		bres, err := e.runBENU(pl, deadline)
+		if err != nil {
+			return nil, fmt.Errorf("baselines BENU %s: %w", p.Name(), err)
+		}
+		row.BENU = CellResult{Outcome: CellOK, Time: bres.Wall, Bytes: bres.BytesFetched, Matches: bres.Matches}
+		if bres.TimedOut {
+			row.BENU.Outcome = CellTimeout
+		}
+
+		toCell := func(r *join.Result, jerr error) CellResult {
+			switch {
+			case errors.Is(jerr, join.ErrBudgetExceeded):
+				return CellResult{Outcome: CellCrash, Time: r.Wall}
+			case jerr != nil:
+				return CellResult{Outcome: CellCrash, Time: r.Wall}
+			case r.Wall > deadline:
+				return CellResult{Outcome: CellTimeout, Time: deadline, Bytes: r.ShuffleBytes}
+			}
+			return CellResult{Outcome: CellOK, Time: r.Wall, Bytes: r.ShuffleBytes, Matches: r.Matches}
+		}
+
+		tt, terr := join.TwinTwig(p, e.g, e.ord, join.TwinTwigConfig{MaxTuples: budget})
+		row.TwinTwig = toCell(tt, terr)
+
+		wc, werr := join.WCOJ(p, e.g, e.ord, join.WCOJConfig{MaxTuples: budget})
+		row.WCOJ = toCell(wc, werr)
+
+		hc, herr := join.Hypercube(p, e.g, e.ord, join.HypercubeConfig{Shares: 2, MaxReplicatedEdges: budget})
+		row.Hypercube = toCell(&hc.Result, herr)
+		row.Replication = hc.Replication
+
+		// All completers must agree on the count.
+		for _, c := range []CellResult{row.TwinTwig, row.WCOJ, row.Hypercube} {
+			if c.Outcome == CellOK && row.BENU.Outcome == CellOK && c.Matches != row.BENU.Matches {
+				return nil, fmt.Errorf("baselines %s: count mismatch (%d vs BENU %d)",
+					p.Name(), c.Matches, row.BENU.Matches)
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+		opts.progressf("baselines %s done\n", p.Name())
+	}
+	return rep, nil
+}
+
+// WriteText renders the comparison.
+func (r *BaselinesReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Baselines: BENU vs the three competitor families (dataset %s; extension beyond the paper)\n", r.Dataset)
+	fmt.Fprintf(w, "%-10s %22s %22s %22s %22s %8s\n",
+		"pattern", "BENU", "twin-twig join", "WCOJ", "hypercube 1-round", "replic.")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %22s %22s %22s %22s %7.1fx\n",
+			row.Pattern, row.BENU.String(), row.TwinTwig.String(),
+			row.WCOJ.String(), row.Hypercube.String(), row.Replication)
+	}
+}

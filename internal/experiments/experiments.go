@@ -1,0 +1,134 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII) against the scaled synthetic datasets. Each experiment
+// returns a structured report and renders the same rows/series the paper
+// presents; cmd/benu-bench exposes them on the command line and the
+// top-level benchmarks wrap them for `go test -bench`.
+//
+// Wall-clock caveat: the paper's cluster has 16 machines × 12 cores. Here
+// every "machine" shares one process, so for scalability experiments the
+// makespan of a k-worker run is simulated as the maximum per-worker busy
+// time (workers would run concurrently on separate machines); all other
+// experiments report real wall time on the host.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"benu/internal/cluster"
+	"benu/internal/estimate"
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/kv"
+	"benu/internal/plan"
+)
+
+// Options configures a run of the experiment suite.
+type Options struct {
+	// Quick shrinks sweeps (fewer repetitions, smaller budgets) so the
+	// whole suite finishes in ~a minute; used by tests.
+	Quick bool
+	// CellDeadline bounds each table cell's enumeration (Tables V/VI).
+	// Zero picks a default (60s, or 5s when Quick).
+	CellDeadline time.Duration
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress io.Writer
+}
+
+func (o Options) cellDeadline() time.Duration {
+	if o.CellDeadline > 0 {
+		return o.CellDeadline
+	}
+	if o.Quick {
+		return 5 * time.Second
+	}
+	return 60 * time.Second
+}
+
+func (o Options) progressf(format string, args ...interface{}) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format, args...)
+	}
+}
+
+// env bundles the per-dataset state every experiment needs.
+type env struct {
+	preset gen.Preset
+	g      *graph.Graph
+	ord    *graph.TotalOrder
+	stats  *estimate.Stats
+	store  *kv.Local
+}
+
+func newEnv(preset gen.Preset) *env {
+	g := preset.Cached()
+	return &env{
+		preset: preset,
+		g:      g,
+		ord:    graph.NewTotalOrder(g),
+		stats:  estimate.NewStats(g, estimate.MaxMomentDefault),
+		store:  kv.NewLocal(g),
+	}
+}
+
+func envByName(name string) (*env, error) {
+	p, err := gen.PresetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return newEnv(p), nil
+}
+
+// bestPlan generates the best execution plan for p over e's dataset.
+func (e *env) bestPlan(p *graph.Pattern, opts plan.Options) (*plan.Plan, error) {
+	res, err := plan.GenerateBestPlan(p, e.stats, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Plan, nil
+}
+
+// runBENU executes a plan on the default simulated cluster.
+func (e *env) runBENU(pl *plan.Plan, deadline time.Duration) (*cluster.Result, error) {
+	cfg := cluster.Defaults(e.g)
+	cfg.Deadline = deadline
+	return cluster.Run(pl, e.store, e.ord, e.g.Degree, cfg)
+}
+
+// planAll returns the full optimization set including VCBC compression —
+// the configuration the paper uses unless stated otherwise.
+func planAll() plan.Options { return plan.AllOptions }
+
+// fmtCount renders large counts in the paper's compact scientific style.
+func fmtCount(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// fmtBytes renders byte volumes like the paper's "512G" cells.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// fmtDur renders durations at millisecond resolution.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+var quick = Options{Quick: true, CellDeadline: 5 * time.Second}
+
+func TestReportWritersRender(t *testing.T) {
+	// Every report type renders non-empty, labeled text (cheap synthetic
+	// instances; the full pipelines are covered by the *Quick tests).
+	var sb strings.Builder
+	reports := []interface{ WriteText(w io.Writer) }{
+		&TableIReport{Rows: []TableIRow{{Dataset: "x", N: 1, M: 2, Triangles: 3}}},
+		&TableIVReport{Rows: []TableIVRow{{Pattern: "q1", RelAlpha: 1, RelBeta: 2, Repeats: 1}}},
+		&Fig7Report{Cases: []Fig7Case{{Pattern: "q2", Points: []Fig7Point{{Level: "Raw"}}}}},
+		&Fig8Report{Series: []Fig8Series{{Pattern: "q4", Points: []Fig8Point{{RelCapacity: 0.5}}}}},
+		&Fig9Report{Runs: []Fig9Run{{Label: "x"}}},
+		&TableVReport{Cells: []TableVCell{{Dataset: "x", Pattern: "q1"}}},
+		&TableVIReport{Cells: []TableVICell{{Dataset: "x", Pattern: "q1"}}},
+		&Fig10Report{Series: []Fig10Series{{Pattern: "q5", Points: []Fig10Point{{Workers: 1}}}}},
+		&BaselinesReport{Rows: []BaselinesRow{{Pattern: "q1"}}},
+		&UpdatesReport{Dataset: "x", QueryPattern: "q4"},
+	}
+	for i, r := range reports {
+		sb.Reset()
+		r.WriteText(&sb)
+		if sb.Len() == 0 {
+			t.Errorf("report %d rendered empty", i)
+		}
+	}
+}
+
+func TestCellResultStrings(t *testing.T) {
+	ok := CellResult{Outcome: CellOK, Time: time.Second, Bytes: 1 << 20}
+	if !strings.Contains(ok.String(), "1.0MB") {
+		t.Errorf("ok cell: %q", ok.String())
+	}
+	if s := (CellResult{Outcome: CellCrash}).String(); s != "CRASH" {
+		t.Errorf("crash cell: %q", s)
+	}
+	if s := (CellResult{Outcome: CellTimeout, Time: time.Second}).String(); !strings.HasPrefix(s, ">") {
+		t.Errorf("timeout cell: %q", s)
+	}
+	for _, o := range []CellOutcome{CellOK, CellTimeout, CellCrash, CellOutcome(99)} {
+		if o.String() == "" {
+			t.Error("empty outcome string")
+		}
+	}
+}
+
+func TestTableIQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := TableI(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("%d rows", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.Triangles <= 0 || row.ChordalSquares <= 0 {
+			t.Errorf("%s: empty counts %+v", row.Dataset, row)
+		}
+		// The paper's shape: triangles < chordal squares on social-style
+		// graphs is not universal, but all counts should dwarf zero and
+		// the datasets should order by |E|.
+	}
+	for i := 1; i < len(rep.Rows); i++ {
+		if rep.Rows[i].M <= rep.Rows[i-1].M {
+			t.Errorf("datasets not ordered by size: %s then %s", rep.Rows[i-1].Dataset, rep.Rows[i].Dataset)
+		}
+	}
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	if !strings.Contains(sb.String(), "Table I") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestTableIVQuick(t *testing.T) {
+	rep, err := TableIV(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 9+4+4 {
+		t.Fatalf("%d rows", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.RelAlpha <= 0 || row.RelAlpha > 100 {
+			t.Errorf("%s: rel alpha %.2f out of range", row.Pattern, row.RelAlpha)
+		}
+		if row.RelBeta <= 0 || row.RelBeta > 100 {
+			t.Errorf("%s: rel beta %.2f out of range", row.Pattern, row.RelBeta)
+		}
+	}
+	// Paper: relative beta < 15% in all cases; the dual pruning should
+	// keep cliques tiny (all vertices are SE-equivalent).
+	for _, row := range rep.Rows {
+		if strings.HasPrefix(row.Pattern, "clique") && row.RelBeta > 5 {
+			t.Errorf("%s: rel beta %.2f%% — dual pruning ineffective", row.Pattern, row.RelBeta)
+		}
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Fig8(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Series {
+		pts := s.Points
+		if len(pts) < 3 {
+			t.Fatalf("%s: %d points", s.Pattern, len(pts))
+		}
+		// Shape: hit rate rises and communication falls with capacity.
+		first, last := pts[0], pts[len(pts)-1]
+		if last.HitRate <= first.HitRate {
+			t.Errorf("%s: hit rate did not rise (%.2f → %.2f)", s.Pattern, first.HitRate, last.HitRate)
+		}
+		if last.Queries >= first.Queries {
+			t.Errorf("%s: communication did not fall (%d → %d)", s.Pattern, first.Queries, last.Queries)
+		}
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Fig9(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatalf("%d runs", len(rep.Runs))
+	}
+	off, on := rep.Runs[0], rep.Runs[1]
+	if off.Matches != on.Matches {
+		t.Errorf("splitting changed the result: %d vs %d", off.Matches, on.Matches)
+	}
+	if on.Tasks <= off.Tasks {
+		t.Errorf("splitting created no subtasks: %d vs %d", on.Tasks, off.Tasks)
+	}
+	// Shape (Fig. 9a): the longest task shrinks materially with splitting
+	// — the rich-club hub tasks split into bounded subtasks.
+	if on.MaxTask >= off.MaxTask {
+		t.Errorf("max task did not shrink: %v (split) vs %v (whole)", on.MaxTask, off.MaxTask)
+	}
+}
+
+func TestFig10Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Fig10(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Series {
+		if len(s.Points) < 3 {
+			t.Fatalf("%s/%s: %d points", s.Pattern, s.Dataset, len(s.Points))
+		}
+		// Matches identical at every scale.
+		for _, pt := range s.Points[1:] {
+			if pt.Matches != s.Points[0].Matches {
+				t.Errorf("%s/%s: match count varies with workers", s.Pattern, s.Dataset)
+			}
+		}
+		// Shape: speedup grows with workers, on series with enough work
+		// for partitioning to matter.
+		last := s.Points[len(s.Points)-1]
+		if s.Points[0].Makespan >= 100*time.Millisecond && last.Speedup < 1.5 {
+			t.Errorf("%s/%s: no scalability (speedup %.2f at %d workers)",
+				s.Pattern, s.Dataset, last.Speedup, last.Workers)
+		}
+	}
+}
+
+func TestTableVQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := TableV(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) == 0 {
+		t.Fatal("no cells")
+	}
+	benuWins := 0
+	for _, c := range rep.Cells {
+		if c.BENU.Outcome == CellCrash {
+			t.Errorf("BENU crashed on %s/%s", c.Dataset, c.Pattern)
+		}
+		if c.BENUWins {
+			benuWins++
+		}
+	}
+	// Shape: BENU wins the majority of cells (the paper: all but one).
+	if benuWins*2 < len(rep.Cells) {
+		t.Errorf("BENU won only %d/%d cells", benuWins, len(rep.Cells))
+	}
+}
+
+func TestTableVIQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := TableVI(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) == 0 {
+		t.Fatal("no cells")
+	}
+	for _, c := range rep.Cells {
+		if c.BENU.Outcome != CellOK {
+			t.Errorf("BENU did not complete %s/%s", c.Dataset, c.Pattern)
+		}
+	}
+}
+
+func TestUpdatesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Updates(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MatchesAfter != rep.ReferenceMatches {
+		t.Errorf("post-update count %d != brute force %d", rep.MatchesAfter, rep.ReferenceMatches)
+	}
+	if rep.IndexMaintEntries == 0 {
+		t.Error("no index maintenance cost measured")
+	}
+	if rep.MatchesAfter < rep.MatchesBefore {
+		t.Errorf("adding edges lost matches: %d → %d", rep.MatchesBefore, rep.MatchesAfter)
+	}
+}
+
+func TestBaselinesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Baselines(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 3 {
+		t.Fatalf("%d rows", len(rep.Rows))
+	}
+	// Shape: hypercube replication grows with pattern complexity.
+	first, last := rep.Rows[0], rep.Rows[len(rep.Rows)-1]
+	if last.Replication <= first.Replication {
+		t.Errorf("replication did not grow: %s %.1fx → %s %.1fx",
+			first.Pattern, first.Replication, last.Pattern, last.Replication)
+	}
+	// BENU's communication stays below every completing baseline's
+	// shuffle volume on the non-trivial patterns.
+	for _, row := range rep.Rows[1:] {
+		for _, c := range []CellResult{row.TwinTwig, row.WCOJ, row.Hypercube} {
+			if c.Outcome == CellOK && row.BENU.Outcome == CellOK && c.Bytes < row.BENU.Bytes {
+				t.Errorf("%s: a baseline shuffled less (%d) than BENU fetched (%d)",
+					row.Pattern, c.Bytes, row.BENU.Bytes)
+			}
+		}
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Fig7(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cases) != 3 {
+		t.Fatalf("%d cases", len(rep.Cases))
+	}
+	for _, c := range rep.Cases {
+		if len(c.Points) != 4 {
+			t.Fatalf("%s: %d points", c.Pattern, len(c.Points))
+		}
+		raw, full := c.Points[0], c.Points[3]
+		// Shape: full optimization does not do more set operations than
+		// the raw plan (reordering moves work out of inner loops).
+		if full.IntOps > raw.IntOps {
+			t.Errorf("%s: optimizations increased INT ops (%d → %d)",
+				c.Pattern, raw.IntOps, full.IntOps)
+		}
+	}
+}

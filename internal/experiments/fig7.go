@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"benu/internal/gen"
+	"benu/internal/plan"
+)
+
+// Fig7Point is one bar of Fig. 7: the execution time of one pattern at
+// one optimization level.
+type Fig7Point struct {
+	Level   string // "Raw", "+Opt1", "+Opt1+2", "+Opt1+2+3"
+	Time    time.Duration
+	IntOps  int64
+	Queries int64
+}
+
+// Fig7Case is one subplot: a pattern at increasing optimization levels.
+type Fig7Case struct {
+	Pattern    string
+	Dataset    string
+	Compressed bool
+	Points     []Fig7Point
+}
+
+// Fig7Report is the full figure.
+type Fig7Report struct {
+	Cases []Fig7Case
+}
+
+// Fig7 reproduces Exp-2: the ablation of the three optimization passes.
+// Per the paper, q2 and q4 run uncompressed (compression would negate
+// some passes) and q5 runs compressed; all on the ok dataset.
+func Fig7(opts Options) (*Fig7Report, error) {
+	e, err := envByName("ok")
+	if err != nil {
+		return nil, err
+	}
+	levels := []struct {
+		name string
+		opt  plan.Options
+	}{
+		{"Raw", plan.Options{}},
+		{"+Opt1", plan.Options{CSE: true}},
+		{"+Opt1+2", plan.Options{CSE: true, Reorder: true}},
+		{"+Opt1+2+3", plan.Options{CSE: true, Reorder: true, TriangleCache: true}},
+	}
+	cases := []struct {
+		q          int
+		compressed bool
+	}{
+		{2, false},
+		{4, false},
+		{5, true},
+	}
+	rep := &Fig7Report{}
+	for _, c := range cases {
+		p := gen.Q(c.q)
+		fc := Fig7Case{Pattern: p.Name(), Dataset: "ok", Compressed: c.compressed}
+		// Fix the matching order across levels (the best one) so the
+		// ablation isolates the optimization passes themselves.
+		best, err := plan.GenerateBestPlan(p, e.stats, plan.AllOptions)
+		if err != nil {
+			return nil, err
+		}
+		order := best.Plan.Order
+		for _, lv := range levels {
+			o := lv.opt
+			o.VCBC = c.compressed
+			pl, err := plan.Generate(p, order, o)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s %s: %w", p.Name(), lv.name, err)
+			}
+			res, err := e.runBENU(pl, 0)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s %s: %w", p.Name(), lv.name, err)
+			}
+			var intOps int64
+			for _, w := range res.PerWorker {
+				intOps += w.Exec.IntOps
+			}
+			fc.Points = append(fc.Points, Fig7Point{
+				Level:   lv.name,
+				Time:    res.Wall,
+				IntOps:  intOps,
+				Queries: res.DBQueries,
+			})
+			opts.progressf("fig7 %s %s done (%s)\n", p.Name(), lv.name, fmtDur(res.Wall))
+		}
+		rep.Cases = append(rep.Cases, fc)
+	}
+	return rep, nil
+}
+
+// WriteText renders the figure data.
+func (r *Fig7Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 7: effects of execution plan optimization techniques (Exp-2, dataset ok)\n")
+	for _, c := range r.Cases {
+		mode := "uncompressed"
+		if c.Compressed {
+			mode = "compressed"
+		}
+		fmt.Fprintf(w, "%s (%s):\n", c.Pattern, mode)
+		for _, pt := range c.Points {
+			fmt.Fprintf(w, "  %-10s time=%-12s intOps=%-12s dbq=%s\n",
+				pt.Level, fmtDur(pt.Time), fmtCount(pt.IntOps), fmtCount(pt.Queries))
+		}
+	}
+}

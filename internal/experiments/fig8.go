@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"benu/internal/cluster"
+	"benu/internal/gen"
+)
+
+// Fig8Point is one capacity step of Fig. 8 for one pattern.
+type Fig8Point struct {
+	RelCapacity float64 // cache capacity / data graph size
+	HitRate     float64 // (a)
+	Queries     int64   // (b) communication cost in DB queries
+	Bytes       int64   // (b) communication cost in bytes
+	Time        time.Duration
+}
+
+// Fig8Series is one pattern's sweep.
+type Fig8Series struct {
+	Pattern string
+	Points  []Fig8Point
+}
+
+// Fig8Report is the full figure.
+type Fig8Report struct {
+	Dataset string
+	Series  []Fig8Series
+}
+
+// Fig8 reproduces Exp-3: the effect of the local database cache capacity
+// on hit rate, communication cost, and execution time, for q4 and q5 on
+// the ok dataset.
+func Fig8(opts Options) (*Fig8Report, error) {
+	e, err := envByName("ok")
+	if err != nil {
+		return nil, err
+	}
+	capacities := []float64{0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}
+	if opts.Quick {
+		capacities = []float64{0, 0.1, 0.5, 1.0}
+	}
+	rep := &Fig8Report{Dataset: "ok"}
+	for _, qi := range []int{4, 5} {
+		p := gen.Q(qi)
+		pl, err := e.bestPlan(p, planAll())
+		if err != nil {
+			return nil, err
+		}
+		series := Fig8Series{Pattern: p.Name()}
+		for _, rel := range capacities {
+			cfg := cluster.Defaults(e.g)
+			cfg.CacheBytes = int64(rel * float64(e.g.SizeBytes()))
+			res, err := cluster.Run(pl, e.store, e.ord, e.g.Degree, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s cap=%.2f: %w", p.Name(), rel, err)
+			}
+			series.Points = append(series.Points, Fig8Point{
+				RelCapacity: rel,
+				HitRate:     res.CacheHitRate,
+				Queries:     res.DBQueries,
+				Bytes:       res.BytesFetched,
+				Time:        res.Wall,
+			})
+			opts.progressf("fig8 %s cap=%.0f%% done (hit=%.0f%%)\n", p.Name(), rel*100, res.CacheHitRate*100)
+		}
+		rep.Series = append(rep.Series, series)
+	}
+	return rep, nil
+}
+
+// WriteText renders the figure data.
+func (r *Fig8Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 8: effects of the local database cache capacity (Exp-3, dataset %s)\n", r.Dataset)
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "%s:\n", s.Pattern)
+		fmt.Fprintf(w, "  %-10s %10s %12s %12s %12s\n", "capacity", "hit-rate", "dbq", "bytes", "time")
+		for _, pt := range s.Points {
+			fmt.Fprintf(w, "  %-10.0f%% %9.1f%% %12s %12s %12s\n",
+				pt.RelCapacity*100, pt.HitRate*100, fmtCount(pt.Queries), fmtBytes(pt.Bytes), fmtDur(pt.Time))
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"benu/internal/gen"
+	"benu/internal/graph"
+)
+
+// TableIRow is one dataset row of Table I: vertex/edge counts and the
+// match counts of the three core structures (triangle Δ, chordal square
+// ⊠, and the 4-clique) whose result sizes motivate the paper's argument
+// against shuffling partial results.
+type TableIRow struct {
+	Dataset        string
+	N              int
+	M              int64
+	Triangles      int64
+	ChordalSquares int64
+	Cliques4       int64
+}
+
+// TableIReport is the full Table I.
+type TableIReport struct {
+	Rows []TableIRow
+}
+
+// TableI counts the core structures in every dataset preset using BENU
+// itself (compressed plans over the default cluster).
+func TableI(opts Options) (*TableIReport, error) {
+	rep := &TableIReport{}
+	patterns := []*graph.Pattern{gen.ChordalSquare(), gen.Clique(4)}
+	for _, preset := range gen.Presets() {
+		e := newEnv(preset)
+		row := TableIRow{
+			Dataset:   preset.Name,
+			N:         e.g.NumVertices(),
+			M:         e.g.NumEdges(),
+			Triangles: graph.CountTriangles(e.g),
+		}
+		for i, p := range patterns {
+			pl, err := e.bestPlan(p, planAll())
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s/%s: %w", preset.Name, p.Name(), err)
+			}
+			res, err := e.runBENU(pl, 0)
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s/%s: %w", preset.Name, p.Name(), err)
+			}
+			switch i {
+			case 0:
+				row.ChordalSquares = res.Matches
+			case 1:
+				row.Cliques4 = res.Matches
+			}
+		}
+		opts.progressf("table1 %s done\n", preset.Name)
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// WriteText renders the table.
+func (r *TableIReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Table I: numbers of matches of core pattern graphs (scaled datasets)\n")
+	fmt.Fprintf(w, "%-8s %10s %10s %12s %12s %12s\n", "dataset", "|V|", "|E|", "triangle", "chordal-sq", "clique4")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8s %10d %10d %12s %12s %12s\n",
+			row.Dataset, row.N, row.M,
+			fmtCount(row.Triangles), fmtCount(row.ChordalSquares), fmtCount(row.Cliques4))
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"benu/internal/estimate"
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/plan"
+)
+
+// TableIVRow reports the plan-generation efficiency for one pattern
+// family entry: relative α and β (search-work counters over their upper
+// bounds, as percentages) and the wall time, as in Table IV / Exp-1.
+type TableIVRow struct {
+	Pattern   string
+	RelAlpha  float64 // α / Σ P(n,i), percent
+	RelBeta   float64 // β / n!, percent
+	Time      time.Duration
+	Repeats   int // > 1 for the random-pattern rows (averaged)
+	CommCost  float64
+	NumOrders int
+}
+
+// TableIVReport is the full Table IV.
+type TableIVReport struct {
+	Rows []TableIVRow
+}
+
+// TableIV measures Algorithm 3 on the paper's three pattern families:
+// q1–q9, cliques of 4–10 vertices, and connected random patterns of
+// 4–7 vertices (averaged over many seeds).
+func TableIV(opts Options) (*TableIVReport, error) {
+	// The planner only consumes data-graph statistics; Exp-1 does not
+	// depend on a concrete dataset, so a fixed synthetic profile serves.
+	st := estimate.UniformStats(100000, 20)
+	rep := &TableIVReport{}
+
+	measure := func(p *graph.Pattern) (TableIVRow, error) {
+		res, err := plan.GenerateBestPlan(p, st, plan.AllOptions)
+		if err != nil {
+			return TableIVRow{}, err
+		}
+		n := p.NumVertices()
+		return TableIVRow{
+			Pattern:   p.Name(),
+			RelAlpha:  100 * float64(res.Stats.Alpha) / plan.AlphaUpperBound(n),
+			RelBeta:   100 * float64(res.Stats.Beta) / plan.BetaUpperBound(n),
+			Time:      res.Stats.Elapsed,
+			Repeats:   1,
+			CommCost:  res.Cost.Communication,
+			NumOrders: len(res.CandidateOrders),
+		}, nil
+	}
+
+	for i := 1; i <= 9; i++ {
+		row, err := measure(gen.Q(i))
+		if err != nil {
+			return nil, fmt.Errorf("table4 q%d: %w", i, err)
+		}
+		rep.Rows = append(rep.Rows, row)
+		opts.progressf("table4 q%d done\n", i)
+	}
+
+	maxClique := 10
+	if opts.Quick {
+		maxClique = 7
+	}
+	for n := 4; n <= maxClique; n++ {
+		row, err := measure(gen.Clique(n))
+		if err != nil {
+			return nil, fmt.Errorf("table4 clique%d: %w", n, err)
+		}
+		rep.Rows = append(rep.Rows, row)
+		opts.progressf("table4 clique%d done\n", n)
+	}
+
+	randomReps := 1000
+	if opts.Quick {
+		randomReps = 30
+	}
+	rng := rand.New(rand.NewSource(99))
+	for n := 4; n <= 7; n++ {
+		var agg TableIVRow
+		agg.Pattern = fmt.Sprintf("random%d", n)
+		agg.Repeats = randomReps
+		for r := 0; r < randomReps; r++ {
+			p := gen.RandomConnectedPattern(n, 0.4, rng)
+			res, err := plan.GenerateBestPlan(p, st, plan.AllOptions)
+			if err != nil {
+				return nil, fmt.Errorf("table4 random n=%d: %w", n, err)
+			}
+			agg.RelAlpha += 100 * float64(res.Stats.Alpha) / plan.AlphaUpperBound(n)
+			agg.RelBeta += 100 * float64(res.Stats.Beta) / plan.BetaUpperBound(n)
+			agg.Time += res.Stats.Elapsed
+		}
+		agg.RelAlpha /= float64(randomReps)
+		agg.RelBeta /= float64(randomReps)
+		agg.Time /= time.Duration(randomReps)
+		rep.Rows = append(rep.Rows, agg)
+		opts.progressf("table4 random%d done\n", n)
+	}
+	return rep, nil
+}
+
+// WriteText renders the table.
+func (r *TableIVReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Table IV: efficiency of best execution plan generation (Exp-1)\n")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %8s\n", "pattern", "rel-alpha%", "rel-beta%", "time", "repeats")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %12.2f %12.2f %12s %8d\n",
+			row.Pattern, row.RelAlpha, row.RelBeta, fmtDur(row.Time), row.Repeats)
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"benu/internal/gen"
+	"benu/internal/join"
+)
+
+// CellOutcome classifies one algorithm's result in a comparison cell.
+type CellOutcome int
+
+const (
+	// CellOK means the run completed.
+	CellOK CellOutcome = iota
+	// CellTimeout means the per-cell deadline fired (paper: ">7200s").
+	CellTimeout
+	// CellCrash means the intermediate-result budget blew up
+	// (paper: CRASH / OOM).
+	CellCrash
+)
+
+func (o CellOutcome) String() string {
+	switch o {
+	case CellOK:
+		return "ok"
+	case CellTimeout:
+		return "timeout"
+	case CellCrash:
+		return "crash"
+	}
+	return "?"
+}
+
+// CellResult is one algorithm's entry in a table cell: time plus the
+// cumulative communication volume, as in Table V's "seconds/bytes" cells.
+type CellResult struct {
+	Outcome CellOutcome
+	Time    time.Duration
+	Bytes   int64 // communication (BENU: DB fetches; joins: shuffled tuples)
+	Matches int64
+}
+
+func (c CellResult) String() string {
+	switch c.Outcome {
+	case CellTimeout:
+		return fmt.Sprintf(">%s", fmtDur(c.Time))
+	case CellCrash:
+		return "CRASH"
+	}
+	return fmt.Sprintf("%s/%s", fmtDur(c.Time), fmtBytes(c.Bytes))
+}
+
+// TableVCell compares BENU with the join baseline on one dataset+pattern.
+type TableVCell struct {
+	Dataset  string
+	Pattern  string
+	Join     CellResult // the BFS-style join (CBF stand-in)
+	BENU     CellResult
+	BENUWins bool
+}
+
+// TableVReport is the full Table V.
+type TableVReport struct {
+	Cells []TableVCell
+}
+
+// TableV reproduces Exp-5: BENU versus the BFS-style join baseline on
+// q1–q9 across all five datasets, reporting execution time and
+// communication volume per cell. The join baseline gets an
+// intermediate-tuple budget whose overrun reports CRASH, mirroring CBF's
+// failures in the paper.
+func TableV(opts Options) (*TableVReport, error) {
+	deadline := opts.cellDeadline()
+	budget := int64(20_000_000)
+	if opts.Quick {
+		budget = 2_000_000
+	}
+	datasets := []string{"as", "lj", "ok", "uk", "fs"}
+	qs := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if opts.Quick {
+		datasets = []string{"as", "ok"}
+		qs = []int{1, 2, 4, 6}
+	}
+	rep := &TableVReport{}
+	for _, ds := range datasets {
+		e, err := envByName(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, qi := range qs {
+			p := gen.Q(qi)
+			cell := TableVCell{Dataset: ds, Pattern: p.Name()}
+
+			// BENU: compressed best plan on the default cluster.
+			pl, err := e.bestPlan(p, planAll())
+			if err != nil {
+				return nil, err
+			}
+			bres, err := e.runBENU(pl, deadline)
+			if err != nil {
+				return nil, fmt.Errorf("table5 BENU %s/%s: %w", ds, p.Name(), err)
+			}
+			cell.BENU = CellResult{
+				Outcome: CellOK,
+				Time:    bres.Wall,
+				Bytes:   bres.BytesFetched,
+				Matches: bres.Matches,
+			}
+			if bres.TimedOut {
+				cell.BENU.Outcome = CellTimeout
+			}
+
+			// Join baseline with a crash budget and the same deadline
+			// enforced outside (TwinTwig is single-shot; it respects the
+			// budget, and the harness flags an over-deadline completion
+			// as a timeout for reporting purposes).
+			jres, jerr := join.TwinTwig(p, e.g, e.ord, join.TwinTwigConfig{MaxTuples: budget})
+			switch {
+			case errors.Is(jerr, join.ErrBudgetExceeded):
+				cell.Join = CellResult{Outcome: CellCrash, Time: jres.Wall}
+			case jerr != nil:
+				return nil, fmt.Errorf("table5 join %s/%s: %w", ds, p.Name(), jerr)
+			case jres.Wall > deadline:
+				cell.Join = CellResult{Outcome: CellTimeout, Time: deadline, Bytes: jres.ShuffleBytes}
+			default:
+				cell.Join = CellResult{
+					Outcome: CellOK,
+					Time:    jres.Wall,
+					Bytes:   jres.ShuffleBytes,
+					Matches: jres.Matches,
+				}
+			}
+
+			// Sanity: when both complete, counts must agree.
+			if cell.BENU.Outcome == CellOK && cell.Join.Outcome == CellOK &&
+				cell.BENU.Matches != cell.Join.Matches {
+				return nil, fmt.Errorf("table5 %s/%s: count mismatch BENU=%d join=%d",
+					ds, p.Name(), cell.BENU.Matches, cell.Join.Matches)
+			}
+			cell.BENUWins = cellWins(cell.BENU, cell.Join)
+			rep.Cells = append(rep.Cells, cell)
+			opts.progressf("table5 %s/%s: join=%s benu=%s\n", ds, p.Name(), cell.Join, cell.BENU)
+		}
+	}
+	return rep, nil
+}
+
+// cellWins reports whether a beats b: completing beats not completing,
+// then time decides.
+func cellWins(a, b CellResult) bool {
+	if a.Outcome != CellOK {
+		return false
+	}
+	if b.Outcome != CellOK {
+		return true
+	}
+	return a.Time < b.Time
+}
+
+// WriteText renders the table.
+func (r *TableVReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Table V: performance comparison with the BFS-style join baseline (Exp-5)\n")
+	fmt.Fprintf(w, "%-8s %-8s %24s %24s %6s\n", "dataset", "pattern", "join(time/comm)", "BENU(time/comm)", "winner")
+	for _, c := range r.Cells {
+		winner := "join"
+		if c.BENUWins {
+			winner = "BENU"
+		}
+		fmt.Fprintf(w, "%-8s %-8s %24s %24s %6s\n", c.Dataset, c.Pattern, c.Join.String(), c.BENU.String(), winner)
+	}
+}

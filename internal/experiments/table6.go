@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/join"
+)
+
+// TableVICell compares BENU with the worst-case-optimal join on one
+// dataset+pattern.
+type TableVICell struct {
+	Dataset  string
+	Pattern  string
+	WCOJ     CellResult
+	BENU     CellResult
+	BENUWins bool
+}
+
+// TableVIReport is the full Table VI.
+type TableVIReport struct {
+	Cells []TableVICell
+}
+
+// TableVI reproduces Exp-6: BENU versus the BiGJoin-style worst-case
+// optimal join on the patterns BiGJoin optimizes for — triangle, 4-clique,
+// 5-clique, q4 and q5 — on the ok and fs datasets. The WCOJ baseline gets
+// a frontier budget whose overrun reports CRASH (the paper's OOM).
+func TableVI(opts Options) (*TableVIReport, error) {
+	deadline := opts.cellDeadline()
+	budget := int64(20_000_000)
+	if opts.Quick {
+		budget = 2_000_000
+	}
+	datasets := []string{"ok", "fs"}
+	patterns := []*graph.Pattern{gen.Triangle(), gen.Clique(4), gen.Clique(5), gen.Q(4), gen.Q(5)}
+	if opts.Quick {
+		datasets = []string{"ok"}
+		patterns = []*graph.Pattern{gen.Triangle(), gen.Clique(4), gen.Q(4)}
+	}
+	rep := &TableVIReport{}
+	for _, ds := range datasets {
+		e, err := envByName(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range patterns {
+			cell := TableVICell{Dataset: ds, Pattern: p.Name()}
+
+			pl, err := e.bestPlan(p, planAll())
+			if err != nil {
+				return nil, err
+			}
+			bres, err := e.runBENU(pl, deadline)
+			if err != nil {
+				return nil, fmt.Errorf("table6 BENU %s/%s: %w", ds, p.Name(), err)
+			}
+			cell.BENU = CellResult{Outcome: CellOK, Time: bres.Wall, Bytes: bres.BytesFetched, Matches: bres.Matches}
+			if bres.TimedOut {
+				cell.BENU.Outcome = CellTimeout
+			}
+
+			wres, werr := join.WCOJ(p, e.g, e.ord, join.WCOJConfig{MaxTuples: budget})
+			switch {
+			case errors.Is(werr, join.ErrBudgetExceeded):
+				cell.WCOJ = CellResult{Outcome: CellCrash, Time: wres.Wall}
+			case werr != nil:
+				return nil, fmt.Errorf("table6 WCOJ %s/%s: %w", ds, p.Name(), werr)
+			case wres.Wall > deadline:
+				cell.WCOJ = CellResult{Outcome: CellTimeout, Time: deadline, Bytes: wres.ShuffleBytes}
+			default:
+				cell.WCOJ = CellResult{Outcome: CellOK, Time: wres.Wall, Bytes: wres.ShuffleBytes, Matches: wres.Matches}
+			}
+
+			if cell.BENU.Outcome == CellOK && cell.WCOJ.Outcome == CellOK &&
+				cell.BENU.Matches != cell.WCOJ.Matches {
+				return nil, fmt.Errorf("table6 %s/%s: count mismatch BENU=%d wcoj=%d",
+					ds, p.Name(), cell.BENU.Matches, cell.WCOJ.Matches)
+			}
+			cell.BENUWins = cellWins(cell.BENU, cell.WCOJ)
+			rep.Cells = append(rep.Cells, cell)
+			opts.progressf("table6 %s/%s: wcoj=%s benu=%s\n", ds, p.Name(), cell.WCOJ, cell.BENU)
+		}
+	}
+	return rep, nil
+}
+
+// WriteText renders the table.
+func (r *TableVIReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Table VI: execution time comparison with the WCOJ baseline (Exp-6)\n")
+	fmt.Fprintf(w, "%-8s %-16s %24s %24s %6s\n", "dataset", "pattern", "wcoj(time/shuffle)", "BENU(time/comm)", "winner")
+	for _, c := range r.Cells {
+		winner := "wcoj"
+		if c.BENUWins {
+			winner = "BENU"
+		}
+		fmt.Fprintf(w, "%-8s %-16s %24s %24s %6s\n", c.Dataset, c.Pattern, c.WCOJ.String(), c.BENU.String(), winner)
+	}
+}

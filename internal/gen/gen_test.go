@@ -1,0 +1,265 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"benu/internal/graph"
+)
+
+func TestPowerLawDeterministic(t *testing.T) {
+	cfg := PowerLawConfig{N: 500, EdgesPer: 4, Triad: 0.4, Seed: 7}
+	g1, g2 := PowerLaw(cfg), PowerLaw(cfg)
+	e1, e2 := g1.EdgeList(), g2.EdgeList()
+	if len(e1) != len(e2) {
+		t.Fatalf("edge counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestPowerLawShape(t *testing.T) {
+	g := PowerLaw(PowerLawConfig{N: 2000, EdgesPer: 5, Triad: 0.4, Seed: 1})
+	if g.NumVertices() != 2000 {
+		t.Fatalf("N = %d", g.NumVertices())
+	}
+	if !g.IsConnected() {
+		t.Error("preferential attachment graph should be connected")
+	}
+	avg := float64(2*g.NumEdges()) / float64(g.NumVertices())
+	if avg < 6 || avg > 12 {
+		t.Errorf("average degree %g outside expected band", avg)
+	}
+	// Power law: the max degree should dwarf the average.
+	if float64(g.MaxDegree()) < 5*avg {
+		t.Errorf("max degree %d not heavy-tailed (avg %g)", g.MaxDegree(), avg)
+	}
+	// Triad formation should produce plenty of triangles.
+	if tri := graph.CountTriangles(g); tri < int64(g.NumVertices()) {
+		t.Errorf("only %d triangles — clustering too low", tri)
+	}
+}
+
+func TestPowerLawDegenerateConfigs(t *testing.T) {
+	g := PowerLaw(PowerLawConfig{N: 0})
+	if g.NumVertices() < 2 {
+		t.Errorf("degenerate config produced %d vertices", g.NumVertices())
+	}
+	g2 := PowerLaw(PowerLawConfig{N: 10, M0: 1, EdgesPer: 0, Seed: 1})
+	if g2.NumVertices() != 10 {
+		t.Errorf("N = %d", g2.NumVertices())
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 300, 5)
+	if g.NumEdges() != 300 {
+		t.Errorf("M = %d, want 300", g.NumEdges())
+	}
+	// Requesting more edges than possible caps out.
+	small := ErdosRenyi(4, 100, 5)
+	if small.NumEdges() != 6 {
+		t.Errorf("K4 cap: M = %d", small.NumEdges())
+	}
+}
+
+func TestRandomConnectedPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(6)
+		p := RandomConnectedPattern(n, 0.3, rng)
+		if p.NumVertices() != n {
+			t.Fatalf("n = %d, want %d", p.NumVertices(), n)
+		}
+		if !p.Graph().IsConnected() {
+			t.Fatal("pattern not connected")
+		}
+	}
+}
+
+func TestQPatternConstraintsFromPaper(t *testing.T) {
+	// q1–q5 have five vertices, q6–q9 six (§VII).
+	for i := 1; i <= 5; i++ {
+		if n := Q(i).NumVertices(); n != 5 {
+			t.Errorf("q%d has %d vertices, want 5", i, n)
+		}
+	}
+	for i := 6; i <= 9; i++ {
+		if n := Q(i).NumVertices(); n != 6 {
+			t.Errorf("q%d has %d vertices, want 6", i, n)
+		}
+	}
+	// q4's dual-pruning example: u1 ≃ u4 and u2 ≃ u3.
+	q4 := Q(4)
+	if !q4.SyntacticallyEquivalent(0, 3) || !q4.SyntacticallyEquivalent(1, 2) {
+		t.Error("q4 SE relations do not match the paper")
+	}
+	// q7–q9 contain the chordal square as a (not necessarily induced)
+	// subgraph — check via reference enumeration on the pattern itself.
+	core := ChordalSquare()
+	for i := 7; i <= 9; i++ {
+		qi := Q(i)
+		if graph.RefCountAllMatches(core, qi.Graph()) == 0 {
+			t.Errorf("q%d does not contain the chordal-square core", i)
+		}
+	}
+	// All patterns connected with the advertised names.
+	for i := 1; i <= 9; i++ {
+		if !Q(i).Graph().IsConnected() {
+			t.Errorf("q%d disconnected", i)
+		}
+	}
+	if len(AllQ()) != 9 {
+		t.Error("AllQ size")
+	}
+}
+
+func TestPatternByName(t *testing.T) {
+	cases := map[string]struct {
+		n, m int
+	}{
+		"triangle":       {3, 3},
+		"square":         {4, 4},
+		"chordal-square": {4, 5},
+		"demo":           {6, 9},
+		"q1":             {5, 6},
+		"q9":             {6, 8},
+		"clique6":        {6, 15},
+		"path5":          {5, 4},
+		"cycle7":         {7, 7},
+		"star4":          {5, 4},
+	}
+	for name, want := range cases {
+		p, err := PatternByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if p.NumVertices() != want.n || int(p.NumEdges()) != want.m {
+			t.Errorf("%s: got n=%d m=%d, want %d/%d", name, p.NumVertices(), p.NumEdges(), want.n, want.m)
+		}
+	}
+	for _, bad := range []string{"", "q0", "qx", "clique2", "clique99", "cliqueX", "nope", "path"} {
+		if _, err := PatternByName(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestPresetByNameMust(t *testing.T) {
+	if PresetByNameMust("ok").Name != "ok" {
+		t.Error("wrong preset")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown preset")
+		}
+	}()
+	PresetByNameMust("zzz")
+}
+
+func TestQPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Q(10) did not panic")
+		}
+	}()
+	Q(10)
+}
+
+func TestBasicPatternShapes(t *testing.T) {
+	cases := []struct {
+		p     *graph.Pattern
+		n, m  int
+		nAuto int
+	}{
+		{Triangle(), 3, 3, 6},
+		{Square(), 4, 4, 8},
+		{ChordalSquare(), 4, 5, 4},
+		{Clique(5), 5, 10, 120},
+		{Path(4), 4, 3, 2},
+		{Cycle(5), 5, 5, 10},
+		{Star(3), 4, 3, 6},
+	}
+	for _, c := range cases {
+		if c.p.NumVertices() != c.n || int(c.p.NumEdges()) != c.m {
+			t.Errorf("%s: n=%d m=%d, want %d/%d", c.p.Name(), c.p.NumVertices(), c.p.NumEdges(), c.n, c.m)
+		}
+		if got := len(c.p.Automorphisms()); got != c.nAuto {
+			t.Errorf("%s: |Aut| = %d, want %d", c.p.Name(), got, c.nAuto)
+		}
+	}
+}
+
+func TestDemoGraphsMatchPaperConstraints(t *testing.T) {
+	p := DemoPattern()
+	if p.NumVertices() != 6 || p.NumEdges() != 9 {
+		t.Fatalf("demo pattern shape: %s", p)
+	}
+	if len(p.Automorphisms()) != 2 {
+		t.Errorf("|Aut(fan)| = %d, want 2", len(p.Automorphisms()))
+	}
+	g := DemoDataGraph()
+	if g.NumVertices() != 8 {
+		t.Fatalf("demo graph has %d vertices", g.NumVertices())
+	}
+	// Γ(v1) ∩ Γ(v2) ∖ {v1,v2} = {v3, v7} (0-based: {2, 6}).
+	inter := graph.IntersectSorted(nil, g.Adj(0), g.Adj(1))
+	var filtered []int64
+	for _, v := range inter {
+		if v != 0 && v != 1 {
+			filtered = append(filtered, v)
+		}
+	}
+	if len(filtered) != 2 || filtered[0] != 2 || filtered[1] != 6 {
+		t.Errorf("C3 candidates = %v, want [2 6]", filtered)
+	}
+	// The paper's match f' = (v1,v2,v3,v4,v5,v8) must be present.
+	fp := []int64{0, 1, 2, 3, 4, 7}
+	p.Graph().Edges(func(u, v int64) bool {
+		if !g.HasEdge(fp[u], fp[v]) {
+			t.Errorf("paper match broken at pattern edge (u%d,u%d)", u+1, v+1)
+		}
+		return true
+	})
+	// The demo pattern must actually occur in the demo graph.
+	ord := graph.NewTotalOrder(g)
+	if graph.RefCount(p, g, ord) == 0 {
+		t.Error("demo pattern has no matches in demo graph")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 5 {
+		t.Fatalf("%d presets", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"as", "lj", "ok", "uk", "fs"} {
+		if !names[want] {
+			t.Errorf("missing preset %q", want)
+		}
+	}
+	if _, err := PresetByName("ok"); err != nil {
+		t.Error(err)
+	}
+	if _, err := PresetByName("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	// Cached returns the same instance.
+	p, _ := PresetByName("as")
+	g1 := p.Cached()
+	g2 := p.Cached()
+	if g1 != g2 {
+		t.Error("Cached did not cache")
+	}
+	if g1.NumVertices() != p.Config.N {
+		t.Errorf("preset N = %d, want %d", g1.NumVertices(), p.Config.N)
+	}
+}

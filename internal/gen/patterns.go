@@ -1,0 +1,215 @@
+package gen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"benu/internal/graph"
+)
+
+// This file defines the pattern graphs of the evaluation. Fig. 6 of the
+// paper is a drawing we cannot see, so q1–q9 are reconstructions that
+// satisfy every constraint the text states: q1–q5 have five vertices
+// (q1–q5 come from the CBF paper, q1–q4 are called out as 5-vertex),
+// q6–q9 have six, q7–q9 share the chordal-square core, and q4 has the
+// syntactic-equivalence pairs u1 ≃ u4 and u2 ≃ u3 used as the dual-pruning
+// example. The demo pattern of Fig. 1a is fully recoverable from the text
+// and is reproduced exactly (see DemoPattern).
+
+// Triangle is the 3-clique (Δ column of Table I).
+func Triangle() *graph.Pattern {
+	return graph.MustPattern("triangle", 3, [][2]int64{{0, 1}, {0, 2}, {1, 2}})
+}
+
+// Square is the 4-cycle.
+func Square() *graph.Pattern {
+	return graph.MustPattern("square", 4, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+}
+
+// ChordalSquare is the 4-cycle plus one diagonal (⊠ column of Table I and
+// the shared core of q7–q9). Vertices 1 and 2 carry the diagonal.
+func ChordalSquare() *graph.Pattern {
+	return graph.MustPattern("chordal-square", 4,
+		[][2]int64{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}})
+}
+
+// Clique returns the k-clique pattern (used by Exp-1 and Table VI).
+func Clique(k int) *graph.Pattern {
+	var edges [][2]int64
+	for i := int64(0); i < int64(k); i++ {
+		for j := i + 1; j < int64(k); j++ {
+			edges = append(edges, [2]int64{i, j})
+		}
+	}
+	return graph.MustPattern(fmt.Sprintf("clique%d", k), k, edges)
+}
+
+// Path returns the path pattern with k vertices.
+func Path(k int) *graph.Pattern {
+	var edges [][2]int64
+	for i := int64(0); i+1 < int64(k); i++ {
+		edges = append(edges, [2]int64{i, i + 1})
+	}
+	return graph.MustPattern(fmt.Sprintf("path%d", k), k, edges)
+}
+
+// Cycle returns the cycle pattern with k vertices.
+func Cycle(k int) *graph.Pattern {
+	edges := [][2]int64{{0, int64(k - 1)}}
+	for i := int64(0); i+1 < int64(k); i++ {
+		edges = append(edges, [2]int64{i, i + 1})
+	}
+	return graph.MustPattern(fmt.Sprintf("cycle%d", k), k, edges)
+}
+
+// Star returns the star with k leaves (k+1 vertices, hub = vertex 0).
+func Star(k int) *graph.Pattern {
+	var edges [][2]int64
+	for i := int64(1); i <= int64(k); i++ {
+		edges = append(edges, [2]int64{0, i})
+	}
+	return graph.MustPattern(fmt.Sprintf("star%d", k), k+1, edges)
+}
+
+// DemoPattern is the pattern graph P of Fig. 1a: the fan F5 — hub u1
+// adjacent to every rim vertex, rim path u2–u3–u4–u5–u6. Recovered from
+// the paper's own demo: its automorphism group is {id, (u2 u6)(u3 u5)}
+// (matching the stated symmetry-breaking constraint on u3/u5), and the raw
+// execution plan for matching order u1,u3,u5,u2,u6,u4 has exactly the
+// common subexpressions {A1,A3} and {A1,A5} that §IV-B eliminates.
+func DemoPattern() *graph.Pattern {
+	return graph.MustPattern("fig1a-fan", 6, [][2]int64{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, // 6-cycle u1..u6
+		{0, 2}, {0, 3}, {0, 4}, // hub chords u1-u3, u1-u4, u1-u5
+	})
+}
+
+// DemoDataGraph is the data graph G of Fig. 1b (8 vertices). The drawing
+// is reconstructed from the textual constraints: it contains the match
+// (v1,v2,v3,v4,v5,v8) of the demo pattern, and Γ(v1)∩Γ(v2)∖{v1,v2} =
+// {v3,v7}. Vertex v_i is id i-1.
+func DemoDataGraph() *graph.Graph {
+	return graph.FromEdges(8, [][2]int64{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 6}, {0, 7},
+		{1, 2}, {1, 6},
+		{2, 3},
+		{3, 4}, {3, 5},
+		{4, 5}, {4, 7},
+	})
+}
+
+// Q returns pattern q1..q9 of Fig. 6 (see the file comment on the
+// reconstruction). It panics for i outside [1, 9].
+func Q(i int) *graph.Pattern {
+	switch i {
+	case 1:
+		// q1: house — square with a triangle roof. 5 vertices, 6 edges.
+		return graph.MustPattern("q1", 5, [][2]int64{
+			{0, 1}, {1, 2}, {2, 3}, {3, 0}, // square
+			{0, 4}, {1, 4}, // roof
+		})
+	case 2:
+		// q2: 4-clique with a handle — K4 on {0,1,2,3} plus vertex 4
+		// adjacent to 0 and 1. 5 vertices, 8 edges.
+		return graph.MustPattern("q2", 5, [][2]int64{
+			{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+			{0, 4}, {1, 4},
+		})
+	case 3:
+		// q3: gem — 5-cycle with two chords from one vertex (fan F4).
+		// 5 vertices, 7 edges.
+		return graph.MustPattern("q3", 5, [][2]int64{
+			{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},
+			{0, 2}, {0, 3},
+		})
+	case 4:
+		// q4: book B3 — three triangles sharing the edge (u2, u3).
+		// 5 vertices, 7 edges. Satisfies the paper's dual-pruning example
+		// u1 ≃ u4 and u2 ≃ u3 (0-based: 0 ≃ 3 and 1 ≃ 2).
+		return graph.MustPattern("q4", 5, [][2]int64{
+			{1, 2},
+			{0, 1}, {0, 2},
+			{3, 1}, {3, 2},
+			{4, 1}, {4, 2},
+		})
+	case 5:
+		// q5: the 5-clique. 5 vertices, 10 edges.
+		p := Clique(5)
+		return graph.MustPattern("q5", 5, p.Graph().EdgeList())
+	case 6:
+		// q6: two triangles joined by an edge. 6 vertices, 7 edges.
+		return graph.MustPattern("q6", 6, [][2]int64{
+			{0, 1}, {0, 2}, {1, 2},
+			{3, 4}, {3, 5}, {4, 5},
+			{2, 3},
+		})
+	case 7:
+		// q7: chordal-square core {0..3} with pendant vertices on the two
+		// degree-2 corners. 6 vertices, 7 edges.
+		return graph.MustPattern("q7", 6, [][2]int64{
+			{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3},
+			{0, 4}, {3, 5},
+		})
+	case 8:
+		// q8: chordal-square core plus a triangle hung on each side edge.
+		// 6 vertices, 9 edges.
+		return graph.MustPattern("q8", 6, [][2]int64{
+			{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3},
+			{4, 0}, {4, 1},
+			{5, 2}, {5, 3},
+		})
+	case 9:
+		// q9: chordal-square core plus a 2-path strung between the
+		// diagonal endpoints. 6 vertices, 8 edges.
+		return graph.MustPattern("q9", 6, [][2]int64{
+			{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3},
+			{1, 4}, {4, 5}, {5, 2},
+		})
+	}
+	panic(fmt.Sprintf("gen: no pattern q%d", i))
+}
+
+// AllQ returns q1..q9 in order.
+func AllQ() []*graph.Pattern {
+	out := make([]*graph.Pattern, 9)
+	for i := range out {
+		out[i] = Q(i + 1)
+	}
+	return out
+}
+
+// PatternByName resolves the pattern names accepted by the command-line
+// tools: triangle, square, chordal-square, demo, q1..q9, and the
+// parameterized families cliqueK, pathK, cycleK, starK (3 ≤ K ≤ 12).
+func PatternByName(name string) (*graph.Pattern, error) {
+	switch name {
+	case "triangle":
+		return Triangle(), nil
+	case "square":
+		return Square(), nil
+	case "chordal-square":
+		return ChordalSquare(), nil
+	case "demo":
+		return DemoPattern(), nil
+	}
+	if len(name) == 2 && name[0] == 'q' && name[1] >= '1' && name[1] <= '9' {
+		return Q(int(name[1] - '0')), nil
+	}
+	families := []struct {
+		prefix string
+		fn     func(int) *graph.Pattern
+	}{
+		{"clique", Clique}, {"path", Path}, {"cycle", Cycle}, {"star", Star},
+	}
+	for _, f := range families {
+		if strings.HasPrefix(name, f.prefix) {
+			k, err := strconv.Atoi(name[len(f.prefix):])
+			if err != nil || k < 3 || k > 12 {
+				return nil, fmt.Errorf("gen: bad size in pattern %q (want 3..12)", name)
+			}
+			return f.fn(k), nil
+		}
+	}
+	return nil, fmt.Errorf("gen: unknown pattern %q", name)
+}

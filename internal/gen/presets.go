@@ -1,0 +1,83 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"benu/internal/graph"
+)
+
+// Preset names a synthetic stand-in for one of the paper's five data
+// graphs (Table I). The real datasets have 10^7–10^9 edges; the presets
+// reproduce their *shape* — power-law degrees, high clustering, relative
+// size and density ordering — at a scale where the full experiment suite
+// runs on one machine. Absolute match counts are therefore not comparable
+// to Table I, but relative behaviour (which algorithm wins where, how
+// costs scale) is.
+type Preset struct {
+	Name     string // short name used by the paper ("as", "lj", ...)
+	FullName string // dataset the preset stands in for
+	Config   PowerLawConfig
+}
+
+// Presets returns the five dataset stand-ins ordered as Table I:
+// as < lj < ok < uk < fs in size, with ok the densest relative to its
+// vertex count, matching the real datasets' density ordering.
+func Presets() []Preset {
+	return []Preset{
+		{Name: "as", FullName: "as-Skitter (scaled)", Config: PowerLawConfig{N: 2000, M0: 3, EdgesPer: 3, Triad: 0.4, Seed: 1}},
+		{Name: "lj", FullName: "LiveJournal (scaled)", Config: PowerLawConfig{N: 5000, M0: 3, EdgesPer: 3, Triad: 0.4, Seed: 2}},
+		{Name: "ok", FullName: "Orkut (scaled)", Config: PowerLawConfig{N: 3000, M0: 4, EdgesPer: 6, Triad: 0.45, Seed: 3}},
+		{Name: "uk", FullName: "uk-2002 (scaled)", Config: PowerLawConfig{N: 8000, M0: 3, EdgesPer: 5, Triad: 0.5, Seed: 4}},
+		{Name: "fs", FullName: "FriendSter (scaled)", Config: PowerLawConfig{N: 15000, M0: 3, EdgesPer: 4, Triad: 0.35, Seed: 5}},
+	}
+}
+
+// PresetByName returns the preset with the given short name.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, 0, 5)
+	for _, p := range Presets() {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return Preset{}, fmt.Errorf("gen: unknown preset %q (have %v)", name, names)
+}
+
+// PresetByNameMust is PresetByName that panics on unknown names; for
+// statically known preset references in examples and benchmarks.
+func PresetByNameMust(name string) Preset {
+	p, err := PresetByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Generate materializes the preset's graph.
+func (p Preset) Generate() *graph.Graph { return PowerLaw(p.Config) }
+
+var (
+	presetCacheMu sync.Mutex
+	presetCache   = map[string]*graph.Graph{}
+)
+
+// Cached returns the preset's graph, generating it once per process.
+// Benchmarks and the experiment harness call this so that repeated runs
+// against the same dataset do not pay generation time repeatedly. Graphs
+// are immutable, so sharing is safe.
+func (p Preset) Cached() *graph.Graph {
+	presetCacheMu.Lock()
+	defer presetCacheMu.Unlock()
+	if g, ok := presetCache[p.Name]; ok {
+		return g
+	}
+	g := p.Generate()
+	presetCache[p.Name] = g
+	return g
+}

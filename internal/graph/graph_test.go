@@ -1,0 +1,356 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestBuilderDedupAndSort(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(2, 1)
+	b.AddEdge(1, 2) // duplicate, reversed
+	b.AddEdge(1, 2) // duplicate
+	b.AddEdge(3, 3) // self-loop, dropped
+	b.AddEdge(0, 4)
+	g := b.Build()
+	if g.NumVertices() != 5 {
+		t.Fatalf("NumVertices = %d, want 5", g.NumVertices())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if !reflect.DeepEqual(g.Adj(1), []int64{2}) {
+		t.Errorf("Adj(1) = %v", g.Adj(1))
+	}
+	if g.Degree(3) != 0 {
+		t.Errorf("self-loop not dropped: deg(3)=%d", g.Degree(3))
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := FromEdges(4, [][2]int64{{0, 1}, {1, 2}, {2, 3}})
+	cases := []struct {
+		u, v int64
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {0, 2, false}, {2, 3, true},
+		{3, 3, false}, {-1, 0, false}, {0, 99, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestEdgesEnumeratesEachOnce(t *testing.T) {
+	g := FromEdges(5, [][2]int64{{0, 1}, {0, 2}, {1, 2}, {3, 4}})
+	var seen [][2]int64
+	g.Edges(func(u, v int64) bool {
+		if u >= v {
+			t.Errorf("edge (%d,%d) not ordered", u, v)
+		}
+		seen = append(seen, [2]int64{u, v})
+		return true
+	})
+	if len(seen) != 4 {
+		t.Fatalf("saw %d edges, want 4", len(seen))
+	}
+	// Early stop.
+	count := 0
+	g.Edges(func(u, v int64) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early stop visited %d edges", count)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := FromEdges(6, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}})
+	sub, back := g.InducedSubgraph([]int64{0, 1, 3})
+	if sub.NumVertices() != 3 {
+		t.Fatalf("sub has %d vertices", sub.NumVertices())
+	}
+	// Edges among {0,1,3}: (0,1) and (0,3).
+	if sub.NumEdges() != 2 {
+		t.Errorf("sub has %d edges, want 2", sub.NumEdges())
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(0, 2) || sub.HasEdge(1, 2) {
+		t.Errorf("wrong induced edges: %v", sub.EdgeList())
+	}
+	if !reflect.DeepEqual(back, []int64{0, 1, 3}) {
+		t.Errorf("back mapping = %v", back)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := FromEdges(7, [][2]int64{{0, 1}, {1, 2}, {3, 4}})
+	comps := g.ConnectedComponents()
+	if len(comps) != 4 { // {0,1,2}, {3,4}, {5}, {6}
+		t.Fatalf("got %d components: %v", len(comps), comps)
+	}
+	if !reflect.DeepEqual(comps[0], []int64{0, 1, 2}) {
+		t.Errorf("comps[0] = %v", comps[0])
+	}
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if !FromEdges(3, [][2]int64{{0, 1}, {1, 2}}).IsConnected() {
+		t.Error("path reported disconnected")
+	}
+}
+
+func TestEccentricityAndRadius(t *testing.T) {
+	// Path 0-1-2-3-4: ecc(0)=4, ecc(2)=2, radius 2.
+	g := FromEdges(5, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	if e := g.Eccentricity(0); e != 4 {
+		t.Errorf("ecc(0) = %d, want 4", e)
+	}
+	if e := g.Eccentricity(2); e != 2 {
+		t.Errorf("ecc(2) = %d, want 2", e)
+	}
+	if r := g.Radius(); r != 2 {
+		t.Errorf("radius = %d, want 2", r)
+	}
+}
+
+func TestDegreeHistogramAndMaxDegree(t *testing.T) {
+	g := FromEdges(4, [][2]int64{{0, 1}, {0, 2}, {0, 3}})
+	h := g.DegreeHistogram()
+	if h[3] != 1 || h[1] != 3 {
+		t.Errorf("histogram = %v", h)
+	}
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %d", g.MaxDegree())
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	g := FromEdges(3, [][2]int64{{0, 1}, {1, 2}})
+	if g.SizeBytes() != 2*2*8 {
+		t.Errorf("SizeBytes = %d, want 32", g.SizeBytes())
+	}
+}
+
+func TestReadWriteEdgeListRoundTrip(t *testing.T) {
+	in := "# comment\n0 1\n1 2\n\n2 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 || g.NumVertices() != 3 {
+		t.Fatalf("parsed %v", g)
+	}
+	var out strings.Builder
+	if err := WriteEdgeList(&out, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.EdgeList(), g2.EdgeList()) {
+		t.Errorf("round trip mismatch: %v vs %v", g.EdgeList(), g2.EdgeList())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{"0\n", "a b\n", "0 b\n", "-1 2\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(bad)); err == nil {
+			t.Errorf("no error for %q", bad)
+		}
+	}
+}
+
+func TestTotalOrderDegreeThenID(t *testing.T) {
+	// Degrees: 0→1, 1→3, 2→2, 3→2.
+	g := FromEdges(4, [][2]int64{{0, 1}, {1, 2}, {1, 3}, {2, 3}})
+	ord := NewTotalOrder(g)
+	if !ord.Less(0, 2) { // deg 1 < deg 2
+		t.Error("0 should precede 2")
+	}
+	if !ord.Less(2, 3) { // same degree, smaller id first
+		t.Error("2 should precede 3")
+	}
+	if !ord.Less(3, 1) { // deg 2 < deg 3
+		t.Error("3 should precede 1")
+	}
+	if ord.Less(1, 1) {
+		t.Error("irreflexive violated")
+	}
+	// Ranks are a permutation of 0..n-1.
+	seen := make(map[int64]bool)
+	for v := int64(0); v < 4; v++ {
+		seen[ord.Rank(v)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("ranks not a permutation")
+	}
+}
+
+func TestIdentityOrder(t *testing.T) {
+	ord := IdentityOrder(5)
+	if !ord.Less(1, 3) || ord.Less(3, 1) {
+		t.Error("identity order broken")
+	}
+}
+
+func TestTotalOrderIsStrictTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBuilder(50)
+	for i := 0; i < 200; i++ {
+		b.AddEdge(rng.Int63n(50), rng.Int63n(50))
+	}
+	g := b.Build()
+	ord := NewTotalOrder(g)
+	n := int64(g.NumVertices())
+	for i := int64(0); i < n; i++ {
+		for j := int64(0); j < n; j++ {
+			l1, l2 := ord.Less(i, j), ord.Less(j, i)
+			if i == j && (l1 || l2) {
+				t.Fatalf("reflexive at %d", i)
+			}
+			if i != j && l1 == l2 {
+				t.Fatalf("not total at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCountTriangles(t *testing.T) {
+	// K4 has 4 triangles.
+	k4 := FromEdges(4, [][2]int64{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	if n := CountTriangles(k4); n != 4 {
+		t.Errorf("K4 triangles = %d, want 4", n)
+	}
+	// A square has none.
+	c4 := FromEdges(4, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if n := CountTriangles(c4); n != 0 {
+		t.Errorf("C4 triangles = %d, want 0", n)
+	}
+}
+
+// naiveIntersect is the reference for the set operations.
+func naiveIntersect(a, b []int64) []int64 {
+	in := make(map[int64]bool, len(a))
+	for _, x := range a {
+		in[x] = true
+	}
+	var out []int64
+	for _, x := range b {
+		if in[x] {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func randomSortedSet(rng *rand.Rand, n, max int) []int64 {
+	in := make(map[int64]bool)
+	for len(in) < n {
+		in[rng.Int63n(int64(max))] = true
+	}
+	out := make([]int64, 0, n)
+	for x := range in {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestIntersectSortedAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		a := randomSortedSet(rng, rng.Intn(50), 200)
+		b := randomSortedSet(rng, rng.Intn(50), 200)
+		got := IntersectSorted(nil, a, b)
+		want := naiveIntersect(a, b)
+		if !equalSets(got, want) {
+			t.Fatalf("IntersectSorted(%v,%v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestIntersectGallopPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		small := randomSortedSet(rng, 3, 10000)
+		big := randomSortedSet(rng, 500, 10000)
+		got := IntersectSorted(nil, small, big)
+		want := naiveIntersect(small, big)
+		if !equalSets(got, want) {
+			t.Fatalf("gallop mismatch: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestIntersectMany(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		sets := make([][]int64, 3+rng.Intn(3))
+		for i := range sets {
+			sets[i] = randomSortedSet(rng, 20+rng.Intn(30), 100)
+		}
+		got := IntersectMany(nil, sets...)
+		want := sets[0]
+		for _, s := range sets[1:] {
+			want = naiveIntersect(want, s)
+		}
+		if !equalSets(got, want) {
+			t.Fatalf("IntersectMany mismatch")
+		}
+	}
+	if got := IntersectMany(nil); got != nil {
+		t.Errorf("IntersectMany() = %v", got)
+	}
+	one := []int64{1, 2, 3}
+	if got := IntersectMany(nil, one); !equalSets(got, one) {
+		t.Errorf("IntersectMany(one) = %v", got)
+	}
+}
+
+func TestUnionAndDiff(t *testing.T) {
+	a := []int64{1, 3, 5, 7}
+	b := []int64{3, 4, 7, 9}
+	if got := UnionSorted(nil, a, b); !equalSets(got, []int64{1, 3, 4, 5, 7, 9}) {
+		t.Errorf("union = %v", got)
+	}
+	if got := DiffSorted(nil, a, b); !equalSets(got, []int64{1, 5}) {
+		t.Errorf("diff = %v", got)
+	}
+}
+
+func TestContainsSorted(t *testing.T) {
+	a := []int64{2, 4, 6, 8}
+	for _, x := range a {
+		if !ContainsSorted(a, x) {
+			t.Errorf("missing %d", x)
+		}
+	}
+	for _, x := range []int64{1, 3, 9, -5} {
+		if ContainsSorted(a, x) {
+			t.Errorf("false positive %d", x)
+		}
+	}
+	if ContainsSorted(nil, 0) {
+		t.Error("empty set contains 0")
+	}
+}
+
+func equalSets(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

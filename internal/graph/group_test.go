@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The automorphisms of a graph form a group: closed under composition
+// and inverse, containing the identity. These property tests pin the
+// enumeration's completeness (a missing element would break closure).
+
+func randGraphForGroup(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(4)
+	var edges [][2]int64
+	for v := int64(1); v < int64(n); v++ {
+		edges = append(edges, [2]int64{rng.Int63n(v), v})
+	}
+	for u := int64(0); u < int64(n); u++ {
+		for v := u + 1; v < int64(n); v++ {
+			if rng.Float64() < 0.45 {
+				edges = append(edges, [2]int64{u, v})
+			}
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+func permKey(p []int64) string {
+	b := make([]byte, len(p))
+	for i, x := range p {
+		b[i] = byte(x)
+	}
+	return string(b)
+}
+
+func TestAutomorphismGroupClosure(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randGraphForGroup(seed)
+		autos := Automorphisms(g)
+		set := make(map[string]bool, len(autos))
+		for _, a := range autos {
+			set[permKey(a)] = true
+		}
+		// Closure under composition.
+		comp := make([]int64, g.NumVertices())
+		for _, a := range autos {
+			for _, b := range autos {
+				for i := range comp {
+					comp[i] = a[b[i]]
+				}
+				if !set[permKey(comp)] {
+					t.Logf("seed %d: composition %v∘%v = %v missing", seed, a, b, comp)
+					return false
+				}
+			}
+		}
+		// Closure under inverse.
+		inv := make([]int64, g.NumVertices())
+		for _, a := range autos {
+			for i, x := range a {
+				inv[x] = int64(i)
+			}
+			if !set[permKey(inv)] {
+				t.Logf("seed %d: inverse of %v missing", seed, a)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupOrderDividesFactorial(t *testing.T) {
+	// |Aut(G)| divides n! (Lagrange), a cheap sanity net over many seeds.
+	fact := func(n int) int {
+		f := 1
+		for i := 2; i <= n; i++ {
+			f *= i
+		}
+		return f
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		g := randGraphForGroup(seed)
+		n := g.NumVertices()
+		k := len(Automorphisms(g))
+		if k == 0 || fact(n)%k != 0 {
+			t.Errorf("seed %d: |Aut| = %d does not divide %d!", seed, k, n)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package graph
+
+import "fmt"
+
+// Vertex labels — the property-graph extension the paper names as future
+// work (§VIII). A labeled match must map every pattern vertex to a data
+// vertex carrying the same label; unlabeled graphs behave exactly as
+// before. Labels ride on the Graph so patterns and data graphs share one
+// representation.
+
+// WithVertexLabels returns a copy of g (sharing adjacency storage) with
+// the given vertex labels attached. len(labels) must equal the vertex
+// count.
+func (g *Graph) WithVertexLabels(labels []int64) (*Graph, error) {
+	if len(labels) != g.NumVertices() {
+		return nil, fmt.Errorf("graph: %d labels for %d vertices", len(labels), g.NumVertices())
+	}
+	cp := *g
+	cp.labels = append([]int64(nil), labels...)
+	return &cp, nil
+}
+
+// Labeled reports whether vertex labels are attached.
+func (g *Graph) Labeled() bool { return g.labels != nil }
+
+// Label returns the label of v, or 0 when the graph is unlabeled.
+func (g *Graph) Label(v int64) int64 {
+	if g.labels == nil {
+		return 0
+	}
+	return g.labels[v]
+}
+
+// LabelFunc returns a label oracle for the graph, or nil when unlabeled.
+func (g *Graph) LabelFunc() func(int64) int64 {
+	if g.labels == nil {
+		return nil
+	}
+	return g.Label
+}
+
+// AutomorphismsLabeled enumerates the automorphisms of g that also
+// preserve the given vertex labeling (label may be nil for the plain
+// structural group). Symmetry breaking for labeled patterns must use this
+// group: a structural automorphism moving differently-labeled vertices is
+// not a symmetry of the labeled matching problem.
+func AutomorphismsLabeled(g *Graph, label func(int64) int64) [][]int64 {
+	if label == nil {
+		return Automorphisms(g)
+	}
+	all := Automorphisms(g)
+	out := all[:0]
+	for _, a := range all {
+		ok := true
+		for v, img := range a {
+			if label(int64(v)) != label(img) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package graph
+
+import "testing"
+
+func TestWithVertexLabels(t *testing.T) {
+	g := FromEdges(3, [][2]int64{{0, 1}, {1, 2}})
+	if g.Labeled() {
+		t.Error("fresh graph claims labels")
+	}
+	if g.Label(0) != 0 {
+		t.Error("unlabeled Label() != 0")
+	}
+	if g.LabelFunc() != nil {
+		t.Error("unlabeled LabelFunc() != nil")
+	}
+	lg, err := g.WithVertexLabels([]int64{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lg.Labeled() || lg.Label(1) != 6 {
+		t.Error("labels not attached")
+	}
+	if lg.LabelFunc()(2) != 7 {
+		t.Error("LabelFunc broken")
+	}
+	// The original graph is untouched.
+	if g.Labeled() {
+		t.Error("WithVertexLabels mutated the receiver")
+	}
+	// Adjacency is shared.
+	if &lg.Adj(0)[0] != &g.Adj(0)[0] {
+		t.Error("labeled copy duplicated adjacency storage")
+	}
+	if _, err := g.WithVertexLabels([]int64{1}); err == nil {
+		t.Error("wrong label count accepted")
+	}
+}
+
+func TestAutomorphismsLabeled(t *testing.T) {
+	tri := FromEdges(3, [][2]int64{{0, 1}, {0, 2}, {1, 2}})
+	if n := len(AutomorphismsLabeled(tri, nil)); n != 6 {
+		t.Errorf("nil labels: |Aut| = %d, want 6", n)
+	}
+	labels := []int64{1, 2, 2}
+	lab := func(v int64) int64 { return labels[v] }
+	autos := AutomorphismsLabeled(tri, lab)
+	if len(autos) != 2 {
+		t.Fatalf("labeled |Aut| = %d, want 2", len(autos))
+	}
+	for _, a := range autos {
+		if a[0] != 0 {
+			t.Errorf("automorphism %v moves the uniquely-labeled vertex", a)
+		}
+	}
+	// All-distinct labels: identity only.
+	labels = []int64{1, 2, 3}
+	if n := len(AutomorphismsLabeled(tri, lab)); n != 1 {
+		t.Errorf("distinct labels: |Aut| = %d, want 1", n)
+	}
+}
+
+func TestNewLabeledPatternValidation(t *testing.T) {
+	if _, err := NewLabeledPattern("x", 3, [][2]int64{{0, 1}, {1, 2}}, []int64{1}); err == nil {
+		t.Error("label count mismatch accepted")
+	}
+	if _, err := NewLabeledPattern("x", 4, [][2]int64{{0, 1}, {2, 3}}, []int64{1, 1, 1, 1}); err == nil {
+		t.Error("disconnected labeled pattern accepted")
+	}
+	p, err := NewLabeledPattern("x", 3, [][2]int64{{0, 1}, {1, 2}}, []int64{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Labeled() || p.Label(1) != 2 {
+		t.Error("pattern labels lost")
+	}
+}
+
+func TestAdjCopyIndependent(t *testing.T) {
+	g := FromEdges(3, [][2]int64{{0, 1}, {0, 2}})
+	cp := g.AdjCopy(0)
+	cp[0] = 99
+	if g.Adj(0)[0] == 99 {
+		t.Error("AdjCopy aliases internal storage")
+	}
+}
+
+func TestLabeledRefCount(t *testing.T) {
+	// Data: path v1(1)-v2(2)-v3(1); pattern: edge with labels (1, 2).
+	g, err := FromEdges(3, [][2]int64{{0, 1}, {1, 2}}).WithVertexLabels([]int64{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewLabeledPattern("e", 2, [][2]int64{{0, 1}}, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord := NewTotalOrder(g)
+	// Both edges are (1,2)-typed; no automorphism survives the labels, so
+	// each edge yields exactly one match.
+	if got := RefCount(p, g, ord); got != 2 {
+		t.Errorf("labeled edge count = %d, want 2", got)
+	}
+	// Same-label edge pattern finds nothing.
+	p2, err := NewLabeledPattern("e2", 2, [][2]int64{{0, 1}}, []int64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RefCount(p2, g, ord); got != 0 {
+		t.Errorf("(1,1) edge count = %d, want 0", got)
+	}
+}

@@ -1,0 +1,304 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pattern is a connected pattern graph P together with the derived
+// structures BENU needs: its automorphism group, the symmetry-breaking
+// partial order, and syntactic-equivalence classes. Pattern vertices are
+// 0-based internally; the paper's u1..un correspond to 0..n-1.
+//
+// A Pattern is immutable after construction and safe for concurrent use.
+type Pattern struct {
+	g     *Graph
+	name  string
+	autos [][]int64  // automorphism permutations, autos[k][u] = image of u
+	sbc   [][2]int64 // symmetry-breaking constraints (a, b) meaning u_a < u_b
+}
+
+// NewPattern builds a pattern graph from an edge list over n vertices.
+// The pattern must be connected (the paper assumes connected patterns;
+// disconnected ones are handled by enumerating components separately).
+func NewPattern(name string, n int, edges [][2]int64) (*Pattern, error) {
+	g := FromEdges(n, edges)
+	if g.NumVertices() != n {
+		return nil, fmt.Errorf("pattern %q: edge list references %d vertices, want %d", name, g.NumVertices(), n)
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("pattern %q is not connected", name)
+	}
+	p := &Pattern{g: g, name: name}
+	p.autos = AutomorphismsLabeled(g, g.LabelFunc())
+	p.sbc = SymmetryBreakingConstraints(g, p.autos)
+	return p, nil
+}
+
+// NewLabeledPattern builds a pattern whose vertices carry labels — the
+// property-graph extension. Matches must preserve labels; the
+// symmetry-breaking constraints are derived from the label-preserving
+// automorphism group.
+func NewLabeledPattern(name string, n int, edges [][2]int64, labels []int64) (*Pattern, error) {
+	base, err := NewPattern(name, n, edges)
+	if err != nil {
+		return nil, err
+	}
+	lg, err := base.g.WithVertexLabels(labels)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pattern{g: lg, name: name}
+	p.autos = AutomorphismsLabeled(lg, lg.Label)
+	p.sbc = SymmetryBreakingConstraints(lg, p.autos)
+	return p, nil
+}
+
+// Labeled reports whether the pattern's vertices carry labels.
+func (p *Pattern) Labeled() bool { return p.g.Labeled() }
+
+// Label returns the label of pattern vertex u (0 when unlabeled).
+func (p *Pattern) Label(u int64) int64 { return p.g.Label(u) }
+
+// MustPattern is NewPattern that panics on error; for statically known
+// pattern definitions.
+func MustPattern(name string, n int, edges [][2]int64) *Pattern {
+	p, err := NewPattern(name, n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name returns the pattern's display name (e.g. "q4", "triangle").
+func (p *Pattern) Name() string { return p.name }
+
+// Graph returns the underlying graph. The caller must not modify it.
+func (p *Pattern) Graph() *Graph { return p.g }
+
+// NumVertices returns n = |V(P)|.
+func (p *Pattern) NumVertices() int { return p.g.NumVertices() }
+
+// NumEdges returns m = |E(P)|.
+func (p *Pattern) NumEdges() int64 { return p.g.NumEdges() }
+
+// Adj returns the sorted adjacency set of pattern vertex u.
+func (p *Pattern) Adj(u int64) []int64 { return p.g.Adj(u) }
+
+// HasEdge reports whether (u, v) ∈ E(P).
+func (p *Pattern) HasEdge(u, v int64) bool { return p.g.HasEdge(u, v) }
+
+// Automorphisms returns the automorphism group of P as a list of
+// permutations (the identity is always first).
+func (p *Pattern) Automorphisms() [][]int64 { return p.autos }
+
+// SymmetryBreaking returns the partial-order constraints (a, b), each
+// meaning "u_a must map to a data vertex ≺-smaller than u_b's image".
+// Imposing them makes matches and subgraphs one-to-one (§II-A).
+func (p *Pattern) SymmetryBreaking() [][2]int64 { return p.sbc }
+
+// SyntacticallyEquivalent reports u_i ≃ u_j per [17]:
+// Γ(u_i) − {u_j} == Γ(u_j) − {u_i}. Used by the planner's dual pruning.
+func (p *Pattern) SyntacticallyEquivalent(i, j int64) bool {
+	if i == j {
+		return true
+	}
+	if p.g.Label(i) != p.g.Label(j) {
+		// Differently labeled vertices are never interchangeable in a
+		// matching order (labeled extension).
+		return false
+	}
+	ai := make([]int64, 0, len(p.g.Adj(i)))
+	for _, w := range p.g.Adj(i) {
+		if w != j {
+			ai = append(ai, w)
+		}
+	}
+	aj := make([]int64, 0, len(p.g.Adj(j)))
+	for _, w := range p.g.Adj(j) {
+		if w != i {
+			aj = append(aj, w)
+		}
+	}
+	if len(ai) != len(aj) {
+		return false
+	}
+	for k := range ai {
+		if ai[k] != aj[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// SEClasses returns the syntactic-equivalence classes of V(P), each sorted,
+// ordered by smallest member. Vertices in one class are interchangeable in
+// a matching order (dual pruning).
+func (p *Pattern) SEClasses() [][]int64 {
+	n := p.NumVertices()
+	cls := make([]int, n)
+	for i := range cls {
+		cls[i] = -1
+	}
+	var out [][]int64
+	for i := 0; i < n; i++ {
+		if cls[i] >= 0 {
+			continue
+		}
+		c := len(out)
+		cls[i] = c
+		members := []int64{int64(i)}
+		for j := i + 1; j < n; j++ {
+			if cls[j] < 0 && p.SyntacticallyEquivalent(int64(i), int64(j)) {
+				cls[j] = c
+				members = append(members, int64(j))
+			}
+		}
+		out = append(out, members)
+	}
+	return out
+}
+
+// Radius returns the radius of the pattern graph.
+func (p *Pattern) Radius() int { return p.g.Radius() }
+
+// IsVertexCover reports whether vs covers every edge of P.
+func (p *Pattern) IsVertexCover(vs []int64) bool {
+	in := make(map[int64]bool, len(vs))
+	for _, v := range vs {
+		in[v] = true
+	}
+	covered := true
+	p.g.Edges(func(u, v int64) bool {
+		if !in[u] && !in[v] {
+			covered = false
+			return false
+		}
+		return true
+	})
+	return covered
+}
+
+// String renders the pattern name and edge list.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(n=%d,m=%d){", p.name, p.NumVertices(), p.NumEdges())
+	first := true
+	p.g.Edges(func(u, v int64) bool {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "u%d-u%d", u+1, v+1)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Automorphisms enumerates all automorphisms of a small graph g by
+// backtracking over degree-compatible vertex mappings. Intended for
+// pattern graphs (n ≤ ~12); the identity permutation is always first.
+func Automorphisms(g *Graph) [][]int64 {
+	n := g.NumVertices()
+	perm := make([]int64, n)
+	used := make([]bool, n)
+	var out [][]int64
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			cp := make([]int64, n)
+			copy(cp, perm)
+			out = append(out, cp)
+			return
+		}
+		for c := int64(0); c < int64(n); c++ {
+			if used[c] || g.Degree(c) != g.Degree(int64(i)) {
+				continue
+			}
+			ok := true
+			for j := 0; j < i; j++ {
+				if g.HasEdge(int64(i), int64(j)) != g.HasEdge(c, perm[j]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			perm[i] = c
+			used[c] = true
+			rec(i + 1)
+			used[c] = false
+		}
+	}
+	rec(0)
+
+	// Put the identity first for readability and deterministic tests.
+	sort.Slice(out, func(a, b int) bool {
+		for k := range out[a] {
+			if out[a][k] != out[b][k] {
+				return out[a][k] < out[b][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// SymmetryBreakingConstraints computes a set of partial-order constraints
+// on V(P) that break all automorphisms, following Grochow & Kellis [15]:
+// repeatedly pick the smallest vertex v lying in a non-trivial orbit of the
+// remaining automorphism group, emit v < w for every other orbit member w,
+// and restrict the group to the stabilizer of v.
+//
+// With the constraints imposed, every subgraph isomorphic to P has exactly
+// one surviving match.
+func SymmetryBreakingConstraints(g *Graph, autos [][]int64) [][2]int64 {
+	n := g.NumVertices()
+	group := autos
+	var constraints [][2]int64
+	for len(group) > 1 {
+		// Orbit of each vertex under the current group.
+		orbit := make([][]int64, n)
+		for v := 0; v < n; v++ {
+			seen := make(map[int64]bool)
+			for _, a := range group {
+				seen[a[v]] = true
+			}
+			ob := make([]int64, 0, len(seen))
+			for w := range seen {
+				ob = append(ob, w)
+			}
+			sort.Slice(ob, func(i, j int) bool { return ob[i] < ob[j] })
+			orbit[v] = ob
+		}
+		// Smallest vertex in a non-trivial orbit.
+		pivot := int64(-1)
+		for v := 0; v < n; v++ {
+			if len(orbit[v]) > 1 {
+				pivot = int64(v)
+				break
+			}
+		}
+		if pivot < 0 {
+			break // group acts trivially on every vertex (should imply |group|==1)
+		}
+		for _, w := range orbit[pivot] {
+			if w != pivot {
+				constraints = append(constraints, [2]int64{pivot, w})
+			}
+		}
+		// Stabilizer of pivot.
+		var stab [][]int64
+		for _, a := range group {
+			if a[pivot] == pivot {
+				stab = append(stab, a)
+			}
+		}
+		group = stab
+	}
+	return constraints
+}

@@ -1,0 +1,259 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func triangle(t *testing.T) *Pattern {
+	t.Helper()
+	return MustPattern("triangle", 3, [][2]int64{{0, 1}, {0, 2}, {1, 2}})
+}
+
+func TestNewPatternRejectsDisconnected(t *testing.T) {
+	if _, err := NewPattern("bad", 4, [][2]int64{{0, 1}, {2, 3}}); err == nil {
+		t.Error("disconnected pattern accepted")
+	}
+	if _, err := NewPattern("bad", 5, [][2]int64{{0, 1}, {1, 2}, {2, 3}}); err == nil {
+		t.Error("pattern with isolated vertex accepted")
+	}
+}
+
+func TestAutomorphismCounts(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int64
+		want  int
+	}{
+		{"triangle", 3, [][2]int64{{0, 1}, {0, 2}, {1, 2}}, 6},
+		{"path3", 3, [][2]int64{{0, 1}, {1, 2}}, 2},
+		{"square", 4, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, 8},
+		{"k4", 4, [][2]int64{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, 24},
+		{"chordal-square", 4, [][2]int64{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}}, 4},
+		{"star3", 4, [][2]int64{{0, 1}, {0, 2}, {0, 3}}, 6},
+		// The paper's demo fan F5: exactly {id, (u2 u6)(u3 u5)}.
+		{"fan", 6, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 2}, {0, 3}, {0, 4}}, 2},
+	}
+	for _, c := range cases {
+		p := MustPattern(c.name, c.n, c.edges)
+		if got := len(p.Automorphisms()); got != c.want {
+			t.Errorf("%s: |Aut| = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAutomorphismsAreAutomorphisms(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(3)
+		// Random connected graph.
+		var edges [][2]int64
+		for v := int64(1); v < int64(n); v++ {
+			edges = append(edges, [2]int64{rng.Int63n(v), v})
+		}
+		for u := int64(0); u < int64(n); u++ {
+			for v := u + 1; v < int64(n); v++ {
+				if rng.Float64() < 0.4 {
+					edges = append(edges, [2]int64{u, v})
+				}
+			}
+		}
+		g := FromEdges(n, edges)
+		autos := Automorphisms(g)
+		if len(autos) == 0 {
+			t.Fatal("no automorphisms (identity missing)")
+		}
+		for _, a := range autos {
+			g.Edges(func(u, v int64) bool {
+				if !g.HasEdge(a[u], a[v]) {
+					t.Fatalf("perm %v does not preserve edge (%d,%d)", a, u, v)
+				}
+				return true
+			})
+		}
+		// Identity must be present.
+		idFound := false
+		for _, a := range autos {
+			ok := true
+			for i := range a {
+				if a[i] != int64(i) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				idFound = true
+			}
+		}
+		if !idFound {
+			t.Fatal("identity not among automorphisms")
+		}
+	}
+}
+
+func TestDemoFanSymmetryBreaking(t *testing.T) {
+	p := MustPattern("fan", 6, [][2]int64{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 2}, {0, 3}, {0, 4}})
+	sbc := p.SymmetryBreaking()
+	// One non-trivial orbit pair suffices to break the 2-element group:
+	// exactly one constraint, between the two swapped rim vertices.
+	if len(sbc) != 1 {
+		t.Fatalf("constraints = %v, want exactly 1", sbc)
+	}
+	c := sbc[0]
+	valid := (c == [2]int64{1, 5}) || (c == [2]int64{2, 4})
+	if !valid {
+		t.Errorf("constraint %v does not break the fan's automorphism", c)
+	}
+}
+
+func TestSymmetryBreakingBreaksAllAutomorphisms(t *testing.T) {
+	// Property: for each non-identity automorphism a there is a
+	// constraint (x, y) with a(x) = y or ordering conflict — concretely,
+	// applying the constraints as a partial order must reject at least
+	// one of {f, f∘a} for any injective f. We verify the standard
+	// sufficient condition: constraints pin a vertex in every nontrivial
+	// orbit of the stabilizer chain, which we check behaviourally via
+	// RefCount × |Aut| == RefCountAllMatches on random graphs elsewhere
+	// (exec tests). Here: the constraint count is bounded by n-1 per
+	// chain and all constraints reference distinct pairs.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(4)
+		var edges [][2]int64
+		for v := int64(1); v < int64(n); v++ {
+			edges = append(edges, [2]int64{rng.Int63n(v), v})
+		}
+		for u := int64(0); u < int64(n); u++ {
+			for v := u + 1; v < int64(n); v++ {
+				if rng.Float64() < 0.5 {
+					edges = append(edges, [2]int64{u, v})
+				}
+			}
+		}
+		g := FromEdges(n, edges)
+		autos := Automorphisms(g)
+		sbc := SymmetryBreakingConstraints(g, autos)
+		seen := make(map[[2]int64]bool)
+		for _, c := range sbc {
+			if c[0] == c[1] {
+				t.Fatalf("self constraint %v", c)
+			}
+			if seen[c] {
+				t.Fatalf("duplicate constraint %v", c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestSyntacticEquivalence(t *testing.T) {
+	// In q4 of the paper (book B3: u1≃u4, u2≃u3), 0-based 0≃3 and 1≃2.
+	p := MustPattern("q4", 5, [][2]int64{{1, 2}, {0, 1}, {0, 2}, {3, 1}, {3, 2}, {4, 1}, {4, 2}})
+	if !p.SyntacticallyEquivalent(0, 3) {
+		t.Error("u1 ≃ u4 expected")
+	}
+	if !p.SyntacticallyEquivalent(1, 2) {
+		t.Error("u2 ≃ u3 expected")
+	}
+	if p.SyntacticallyEquivalent(0, 1) {
+		t.Error("u1 ≃ u2 unexpected")
+	}
+	cls := p.SEClasses()
+	// Classes: {0,3,4} and {1,2}.
+	if len(cls) != 2 {
+		t.Fatalf("SE classes = %v", cls)
+	}
+	if len(cls[0]) != 3 || len(cls[1]) != 2 {
+		t.Errorf("SE classes = %v", cls)
+	}
+}
+
+func TestSEIsEquivalenceRelation(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(3)
+		var edges [][2]int64
+		for v := int64(1); v < int64(n); v++ {
+			edges = append(edges, [2]int64{rng.Int63n(v), v})
+		}
+		for u := int64(0); u < int64(n); u++ {
+			for v := u + 1; v < int64(n); v++ {
+				if rng.Float64() < 0.4 {
+					edges = append(edges, [2]int64{u, v})
+				}
+			}
+		}
+		p := MustPattern("rand", n, edges)
+		for i := int64(0); i < int64(n); i++ {
+			if !p.SyntacticallyEquivalent(i, i) {
+				return false
+			}
+			for j := int64(0); j < int64(n); j++ {
+				if p.SyntacticallyEquivalent(i, j) != p.SyntacticallyEquivalent(j, i) {
+					return false
+				}
+				for k := int64(0); k < int64(n); k++ {
+					if p.SyntacticallyEquivalent(i, j) && p.SyntacticallyEquivalent(j, k) &&
+						!p.SyntacticallyEquivalent(i, k) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsVertexCover(t *testing.T) {
+	p := triangle(t)
+	if p.IsVertexCover([]int64{0}) {
+		t.Error("single vertex covers triangle")
+	}
+	if !p.IsVertexCover([]int64{0, 1}) {
+		t.Error("two vertices should cover triangle")
+	}
+}
+
+func TestRefCountKnownValues(t *testing.T) {
+	// K4: 4 triangles, C4: 1 square (as subgraphs).
+	k4 := FromEdges(4, [][2]int64{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	ord := NewTotalOrder(k4)
+	if n := RefCount(triangle(t), k4, ord); n != 4 {
+		t.Errorf("triangles in K4 = %d, want 4", n)
+	}
+	sq := MustPattern("square", 4, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if n := RefCount(sq, k4, ord); n != 3 {
+		// K4 contains 3 distinct 4-cycles.
+		t.Errorf("squares in K4 = %d, want 3", n)
+	}
+	if n := RefCountAllMatches(triangle(t), k4); n != 24 {
+		t.Errorf("all triangle matches in K4 = %d, want 24", n)
+	}
+}
+
+func TestRefEnumerateEarlyStop(t *testing.T) {
+	k4 := FromEdges(4, [][2]int64{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	ord := NewTotalOrder(k4)
+	count := 0
+	RefEnumerate(triangle(t), k4, ord, func(f []int64) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop saw %d matches", count)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := triangle(t)
+	s := p.String()
+	if s == "" || p.Name() != "triangle" {
+		t.Errorf("String/Name broken: %q", s)
+	}
+}

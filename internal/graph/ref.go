@@ -1,0 +1,131 @@
+package graph
+
+// This file contains the brute-force reference enumerator used as ground
+// truth in tests and in the demo examples. It is deliberately simple:
+// plain backtracking with edge checks, no execution plan, no distribution.
+
+// RefCount counts matches of p in g under the symmetry-breaking partial
+// order of p and the total order ord. This equals the number of subgraphs
+// of g isomorphic to p.
+func RefCount(p *Pattern, g *Graph, ord *TotalOrder) int64 {
+	var count int64
+	RefEnumerate(p, g, ord, func([]int64) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// RefCountAllMatches counts all matches (injective homomorphisms) of p in
+// g, without symmetry breaking. RefCountAllMatches == RefCount × |Aut(P)|,
+// an invariant the property tests rely on.
+func RefCountAllMatches(p *Pattern, g *Graph) int64 {
+	var count int64
+	refSearch(p, g, nil, false, func([]int64) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// RefEnumerate enumerates matches of p in g with symmetry breaking and
+// calls emit for each complete match f (f[u] = data vertex mapped to
+// pattern vertex u). The slice passed to emit is reused between calls;
+// copy it to retain. Enumeration stops early if emit returns false.
+func RefEnumerate(p *Pattern, g *Graph, ord *TotalOrder, emit func(f []int64) bool) {
+	refSearch(p, g, ord, true, emit)
+}
+
+func refSearch(p *Pattern, g *Graph, ord *TotalOrder, symBreak bool, emit func(f []int64) bool) {
+	n := p.NumVertices()
+	f := make([]int64, n)
+	used := make(map[int64]bool, n)
+	var sbc [][2]int64
+	if symBreak {
+		sbc = p.SymmetryBreaking()
+	}
+
+	// Match pattern vertices in id order; candidates for u come from the
+	// adjacency of an already-matched neighbor when one exists (patterns
+	// are connected so only u_0 scans all of V(G)).
+	var rec func(u int) bool
+	rec = func(u int) bool {
+		if u == n {
+			return emit(f)
+		}
+		var cands []int64
+		anchored := false
+		for _, w := range p.Adj(int64(u)) {
+			if w < int64(u) {
+				cands = g.Adj(f[w])
+				anchored = true
+				break
+			}
+		}
+		if !anchored {
+			cands = nil // scan all vertices below
+		}
+		labeled := p.Labeled()
+		try := func(v int64) bool {
+			if used[v] {
+				return true
+			}
+			if labeled && g.Label(v) != p.Label(int64(u)) {
+				return true
+			}
+			for _, w := range p.Adj(int64(u)) {
+				if w < int64(u) && !g.HasEdge(f[w], v) {
+					return true
+				}
+			}
+			if symBreak {
+				for _, c := range sbc {
+					a, b := c[0], c[1]
+					if a == int64(u) && b < int64(u) && !ord.Less(v, f[b]) {
+						return true
+					}
+					if b == int64(u) && a < int64(u) && !ord.Less(f[a], v) {
+						return true
+					}
+				}
+			}
+			f[u] = v
+			used[v] = true
+			cont := rec(u + 1)
+			used[v] = false
+			return cont
+		}
+		if anchored {
+			for _, v := range cands {
+				if !try(v) {
+					return false
+				}
+			}
+		} else {
+			for v := int64(0); v < int64(g.NumVertices()); v++ {
+				if !try(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// CountTriangles returns the number of triangles in g by intersecting
+// adjacency sets along each edge (u < v < w ordering avoids duplicates).
+func CountTriangles(g *Graph) int64 {
+	var count int64
+	buf := make([]int64, 0, 64)
+	g.Edges(func(u, v int64) bool {
+		buf = IntersectSorted(buf[:0], g.Adj(u), g.Adj(v))
+		for _, w := range buf {
+			if w > v {
+				count++
+			}
+		}
+		return true
+	})
+	return count
+}

@@ -1,0 +1,228 @@
+package join
+
+import (
+	"fmt"
+	"time"
+
+	"benu/internal/graph"
+)
+
+// One-round multiway join in the style of Afrati et al. [11] — the other
+// DFS-style competitor in the paper's taxonomy (§I, §VI). The reducer
+// space is organized as an n-dimensional hypercube with `shares` buckets
+// per pattern vertex; every data edge is replicated to each reducer whose
+// coordinates are compatible with it in some pattern-edge role, and each
+// reducer enumerates the matches whose vertex hashes equal its
+// coordinates. Every match is found by exactly one reducer, so no
+// deduplication round is needed — but the edge replication grows as
+// shares^(n-2) per pattern edge, which is the scalability wall the paper
+// cites ("it cannot scale to complex pattern graphs due to large
+// replication of edges").
+
+// HypercubeConfig parameterizes the one-round join.
+type HypercubeConfig struct {
+	// Shares is the number of hash buckets per pattern vertex; the
+	// reducer count is shares^n. 0 picks 2.
+	Shares int
+	// MaxReplicatedEdges aborts with ErrBudgetExceeded when the total
+	// edge replication exceeds the budget (0 = unlimited).
+	MaxReplicatedEdges int64
+}
+
+// HypercubeResult extends Result with the replication factor, the cost
+// this baseline trades communication rounds for.
+type HypercubeResult struct {
+	Result
+	Reducers        int
+	ReplicatedEdges int64   // Σ over reducers of edges received
+	Replication     float64 // ReplicatedEdges / |E(G)|
+}
+
+// Hypercube enumerates matches of p in g with the one-round multiway
+// join. Each reducer's workload is materialized (its edge partition) and
+// enumerated with a plain backtracking search restricted to the reducer's
+// hash coordinates.
+func Hypercube(p *graph.Pattern, g *graph.Graph, ord *graph.TotalOrder, cfg HypercubeConfig) (*HypercubeResult, error) {
+	start := time.Now()
+	if cfg.Shares <= 0 {
+		cfg.Shares = 2
+	}
+	n := p.NumVertices()
+	shares := cfg.Shares
+	reducers := 1
+	for i := 0; i < n; i++ {
+		reducers *= shares
+		if reducers > 1<<20 {
+			return nil, fmt.Errorf("join: hypercube with %d^%d reducers is unreasonable", shares, n)
+		}
+	}
+	res := &HypercubeResult{Reducers: reducers}
+	res.Rounds = 1
+
+	hash := func(v int64) int { return int(v % int64(shares)) }
+
+	// Shuffle phase: replicate each data edge to every reducer that may
+	// use it for some pattern edge. A reducer is addressed by the
+	// coordinate vector c[0..n-1]; edge (a, b) is needed for pattern edge
+	// (x, y) by reducers with {c[x], c[y]} fixed to {h(a), h(b)} (both
+	// orientations) and every other coordinate free — shares^(n-2)
+	// reducers per pattern edge and orientation.
+	//
+	// Materializing per-reducer edge lists reproduces the replication
+	// cost; the bookkeeping below counts it exactly without allocating
+	// shares^n copies when the budget is exceeded early.
+	type reducerGraph struct {
+		b *graph.Builder
+	}
+	parts := make([]*reducerGraph, reducers)
+	for i := range parts {
+		parts[i] = &reducerGraph{b: graph.NewBuilder(0)}
+	}
+
+	patEdges := p.Graph().EdgeList()
+	coordsBuf := make([]int, n)
+	var replicated int64
+
+	// enumerate reducers with c[x]=hx, c[y]=hy; other dims free.
+	assign := func(x, y int, hx, hy int, a, b int64) error {
+		var rec func(dim, idx int) error
+		rec = func(dim, idx int) error {
+			if dim == n {
+				parts[idx].b.AddEdge(a, b)
+				replicated++
+				if cfg.MaxReplicatedEdges > 0 && replicated > cfg.MaxReplicatedEdges {
+					return ErrBudgetExceeded
+				}
+				return nil
+			}
+			lo, hi := 0, shares-1
+			switch dim {
+			case x:
+				lo, hi = hx, hx
+			case y:
+				lo, hi = hy, hy
+			}
+			for c := lo; c <= hi; c++ {
+				if err := rec(dim+1, idx*shares+c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return rec(0, 0)
+	}
+	_ = coordsBuf
+
+	var shuffleErr error
+	g.Edges(func(a, b int64) bool {
+		ha, hb := hash(a), hash(b)
+		// Deduplicate (x,y,hash-pair) targets so one data edge lands at
+		// most once per reducer even when several pattern edges route it
+		// identically.
+		seen := make(map[[2]int]bool, len(patEdges)*2)
+		for _, pe := range patEdges {
+			x, y := int(pe[0]), int(pe[1])
+			for _, o := range [2][4]int{{x, y, ha, hb}, {y, x, ha, hb}} {
+				key := [2]int{o[0]*shares + o[2], o[1]*shares + o[3]}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if err := assign(o[0], o[1], o[2], o[3], a, b); err != nil {
+					shuffleErr = err
+					return false
+				}
+			}
+		}
+		return true
+	})
+	res.ReplicatedEdges = replicated
+	res.ShuffleBytes = replicated * 16 // two vertex ids per shipped edge
+	if g.NumEdges() > 0 {
+		res.Replication = float64(replicated) / float64(g.NumEdges())
+	}
+	if shuffleErr != nil {
+		res.Wall = time.Since(start)
+		r := res.Result
+		r.Wall = res.Wall
+		res.Result = r
+		return res, shuffleErr
+	}
+
+	// Reduce phase: each reducer enumerates matches constrained to its
+	// coordinates. A match is produced by exactly one reducer (the one
+	// addressed by the hashes of its mapped vertices), so summing is
+	// exact.
+	check := newConstraintChecker(p, ord)
+	for idx := 0; idx < reducers; idx++ {
+		coords := decodeCoords(idx, shares, n)
+		rg := parts[idx].b.Build()
+		res.Matches += enumerateInReducer(p, rg, check, coords, shares)
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+func decodeCoords(idx, shares, n int) []int {
+	out := make([]int, n)
+	for d := n - 1; d >= 0; d-- {
+		out[d] = idx % shares
+		idx /= shares
+	}
+	return out
+}
+
+// enumerateInReducer backtracks over the reducer's edge partition,
+// restricting each pattern vertex u to data vertices hashing to
+// coords[u].
+func enumerateInReducer(p *graph.Pattern, rg *graph.Graph, check *constraintChecker, coords []int, shares int) int64 {
+	n := p.NumVertices()
+	f := make([]int64, n)
+	var count int64
+
+	var rec func(u int)
+	rec = func(u int) {
+		if u == n {
+			count++
+			return
+		}
+		// Candidates from an already-matched neighbor when possible.
+		var cands []int64
+		anchored := false
+		for _, w := range p.Adj(int64(u)) {
+			if int(w) < u {
+				cands = rg.Adj(f[w])
+				anchored = true
+				break
+			}
+		}
+		try := func(v int64) {
+			if int(v%int64(shares)) != coords[u] {
+				return
+			}
+			for j := 0; j < u; j++ {
+				if !check.pairOK(j, u, f[j], v) {
+					return
+				}
+			}
+			for _, w := range p.Adj(int64(u)) {
+				if int(w) < u && !rg.HasEdge(f[w], v) {
+					return
+				}
+			}
+			f[u] = v
+			rec(u + 1)
+		}
+		if anchored {
+			for _, v := range cands {
+				try(v)
+			}
+		} else {
+			for v := int64(0); v < int64(rg.NumVertices()); v++ {
+				try(v)
+			}
+		}
+	}
+	rec(0)
+	return count
+}

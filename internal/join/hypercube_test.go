@@ -1,0 +1,88 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"benu/internal/gen"
+	"benu/internal/graph"
+)
+
+func TestHypercubeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 6; trial++ {
+		g := gen.ErdosRenyi(30, 120, rng.Int63())
+		ord := graph.NewTotalOrder(g)
+		for n := 3; n <= 5; n++ {
+			p := gen.RandomConnectedPattern(n, 0.4, rng)
+			want := graph.RefCount(p, g, ord)
+			for _, shares := range []int{1, 2, 3} {
+				res, err := Hypercube(p, g, ord, HypercubeConfig{Shares: shares})
+				if err != nil {
+					t.Fatalf("Hypercube(%s, shares=%d): %v", p, shares, err)
+				}
+				if res.Matches != want {
+					t.Errorf("%s shares=%d: got %d, want %d", p, shares, res.Matches, want)
+				}
+			}
+		}
+	}
+}
+
+func TestHypercubeOnQPatterns(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 120, EdgesPer: 3, Triad: 0.4, Seed: 93})
+	ord := graph.NewTotalOrder(g)
+	for _, qi := range []int{1, 4, 6} {
+		p := gen.Q(qi)
+		want := graph.RefCount(p, g, ord)
+		res, err := Hypercube(p, g, ord, HypercubeConfig{Shares: 2})
+		if err != nil {
+			t.Fatalf("q%d: %v", qi, err)
+		}
+		if res.Matches != want {
+			t.Errorf("q%d: got %d, want %d", qi, res.Matches, want)
+		}
+		if res.ReplicatedEdges <= g.NumEdges() {
+			t.Errorf("q%d: replication %d not above |E|=%d — accounting looks wrong",
+				qi, res.ReplicatedEdges, g.NumEdges())
+		}
+	}
+}
+
+func TestHypercubeReplicationGrowsWithPatternSize(t *testing.T) {
+	// The paper's point: replication explodes with pattern complexity.
+	// With fixed shares s, each pattern edge costs s^(n-2) copies per
+	// orientation, so a 6-vertex pattern replicates far more than a
+	// triangle.
+	g := gen.ErdosRenyi(80, 320, 7)
+	ord := graph.NewTotalOrder(g)
+	tri, err := Hypercube(gen.Triangle(), g, ord, HypercubeConfig{Shares: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, err := Hypercube(gen.Q(6), g, ord, HypercubeConfig{Shares: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if six.Replication <= 2*tri.Replication {
+		t.Errorf("replication did not grow: triangle %.1fx vs q6 %.1fx",
+			tri.Replication, six.Replication)
+	}
+}
+
+func TestHypercubeBudget(t *testing.T) {
+	g := gen.ErdosRenyi(100, 400, 11)
+	ord := graph.NewTotalOrder(g)
+	_, err := Hypercube(gen.Q(6), g, ord, HypercubeConfig{Shares: 3, MaxReplicatedEdges: 100})
+	if err != ErrBudgetExceeded {
+		t.Errorf("want ErrBudgetExceeded, got %v", err)
+	}
+}
+
+func TestHypercubeRejectsAbsurdReducerCounts(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 1)
+	ord := graph.NewTotalOrder(g)
+	if _, err := Hypercube(gen.Q(6), g, ord, HypercubeConfig{Shares: 50}); err == nil {
+		t.Error("50^6 reducers accepted")
+	}
+}

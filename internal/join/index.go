@@ -1,0 +1,129 @@
+package join
+
+import (
+	"sort"
+
+	"benu/internal/graph"
+)
+
+// TriangleIndex is the per-edge common-neighbor index the join-based
+// systems precompute — the building block of SEED's SCP index and CBF's
+// clique index (§I, §IV-B). The paper's argument: such an index costs
+// non-trivial time and space to build and must be maintained on every
+// data-graph update, whereas BENU has no index at all. This
+// implementation exists to quantify that maintenance cost next to BENU's
+// zero (see the updates experiment).
+type TriangleIndex struct {
+	// entries[key(u,v)] = sorted common neighbors of u and v.
+	entries map[[2]int64][]int64
+	// maintenance counters
+	builtEntries   int64
+	touchedEntries int64
+	touchedValues  int64
+}
+
+func edgeKey(u, v int64) [2]int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int64{u, v}
+}
+
+// BuildTriangleIndex computes the index for every edge of g.
+func BuildTriangleIndex(g *graph.Graph) *TriangleIndex {
+	idx := &TriangleIndex{entries: make(map[[2]int64][]int64, g.NumEdges())}
+	g.Edges(func(u, v int64) bool {
+		common := graph.IntersectSorted(nil, g.Adj(u), g.Adj(v))
+		idx.entries[edgeKey(u, v)] = common
+		idx.builtEntries++
+		idx.touchedValues += int64(len(common))
+		return true
+	})
+	return idx
+}
+
+// Common returns the indexed common-neighbor set of edge (u, v).
+func (idx *TriangleIndex) Common(u, v int64) ([]int64, bool) {
+	c, ok := idx.entries[edgeKey(u, v)]
+	return c, ok
+}
+
+// Len returns the number of indexed edges.
+func (idx *TriangleIndex) Len() int { return len(idx.entries) }
+
+// TouchedEntries returns the cumulative number of index entries created
+// or rewritten by maintenance operations.
+func (idx *TriangleIndex) TouchedEntries() int64 { return idx.touchedEntries }
+
+// TouchedValues returns the cumulative number of values written into the
+// index by build + maintenance.
+func (idx *TriangleIndex) TouchedValues() int64 { return idx.touchedValues }
+
+// ApplyInsert maintains the index after the edge (u, v) is inserted into
+// g (g must already reflect the insertion). Three kinds of entries
+// change:
+//
+//  1. a fresh entry for (u, v) itself;
+//  2. for every x ∈ Γ(u) ∩ Γ(v): nothing — (u,x) and (v,x) keep their
+//     sets, but every *other* edge incident to u gains v as a potential
+//     common neighbor where adjacency holds;
+//  3. concretely: for each neighbor w of u (w ≠ v), v joins the common
+//     set of (u, w) iff (v, w) ∈ E; symmetrically for neighbors of v.
+//
+// The touched-entry count is the maintenance cost the paper warns about:
+// it grows with the endpoint degrees on every single edge insert.
+func (idx *TriangleIndex) ApplyInsert(g *graph.Graph, u, v int64) {
+	common := graph.IntersectSorted(nil, g.Adj(u), g.Adj(v))
+	idx.entries[edgeKey(u, v)] = common
+	idx.touchedEntries++
+	idx.touchedValues += int64(len(common))
+
+	update := func(a, b int64) {
+		// b joined the graph as a's neighbor; for every other edge
+		// (a, w), b becomes a common neighbor iff (b, w) ∈ E.
+		for _, w := range g.Adj(a) {
+			if w == b {
+				continue
+			}
+			if !g.HasEdge(b, w) {
+				continue
+			}
+			key := edgeKey(a, w)
+			cur := idx.entries[key]
+			pos := sort.Search(len(cur), func(i int) bool { return cur[i] >= b })
+			if pos < len(cur) && cur[pos] == b {
+				continue
+			}
+			next := make([]int64, 0, len(cur)+1)
+			next = append(next, cur[:pos]...)
+			next = append(next, b)
+			next = append(next, cur[pos:]...)
+			idx.entries[key] = next
+			idx.touchedEntries++
+			idx.touchedValues++
+		}
+	}
+	update(u, v)
+	update(v, u)
+}
+
+// Verify recomputes every entry from scratch and reports whether the
+// maintained index matches; used by tests.
+func (idx *TriangleIndex) Verify(g *graph.Graph) bool {
+	fresh := BuildTriangleIndex(g)
+	if len(fresh.entries) != len(idx.entries) {
+		return false
+	}
+	for k, want := range fresh.entries {
+		got, ok := idx.entries[k]
+		if !ok || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

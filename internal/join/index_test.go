@@ -1,0 +1,85 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/kv"
+)
+
+func TestTriangleIndexBuild(t *testing.T) {
+	g := gen.DemoDataGraph()
+	idx := BuildTriangleIndex(g)
+	if idx.Len() != int(g.NumEdges()) {
+		t.Fatalf("index has %d entries for %d edges", idx.Len(), g.NumEdges())
+	}
+	// Spot check: common neighbors of (v1, v2) = {v3, v7} (0-based 0,1 →
+	// {2, 6}), the paper's C3 example.
+	common, ok := idx.Common(0, 1)
+	if !ok || len(common) != 2 || common[0] != 2 || common[1] != 6 {
+		t.Errorf("Common(0,1) = %v, %v", common, ok)
+	}
+	if _, ok := idx.Common(0, 5); ok {
+		t.Error("non-edge indexed")
+	}
+	if !idx.Verify(g) {
+		t.Error("fresh index fails Verify")
+	}
+}
+
+func TestTriangleIndexMaintenance(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g0 := gen.ErdosRenyi(50, 150, 15)
+	store := kv.NewMutable(g0)
+	idx := BuildTriangleIndex(g0)
+	for i := 0; i < 300; i++ {
+		u, v := rng.Int63n(50), rng.Int63n(50)
+		if !store.AddEdge(u, v) {
+			continue
+		}
+		snap := store.Snapshot()
+		idx.ApplyInsert(snap, u, v)
+	}
+	final := store.Snapshot()
+	if !idx.Verify(final) {
+		t.Fatal("maintained index diverged from a fresh rebuild")
+	}
+	if idx.TouchedEntries() == 0 {
+		t.Error("no maintenance cost recorded")
+	}
+}
+
+func TestTriangleIndexMaintenanceCostGrowsWithDegree(t *testing.T) {
+	// Inserting an edge at a hub touches many entries; at the fringe few.
+	b := graph.NewBuilder(200)
+	for i := int64(1); i <= 100; i++ {
+		b.AddEdge(0, i) // hub
+	}
+	b.AddEdge(150, 151) // isolated fringe edge
+	g0 := b.Build()
+	store := kv.NewMutable(g0)
+	idx := BuildTriangleIndex(g0)
+
+	// Hub insert: connect a hub neighbor to another hub neighbor — both
+	// adjacent to the hub, so entries along the hub's edges change.
+	store.AddEdge(1, 2)
+	snapHub := store.Snapshot()
+	before := idx.TouchedEntries()
+	idx.ApplyInsert(snapHub, 1, 2)
+	hubCost := idx.TouchedEntries() - before
+
+	store.AddEdge(152, 153) // fringe insert, no triangles
+	snapFringe := store.Snapshot()
+	before = idx.TouchedEntries()
+	idx.ApplyInsert(snapFringe, 152, 153)
+	fringeCost := idx.TouchedEntries() - before
+
+	if hubCost <= fringeCost {
+		t.Errorf("hub insert cost %d not above fringe cost %d", hubCost, fringeCost)
+	}
+	if !idx.Verify(snapFringe) {
+		t.Error("index diverged")
+	}
+}

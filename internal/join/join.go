@@ -1,0 +1,111 @@
+// Package join implements the BFS-style baselines BENU is evaluated
+// against (§VII-B):
+//
+//   - WCOJ: a worst-case-optimal, vertex-at-a-time join in the style of
+//     BiGJoin [13] — batched breadth-first prefix expansion where each
+//     extension intersects the candidate lists of all matched neighbors,
+//     probing from the smallest list.
+//   - TwinTwig left-deep join: a faithful stand-in for the join-based
+//     family (TwinTwig/SEED/CBF [12][5][6]) — decompose the pattern into
+//     twin twigs, enumerate their matches, and assemble them through
+//     rounds of hash joins that materialize (and, in the distributed
+//     accounting, shuffle) partial matching results.
+//
+// Both baselines count the partial-result volume they materialize, which
+// is the communication cost the paper's argument centers on.
+package join
+
+import (
+	"errors"
+	"time"
+
+	"benu/internal/graph"
+)
+
+// Result summarizes a baseline run.
+type Result struct {
+	// Matches is the number of matches found (with symmetry breaking,
+	// i.e. the subgraph count — directly comparable to BENU's output).
+	Matches int64
+	// IntermediateTuples is the total number of partial-result tuples
+	// materialized across all rounds.
+	IntermediateTuples int64
+	// ShuffleBytes models the distributed communication cost: every
+	// materialized partial-result tuple crosses the shuffle once, at
+	// 8 bytes per mapped vertex.
+	ShuffleBytes int64
+	// Rounds is the number of join / extension rounds executed.
+	Rounds int
+	// Wall is the end-to-end time.
+	Wall time.Duration
+}
+
+// ErrBudgetExceeded reports that a baseline exceeded its intermediate-
+// result budget — the analogue of the CRASH / out-of-memory entries in
+// Tables V and VI.
+var ErrBudgetExceeded = errors.New("join: intermediate result budget exceeded")
+
+// relation is a materialized set of partial matches: Schema lists the
+// pattern vertices, tuples are packed row-major with stride len(Schema).
+type relation struct {
+	schema []int
+	tuples []int64
+}
+
+func (r *relation) width() int { return len(r.schema) }
+func (r *relation) len() int {
+	if len(r.schema) == 0 {
+		return 0
+	}
+	return len(r.tuples) / len(r.schema)
+}
+func (r *relation) row(i int) []int64 {
+	w := len(r.schema)
+	return r.tuples[i*w : (i+1)*w]
+}
+
+// col returns the schema position of pattern vertex u, or -1.
+func (r *relation) col(u int) int {
+	for i, v := range r.schema {
+		if v == u {
+			return i
+		}
+	}
+	return -1
+}
+
+// bytes returns the wire size of the relation at 8 bytes per value.
+func (r *relation) bytes() int64 { return int64(len(r.tuples)) * 8 }
+
+// constraintChecker pre-indexes a pattern's symmetry-breaking constraints
+// and provides tuple-level checks shared by both baselines.
+type constraintChecker struct {
+	p   *graph.Pattern
+	ord *graph.TotalOrder
+	// less[a][b] reports that f_a ≺ f_b is required.
+	less map[[2]int]bool
+}
+
+func newConstraintChecker(p *graph.Pattern, ord *graph.TotalOrder) *constraintChecker {
+	c := &constraintChecker{p: p, ord: ord, less: make(map[[2]int]bool)}
+	for _, sb := range p.SymmetryBreaking() {
+		c.less[[2]int{int(sb[0]), int(sb[1])}] = true
+	}
+	return c
+}
+
+// pairOK checks the constraints between pattern vertices a and b mapped
+// to data vertices va and vb: injectivity always, plus any
+// symmetry-breaking order.
+func (c *constraintChecker) pairOK(a, b int, va, vb int64) bool {
+	if va == vb {
+		return false
+	}
+	if c.less[[2]int{a, b}] && !c.ord.Less(va, vb) {
+		return false
+	}
+	if c.less[[2]int{b, a}] && !c.ord.Less(vb, va) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,115 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"benu/internal/gen"
+	"benu/internal/graph"
+)
+
+func TestWCOJMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		g := gen.ErdosRenyi(35, 140, rng.Int63())
+		ord := graph.NewTotalOrder(g)
+		for n := 3; n <= 5; n++ {
+			p := gen.RandomConnectedPattern(n, 0.4, rng)
+			want := graph.RefCount(p, g, ord)
+			res, err := WCOJ(p, g, ord, WCOJConfig{})
+			if err != nil {
+				t.Fatalf("WCOJ(%s): %v", p, err)
+			}
+			if res.Matches != want {
+				t.Errorf("WCOJ %s: got %d, want %d", p, res.Matches, want)
+			}
+		}
+	}
+}
+
+func TestTwinTwigMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		g := gen.ErdosRenyi(30, 110, rng.Int63())
+		ord := graph.NewTotalOrder(g)
+		for n := 3; n <= 5; n++ {
+			p := gen.RandomConnectedPattern(n, 0.4, rng)
+			want := graph.RefCount(p, g, ord)
+			res, err := TwinTwig(p, g, ord, TwinTwigConfig{})
+			if err != nil {
+				t.Fatalf("TwinTwig(%s): %v", p, err)
+			}
+			if res.Matches != want {
+				t.Errorf("TwinTwig %s: got %d, want %d", p, res.Matches, want)
+			}
+		}
+	}
+}
+
+func TestBaselinesOnQPatterns(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 150, EdgesPer: 3, Triad: 0.4, Seed: 11})
+	ord := graph.NewTotalOrder(g)
+	for i := 1; i <= 9; i++ {
+		p := gen.Q(i)
+		want := graph.RefCount(p, g, ord)
+		w, err := WCOJ(p, g, ord, WCOJConfig{})
+		if err != nil {
+			t.Fatalf("WCOJ q%d: %v", i, err)
+		}
+		if w.Matches != want {
+			t.Errorf("WCOJ q%d: got %d, want %d", i, w.Matches, want)
+		}
+		tt, err := TwinTwig(p, g, ord, TwinTwigConfig{})
+		if err != nil {
+			t.Fatalf("TwinTwig q%d: %v", i, err)
+		}
+		if tt.Matches != want {
+			t.Errorf("TwinTwig q%d: got %d, want %d", i, tt.Matches, want)
+		}
+		if tt.ShuffleBytes == 0 || tt.IntermediateTuples == 0 {
+			t.Errorf("TwinTwig q%d: no shuffle accounting", i)
+		}
+	}
+}
+
+func TestDecomposeCoversAllEdges(t *testing.T) {
+	for i := 1; i <= 9; i++ {
+		p := gen.Q(i)
+		twigs := Decompose(p)
+		covered := make(map[[2]int64]bool)
+		for _, tw := range twigs {
+			if len(tw.Leaves) < 1 || len(tw.Leaves) > 2 {
+				t.Fatalf("q%d: twig %v has %d leaves", i, tw, len(tw.Leaves))
+			}
+			for _, l := range tw.Leaves {
+				u, v := int64(tw.Root), int64(l)
+				if !p.HasEdge(u, v) {
+					t.Fatalf("q%d: twig %v uses non-edge", i, tw)
+				}
+				if u > v {
+					u, v = v, u
+				}
+				if covered[[2]int64{u, v}] {
+					t.Errorf("q%d: edge (%d,%d) covered twice", i, u, v)
+				}
+				covered[[2]int64{u, v}] = true
+			}
+		}
+		if int64(len(covered)) != p.NumEdges() {
+			t.Errorf("q%d: %d/%d edges covered", i, len(covered), p.NumEdges())
+		}
+	}
+}
+
+func TestTwinTwigBudget(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 300, EdgesPer: 6, Triad: 0.5, Seed: 13})
+	ord := graph.NewTotalOrder(g)
+	_, err := TwinTwig(gen.Q(6), g, ord, TwinTwigConfig{MaxTuples: 10})
+	if err != ErrBudgetExceeded {
+		t.Errorf("want ErrBudgetExceeded, got %v", err)
+	}
+	_, err = WCOJ(gen.Q(6), g, ord, WCOJConfig{MaxTuples: 10})
+	if err != ErrBudgetExceeded {
+		t.Errorf("WCOJ: want ErrBudgetExceeded, got %v", err)
+	}
+}

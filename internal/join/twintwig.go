@@ -1,0 +1,330 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"benu/internal/graph"
+)
+
+// Twig is one join unit of the TwinTwig decomposition: a root pattern
+// vertex with one or two incident pattern edges.
+type Twig struct {
+	Root   int
+	Leaves []int // 1 or 2 leaves
+}
+
+// String renders the twig.
+func (t Twig) String() string {
+	s := fmt.Sprintf("twig(u%d:", t.Root+1)
+	for _, l := range t.Leaves {
+		s += fmt.Sprintf(" u%d", l+1)
+	}
+	return s + ")"
+}
+
+// Decompose splits the pattern's edges into twin twigs greedily: always
+// extend from the vertex with the most uncovered incident edges, taking
+// up to two of them per twig, preferring leaves already touched by
+// earlier twigs so the left-deep join stays connected.
+func Decompose(p *graph.Pattern) []Twig {
+	n := p.NumVertices()
+	covered := make(map[[2]int64]bool, p.NumEdges())
+	isCovered := func(u, v int64) bool {
+		if u > v {
+			u, v = v, u
+		}
+		return covered[[2]int64{u, v}]
+	}
+	cover := func(u, v int64) {
+		if u > v {
+			u, v = v, u
+		}
+		covered[[2]int64{u, v}] = true
+	}
+	uncovDeg := func(u int) int {
+		d := 0
+		for _, w := range p.Adj(int64(u)) {
+			if !isCovered(int64(u), w) {
+				d++
+			}
+		}
+		return d
+	}
+	touched := make([]bool, n)
+	var twigs []Twig
+	remaining := int(p.NumEdges())
+	for remaining > 0 {
+		// Root: prefer touched vertices (connectivity), then max
+		// uncovered degree, then min id.
+		root, rootScore := -1, -1
+		for u := 0; u < n; u++ {
+			d := uncovDeg(u)
+			if d == 0 {
+				continue
+			}
+			score := d * 2
+			if touched[u] && len(twigs) > 0 {
+				score += 1000
+			}
+			if score > rootScore {
+				root, rootScore = u, score
+			}
+		}
+		var leaves []int
+		for _, w := range p.Adj(int64(root)) {
+			if isCovered(int64(root), w) {
+				continue
+			}
+			leaves = append(leaves, int(w))
+			if len(leaves) == 2 {
+				break
+			}
+		}
+		sort.Ints(leaves)
+		for _, l := range leaves {
+			cover(int64(root), int64(l))
+			touched[l] = true
+			remaining--
+		}
+		touched[root] = true
+		twigs = append(twigs, Twig{Root: root, Leaves: leaves})
+	}
+	return twigs
+}
+
+// TwinTwigConfig parameterizes the left-deep join baseline.
+type TwinTwigConfig struct {
+	// MaxTuples aborts with ErrBudgetExceeded when a materialized
+	// relation exceeds this many tuples (0 = unlimited). This reproduces
+	// the CRASH outcomes of the join-based systems in Table V.
+	MaxTuples int64
+}
+
+// TwinTwig enumerates matches of p in g with a left-deep join over the
+// twin-twig decomposition, the BFS-style execution model of
+// TwinTwig/SEED/CBF: every join round materializes the joined partial
+// matching results, and the shuffle accounting charges each materialized
+// tuple (plus each enumerated twig match) once.
+func TwinTwig(p *graph.Pattern, g *graph.Graph, ord *graph.TotalOrder, cfg TwinTwigConfig) (*Result, error) {
+	start := time.Now()
+	twigs := Decompose(p)
+	check := newConstraintChecker(p, ord)
+	res := &Result{}
+
+	var left *relation
+	bound := make(map[int]bool)
+	for len(twigs) > 0 {
+		// Join-order heuristic (as in SEED's cost-based left-deep
+		// ordering, simplified): prefer the twig with the most vertices
+		// already bound and the fewest new ones, which keeps intermediate
+		// relations from growing by unanchored star expansion.
+		pick := 0
+		if left != nil {
+			bestScore := -1 << 30
+			for i, tw := range twigs {
+				b, n := 0, 0
+				for _, u := range append([]int{tw.Root}, tw.Leaves...) {
+					if bound[u] {
+						b++
+					} else {
+						n++
+					}
+				}
+				score := 2*b - n
+				if score > bestScore {
+					bestScore, pick = score, i
+				}
+			}
+		}
+		tw := twigs[pick]
+		twigs = append(twigs[:pick], twigs[pick+1:]...)
+		bound[tw.Root] = true
+		for _, l := range tw.Leaves {
+			bound[l] = true
+		}
+		res.Rounds++
+		next, twigTuples, err := joinTwig(p, g, check, left, tw, cfg.MaxTuples)
+		res.IntermediateTuples += twigTuples + int64(next.len())
+		res.ShuffleBytes += twigTuples*int64(1+len(tw.Leaves))*8 + next.bytes()
+		if err != nil {
+			res.Wall = time.Since(start)
+			return res, err
+		}
+		left = next
+		if left.len() == 0 {
+			break
+		}
+	}
+	if left != nil && left.width() == p.NumVertices() {
+		res.Matches = int64(left.len())
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// joinTwig joins the left relation with the matches of one twig,
+// enumerating twig matches per root vertex and probing the left side
+// hashed on the shared pattern vertices. A nil left relation makes the
+// twig's own matches the result. It returns the joined relation and the
+// number of twig matches enumerated.
+func joinTwig(p *graph.Pattern, g *graph.Graph, check *constraintChecker, left *relation, tw Twig, maxTuples int64) (*relation, int64, error) {
+	twSchema := append([]int{tw.Root}, tw.Leaves...)
+
+	// Output schema: left schema plus the twig vertices not already bound.
+	var outSchema []int
+	if left != nil {
+		outSchema = append(outSchema, left.schema...)
+	}
+	for _, u := range twSchema {
+		found := false
+		for _, v := range outSchema {
+			if v == u {
+				found = true
+				break
+			}
+		}
+		if !found {
+			outSchema = append(outSchema, u)
+		}
+	}
+	out := &relation{schema: outSchema}
+
+	// Hash the left side on the shared columns.
+	var sharedLeftCols, sharedTwigIdx []int
+	if left != nil {
+		for ti, u := range twSchema {
+			if c := left.col(u); c >= 0 {
+				sharedLeftCols = append(sharedLeftCols, c)
+				sharedTwigIdx = append(sharedTwigIdx, ti)
+			}
+		}
+	}
+	var index map[string][]int
+	if left != nil {
+		index = make(map[string][]int, left.len())
+		keyBuf := make([]byte, 0, len(sharedLeftCols)*8)
+		for i := 0; i < left.len(); i++ {
+			row := left.row(i)
+			keyBuf = keyBuf[:0]
+			for _, c := range sharedLeftCols {
+				keyBuf = appendKey(keyBuf, row[c])
+			}
+			index[string(keyBuf)] = append(index[string(keyBuf)], i)
+		}
+	}
+
+	var twigTuples int64
+	keyBuf := make([]byte, 0, 32)
+	twigVals := make([]int64, len(twSchema))
+
+	emit := func() error {
+		twigTuples++
+		if maxTuples > 0 && twigTuples > maxTuples {
+			// Enumerated twig matches are materialized map-side before the
+			// shuffle in the MapReduce implementations; they count against
+			// the memory budget like joined tuples do.
+			return ErrBudgetExceeded
+		}
+		if left == nil {
+			// Twig matches must satisfy constraints among themselves.
+			if !twigSelfOK(check, twSchema, twigVals) {
+				twigTuples-- // only count tuples that survive local filters
+				return nil
+			}
+			out.tuples = append(out.tuples, twigVals...)
+			if maxTuples > 0 && int64(out.len()) > maxTuples {
+				return ErrBudgetExceeded
+			}
+			return nil
+		}
+		if !twigSelfOK(check, twSchema, twigVals) {
+			twigTuples--
+			return nil
+		}
+		keyBuf = keyBuf[:0]
+		for _, ti := range sharedTwigIdx {
+			keyBuf = appendKey(keyBuf, twigVals[ti])
+		}
+		for _, li := range index[string(keyBuf)] {
+			row := left.row(li)
+			ok := true
+			// Cross constraints between new twig vertices and left-bound
+			// vertices (shared ones already matched via the key).
+			for ti, u := range twSchema {
+				if left.col(u) >= 0 {
+					continue
+				}
+				for lc, lu := range left.schema {
+					if !check.pairOK(lu, u, row[lc], twigVals[ti]) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			out.tuples = append(out.tuples, row...)
+			for ti, u := range twSchema {
+				if left.col(u) < 0 {
+					out.tuples = append(out.tuples, twigVals[ti])
+				}
+			}
+			if maxTuples > 0 && int64(out.len()) > maxTuples {
+				return ErrBudgetExceeded
+			}
+		}
+		return nil
+	}
+
+	for v := 0; v < g.NumVertices(); v++ {
+		twigVals[0] = int64(v)
+		adj := g.Adj(int64(v))
+		switch len(tw.Leaves) {
+		case 1:
+			for _, x := range adj {
+				twigVals[1] = x
+				if err := emit(); err != nil {
+					return out, twigTuples, err
+				}
+			}
+		case 2:
+			for _, x := range adj {
+				for _, y := range adj {
+					if x == y {
+						continue
+					}
+					twigVals[1], twigVals[2] = x, y
+					if err := emit(); err != nil {
+						return out, twigTuples, err
+					}
+				}
+			}
+		}
+	}
+	return out, twigTuples, nil
+}
+
+// twigSelfOK applies injectivity and symmetry constraints among the
+// twig's own vertices.
+func twigSelfOK(check *constraintChecker, schema []int, vals []int64) bool {
+	for i := range schema {
+		for j := i + 1; j < len(schema); j++ {
+			if !check.pairOK(schema[i], schema[j], vals[i], vals[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func appendKey(b []byte, v int64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}

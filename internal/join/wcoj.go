@@ -1,0 +1,191 @@
+package join
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"benu/internal/graph"
+)
+
+// WCOJConfig parameterizes the worst-case-optimal join baseline.
+type WCOJConfig struct {
+	// BatchSize bounds how many prefixes one extension round processes
+	// at a time (BiGJoin's batching; 100000 in the paper's setup).
+	BatchSize int
+	// Parallelism is the number of extension goroutines (0 = GOMAXPROCS).
+	Parallelism int
+	// MaxTuples aborts the run with ErrBudgetExceeded when the frontier
+	// exceeds this many prefixes (0 = unlimited) — the OOM analogue.
+	MaxTuples int64
+}
+
+// WCOJ enumerates matches of p in g with a BiGJoin-style worst-case
+// optimal join and returns counts plus the shuffle accounting (each
+// frontier crosses the network between extension rounds in the
+// distributed deployment).
+func WCOJ(p *graph.Pattern, g *graph.Graph, ord *graph.TotalOrder, cfg WCOJConfig) (*Result, error) {
+	start := time.Now()
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 100000
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	n := p.NumVertices()
+	order := wcojOrder(p)
+	check := newConstraintChecker(p, ord)
+
+	res := &Result{}
+
+	// The frontier holds matched prefixes of `order`, packed row-major.
+	frontier := make([]int64, 0, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		frontier = append(frontier, int64(v))
+	}
+	res.IntermediateTuples += int64(g.NumVertices())
+	res.ShuffleBytes += int64(g.NumVertices()) * 8
+
+	for depth := 1; depth < n; depth++ {
+		res.Rounds++
+		u := order[depth]
+		// Matched neighbors of u and their prefix positions.
+		var anchors []int
+		for pos := 0; pos < depth; pos++ {
+			if p.HasEdge(int64(u), int64(order[pos])) {
+				anchors = append(anchors, pos)
+			}
+		}
+		inW, outW := depth, depth+1
+		numPrefix := len(frontier) / inW
+
+		next := make([]int64, 0, len(frontier))
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		chunk := (numPrefix + cfg.Parallelism - 1) / cfg.Parallelism
+		if chunk < 1 {
+			chunk = 1
+		}
+		for lo := 0; lo < numPrefix; lo += chunk {
+			hi := lo + chunk
+			if hi > numPrefix {
+				hi = numPrefix
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				local := make([]int64, 0, (hi-lo)*outW)
+				scratch := make([]int64, 0, 256)
+				for i := lo; i < hi; i++ {
+					prefix := frontier[i*inW : (i+1)*inW]
+					cands := extendCandidates(g, prefix, anchors, scratch[:0])
+					for _, v := range cands {
+						ok := true
+						for pos := 0; pos < depth && ok; pos++ {
+							ok = check.pairOK(order[pos], u, prefix[pos], v)
+						}
+						if ok {
+							local = append(local, prefix...)
+							local = append(local, v)
+						}
+					}
+				}
+				mu.Lock()
+				next = append(next, local...)
+				mu.Unlock()
+			}(lo, hi)
+		}
+		wg.Wait()
+
+		frontier = next
+		tuples := int64(len(frontier) / outW)
+		res.IntermediateTuples += tuples
+		res.ShuffleBytes += int64(len(frontier)) * 8
+		if cfg.MaxTuples > 0 && tuples > cfg.MaxTuples {
+			res.Wall = time.Since(start)
+			return res, ErrBudgetExceeded
+		}
+		if tuples == 0 {
+			break
+		}
+	}
+	res.Matches = int64(len(frontier) / n)
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// extendCandidates computes the candidate extensions for one prefix:
+// the intersection of the adjacency sets of all matched neighbors,
+// starting from the smallest set (the worst-case-optimality trick).
+// With no anchors (disconnected order prefix — not produced by
+// wcojOrder for connected patterns) it returns nil.
+func extendCandidates(g *graph.Graph, prefix []int64, anchors []int, dst []int64) []int64 {
+	if len(anchors) == 0 {
+		return nil
+	}
+	small := anchors[0]
+	for _, a := range anchors[1:] {
+		if g.Degree(prefix[a]) < g.Degree(prefix[small]) {
+			small = a
+		}
+	}
+	dst = append(dst, g.Adj(prefix[small])...)
+	for _, a := range anchors {
+		if a == small {
+			continue
+		}
+		// Intersect in place against each remaining anchor's adjacency.
+		adj := g.Adj(prefix[a])
+		w := 0
+		for _, v := range dst {
+			if graph.ContainsSorted(adj, v) {
+				dst[w] = v
+				w++
+			}
+		}
+		dst = dst[:w]
+		if w == 0 {
+			break
+		}
+	}
+	return dst
+}
+
+// wcojOrder picks the extension order: the highest-degree pattern vertex
+// first, then greedily the unused vertex with the most matched neighbors
+// (ties: higher pattern degree, then lower id). For connected patterns
+// every later vertex has at least one matched neighbor.
+func wcojOrder(p *graph.Pattern) []int {
+	n := p.NumVertices()
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	best := 0
+	for v := 1; v < n; v++ {
+		if p.Graph().Degree(int64(v)) > p.Graph().Degree(int64(best)) {
+			best = v
+		}
+	}
+	order = append(order, best)
+	used[best] = true
+	for len(order) < n {
+		pick, pickConn := -1, -1
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			conn := 0
+			for _, w := range p.Adj(int64(v)) {
+				if used[w] {
+					conn++
+				}
+			}
+			if conn > pickConn ||
+				(conn == pickConn && p.Graph().Degree(int64(v)) > p.Graph().Degree(int64(pick))) {
+				pick, pickConn = v, conn
+			}
+		}
+		order = append(order, pick)
+		used[pick] = true
+	}
+	return order
+}

@@ -1,0 +1,107 @@
+package kv
+
+import "fmt"
+
+// Batched reads. The paper's implementation queries HBase at adjacency-set
+// granularity to amortize per-query latency (§III-B); batching multiple
+// vertex keys into one round trip amortizes it further when a caller
+// knows several keys up front (cache warm-up, task prefetching).
+
+// BatchStore is implemented by stores that can serve several adjacency
+// sets in one call.
+type BatchStore interface {
+	Store
+	// BatchGetAdj returns the adjacency sets of vs, parallel to vs.
+	BatchGetAdj(vs []int64) ([][]int64, error)
+}
+
+// BatchGetAdj fetches several adjacency sets from any store, using the
+// batched fast path when the store provides one and falling back to
+// serial gets otherwise.
+func BatchGetAdj(s Store, vs []int64) ([][]int64, error) {
+	if b, ok := s.(BatchStore); ok {
+		return b.BatchGetAdj(vs)
+	}
+	out := make([][]int64, len(vs))
+	for i, v := range vs {
+		adj, err := s.GetAdj(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = adj
+	}
+	return out, nil
+}
+
+// BatchGetAdj implements BatchStore.
+func (s *Local) BatchGetAdj(vs []int64) ([][]int64, error) {
+	out := make([][]int64, len(vs))
+	for i, v := range vs {
+		adj, err := s.GetAdj(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = adj
+	}
+	return out, nil
+}
+
+// BatchGetArgs is the RPC request for AdjService.BatchGet.
+type BatchGetArgs struct {
+	Vertices []int64
+}
+
+// BatchGetReply is the RPC response for AdjService.BatchGet.
+type BatchGetReply struct {
+	Adjs [][]int64
+}
+
+// BatchGet returns the adjacency sets of args.Vertices in one round trip.
+func (s *AdjService) BatchGet(args *BatchGetArgs, reply *BatchGetReply) error {
+	adjs, err := BatchGetAdj(s.store, args.Vertices)
+	if err != nil {
+		return err
+	}
+	reply.Adjs = adjs
+	return nil
+}
+
+// BatchGetAdj implements BatchStore for the TCP client: keys are grouped
+// by owning partition and each partition is asked once.
+func (c *Client) BatchGetAdj(vs []int64) ([][]int64, error) {
+	out := make([][]int64, len(vs))
+	// Group request positions by partition.
+	byPart := make(map[int][]int)
+	for i, v := range vs {
+		if v < 0 || int(v) >= c.n {
+			return nil, fmt.Errorf("kv: vertex %d out of range [0,%d)", v, c.n)
+		}
+		p := int(v) % len(c.pools)
+		byPart[p] = append(byPart[p], i)
+	}
+	for p, idxs := range byPart {
+		keys := make([]int64, len(idxs))
+		for j, i := range idxs {
+			keys[j] = vs[i]
+		}
+		pool := c.pools[p]
+		conn, err := pool.get()
+		if err != nil {
+			return nil, err
+		}
+		var reply BatchGetReply
+		if err := conn.Call("AdjService.BatchGet", &BatchGetArgs{Vertices: keys}, &reply); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("kv: batch get: %w", err)
+		}
+		pool.put(conn)
+		if len(reply.Adjs) != len(keys) {
+			return nil, fmt.Errorf("kv: batch get returned %d sets for %d keys", len(reply.Adjs), len(keys))
+		}
+		for j, i := range idxs {
+			out[i] = reply.Adjs[j]
+			c.metrics.Record(len(reply.Adjs[j]))
+		}
+	}
+	return out, nil
+}

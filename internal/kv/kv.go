@@ -1,0 +1,152 @@
+// Package kv implements the distributed key-value database BENU stores
+// the data graph in (the paper uses HBase; we build the store from
+// scratch). Keys are data-vertex ids, values are adjacency sets.
+//
+// Three backends share one interface:
+//
+//   - Local: a wrapper over an in-memory graph, for single-process runs
+//     and tests. Queries are still metered so communication-cost
+//     experiments work without sockets.
+//   - Partitioned: hash-partitions vertices over several Stores (the
+//     building block for multi-node stores).
+//   - TCP server/client (server.go): a real networked store over stdlib
+//     net/rpc, used by the distributed example and integration tests.
+package kv
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"benu/internal/graph"
+)
+
+// Store serves adjacency sets by vertex id.
+//
+// Implementations must be safe for concurrent use: every worker thread of
+// every simulated machine queries the store directly.
+type Store interface {
+	// GetAdj returns the adjacency set of v, sorted ascending. The caller
+	// must treat the result as immutable (backends share their storage).
+	GetAdj(v int64) ([]int64, error)
+	// NumVertices returns the number of vertices in the stored graph.
+	NumVertices() int
+}
+
+// Metrics counts store traffic. All fields are manipulated atomically.
+type Metrics struct {
+	queries atomic.Int64
+	bytes   atomic.Int64
+}
+
+// Record notes one query returning n adjacency entries. An adjacency
+// entry travels as 8 bytes, matching Graph.SizeBytes accounting.
+func (m *Metrics) Record(n int) {
+	m.queries.Add(1)
+	m.bytes.Add(int64(n) * 8)
+}
+
+// Queries returns the number of GetAdj calls recorded.
+func (m *Metrics) Queries() int64 { return m.queries.Load() }
+
+// Bytes returns the total bytes transferred for recorded queries.
+func (m *Metrics) Bytes() int64 { return m.bytes.Load() }
+
+// Reset zeroes the counters.
+func (m *Metrics) Reset() {
+	m.queries.Store(0)
+	m.bytes.Store(0)
+}
+
+// Local is a Store over an in-memory graph. It stands in for a database
+// node colocated with the data; queries are metered but free of network
+// cost.
+type Local struct {
+	g       *graph.Graph
+	metrics Metrics
+}
+
+// NewLocal stores g in a Local store.
+func NewLocal(g *graph.Graph) *Local { return &Local{g: g} }
+
+// GetAdj implements Store.
+func (s *Local) GetAdj(v int64) ([]int64, error) {
+	if v < 0 || int(v) >= s.g.NumVertices() {
+		return nil, fmt.Errorf("kv: vertex %d out of range [0,%d)", v, s.g.NumVertices())
+	}
+	adj := s.g.Adj(v)
+	s.metrics.Record(len(adj))
+	return adj, nil
+}
+
+// NumVertices implements Store.
+func (s *Local) NumVertices() int { return s.g.NumVertices() }
+
+// Metrics exposes the store's traffic counters.
+func (s *Local) Metrics() *Metrics { return &s.metrics }
+
+// Partitioned hash-partitions vertex ids across several stores, the way
+// a distributed table spreads regions across region servers. Partition of
+// v is v mod len(parts).
+type Partitioned struct {
+	parts []Store
+	n     int
+}
+
+// NewPartitioned builds a partitioned store over the given parts. Each
+// part must hold the adjacency sets for the vertex ids congruent to its
+// index (see Shard).
+func NewPartitioned(parts []Store, numVertices int) *Partitioned {
+	return &Partitioned{parts: parts, n: numVertices}
+}
+
+// Shard extracts the subgraph adjacency data for partition i of p from g:
+// a map from each owned vertex to its full adjacency set.
+func Shard(g *graph.Graph, i, p int) map[int64][]int64 {
+	out := make(map[int64][]int64)
+	for v := 0; v < g.NumVertices(); v++ {
+		if v%p == i {
+			out[int64(v)] = g.Adj(int64(v))
+		}
+	}
+	return out
+}
+
+// GetAdj implements Store by routing to the owning partition.
+func (s *Partitioned) GetAdj(v int64) ([]int64, error) {
+	if v < 0 || int(v) >= s.n {
+		return nil, fmt.Errorf("kv: vertex %d out of range [0,%d)", v, s.n)
+	}
+	return s.parts[int(v)%len(s.parts)].GetAdj(v)
+}
+
+// NumVertices implements Store.
+func (s *Partitioned) NumVertices() int { return s.n }
+
+// MapStore is a Store over an explicit vertex→adjacency map; the storage
+// node side of a partitioned deployment.
+type MapStore struct {
+	data    map[int64][]int64
+	n       int
+	metrics Metrics
+}
+
+// NewMapStore wraps data as a store. n is the global vertex count.
+func NewMapStore(data map[int64][]int64, n int) *MapStore {
+	return &MapStore{data: data, n: n}
+}
+
+// GetAdj implements Store.
+func (s *MapStore) GetAdj(v int64) ([]int64, error) {
+	adj, ok := s.data[v]
+	if !ok {
+		return nil, fmt.Errorf("kv: vertex %d not stored in this partition", v)
+	}
+	s.metrics.Record(len(adj))
+	return adj, nil
+}
+
+// NumVertices implements Store.
+func (s *MapStore) NumVertices() int { return s.n }
+
+// Metrics exposes the store's traffic counters.
+func (s *MapStore) Metrics() *Metrics { return &s.metrics }

@@ -1,0 +1,186 @@
+package kv
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"benu/internal/gen"
+)
+
+func TestLocalStore(t *testing.T) {
+	g := gen.DemoDataGraph()
+	s := NewLocal(g)
+	if s.NumVertices() != g.NumVertices() {
+		t.Fatalf("NumVertices = %d", s.NumVertices())
+	}
+	adj, err := s.GetAdj(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(adj, g.Adj(0)) {
+		t.Errorf("GetAdj(0) = %v, want %v", adj, g.Adj(0))
+	}
+	if _, err := s.GetAdj(-1); err == nil {
+		t.Error("negative vertex accepted")
+	}
+	if _, err := s.GetAdj(int64(g.NumVertices())); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if s.Metrics().Queries() != 1 {
+		t.Errorf("queries = %d, want 1 (errors should not count)", s.Metrics().Queries())
+	}
+	if s.Metrics().Bytes() != int64(len(adj))*8 {
+		t.Errorf("bytes = %d", s.Metrics().Bytes())
+	}
+	s.Metrics().Reset()
+	if s.Metrics().Queries() != 0 || s.Metrics().Bytes() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestPartitionedMatchesLocal(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 200, EdgesPer: 3, Seed: 1})
+	const parts = 4
+	stores := make([]Store, parts)
+	for i := 0; i < parts; i++ {
+		stores[i] = NewMapStore(Shard(g, i, parts), g.NumVertices())
+	}
+	p := NewPartitioned(stores, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		adj, err := p.GetAdj(int64(v))
+		if err != nil {
+			t.Fatalf("GetAdj(%d): %v", v, err)
+		}
+		if !reflect.DeepEqual(adj, g.Adj(int64(v))) {
+			t.Fatalf("partitioned adj(%d) mismatch", v)
+		}
+	}
+	if _, err := p.GetAdj(int64(g.NumVertices())); err == nil {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestShardDisjointAndComplete(t *testing.T) {
+	g := gen.DemoDataGraph()
+	const parts = 3
+	seen := make(map[int64]int)
+	for i := 0; i < parts; i++ {
+		for v := range Shard(g, i, parts) {
+			seen[v]++
+		}
+	}
+	if len(seen) != g.NumVertices() {
+		t.Fatalf("shards cover %d vertices, want %d", len(seen), g.NumVertices())
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Errorf("vertex %d in %d shards", v, c)
+		}
+	}
+}
+
+func TestMapStoreMissingVertex(t *testing.T) {
+	s := NewMapStore(map[int64][]int64{1: {2}}, 5)
+	if _, err := s.GetAdj(2); err == nil {
+		t.Error("missing vertex accepted")
+	}
+}
+
+func TestTCPServerClientRoundTrip(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 150, EdgesPer: 3, Seed: 2})
+	servers, addrs, err := ServeGraph(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	client, err := Dial(addrs, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	for v := 0; v < g.NumVertices(); v += 7 {
+		adj, err := client.GetAdj(int64(v))
+		if err != nil {
+			t.Fatalf("GetAdj(%d): %v", v, err)
+		}
+		want := g.Adj(int64(v))
+		if len(adj) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(adj, want) {
+			t.Fatalf("remote adj(%d) = %v, want %v", v, adj, want)
+		}
+	}
+	if client.Metrics().Queries() == 0 || client.Metrics().Bytes() == 0 {
+		t.Error("client metrics not recorded")
+	}
+}
+
+func TestTCPClientConcurrent(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 100, EdgesPer: 3, Seed: 3})
+	servers, addrs, err := ServeGraph(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	client, err := Dial(addrs, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := 0; v < g.NumVertices(); v++ {
+				adj, err := client.GetAdj(int64(v))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(adj) != g.Degree(int64(v)) {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestDialRequiresAddrs(t *testing.T) {
+	if _, err := Dial(nil, 10); err == nil {
+		t.Error("empty address list accepted")
+	}
+}
+
+func TestServerDoubleClose(t *testing.T) {
+	g := gen.DemoDataGraph()
+	srv, err := Serve("127.0.0.1:0", NewLocal(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -1,0 +1,151 @@
+package kv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"benu/internal/graph"
+)
+
+// Mutable is an updatable adjacency-set store. The paper's §I argument
+// against index-based competitors is that indexes (SEED's SCP, CBF's
+// clique index) must be maintained when the data graph changes, while
+// BENU queries the store directly and needs no maintenance at all — an
+// update is visible to the next local search task immediately. Mutable
+// provides that store: concurrent readers, serialized writers, sorted
+// adjacency preserved per update.
+type Mutable struct {
+	mu  sync.RWMutex
+	adj [][]int64
+	m   int64
+}
+
+// NewMutable initializes the store from a snapshot graph (which may be
+// empty: pass graph.FromEdges(0, nil)).
+func NewMutable(g *graph.Graph) *Mutable {
+	s := &Mutable{adj: make([][]int64, g.NumVertices()), m: g.NumEdges()}
+	for v := range s.adj {
+		s.adj[v] = g.AdjCopy(int64(v))
+	}
+	return s
+}
+
+// GetAdj implements Store. The returned slice must be treated as
+// immutable; updates replace slices rather than mutating them in place,
+// so a reader holding an old slice keeps a consistent snapshot.
+func (s *Mutable) GetAdj(v int64) ([]int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if v < 0 || int(v) >= len(s.adj) {
+		return nil, fmt.Errorf("kv: vertex %d out of range [0,%d)", v, len(s.adj))
+	}
+	return s.adj[v], nil
+}
+
+// NumVertices implements Store.
+func (s *Mutable) NumVertices() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.adj)
+}
+
+// NumEdges returns the current undirected edge count.
+func (s *Mutable) NumEdges() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m
+}
+
+// AddEdge inserts the undirected edge (u, v), growing the vertex space if
+// needed. Inserting an existing edge or a self-loop is a no-op. It
+// reports whether the edge was added.
+func (s *Mutable) AddEdge(u, v int64) bool {
+	if u == v || u < 0 || v < 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for int64(len(s.adj)) <= u || int64(len(s.adj)) <= v {
+		s.adj = append(s.adj, nil)
+	}
+	if containsSortedLocked(s.adj[u], v) {
+		return false
+	}
+	s.adj[u] = insertSorted(s.adj[u], v)
+	s.adj[v] = insertSorted(s.adj[v], u)
+	s.m++
+	return true
+}
+
+// RemoveEdge deletes the undirected edge (u, v) and reports whether it
+// was present.
+func (s *Mutable) RemoveEdge(u, v int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if u < 0 || v < 0 || int64(len(s.adj)) <= u || int64(len(s.adj)) <= v {
+		return false
+	}
+	if !containsSortedLocked(s.adj[u], v) {
+		return false
+	}
+	s.adj[u] = removeSorted(s.adj[u], v)
+	s.adj[v] = removeSorted(s.adj[v], u)
+	s.m--
+	return true
+}
+
+// Snapshot materializes the current state as an immutable graph (for
+// reference counting in tests and for rebuilding total orders).
+func (s *Mutable) Snapshot() *graph.Graph {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b := graph.NewBuilder(len(s.adj))
+	for u := range s.adj {
+		for _, v := range s.adj[u] {
+			if int64(u) < v {
+				b.AddEdge(int64(u), v)
+			}
+		}
+	}
+	g := b.Build()
+	// Preserve trailing isolated vertices.
+	for g.NumVertices() < len(s.adj) {
+		return graph.FromEdges(len(s.adj), g.EdgeList())
+	}
+	return g
+}
+
+// Degree returns the current degree of v (0 for out-of-range vertices).
+func (s *Mutable) Degree(v int64) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if v < 0 || int(v) >= len(s.adj) {
+		return 0
+	}
+	return len(s.adj[v])
+}
+
+func containsSortedLocked(a []int64, x int64) bool {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	return i < len(a) && a[i] == x
+}
+
+// insertSorted returns a new slice with x inserted; the input slice is
+// never mutated (readers may hold it).
+func insertSorted(a []int64, x int64) []int64 {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	out := make([]int64, len(a)+1)
+	copy(out, a[:i])
+	out[i] = x
+	copy(out[i+1:], a[i:])
+	return out
+}
+
+// removeSorted returns a new slice with x removed.
+func removeSorted(a []int64, x int64) []int64 {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	out := make([]int64, 0, len(a)-1)
+	out = append(out, a[:i]...)
+	return append(out, a[i+1:]...)
+}

@@ -1,0 +1,172 @@
+package kv
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"benu/internal/gen"
+	"benu/internal/graph"
+)
+
+func TestMutableBasicOps(t *testing.T) {
+	s := NewMutable(graph.FromEdges(0, nil))
+	if !s.AddEdge(0, 1) {
+		t.Fatal("add failed")
+	}
+	if s.AddEdge(0, 1) || s.AddEdge(1, 0) {
+		t.Error("duplicate edge added")
+	}
+	if s.AddEdge(2, 2) {
+		t.Error("self-loop added")
+	}
+	if s.NumEdges() != 1 {
+		t.Errorf("edges = %d", s.NumEdges())
+	}
+	adj, err := s.GetAdj(0)
+	if err != nil || !reflect.DeepEqual(adj, []int64{1}) {
+		t.Errorf("adj(0) = %v, %v", adj, err)
+	}
+	if !s.RemoveEdge(1, 0) {
+		t.Error("remove failed")
+	}
+	if s.RemoveEdge(0, 1) {
+		t.Error("double remove succeeded")
+	}
+	if s.NumEdges() != 0 {
+		t.Errorf("edges after remove = %d", s.NumEdges())
+	}
+	if s.Degree(0) != 0 || s.Degree(99) != 0 {
+		t.Error("degree wrong")
+	}
+	if _, err := s.GetAdj(-1); err == nil {
+		t.Error("negative vertex accepted")
+	}
+}
+
+func TestMutableKeepsAdjacencySorted(t *testing.T) {
+	s := NewMutable(graph.FromEdges(0, nil))
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		s.AddEdge(0, rng.Int63n(200)+1)
+	}
+	adj, _ := s.GetAdj(0)
+	for i := 1; i < len(adj); i++ {
+		if adj[i-1] >= adj[i] {
+			t.Fatalf("adjacency unsorted at %d: %v", i, adj[i-3:i+1])
+		}
+	}
+}
+
+func TestMutableSnapshotConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := gen.ErdosRenyi(60, 200, 6)
+	s := NewMutable(g)
+	// Random mutation stream against a reference map.
+	ref := map[[2]int64]bool{}
+	g.Edges(func(u, v int64) bool {
+		ref[[2]int64{u, v}] = true
+		return true
+	})
+	for i := 0; i < 2000; i++ {
+		u, v := rng.Int63n(60), rng.Int63n(60)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if rng.Float64() < 0.5 {
+			if s.AddEdge(u, v) != !ref[[2]int64{u, v}] {
+				t.Fatalf("AddEdge(%d,%d) outcome disagrees with reference", u, v)
+			}
+			ref[[2]int64{u, v}] = true
+		} else {
+			if s.RemoveEdge(u, v) != ref[[2]int64{u, v}] {
+				t.Fatalf("RemoveEdge(%d,%d) outcome disagrees with reference", u, v)
+			}
+			delete(ref, [2]int64{u, v})
+		}
+	}
+	snap := s.Snapshot()
+	if int(snap.NumEdges()) != len(ref) {
+		t.Fatalf("snapshot has %d edges, reference %d", snap.NumEdges(), len(ref))
+	}
+	snap.Edges(func(u, v int64) bool {
+		if !ref[[2]int64{u, v}] {
+			t.Errorf("snapshot edge (%d,%d) not in reference", u, v)
+		}
+		return true
+	})
+}
+
+func TestMutableOldSlicesStayConsistent(t *testing.T) {
+	s := NewMutable(graph.FromEdges(0, nil))
+	s.AddEdge(0, 1)
+	s.AddEdge(0, 3)
+	before, _ := s.GetAdj(0)
+	s.AddEdge(0, 2)
+	// The previously returned slice is an untouched snapshot.
+	if !reflect.DeepEqual(before, []int64{1, 3}) {
+		t.Errorf("old slice mutated: %v", before)
+	}
+	after, _ := s.GetAdj(0)
+	if !reflect.DeepEqual(after, []int64{1, 2, 3}) {
+		t.Errorf("new slice wrong: %v", after)
+	}
+}
+
+func TestMutableConcurrentReadersAndWriter(t *testing.T) {
+	s := NewMutable(gen.ErdosRenyi(100, 300, 7))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				adj, err := s.GetAdj(rng.Int63n(100))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 1; i < len(adj); i++ {
+					if adj[i-1] >= adj[i] {
+						t.Error("reader saw unsorted adjacency")
+						return
+					}
+				}
+			}
+		}(int64(r))
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		u, v := rng.Int63n(100), rng.Int63n(100)
+		if rng.Float64() < 0.6 {
+			s.AddEdge(u, v)
+		} else {
+			s.RemoveEdge(u, v)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestMutableGrowsVertexSpace(t *testing.T) {
+	s := NewMutable(graph.FromEdges(2, [][2]int64{{0, 1}}))
+	s.AddEdge(0, 10)
+	if s.NumVertices() != 11 {
+		t.Errorf("vertices = %d, want 11", s.NumVertices())
+	}
+	snap := s.Snapshot()
+	if snap.NumVertices() != 11 {
+		t.Errorf("snapshot vertices = %d", snap.NumVertices())
+	}
+}

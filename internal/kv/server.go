@@ -1,0 +1,215 @@
+package kv
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"benu/internal/graph"
+)
+
+// This file provides the networked backend: an adjacency-set store served
+// over TCP with stdlib net/rpc. A distributed deployment runs one Server
+// per storage node, each holding a hash partition of the data graph, and
+// every worker machine connects a Client to all of them. The distributed
+// example and the integration tests exercise this path end to end; the
+// simulated cluster defaults to the in-process backends for speed.
+
+// GetArgs is the RPC request for AdjService.Get.
+type GetArgs struct {
+	Vertex int64
+}
+
+// GetReply is the RPC response for AdjService.Get.
+type GetReply struct {
+	Adj []int64
+}
+
+// AdjService is the RPC-exported adjacency store.
+type AdjService struct {
+	store Store
+}
+
+// Get returns the adjacency set of args.Vertex.
+func (s *AdjService) Get(args *GetArgs, reply *GetReply) error {
+	adj, err := s.store.GetAdj(args.Vertex)
+	if err != nil {
+		return err
+	}
+	reply.Adj = adj
+	return nil
+}
+
+// Server is one storage node: a TCP listener serving an AdjService.
+type Server struct {
+	listener net.Listener
+	rpcSrv   *rpc.Server
+	wg       sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts a storage node on addr (e.g. "127.0.0.1:0") serving store.
+// It returns once the listener is bound; connections are handled in the
+// background until Close.
+func Serve(addr string, store Store) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kv: listen %s: %w", addr, err)
+	}
+	srv := &Server{listener: ln, rpcSrv: rpc.NewServer()}
+	if err := srv.rpcSrv.RegisterName("AdjService", &AdjService{store: store}); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+	return srv, nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.rpcSrv.ServeConn(conn)
+		}()
+	}
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the listener. In-flight connections finish serving their
+// current call and then drop.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.listener.Close()
+}
+
+// Client is a Store backed by a set of remote storage nodes, one per hash
+// partition. Each remote node gets a small connection pool so concurrent
+// worker threads do not serialize on one socket.
+type Client struct {
+	addrs []string
+	n     int
+	pools []*connPool
+	// metrics counts remote traffic observed by this client.
+	metrics Metrics
+}
+
+// connPool is a tiny round-robin-free pool: take a connection, return it.
+type connPool struct {
+	addr string
+	mu   sync.Mutex
+	idle []*rpc.Client
+}
+
+func (p *connPool) get() (*rpc.Client, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	conn, err := net.Dial("tcp", p.addr)
+	if err != nil {
+		return nil, fmt.Errorf("kv: dial %s: %w", p.addr, err)
+	}
+	return rpc.NewClient(conn), nil
+}
+
+func (p *connPool) put(c *rpc.Client) {
+	p.mu.Lock()
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+func (p *connPool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.idle {
+		c.Close()
+	}
+	p.idle = nil
+}
+
+// Dial connects to the storage nodes at addrs. numVertices is the global
+// vertex count of the stored graph; vertex v lives on addrs[v % len(addrs)].
+func Dial(addrs []string, numVertices int) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("kv: no storage node addresses")
+	}
+	c := &Client{addrs: addrs, n: numVertices}
+	for _, a := range addrs {
+		c.pools = append(c.pools, &connPool{addr: a})
+	}
+	return c, nil
+}
+
+// GetAdj implements Store by calling the owning storage node.
+func (c *Client) GetAdj(v int64) ([]int64, error) {
+	if v < 0 || int(v) >= c.n {
+		return nil, fmt.Errorf("kv: vertex %d out of range [0,%d)", v, c.n)
+	}
+	pool := c.pools[int(v)%len(c.pools)]
+	conn, err := pool.get()
+	if err != nil {
+		return nil, err
+	}
+	var reply GetReply
+	err = conn.Call("AdjService.Get", &GetArgs{Vertex: v}, &reply)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("kv: get %d: %w", v, err)
+	}
+	pool.put(conn)
+	c.metrics.Record(len(reply.Adj))
+	return reply.Adj, nil
+}
+
+// NumVertices implements Store.
+func (c *Client) NumVertices() int { return c.n }
+
+// Metrics exposes the client-observed traffic counters.
+func (c *Client) Metrics() *Metrics { return &c.metrics }
+
+// Close drops all pooled connections.
+func (c *Client) Close() {
+	for _, p := range c.pools {
+		p.closeAll()
+	}
+}
+
+// ServeGraph is a convenience that shards g over p storage nodes on
+// loopback addresses and returns the running servers plus their
+// addresses. Used by the distributed example and integration tests.
+func ServeGraph(g *graph.Graph, p int) (servers []*Server, addrs []string, err error) {
+	for i := 0; i < p; i++ {
+		store := NewMapStore(Shard(g, i, p), g.NumVertices())
+		srv, err := Serve("127.0.0.1:0", store)
+		if err != nil {
+			for _, s := range servers {
+				s.Close()
+			}
+			return nil, nil, err
+		}
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	return servers, addrs, nil
+}

@@ -1,0 +1,119 @@
+package plan
+
+import (
+	"fmt"
+
+	"benu/internal/graph"
+)
+
+// Anchored plans — the building block of delta (dynamic-graph)
+// enumeration. An anchored plan pins the first TWO vertices of the
+// matching order to a given data edge instead of looping the second one:
+// executing it for data edge (a, b) enumerates exactly the matches f
+// with f(order[0]) = a and f(order[1]) = b.
+//
+// Summed over all directed pattern edges (x, y) as (order[0], order[1]),
+// the anchored counts for a newly inserted data edge give the number of
+// new subgraphs that edge creates: under symmetry breaking every subgraph
+// has exactly one canonical match, and an injective match uses the data
+// edge {a, b} in at most one pattern-edge role — so no deduplication is
+// needed (see exec.DeltaCount).
+
+// RawAnchored generates the raw plan for a matching order whose first two
+// vertices are adjacent in p and both pinned by the task. The executor's
+// Task supplies Start and Start2.
+//
+// Constraints between the two pinned vertices (symmetry breaking,
+// injectivity, labels) cannot be filtered through a candidate set — the
+// executor checks them once per task via the plan's AnchorChecks.
+func RawAnchored(p *graph.Pattern, order []int) (*Plan, error) {
+	n := p.NumVertices()
+	if n < 2 {
+		return nil, fmt.Errorf("plan: anchored plans need ≥ 2 pattern vertices")
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("plan: order length %d != pattern size %d", len(order), n)
+	}
+	if !p.HasEdge(int64(order[0]), int64(order[1])) {
+		return nil, fmt.Errorf("plan: anchored order must start with a pattern edge, got u%d,u%d",
+			order[0]+1, order[1]+1)
+	}
+	// Generate the plain plan, then rewrite the second vertex's portion:
+	// drop its candidate computation and ENU, replace with an INI.
+	pl, err := Raw(p, order)
+	if err != nil {
+		return nil, err
+	}
+	second := order[1]
+	kept := pl.Instrs[:0]
+	for _, in := range pl.Instrs {
+		switch {
+		case in.Op == OpENU && in.Target.Index == second:
+			kept = append(kept, Instruction{Op: OpINI, Target: in.Target})
+		case (in.Op == OpINT || in.Op == OpTRC) && in.Target.Kind == VarC && in.Target.Index == second:
+			// The candidate set of the pinned vertex is unused; its
+			// filters move to AnchorChecks below.
+			for _, f := range in.Filters {
+				pl.AnchorChecks = append(pl.AnchorChecks, f)
+			}
+		case (in.Op == OpINT || in.Op == OpTRC) && in.Target.Kind == VarT && in.Target.Index == second:
+			// Raw candidate set of the pinned vertex: dropped (its only
+			// consumer was the C instruction above).
+		default:
+			kept = append(kept, in)
+		}
+	}
+	pl.Instrs = kept
+	pl.Anchored = true
+	deadCodeElim(pl)
+	if err := pl.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: anchored rewrite broke the plan: %w", err)
+	}
+	return pl, nil
+}
+
+// GenerateAnchored builds and optimizes an anchored plan. VCBC is
+// rejected: delta enumeration wants explicit matches/counts per edge.
+func GenerateAnchored(p *graph.Pattern, order []int, opts Options) (*Plan, error) {
+	if opts.VCBC {
+		return nil, fmt.Errorf("plan: anchored plans do not support VCBC compression")
+	}
+	raw, err := RawAnchored(p, order)
+	if err != nil {
+		return nil, err
+	}
+	return Optimize(raw, opts)
+}
+
+// AnchoredOrder builds a matching order starting with the directed
+// pattern edge (x, y) and extending greedily by connectivity (most
+// already-ordered neighbors first; ties by smaller vertex id).
+func AnchoredOrder(p *graph.Pattern, x, y int) ([]int, error) {
+	if !p.HasEdge(int64(x), int64(y)) {
+		return nil, fmt.Errorf("plan: (u%d, u%d) is not a pattern edge", x+1, y+1)
+	}
+	n := p.NumVertices()
+	used := make([]bool, n)
+	order := []int{x, y}
+	used[x], used[y] = true, true
+	for len(order) < n {
+		best, bestConn := -1, -1
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			conn := 0
+			for _, w := range p.Adj(int64(v)) {
+				if used[w] {
+					conn++
+				}
+			}
+			if conn > bestConn {
+				best, bestConn = v, conn
+			}
+		}
+		order = append(order, best)
+		used[best] = true
+	}
+	return order, nil
+}

@@ -1,0 +1,88 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnchoredPlanValidatesAcrossLevels(t *testing.T) {
+	check := func(seed int64) bool {
+		p := randomPattern(seed)
+		rng := rand.New(rand.NewSource(seed + 7))
+		edges := p.Graph().EdgeList()
+		e := edges[rng.Intn(len(edges))]
+		x, y := int(e[0]), int(e[1])
+		if rng.Intn(2) == 0 {
+			x, y = y, x
+		}
+		order, err := AnchoredOrder(p, x, y)
+		if err != nil {
+			return false
+		}
+		for _, opts := range []Options{{}, {CSE: true}, OptimizedUncompressed,
+			{CSE: true, Reorder: true, TriangleCache: true, CliqueCache: true, DegreeFilter: true}} {
+			pl, err := GenerateAnchored(p, order, opts)
+			if err != nil {
+				t.Logf("seed %d opts %+v: %v", seed, opts, err)
+				return false
+			}
+			if !pl.Anchored {
+				return false
+			}
+			if err := pl.Validate(); err != nil {
+				t.Logf("seed %d: %v\n%s", seed, err, pl)
+				return false
+			}
+			// Exactly two INI instructions, for order[0] and order[1].
+			inis := 0
+			for _, in := range pl.Instrs {
+				if in.Op == OpINI {
+					if in.Target.Index != order[inis] {
+						t.Logf("seed %d: INI %d targets u%d, want u%d", seed, inis, in.Target.Index+1, order[inis]+1)
+						return false
+					}
+					inis++
+				}
+			}
+			if inis != 2 {
+				t.Logf("seed %d: %d INI instructions", seed, inis)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnchoredRejections(t *testing.T) {
+	p := randomPattern(3)
+	order := make([]int, p.NumVertices())
+	for i := range order {
+		order[i] = i
+	}
+	if _, err := GenerateAnchored(p, order, AllOptions); err == nil {
+		t.Error("VCBC accepted")
+	}
+	// Non-adjacent first pair.
+	nonAdj := -1
+	for v := 1; v < p.NumVertices(); v++ {
+		if !p.HasEdge(0, int64(v)) {
+			nonAdj = v
+			break
+		}
+	}
+	if nonAdj > 0 {
+		bad := append([]int{0, nonAdj}, nil...)
+		for v := 0; v < p.NumVertices(); v++ {
+			if v != 0 && v != nonAdj {
+				bad = append(bad, v)
+			}
+		}
+		if _, err := RawAnchored(p, bad); err == nil {
+			t.Error("non-edge anchor accepted")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package plan
+
+import (
+	"benu/internal/estimate"
+	"math"
+)
+
+// Cost estimation (§IV-C). The execution times of an instruction equal
+// the number of matches of the partial pattern graph induced by the
+// matched-so-far prefix of the matching order. Walking the instruction
+// sequence while tracking that number prices every INT/TRC (computation)
+// and DBQ (communication) instruction.
+
+// partialPattern incrementally tracks the degree sequence and edge count
+// of the partial pattern graph P_i as vertices are added in matching
+// order, which is all the estimator consumes.
+type partialPattern struct {
+	p    patternGraph
+	used []bool
+	ids  []int // vertices in insertion order
+	degs []int // degs[i] = within-degree of ids[i] in the partial pattern
+	m    int
+	k    int // number of vertices added
+}
+
+// patternGraph is the minimal pattern-adjacency view the cost model needs;
+// *graph.Pattern satisfies it. Declaring the interface here keeps the cost
+// model testable with synthetic adjacency.
+type patternGraph interface {
+	NumVertices() int
+	Adj(u int64) []int64
+}
+
+func newPartialPattern(p patternGraph) *partialPattern {
+	return &partialPattern{
+		p:    p,
+		used: make([]bool, p.NumVertices()),
+		degs: make([]int, 0, p.NumVertices()),
+	}
+}
+
+// add inserts pattern vertex u into the partial pattern: u gains one
+// within-edge per already-used neighbor, and each such neighbor's degree
+// rises by one.
+func (pp *partialPattern) add(u int) {
+	pp.used[u] = true
+	du := 0
+	for _, w := range pp.p.Adj(int64(u)) {
+		if pp.used[w] && int(w) != u {
+			du++
+		}
+	}
+	for i, id := range pp.ids {
+		if hasNeighbor(pp.p, id, u) {
+			pp.degs[i]++
+		}
+	}
+	pp.ids = append(pp.ids, u)
+	pp.degs = append(pp.degs, du)
+	pp.m += du
+	pp.k++
+}
+
+func hasNeighbor(p patternGraph, a, b int) bool {
+	for _, w := range p.Adj(int64(a)) {
+		if int(w) == b {
+			return true
+		}
+	}
+	return false
+}
+
+// matches estimates the number of matches of the current partial pattern.
+func (pp *partialPattern) matches(st *estimate.Stats) float64 {
+	return st.MatchesDegSeq(pp.degs, pp.m)
+}
+
+// hasVertex reports whether u has been added to the partial pattern.
+func (pp *partialPattern) hasVertex(u int) bool { return pp.used[u] }
+
+// Cost summarizes the estimated execution cost of a plan.
+type Cost struct {
+	// Communication is the estimated total execution count of DBQ
+	// instructions.
+	Communication float64
+	// Computation is the estimated total execution count of INT and TRC
+	// instructions.
+	Computation float64
+}
+
+// Less orders costs as §IV-D does: communication first, computation as the
+// tiebreaker (a DBQ is far more expensive than an INT/TRC).
+func (c Cost) Less(o Cost) bool {
+	if !approxEqual(c.Communication, o.Communication) {
+		return c.Communication < o.Communication
+	}
+	return c.Computation < o.Computation
+}
+
+// EstimateCost walks the plan and prices communication (DBQ) and
+// computation (INT/TRC) per Algorithm 3's EstimateComputationCost. The
+// INI instruction is treated like the ENU of the first vertex (one
+// execution per data vertex), which prices the instructions between INI
+// and the first ENU at their true multiplicity N.
+func EstimateCost(pl *Plan, st *estimate.Stats) Cost {
+	pp := newPartialPattern(pl.Pattern)
+	var cost Cost
+	curNum := 0.0
+	for i := range pl.Instrs {
+		in := &pl.Instrs[i]
+		switch in.Op {
+		case OpINI, OpENU:
+			pp.add(in.Target.Index)
+			curNum = pp.matches(st)
+		case OpINT, OpTRC:
+			cost.Computation += curNum
+		case OpDBQ:
+			cost.Communication += curNum
+		}
+	}
+	return cost
+}
+
+const costEps = 1e-9
+
+// approxEqual compares estimated costs with a relative tolerance: the
+// planner treats two orders as tied when float64 evaluation order is the
+// only thing distinguishing them. Infinities compare exactly — the
+// sentinel +Inf "no best yet" must not swallow finite costs.
+func approxEqual(a, b float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := a
+	if b > scale {
+		scale = b
+	}
+	return diff <= costEps*scale
+}
+
+// approxLess is a < b beyond tolerance.
+func approxLess(a, b float64) bool {
+	return a < b && !approxEqual(a, b)
+}

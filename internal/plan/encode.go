@@ -1,0 +1,204 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"benu/internal/graph"
+)
+
+// Wire format for execution plans. In the paper's architecture the master
+// computes the best plan and broadcasts it with the pattern to every
+// worker machine (Algorithm 2, line 3); this codec is that broadcast
+// payload. The format is self-contained: it carries the pattern's edges
+// and labels so a worker can reconstruct the Plan (and re-validate it)
+// without any other shared state.
+
+type wirePlan struct {
+	Version int        `json:"version"`
+	Pattern wirePat    `json:"pattern"`
+	Order   []int      `json:"order"`
+	Instrs  []wireInst `json:"instrs"`
+
+	Compressed           bool     `json:"compressed,omitempty"`
+	CoverSize            int      `json:"coverSize,omitempty"`
+	Free                 []int    `json:"free,omitempty"`
+	FreeOrderConstraints [][2]int `json:"freeOrderConstraints,omitempty"`
+	DegreeFiltered       bool     `json:"degreeFiltered,omitempty"`
+	NextTemp             int      `json:"nextTemp"`
+}
+
+type wirePat struct {
+	Name   string     `json:"name"`
+	N      int        `json:"n"`
+	Edges  [][2]int64 `json:"edges"`
+	Labels []int64    `json:"labels,omitempty"`
+}
+
+type wireInst struct {
+	Op       string     `json:"op"`
+	Target   wireVar    `json:"target,omitempty"`
+	Operands []wireVar  `json:"operands,omitempty"`
+	Filters  []wireCond `json:"filters,omitempty"`
+	KeyVerts []int      `json:"keyVerts,omitempty"`
+}
+
+type wireVar struct {
+	Kind  string `json:"kind"`
+	Index int    `json:"index"`
+}
+
+type wireCond struct {
+	Kind   string `json:"kind"`
+	Vertex int    `json:"vertex,omitempty"`
+	Degree int    `json:"degree,omitempty"`
+	Label  int64  `json:"label,omitempty"`
+}
+
+const wireVersion = 1
+
+var opNames = map[OpType]string{
+	OpINI: "INI", OpDBQ: "DBQ", OpINT: "INT", OpENU: "ENU", OpTRC: "TRC", OpRES: "RES",
+}
+
+var varKindNames = map[VarKind]string{
+	VarF: "f", VarA: "A", VarC: "C", VarT: "T", VarVG: "VG",
+}
+
+var filterKindNames = map[FilterKind]string{
+	FilterGT: "gt", FilterLT: "lt", FilterNE: "ne", FilterMinDeg: "mindeg", FilterLabel: "label",
+}
+
+func nameToOp(s string) (OpType, error) {
+	for op, n := range opNames {
+		if n == s {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("plan: unknown op %q", s)
+}
+
+func nameToVarKind(s string) (VarKind, error) {
+	for k, n := range varKindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("plan: unknown variable kind %q", s)
+}
+
+func nameToFilterKind(s string) (FilterKind, error) {
+	for k, n := range filterKindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("plan: unknown filter kind %q", s)
+}
+
+// MarshalJSON encodes the plan in the broadcast wire format.
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	wp := wirePlan{
+		Version: wireVersion,
+		Pattern: wirePat{
+			Name:  p.Pattern.Name(),
+			N:     p.Pattern.NumVertices(),
+			Edges: p.Pattern.Graph().EdgeList(),
+		},
+		Order:                p.Order,
+		Compressed:           p.Compressed,
+		CoverSize:            p.CoverSize,
+		Free:                 p.Free,
+		FreeOrderConstraints: p.FreeOrderConstraints,
+		DegreeFiltered:       p.DegreeFiltered,
+		NextTemp:             p.nextTemp,
+	}
+	if p.Pattern.Labeled() {
+		for v := 0; v < p.Pattern.NumVertices(); v++ {
+			wp.Pattern.Labels = append(wp.Pattern.Labels, p.Pattern.Label(int64(v)))
+		}
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		wi := wireInst{Op: opNames[in.Op], KeyVerts: in.KeyVerts}
+		if in.Op != OpRES {
+			wi.Target = wireVar{Kind: varKindNames[in.Target.Kind], Index: in.Target.Index}
+		}
+		for _, o := range in.Operands {
+			wi.Operands = append(wi.Operands, wireVar{Kind: varKindNames[o.Kind], Index: o.Index})
+		}
+		for _, f := range in.Filters {
+			wi.Filters = append(wi.Filters, wireCond{
+				Kind: filterKindNames[f.Kind], Vertex: f.Vertex, Degree: f.Degree, Label: f.Label,
+			})
+		}
+		wp.Instrs = append(wp.Instrs, wi)
+	}
+	return json.Marshal(wp)
+}
+
+// UnmarshalPlan decodes a broadcast payload back into a validated Plan.
+// (Plan cannot implement json.Unmarshaler usefully because the Pattern
+// must be reconstructed first; use this function on the worker side.)
+func UnmarshalPlan(data []byte) (*Plan, error) {
+	var wp wirePlan
+	if err := json.Unmarshal(data, &wp); err != nil {
+		return nil, fmt.Errorf("plan: decode: %w", err)
+	}
+	if wp.Version != wireVersion {
+		return nil, fmt.Errorf("plan: wire version %d, want %d", wp.Version, wireVersion)
+	}
+	var pat *graph.Pattern
+	var err error
+	if wp.Pattern.Labels != nil {
+		pat, err = graph.NewLabeledPattern(wp.Pattern.Name, wp.Pattern.N, wp.Pattern.Edges, wp.Pattern.Labels)
+	} else {
+		pat, err = graph.NewPattern(wp.Pattern.Name, wp.Pattern.N, wp.Pattern.Edges)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("plan: decode pattern: %w", err)
+	}
+	pl := &Plan{
+		Pattern:              pat,
+		Order:                wp.Order,
+		Compressed:           wp.Compressed,
+		CoverSize:            wp.CoverSize,
+		Free:                 wp.Free,
+		FreeOrderConstraints: wp.FreeOrderConstraints,
+		DegreeFiltered:       wp.DegreeFiltered,
+		nextTemp:             wp.NextTemp,
+	}
+	for _, wi := range wp.Instrs {
+		op, err := nameToOp(wi.Op)
+		if err != nil {
+			return nil, err
+		}
+		in := Instruction{Op: op, KeyVerts: wi.KeyVerts}
+		if op != OpRES {
+			k, err := nameToVarKind(wi.Target.Kind)
+			if err != nil {
+				return nil, err
+			}
+			in.Target = VarRef{Kind: k, Index: wi.Target.Index}
+		}
+		for _, o := range wi.Operands {
+			k, err := nameToVarKind(o.Kind)
+			if err != nil {
+				return nil, err
+			}
+			in.Operands = append(in.Operands, VarRef{Kind: k, Index: o.Index})
+		}
+		for _, f := range wi.Filters {
+			k, err := nameToFilterKind(f.Kind)
+			if err != nil {
+				return nil, err
+			}
+			in.Filters = append(in.Filters, FilterCond{Kind: k, Vertex: f.Vertex, Degree: f.Degree, Label: f.Label})
+		}
+		pl.Instrs = append(pl.Instrs, in)
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: decoded plan invalid: %w", err)
+	}
+	return pl, nil
+}

@@ -1,0 +1,115 @@
+package plan
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"benu/internal/estimate"
+	"benu/internal/graph"
+)
+
+func TestPlanWireRoundTrip(t *testing.T) {
+	st := estimate.UniformStats(10000, 15)
+	p := demoPattern(t)
+	for _, opts := range []Options{{}, OptimizedUncompressed, AllOptions,
+		{CSE: true, Reorder: true, TriangleCache: true, DegreeFilter: true, CliqueCache: true}} {
+		res, err := GenerateBestPlan(p, st, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res.Plan)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		back, err := UnmarshalPlan(data)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if back.String() != res.Plan.String() {
+			t.Errorf("round trip changed the plan:\n%s\nvs\n%s", res.Plan, back)
+		}
+		if back.Compressed != res.Plan.Compressed || back.CoverSize != res.Plan.CoverSize ||
+			back.DegreeFiltered != res.Plan.DegreeFiltered {
+			t.Error("round trip lost plan metadata")
+		}
+	}
+}
+
+func TestPlanWireRoundTripLabeled(t *testing.T) {
+	p, err := graph.NewLabeledPattern("lt", 3, [][2]int64{{0, 1}, {0, 2}, {1, 2}}, []int64{7, 9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Generate(p, []int{0, 1, 2}, OptimizedUncompressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Pattern.Labeled() || back.Pattern.Label(1) != 9 {
+		t.Error("labels lost in round trip")
+	}
+	if back.String() != pl.String() {
+		t.Errorf("labeled round trip changed the plan")
+	}
+}
+
+func TestPlanWireRandomPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	st := estimate.UniformStats(5000, 10)
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(4)
+		var edges [][2]int64
+		for v := int64(1); v < int64(n); v++ {
+			edges = append(edges, [2]int64{rng.Int63n(v), v})
+		}
+		for u := int64(0); u < int64(n); u++ {
+			for v := u + 1; v < int64(n); v++ {
+				if rng.Float64() < 0.4 {
+					edges = append(edges, [2]int64{u, v})
+				}
+			}
+		}
+		p := graph.MustPattern("w", n, edges)
+		res, err := GenerateBestPlan(p, st, AllOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalPlan(data)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, data)
+		}
+		if back.String() != res.Plan.String() {
+			t.Errorf("trial %d: round trip mismatch", trial)
+		}
+	}
+}
+
+func TestUnmarshalPlanRejectsGarbage(t *testing.T) {
+	cases := []string{
+		``,
+		`{}`,
+		`{"version":99}`,
+		`{"version":1,"pattern":{"name":"x","n":2,"edges":[[0,1]]},"order":[0,1],"instrs":[{"op":"WAT"}]}`,
+		// Structurally broken: ENU before its source is defined.
+		`{"version":1,"pattern":{"name":"x","n":2,"edges":[[0,1]]},"order":[0,1],"instrs":[
+			{"op":"ENU","target":{"kind":"f","index":1},"operands":[{"kind":"C","index":1}]},
+			{"op":"RES","operands":[{"kind":"f","index":0},{"kind":"f","index":1}]}]}`,
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalPlan([]byte(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}

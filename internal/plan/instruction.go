@@ -1,0 +1,279 @@
+// Package plan implements BENU execution plans (§III-B), their generation
+// from a matching order (§IV-A), the three optimization passes (§IV-B),
+// VCBC-compression support, the cost model (§IV-C), and the best-plan
+// search of Algorithm 3 (§IV-D).
+//
+// A plan is a straight-line sequence of instructions over set- and
+// vertex-valued variables; each ENU instruction opens one nesting level of
+// the backtracking search. Plans are data — the executor in internal/exec
+// interprets them against any adjacency source.
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpType enumerates the six instruction types of Table III.
+type OpType int
+
+const (
+	// OpINI maps the first pattern vertex to the task's start vertex.
+	OpINI OpType = iota
+	// OpDBQ fetches an adjacency set from the distributed database.
+	OpDBQ
+	// OpINT intersects set operands, optionally applying filters.
+	OpINT
+	// OpENU iterates a candidate set, opening a backtracking level.
+	OpENU
+	// OpTRC is an intersection served through the triangle cache.
+	OpTRC
+	// OpRES reports a complete (or VCBC-compressed) match.
+	OpRES
+)
+
+// String returns the paper's name for the instruction type.
+func (t OpType) String() string {
+	switch t {
+	case OpINI:
+		return "INI"
+	case OpDBQ:
+		return "DBQ"
+	case OpINT:
+		return "INT"
+	case OpENU:
+		return "ENU"
+	case OpTRC:
+		return "TRC"
+	case OpRES:
+		return "RES"
+	}
+	return fmt.Sprintf("OpType(%d)", int(t))
+}
+
+// reorderRank is the candidate ranking used by Optimization 2's
+// topological sort: INI < INT < TRC < DBQ < ENU < RES (§IV-B).
+func (t OpType) reorderRank() int {
+	switch t {
+	case OpINI:
+		return 0
+	case OpINT:
+		return 1
+	case OpTRC:
+		return 2
+	case OpDBQ:
+		return 3
+	case OpENU:
+		return 4
+	case OpRES:
+		return 5
+	}
+	return 6
+}
+
+// VarKind distinguishes the variable families of the paper's notation.
+type VarKind int
+
+const (
+	// VarF is f_i — the data vertex mapped to pattern vertex i.
+	VarF VarKind = iota
+	// VarA is A_i — the adjacency set of f_i fetched via DBQ.
+	VarA
+	// VarC is C_i — the refined candidate set for pattern vertex i.
+	VarC
+	// VarT is T_j — a temporary set (raw candidate or CSE temp).
+	VarT
+	// VarVG is the pseudo-variable V(G), the whole vertex set.
+	VarVG
+)
+
+// VarRef names one variable. For VarF/VarA/VarC, Index is the pattern
+// vertex (0-based); for VarT it is a temp id; VarVG ignores Index.
+type VarRef struct {
+	Kind  VarKind
+	Index int
+}
+
+// VG is the V(G) pseudo-variable.
+var VG = VarRef{Kind: VarVG}
+
+// String renders the variable in the paper's 1-based notation.
+func (v VarRef) String() string {
+	switch v.Kind {
+	case VarF:
+		return fmt.Sprintf("f%d", v.Index+1)
+	case VarA:
+		return fmt.Sprintf("A%d", v.Index+1)
+	case VarC:
+		return fmt.Sprintf("C%d", v.Index+1)
+	case VarT:
+		return fmt.Sprintf("T%d", v.Index+1)
+	case VarVG:
+		return "V(G)"
+	}
+	return fmt.Sprintf("Var(%d,%d)", int(v.Kind), v.Index)
+}
+
+// IsSet reports whether the variable holds a vertex set (as opposed to a
+// single vertex).
+func (v VarRef) IsSet() bool { return v.Kind != VarF }
+
+// FilterKind enumerates the filtering conditions of §IV-A.
+type FilterKind int
+
+const (
+	// FilterGT keeps vertices ≻ f_i (symmetry-breaking condition).
+	FilterGT FilterKind = iota
+	// FilterLT keeps vertices ≺ f_i (symmetry-breaking condition).
+	FilterLT
+	// FilterNE keeps vertices ≠ f_i (injective condition).
+	FilterNE
+	// FilterMinDeg keeps vertices with data degree ≥ Degree — the degree
+	// filter the paper names as an integrable technique (§IV-A). Any
+	// valid image of a pattern vertex u has degree ≥ d_P(u), so the
+	// filter prunes candidates without changing results.
+	FilterMinDeg
+	// FilterLabel keeps vertices whose data label equals Label — the
+	// property-graph extension (§VIII future work). Added automatically
+	// to every candidate-set instruction of a labeled pattern.
+	FilterLabel
+)
+
+// FilterCond is one filtering condition. FilterGT/LT/NE reference
+// f_Vertex; FilterMinDeg carries the degree bound and FilterLabel the
+// required label instead.
+type FilterCond struct {
+	Kind   FilterKind
+	Vertex int   // pattern vertex i of the referenced f_i
+	Degree int   // minimum data degree (FilterMinDeg only)
+	Label  int64 // required vertex label (FilterLabel only)
+}
+
+// String renders the condition in the paper's notation.
+func (f FilterCond) String() string {
+	switch f.Kind {
+	case FilterGT:
+		return fmt.Sprintf(">f%d", f.Vertex+1)
+	case FilterLT:
+		return fmt.Sprintf("<f%d", f.Vertex+1)
+	case FilterNE:
+		return fmt.Sprintf("!=f%d", f.Vertex+1)
+	case FilterMinDeg:
+		return fmt.Sprintf("deg>=%d", f.Degree)
+	case FilterLabel:
+		return fmt.Sprintf("label=%d", f.Label)
+	}
+	return fmt.Sprintf("FilterCond(%d,f%d)", int(f.Kind), f.Vertex+1)
+}
+
+// refsF reports whether the condition references an f variable (degree
+// and label conditions do not).
+func (f FilterCond) refsF() bool {
+	return f.Kind != FilterMinDeg && f.Kind != FilterLabel
+}
+
+// Instruction is one execution instruction: Target := Op(Operands)[|Filters].
+type Instruction struct {
+	Op       OpType
+	Target   VarRef
+	Operands []VarRef
+	Filters  []FilterCond
+
+	// KeyVerts holds the pattern vertices whose mapped data vertices key
+	// the triangle/clique cache, in ascending order. Two entries for the
+	// classic triangle cache (Optimization 3); more when the clique-cache
+	// generalization recognizes a larger pattern clique. Valid only when
+	// Op == OpTRC.
+	KeyVerts []int
+}
+
+// usesVar reports whether the instruction reads v (operands or filters).
+func (in *Instruction) usesVar(v VarRef) bool {
+	for _, o := range in.Operands {
+		if o == v {
+			return true
+		}
+	}
+	if v.Kind == VarF {
+		for _, f := range in.Filters {
+			if f.refsF() && f.Vertex == v.Index {
+				return true
+			}
+		}
+		if in.Op == OpTRC {
+			for _, k := range in.KeyVerts {
+				if k == v.Index {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// replaceOperand substitutes every occurrence of old with new in the
+// operand list.
+func (in *Instruction) replaceOperand(old, new VarRef) {
+	for i := range in.Operands {
+		if in.Operands[i] == old {
+			in.Operands[i] = new
+		}
+	}
+}
+
+// clone deep-copies the instruction.
+func (in Instruction) clone() Instruction {
+	cp := in
+	cp.Operands = append([]VarRef(nil), in.Operands...)
+	cp.Filters = append([]FilterCond(nil), in.Filters...)
+	cp.KeyVerts = append([]int(nil), in.KeyVerts...)
+	return cp
+}
+
+// String renders the instruction in the paper's notation, e.g.
+// "C3:=Intersect(A1)|>f1,!=f2" or "f1:=Init(start)".
+func (in *Instruction) String() string {
+	var b strings.Builder
+	switch in.Op {
+	case OpINI:
+		fmt.Fprintf(&b, "%s:=Init(start)", in.Target)
+	case OpDBQ:
+		fmt.Fprintf(&b, "%s:=GetAdj(%s)", in.Target, in.Operands[0])
+	case OpINT:
+		fmt.Fprintf(&b, "%s:=Intersect(", in.Target)
+		writeOperands(&b, in.Operands)
+		b.WriteByte(')')
+	case OpENU:
+		fmt.Fprintf(&b, "%s:=Foreach(%s)", in.Target, in.Operands[0])
+	case OpTRC:
+		fmt.Fprintf(&b, "%s:=TCache(", in.Target)
+		for _, k := range in.KeyVerts {
+			fmt.Fprintf(&b, "f%d,", k+1)
+		}
+		writeOperands(&b, in.Operands)
+		b.WriteByte(')')
+	case OpRES:
+		b.WriteString("f:=ReportMatch(")
+		writeOperands(&b, in.Operands)
+		b.WriteByte(')')
+	}
+	if len(in.Filters) > 0 {
+		b.WriteString(" | ")
+		for i, f := range in.Filters {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(f.String())
+		}
+	}
+	return b.String()
+}
+
+func writeOperands(b *strings.Builder, ops []VarRef) {
+	for i, o := range ops {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(o.String())
+	}
+}

@@ -1,0 +1,490 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"benu/internal/graph"
+)
+
+// Options selects which optimization passes to apply on top of the raw
+// plan. The zero value applies nothing (raw plan). Passes are applied in
+// the paper's order: CSE → reordering → triangle caching → VCBC.
+type Options struct {
+	CSE           bool // Optimization 1: common subexpression elimination
+	Reorder       bool // Optimization 2: instruction reordering
+	TriangleCache bool // Optimization 3: triangle caching
+	VCBC          bool // rewrite to emit VCBC-compressed results
+
+	// DegreeFilter adds the degree filtering conditions the paper names
+	// in §IV-A: a candidate for pattern vertex u must have data degree
+	// ≥ d_P(u). Results are unchanged; candidate sets shrink. The
+	// executor needs a degree oracle (exec.Options.DegreeOf) for the
+	// conditions to take effect.
+	DegreeFilter bool
+
+	// CliqueCache generalizes Optimization 3 from triangles to cliques
+	// (the extension sketched at the end of §IV-B): an intersection
+	// whose expanded operands are the adjacency sets of pattern vertices
+	// forming a clique is served from the per-thread cache keyed by all
+	// of their images.
+	CliqueCache bool
+}
+
+// AllOptions enables every optimization including VCBC compression.
+var AllOptions = Options{CSE: true, Reorder: true, TriangleCache: true, VCBC: true}
+
+// OptimizedUncompressed enables Opt 1–3 but not VCBC.
+var OptimizedUncompressed = Options{CSE: true, Reorder: true, TriangleCache: true}
+
+// Optimize applies the selected passes to a copy of pl and returns it.
+func Optimize(pl *Plan, opts Options) (*Plan, error) {
+	out := pl.clone()
+	if opts.DegreeFilter {
+		addDegreeFilters(out)
+	}
+	if opts.CSE {
+		eliminateCommonSubexpressions(out)
+	}
+	if opts.Reorder {
+		if err := reorderInstructions(out); err != nil {
+			return nil, err
+		}
+	}
+	if opts.TriangleCache {
+		applyTriangleCache(out)
+	}
+	if opts.CliqueCache {
+		applyCliqueCache(out)
+	}
+	if opts.VCBC {
+		if err := compressVCBC(out); err != nil {
+			return nil, err
+		}
+	}
+	deadCodeElim(out)
+	return out, nil
+}
+
+// addDegreeFilters appends a FilterMinDeg condition to the candidate-set
+// (C) instruction of every non-start pattern vertex u with d_P(u) ≥ 2:
+// a candidate with data degree below u's pattern degree can never
+// complete a match, so the condition is result-preserving. Degree-1
+// vertices are skipped — every member of a non-empty candidate set
+// already has degree ≥ 1.
+func addDegreeFilters(pl *Plan) {
+	for i := range pl.Instrs {
+		in := &pl.Instrs[i]
+		if in.Op != OpINT || in.Target.Kind != VarC {
+			continue
+		}
+		if d := len(pl.Pattern.Adj(int64(in.Target.Index))); d >= 2 {
+			in.Filters = append(in.Filters, FilterCond{Kind: FilterMinDeg, Degree: d})
+		}
+	}
+	pl.DegreeFiltered = true
+}
+
+// Generate builds the raw plan for (p, order) and applies opts. It is the
+// one-call entry point used by the planner and by callers with a fixed
+// matching order.
+func Generate(p *graph.Pattern, order []int, opts Options) (*Plan, error) {
+	raw, err := Raw(p, order)
+	if err != nil {
+		return nil, err
+	}
+	return Optimize(raw, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Optimization 1: common subexpression elimination (§IV-B).
+
+// varSet is a canonical (sorted) operand combination.
+type varSet []VarRef
+
+func (s varSet) key() string {
+	out := ""
+	for _, v := range s {
+		out += v.String() + ","
+	}
+	return out
+}
+
+func canonicalVarSet(ops []VarRef) varSet {
+	s := append(varSet(nil), ops...)
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Kind != s[j].Kind {
+			return s[i].Kind < s[j].Kind
+		}
+		return s[i].Index < s[j].Index
+	})
+	return s
+}
+
+// subsetOf reports whether every element of s occurs in ops.
+func (s varSet) subsetOf(ops []VarRef) bool {
+	for _, v := range s {
+		found := false
+		for _, o := range ops {
+			if o == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// eliminateCommonSubexpressions repeatedly mines the most profitable
+// common operand combination across INT instructions and factors it into
+// a fresh temporary, until no combination appears in two instructions.
+// Selection follows the paper: most operands first, then highest
+// frequency, then earliest first appearance.
+func eliminateCommonSubexpressions(pl *Plan) {
+	for {
+		type cand struct {
+			set      varSet
+			count    int
+			firstIdx int
+		}
+		found := make(map[string]*cand)
+		for idx := range pl.Instrs {
+			in := &pl.Instrs[idx]
+			if in.Op != OpINT || len(in.Operands) < 2 {
+				continue
+			}
+			ops := in.Operands
+			// Enumerate operand subsets of size ≥ 2 (|ops| ≤ n-1, so at
+			// most 2^9 subsets for 10-vertex patterns).
+			total := 1 << len(ops)
+			for mask := 1; mask < total; mask++ {
+				if popcount(mask) < 2 {
+					continue
+				}
+				var sub []VarRef
+				for b := 0; b < len(ops); b++ {
+					if mask&(1<<b) != 0 {
+						sub = append(sub, ops[b])
+					}
+				}
+				cs := canonicalVarSet(sub)
+				k := cs.key()
+				if c, ok := found[k]; ok {
+					if c.firstIdx != idx { // count each instruction once
+						c.count++
+						c.firstIdx = min(c.firstIdx, idx)
+					}
+				} else {
+					found[k] = &cand{set: cs, count: 1, firstIdx: idx}
+				}
+			}
+		}
+		var best *cand
+		for _, c := range found {
+			if c.count < 2 {
+				continue
+			}
+			if best == nil ||
+				len(c.set) > len(best.set) ||
+				(len(c.set) == len(best.set) && c.count > best.count) ||
+				(len(c.set) == len(best.set) && c.count == best.count && c.firstIdx < best.firstIdx) ||
+				(len(c.set) == len(best.set) && c.count == best.count && c.firstIdx == best.firstIdx && c.set.key() < best.set.key()) {
+				best = c
+			}
+		}
+		if best == nil {
+			break
+		}
+		temp := pl.freshTemp()
+		// Replace the combination in every INT instruction containing it.
+		insertAt := -1
+		for idx := range pl.Instrs {
+			in := &pl.Instrs[idx]
+			if in.Op != OpINT || !best.set.subsetOf(in.Operands) {
+				continue
+			}
+			if insertAt < 0 {
+				insertAt = idx
+			}
+			kept := in.Operands[:0]
+			for _, o := range in.Operands {
+				member := false
+				for _, v := range best.set {
+					if v == o {
+						member = true
+						break
+					}
+				}
+				if !member {
+					kept = append(kept, o)
+				}
+			}
+			in.Operands = append(kept, temp)
+		}
+		newIn := Instruction{Op: OpINT, Target: temp, Operands: append([]VarRef(nil), best.set...)}
+		pl.Instrs = append(pl.Instrs, Instruction{})
+		copy(pl.Instrs[insertAt+1:], pl.Instrs[insertAt:])
+		pl.Instrs[insertAt] = newIn
+	}
+	uniOperandElim(pl)
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Optimization 2: instruction reordering (§IV-B).
+
+// reorderInstructions flattens multi-operand INT instructions, builds the
+// dependency graph, and re-emits the instructions in ranked topological
+// order so cheap instructions execute in the outermost possible loop.
+func reorderInstructions(pl *Plan) error {
+	flattenINT(pl)
+
+	def := pl.defIndex()
+	m := len(pl.Instrs)
+	deps := make([][]int, m) // deps[i] = instruction indices i depends on
+	addDep := func(i int, v VarRef) {
+		if v.Kind == VarVG {
+			return
+		}
+		j, ok := def[v]
+		if !ok {
+			return
+		}
+		deps[i] = append(deps[i], j)
+	}
+	for i := range pl.Instrs {
+		in := &pl.Instrs[i]
+		for _, o := range in.Operands {
+			addDep(i, o)
+		}
+		for _, f := range in.Filters {
+			if f.refsF() {
+				addDep(i, VarRef{Kind: VarF, Index: f.Vertex})
+			}
+		}
+		if in.Op == OpTRC {
+			for _, k := range in.KeyVerts {
+				addDep(i, VarRef{Kind: VarF, Index: k})
+			}
+		}
+	}
+
+	// Ranked topological sort: among ready instructions pick the lowest
+	// (type rank, original index). m is small (O(|E(P)|)), so a linear
+	// scan per step is plenty fast and keeps the code obvious.
+	indeg := make([]int, m)
+	dependents := make([][]int, m)
+	for i, ds := range deps {
+		for _, j := range ds {
+			indeg[i]++
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+	scheduled := make([]Instruction, 0, m)
+	done := make([]bool, m)
+	for len(scheduled) < m {
+		pick := -1
+		for i := 0; i < m; i++ {
+			if done[i] || indeg[i] > 0 {
+				continue
+			}
+			if pick < 0 {
+				pick = i
+				continue
+			}
+			ri, rp := pl.Instrs[i].Op.reorderRank(), pl.Instrs[pick].Op.reorderRank()
+			if ri < rp || (ri == rp && i < pick) {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			return fmt.Errorf("plan: dependency cycle during reordering")
+		}
+		done[pick] = true
+		scheduled = append(scheduled, pl.Instrs[pick])
+		for _, j := range dependents[pick] {
+			indeg[j]--
+		}
+	}
+	pl.Instrs = scheduled
+	return nil
+}
+
+// flattenINT rewrites INT instructions with more than two operands into
+// chains of binary intersections. Operands are first sorted by the
+// position of their defining instruction so the chain can hoist as far as
+// its earliest operands allow; filters remain on the final instruction,
+// which keeps the original target.
+func flattenINT(pl *Plan) {
+	for i := 0; i < len(pl.Instrs); i++ {
+		in := pl.Instrs[i]
+		if in.Op != OpINT || len(in.Operands) <= 2 {
+			continue
+		}
+		def := pl.defIndex()
+		ops := append([]VarRef(nil), in.Operands...)
+		sort.SliceStable(ops, func(a, b int) bool {
+			da, db := -1, -1
+			if j, ok := def[ops[a]]; ok {
+				da = j
+			}
+			if j, ok := def[ops[b]]; ok {
+				db = j
+			}
+			return da < db
+		})
+		chain := make([]Instruction, 0, len(ops)-1)
+		cur := ops[0]
+		for k := 1; k < len(ops); k++ {
+			if k == len(ops)-1 {
+				chain = append(chain, Instruction{
+					Op:       OpINT,
+					Target:   in.Target,
+					Operands: []VarRef{cur, ops[k]},
+					Filters:  in.Filters,
+				})
+			} else {
+				t := pl.freshTemp()
+				chain = append(chain, Instruction{
+					Op:       OpINT,
+					Target:   t,
+					Operands: []VarRef{cur, ops[k]},
+				})
+				cur = t
+			}
+		}
+		pl.Instrs = append(pl.Instrs[:i], append(chain, pl.Instrs[i+1:]...)...)
+		i += len(chain) - 1
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Optimization 3: triangle caching (§IV-B).
+
+// applyTriangleCache replaces INT instructions of the form
+// X := Intersect(A_i, A_j) — where one of u_i/u_j is the first vertex of
+// the matching order and the other is its neighbor in the pattern — with
+// TRC instructions keyed by (f_i, f_j). Such intersections enumerate
+// triangles around the start vertex and repeat across search branches;
+// the executor serves them from a per-thread cache.
+func applyTriangleCache(pl *Plan) {
+	start := pl.Order[0]
+	for i := range pl.Instrs {
+		in := &pl.Instrs[i]
+		if in.Op != OpINT || len(in.Operands) != 2 {
+			continue
+		}
+		a, b := in.Operands[0], in.Operands[1]
+		if a.Kind != VarA || b.Kind != VarA {
+			continue
+		}
+		var other int
+		switch start {
+		case a.Index:
+			other = b.Index
+		case b.Index:
+			other = a.Index
+		default:
+			continue
+		}
+		if !pl.Pattern.HasEdge(int64(start), int64(other)) {
+			continue
+		}
+		in.Op = OpTRC
+		if a.Index < b.Index {
+			in.KeyVerts = []int{a.Index, b.Index}
+		} else {
+			in.KeyVerts = []int{b.Index, a.Index}
+		}
+	}
+}
+
+// applyCliqueCache generalizes triangle caching to cliques (§IV-B's
+// sketched extension): an INT instruction whose operands expand — through
+// temporaries — to the adjacency sets A_{x1}..A_{xk} of pattern vertices
+// forming a k-clique computes the vertices extending that clique by one;
+// the result repeats whenever the same data vertices recur, so it is
+// served from the per-thread cache keyed by (f_{x1},..,f_{xk}).
+func applyCliqueCache(pl *Plan) {
+	// comp[v] = set of pattern vertices whose adjacency sets compose the
+	// set variable v via pure (filter-free) intersections; nil when the
+	// variable is not a pure intersection of A-sets.
+	comp := make(map[VarRef][]int)
+	for i := range pl.Instrs {
+		in := &pl.Instrs[i]
+		switch in.Op {
+		case OpDBQ:
+			comp[in.Target] = []int{in.Target.Index}
+		case OpINT, OpTRC:
+			if len(in.Filters) > 0 {
+				continue
+			}
+			var verts []int
+			pure := true
+			for _, o := range in.Operands {
+				c, ok := comp[o]
+				if !ok {
+					pure = false
+					break
+				}
+				verts = append(verts, c...)
+			}
+			if !pure {
+				continue
+			}
+			verts = dedupSortedInts(verts)
+			comp[in.Target] = verts
+			// Convert to a cached instruction when the composition is a
+			// pattern clique. Compositions beyond 6 vertices are left
+			// alone: their key space explodes while reuse shrinks.
+			if in.Op != OpINT || len(verts) < 2 || len(verts) > 6 {
+				continue
+			}
+			if isPatternClique(pl.Pattern, verts) {
+				in.Op = OpTRC
+				in.KeyVerts = verts
+			}
+		}
+	}
+}
+
+func dedupSortedInts(xs []int) []int {
+	sort.Ints(xs)
+	w := 0
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			xs[w] = x
+			w++
+		}
+	}
+	return xs[:w]
+}
+
+func isPatternClique(p *graph.Pattern, verts []int) bool {
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			if !p.HasEdge(int64(verts[i]), int64(verts[j])) {
+				return false
+			}
+		}
+	}
+	return true
+}

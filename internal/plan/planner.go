@@ -1,0 +1,163 @@
+package plan
+
+import (
+	"math"
+	"time"
+
+	"benu/internal/estimate"
+	"benu/internal/graph"
+)
+
+// SearchStats counts the expensive operations of Algorithm 3, reported
+// relative to their upper bounds in Table IV.
+type SearchStats struct {
+	// Alpha is the number of match-count estimations performed during the
+	// matching-order search (line 15). Upper bound: Σ_{i=1..n} P(n, i).
+	Alpha int64
+	// Beta is the number of optimized execution plans generated for
+	// candidate orders (line 5). Upper bound: n!.
+	Beta int64
+	// Elapsed is the wall-clock time of the whole best-plan generation.
+	Elapsed time.Duration
+}
+
+// AlphaUpperBound returns Σ_{i=1..n} P(n, i), the worst-case number of
+// estimation operations for an n-vertex pattern.
+func AlphaUpperBound(n int) float64 {
+	total := 0.0
+	perm := 1.0
+	for i := 1; i <= n; i++ {
+		perm *= float64(n - i + 1)
+		total += perm
+	}
+	return total
+}
+
+// BetaUpperBound returns n!, the worst-case number of candidate orders.
+func BetaUpperBound(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+// BestPlanResult is the outcome of GenerateBestPlan.
+type BestPlanResult struct {
+	Plan *Plan
+	// Cost is the estimated cost of the chosen plan.
+	Cost Cost
+	// CandidateOrders are the matching orders that achieved the minimum
+	// communication cost (O_cand of Algorithm 3).
+	CandidateOrders [][]int
+	Stats           SearchStats
+}
+
+// GenerateBestPlan implements Algorithm 3: search all matching orders
+// (with dual and cost-based pruning) for the set with minimum estimated
+// communication cost, generate an optimized plan for each, and return the
+// one with the smallest computation cost.
+func GenerateBestPlan(p *graph.Pattern, st *estimate.Stats, opts Options) (*BestPlanResult, error) {
+	start := time.Now()
+	n := p.NumVertices()
+	res := &BestPlanResult{}
+
+	// Dual pruning: precompute, for each vertex u, the list of vertices
+	// w < u with w ≃ u. A candidate u is rejected while any such w is
+	// still unused, so each SE class is explored in ascending-id order
+	// only (§IV-D).
+	sePred := make([][]int, n)
+	for u := 1; u < n; u++ {
+		for w := 0; w < u; w++ {
+			if p.SyntacticallyEquivalent(int64(w), int64(u)) {
+				sePred[u] = append(sePred[u], w)
+			}
+		}
+	}
+
+	bCommCost := math.Inf(1)
+	var cand [][]int
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	pp := newPartialPattern(p)
+
+	var search func(commCost float64)
+	search = func(commCost float64) {
+		if len(order) == n {
+			switch {
+			case approxLess(commCost, bCommCost):
+				bCommCost = commCost
+				cand = [][]int{append([]int(nil), order...)}
+			case approxEqual(commCost, bCommCost):
+				cand = append(cand, append([]int(nil), order...))
+			}
+			return
+		}
+		for u := 0; u < n; u++ {
+			if used[u] {
+				continue
+			}
+			dualOK := true
+			for _, w := range sePred[u] {
+				if !used[w] {
+					dualOK = false
+					break
+				}
+			}
+			if !dualOK {
+				continue
+			}
+			// Case 1: u still has unused neighbors, so the plan will
+			// carry a DBQ for u executed once per match of p' (the
+			// partial pattern including u). Case 2: all neighbors used,
+			// no DBQ, cost unchanged.
+			s := 0.0
+			hasUnusedNeighbor := false
+			for _, w := range p.Adj(int64(u)) {
+				if !used[w] {
+					hasUnusedNeighbor = true
+					break
+				}
+			}
+			used[u] = true
+			order = append(order, u)
+			savedIDs, savedDegs, savedM, savedK := len(pp.ids), append([]int(nil), pp.degs...), pp.m, pp.k
+			pp.add(u)
+			if hasUnusedNeighbor {
+				s = pp.matches(st)
+				res.Stats.Alpha++
+			}
+			next := commCost + s
+			if !approxLess(bCommCost, next) { // prune when next > bCommCost
+				search(next)
+			}
+			// Undo.
+			pp.ids = pp.ids[:savedIDs]
+			pp.degs = pp.degs[:savedIDs]
+			copy(pp.degs, savedDegs)
+			pp.m, pp.k = savedM, savedK
+			pp.used[u] = false
+			order = order[:len(order)-1]
+			used[u] = false
+		}
+	}
+	search(0)
+
+	res.CandidateOrders = cand
+	best := Cost{Communication: math.Inf(1), Computation: math.Inf(1)}
+	for _, o := range cand {
+		pl, err := Generate(p, o, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Beta++
+		c := EstimateCost(pl, st)
+		if c.Less(best) || res.Plan == nil {
+			best = c
+			res.Plan = pl
+		}
+	}
+	res.Cost = best
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}

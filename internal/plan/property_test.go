@@ -1,0 +1,211 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"benu/internal/estimate"
+	"benu/internal/graph"
+)
+
+// Property-based tests over random patterns and matching orders: every
+// optimization level must yield a structurally valid plan, preserve the
+// DBQ/ENU skeleton that encodes the matching order, and keep the VCBC
+// metadata consistent.
+
+// randomPattern derives a connected pattern from a seed.
+func randomPattern(seed int64) *graph.Pattern {
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(5)
+	var edges [][2]int64
+	for v := int64(1); v < int64(n); v++ {
+		edges = append(edges, [2]int64{rng.Int63n(v), v})
+	}
+	for u := int64(0); u < int64(n); u++ {
+		for v := u + 1; v < int64(n); v++ {
+			if rng.Float64() < 0.35 {
+				edges = append(edges, [2]int64{u, v})
+			}
+		}
+	}
+	return graph.MustPattern("prop", n, edges)
+}
+
+// randomOrder derives a random matching order.
+func randomOrder(n int, seed int64) []int {
+	return rand.New(rand.NewSource(seed)).Perm(n)
+}
+
+func allOptionLevels() []Options {
+	return []Options{
+		{},
+		{CSE: true},
+		{CSE: true, Reorder: true},
+		{CSE: true, Reorder: true, TriangleCache: true},
+		{CSE: true, Reorder: true, TriangleCache: true, VCBC: true},
+		{CSE: true, Reorder: true, TriangleCache: true, CliqueCache: true, DegreeFilter: true, VCBC: true},
+	}
+}
+
+func TestPropertyEveryLevelValidates(t *testing.T) {
+	check := func(seed int64) bool {
+		p := randomPattern(seed)
+		order := randomOrder(p.NumVertices(), seed+1)
+		for _, opts := range allOptionLevels() {
+			pl, err := Generate(p, order, opts)
+			if err != nil {
+				t.Logf("seed %d opts %+v: %v", seed, opts, err)
+				return false
+			}
+			if err := pl.Validate(); err != nil {
+				t.Logf("seed %d opts %+v: invalid: %v\n%s", seed, opts, err, pl)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDBQCountInvariant(t *testing.T) {
+	// The number of DBQ instructions is a function of (pattern, order)
+	// alone: one per vertex with a later neighbor. No optimization may
+	// add or drop database queries (only VCBC can drop, and only for
+	// free vertices, which never have a DBQ).
+	check := func(seed int64) bool {
+		p := randomPattern(seed)
+		order := randomOrder(p.NumVertices(), seed+1)
+		want := 0
+		pos := make([]int, p.NumVertices())
+		for i, u := range order {
+			pos[u] = i
+		}
+		for u := 0; u < p.NumVertices(); u++ {
+			for _, w := range p.Adj(int64(u)) {
+				if pos[w] > pos[u] {
+					want++
+					break
+				}
+			}
+		}
+		for _, opts := range allOptionLevels() {
+			pl, err := Generate(p, order, opts)
+			if err != nil {
+				return false
+			}
+			if pl.NumDBQ() != want {
+				t.Logf("seed %d opts %+v: DBQ = %d, want %d\n%s", seed, opts, pl.NumDBQ(), want, pl)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyVCBCCoverIsMinimalPrefix(t *testing.T) {
+	check := func(seed int64) bool {
+		p := randomPattern(seed)
+		order := randomOrder(p.NumVertices(), seed+1)
+		pl, err := Generate(p, order, AllOptions)
+		if err != nil {
+			return false
+		}
+		if !pl.Compressed {
+			// The whole order is a minimal cover: the prefix of size
+			// n-1 must not cover.
+			vs := make([]int64, 0, p.NumVertices()-1)
+			for _, u := range order[:p.NumVertices()-1] {
+				vs = append(vs, int64(u))
+			}
+			return !p.IsVertexCover(vs)
+		}
+		k := pl.CoverSize
+		cov := make([]int64, 0, k)
+		for _, u := range order[:k] {
+			cov = append(cov, int64(u))
+		}
+		if !p.IsVertexCover(cov) {
+			t.Logf("seed %d: prefix %v is not a cover", seed, cov)
+			return false
+		}
+		if k > 1 && p.IsVertexCover(cov[:k-1]) {
+			t.Logf("seed %d: cover prefix %d not minimal", seed, k)
+			return false
+		}
+		// Free vertices form an independent set.
+		for i, a := range pl.Free {
+			for _, b := range pl.Free[i+1:] {
+				if p.HasEdge(int64(a), int64(b)) {
+					t.Logf("seed %d: free vertices %d,%d adjacent", seed, a, b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCSEIdempotent(t *testing.T) {
+	// Running CSE on an already-CSE'd plan changes nothing.
+	check := func(seed int64) bool {
+		p := randomPattern(seed)
+		order := randomOrder(p.NumVertices(), seed+1)
+		once, err := Generate(p, order, Options{CSE: true})
+		if err != nil {
+			return false
+		}
+		twice, err := Optimize(once, Options{CSE: true})
+		if err != nil {
+			return false
+		}
+		return once.String() == twice.String()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyReorderIdempotent(t *testing.T) {
+	check := func(seed int64) bool {
+		p := randomPattern(seed)
+		order := randomOrder(p.NumVertices(), seed+1)
+		once, err := Generate(p, order, Options{CSE: true, Reorder: true})
+		if err != nil {
+			return false
+		}
+		twice, err := Optimize(once, Options{Reorder: true})
+		if err != nil {
+			return false
+		}
+		return once.String() == twice.String()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCostNonNegativeAndMonotone(t *testing.T) {
+	st := estimate.UniformStats(10000, 12)
+	check := func(seed int64) bool {
+		p := randomPattern(seed)
+		order := randomOrder(p.NumVertices(), seed+1)
+		pl, err := Generate(p, order, OptimizedUncompressed)
+		if err != nil {
+			return false
+		}
+		c := EstimateCost(pl, st)
+		return c.Communication >= 0 && c.Computation >= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

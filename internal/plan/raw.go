@@ -1,0 +1,194 @@
+package plan
+
+import (
+	"fmt"
+
+	"benu/internal/graph"
+)
+
+// Raw generates the raw (unoptimized) execution plan for pattern p and
+// matching order (§IV-A). The order is given as 0-based pattern vertex
+// ids. The returned plan has had uni-operand elimination applied, as in
+// the paper.
+func Raw(p *graph.Pattern, order []int) (*Plan, error) {
+	n := p.NumVertices()
+	if len(order) != n {
+		return nil, fmt.Errorf("plan: order length %d != pattern size %d", len(order), n)
+	}
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, u := range order {
+		if u < 0 || u >= n || pos[u] >= 0 {
+			return nil, fmt.Errorf("plan: order %v is not a permutation of 0..%d", order, n-1)
+		}
+		pos[u] = i
+	}
+
+	// Symmetry-breaking constraints indexed for O(1) lookup.
+	// sbLess[a][b] means "f_a ≺ f_b required".
+	sbLess := make([]map[int]bool, n)
+	for i := range sbLess {
+		sbLess[i] = make(map[int]bool)
+	}
+	for _, c := range p.SymmetryBreaking() {
+		sbLess[c[0]][int(c[1])] = true
+	}
+
+	pl := &Plan{Pattern: p, Order: append([]int(nil), order...), nextTemp: n}
+	add := func(in Instruction) { pl.Instrs = append(pl.Instrs, in) }
+
+	hasLaterNeighbor := func(u int) bool {
+		for _, w := range p.Adj(int64(u)) {
+			if pos[w] > pos[u] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Instructions for the first vertex u_{k1}.
+	first := order[0]
+	add(Instruction{Op: OpINI, Target: VarRef{Kind: VarF, Index: first}})
+	if hasLaterNeighbor(first) {
+		add(Instruction{
+			Op:       OpDBQ,
+			Target:   VarRef{Kind: VarA, Index: first},
+			Operands: []VarRef{{Kind: VarF, Index: first}},
+		})
+	}
+
+	// Instructions for each remaining vertex in order.
+	for i := 1; i < n; i++ {
+		u := order[i]
+
+		// 1) T_u := Intersect(adjacency sets of earlier matched neighbors),
+		//    operands ordered by matching-order position; V(G) if none.
+		var ops []VarRef
+		for j := 0; j < i; j++ {
+			w := order[j]
+			if p.HasEdge(int64(u), int64(w)) {
+				ops = append(ops, VarRef{Kind: VarA, Index: w})
+			}
+		}
+		if len(ops) == 0 {
+			ops = []VarRef{VG}
+		}
+		add(Instruction{Op: OpINT, Target: VarRef{Kind: VarT, Index: u}, Operands: ops})
+
+		// 2) C_u := Intersect(T_u) | filtering conditions.
+		var filters []FilterCond
+		if p.Labeled() {
+			filters = append(filters, FilterCond{Kind: FilterLabel, Label: p.Label(int64(u))})
+		}
+		for j := 0; j < i; j++ {
+			w := order[j]
+			switch {
+			case sbLess[w][u]:
+				filters = append(filters, FilterCond{Kind: FilterGT, Vertex: w})
+			case sbLess[u][w]:
+				filters = append(filters, FilterCond{Kind: FilterLT, Vertex: w})
+			case !p.HasEdge(int64(u), int64(w)):
+				// Injective condition; omitted for neighbors because
+				// T_u ⊆ A_w and f_w ∉ A_w imply f_w ∉ T_u.
+				filters = append(filters, FilterCond{Kind: FilterNE, Vertex: w})
+			}
+		}
+		add(Instruction{
+			Op:       OpINT,
+			Target:   VarRef{Kind: VarC, Index: u},
+			Operands: []VarRef{{Kind: VarT, Index: u}},
+			Filters:  filters,
+		})
+
+		// 3) f_u := Foreach(C_u).
+		add(Instruction{
+			Op:       OpENU,
+			Target:   VarRef{Kind: VarF, Index: u},
+			Operands: []VarRef{{Kind: VarC, Index: u}},
+		})
+
+		// 4) A_u := GetAdj(f_u), only if a later neighbor will need it.
+		if hasLaterNeighbor(u) {
+			add(Instruction{
+				Op:       OpDBQ,
+				Target:   VarRef{Kind: VarA, Index: u},
+				Operands: []VarRef{{Kind: VarF, Index: u}},
+			})
+		}
+	}
+
+	// RES instruction reporting f_1..f_n in vertex-id order.
+	res := Instruction{Op: OpRES}
+	for v := 0; v < n; v++ {
+		res.Operands = append(res.Operands, VarRef{Kind: VarF, Index: v})
+	}
+	add(res)
+
+	uniOperandElim(pl)
+	return pl, nil
+}
+
+// uniOperandElim removes INT instructions of the form X := Intersect(Y)
+// with no filtering conditions, substituting Y for X everywhere (§IV-A).
+func uniOperandElim(pl *Plan) {
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < len(pl.Instrs); i++ {
+			in := &pl.Instrs[i]
+			if in.Op != OpINT || len(in.Operands) != 1 || len(in.Filters) != 0 {
+				continue
+			}
+			target, repl := in.Target, in.Operands[0]
+			pl.Instrs = append(pl.Instrs[:i], pl.Instrs[i+1:]...)
+			for j := range pl.Instrs {
+				pl.Instrs[j].replaceOperand(target, repl)
+			}
+			changed = true
+			i--
+		}
+	}
+}
+
+// deadCodeElim removes instructions whose target is never read. INI, ENU
+// and RES instructions are always kept (they have side effects on the
+// search structure). Runs to a fixed point.
+func deadCodeElim(pl *Plan) {
+	for {
+		used := make(map[VarRef]bool)
+		for i := range pl.Instrs {
+			in := &pl.Instrs[i]
+			for _, o := range in.Operands {
+				used[o] = true
+			}
+			if in.Op == OpTRC {
+				for _, k := range in.KeyVerts {
+					used[VarRef{Kind: VarF, Index: k}] = true
+				}
+			}
+			for _, f := range in.Filters {
+				if f.refsF() {
+					used[VarRef{Kind: VarF, Index: f.Vertex}] = true
+				}
+			}
+		}
+		removed := false
+		for i := 0; i < len(pl.Instrs); i++ {
+			in := &pl.Instrs[i]
+			switch in.Op {
+			case OpINI, OpENU, OpRES:
+				continue
+			}
+			if !used[in.Target] {
+				pl.Instrs = append(pl.Instrs[:i], pl.Instrs[i+1:]...)
+				removed = true
+				i--
+			}
+		}
+		if !removed {
+			return
+		}
+	}
+}

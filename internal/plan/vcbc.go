@@ -1,0 +1,115 @@
+package plan
+
+import "fmt"
+
+// compressVCBC rewrites an execution plan to emit VCBC-compressed
+// matching results (§IV-B "Support VCBC Compression").
+//
+// Let k be the smallest prefix of the matching order that forms a vertex
+// cover V_c of P. The matches of the first k vertices are the helves. For
+// every pattern vertex u_j outside V_c the rewrite deletes the ENU
+// instruction of f_j, removes f_j from the filtering conditions of other
+// instructions, and replaces f_j in the RES instruction with u_j's
+// candidate set, which equals the conditional image set of the VCBC code.
+//
+// Constraints removed between two free (non-cover) vertices are recorded
+// in Plan.FreeOrderConstraints so counting/expansion can re-apply them.
+// Injectivity among free vertices is always re-applied at that stage.
+func compressVCBC(pl *Plan) error {
+	p := pl.Pattern
+	n := p.NumVertices()
+	k := coverPrefix(pl)
+	if k >= n {
+		return nil // the whole order is needed: nothing to compress
+	}
+	pl.Compressed = true
+	pl.CoverSize = k
+
+	inCover := make([]bool, n)
+	for i := 0; i < k; i++ {
+		inCover[pl.Order[i]] = true
+	}
+	for v := 0; v < n; v++ {
+		if !inCover[v] {
+			pl.Free = append(pl.Free, v)
+		}
+	}
+
+	// Record symmetry-breaking constraints between two free vertices:
+	// they are about to be dropped from instruction filters.
+	for _, c := range p.SymmetryBreaking() {
+		a, b := int(c[0]), int(c[1])
+		if !inCover[a] && !inCover[b] {
+			pl.FreeOrderConstraints = append(pl.FreeOrderConstraints, [2]int{a, b})
+		}
+	}
+
+	// The RES operand for a free vertex becomes its ENU source set.
+	resSource := make(map[int]VarRef, n-k)
+	for i := range pl.Instrs {
+		in := &pl.Instrs[i]
+		if in.Op == OpENU && !inCover[in.Target.Index] {
+			resSource[in.Target.Index] = in.Operands[0]
+		}
+	}
+	for _, v := range pl.Free {
+		if _, ok := resSource[v]; !ok {
+			return fmt.Errorf("plan: no ENU instruction found for free vertex u%d", v+1)
+		}
+	}
+
+	kept := pl.Instrs[:0]
+	for i := range pl.Instrs {
+		in := pl.Instrs[i]
+		switch {
+		case in.Op == OpENU && !inCover[in.Target.Index]:
+			continue // delete the ENU of a free vertex
+		case in.Op == OpDBQ && !inCover[in.Target.Index]:
+			// Cannot occur for a valid cover (free vertices have no later
+			// neighbors), but deleting is the safe response.
+			continue
+		case in.Op == OpRES:
+			for j := range in.Operands {
+				o := in.Operands[j]
+				if o.Kind == VarF && !inCover[o.Index] {
+					in.Operands[j] = resSource[o.Index]
+				}
+			}
+		default:
+			// Remove filtering conditions referencing free f variables.
+			ff := in.Filters[:0]
+			for _, f := range in.Filters {
+				if !f.refsF() || inCover[f.Vertex] {
+					ff = append(ff, f)
+				}
+			}
+			in.Filters = ff
+		}
+		kept = append(kept, in)
+	}
+	pl.Instrs = kept
+	return nil
+}
+
+// coverPrefix returns the smallest k such that the first k vertices of the
+// matching order form a vertex cover of the pattern.
+func coverPrefix(pl *Plan) int {
+	p := pl.Pattern
+	n := p.NumVertices()
+	inPrefix := make([]bool, n)
+	for k := 1; k <= n; k++ {
+		inPrefix[pl.Order[k-1]] = true
+		covered := true
+		p.Graph().Edges(func(u, v int64) bool {
+			if !inPrefix[u] && !inPrefix[v] {
+				covered = false
+				return false
+			}
+			return true
+		})
+		if covered {
+			return k
+		}
+	}
+	return n
+}

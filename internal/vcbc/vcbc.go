@@ -1,0 +1,246 @@
+// Package vcbc implements the vertex-cover-based compression of matching
+// results (Qiao et al. [6]) that BENU execution plans can emit directly
+// (§IV-B "Support VCBC Compression").
+//
+// A compressed code consists of a helve — the match of the cover prefix of
+// the matching order — and one conditional image set per non-cover
+// ("free") pattern vertex. Because a vertex cover touches every pattern
+// edge, free vertices form an independent set: expanding a code only has
+// to enforce injectivity and any symmetry-breaking order constraints
+// among the free vertices, never adjacency.
+package vcbc
+
+import (
+	"fmt"
+	"sort"
+
+	"benu/internal/graph"
+)
+
+// Code is one VCBC-compressed result: the helve (data vertices matched to
+// the cover vertices) plus the conditional image set of each free vertex.
+//
+// CoverVertices and FreeVertices index the pattern; Helve is parallel to
+// CoverVertices and Images to FreeVertices.
+type Code struct {
+	CoverVertices []int
+	Helve         []int64
+	FreeVertices  []int
+	Images        [][]int64
+}
+
+// SizeBytes returns the wire size of the code at 8 bytes per vertex id.
+func (c *Code) SizeBytes() int64 {
+	n := int64(len(c.Helve))
+	for _, img := range c.Images {
+		n += int64(len(img))
+	}
+	return n * 8
+}
+
+// String renders the code compactly for logs and examples.
+func (c *Code) String() string {
+	s := "helve("
+	for i, u := range c.CoverVertices {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("u%d=v%d", u+1, c.Helve[i]+1)
+	}
+	s += ")"
+	for i, u := range c.FreeVertices {
+		s += fmt.Sprintf(" C(u%d)=%v", u+1, c.Images[i])
+	}
+	return s
+}
+
+// Count returns the number of complete matches the code expands to:
+// injective assignments of the free vertices to their image sets that
+// satisfy the order constraints (pairs (a, b) of free pattern vertices
+// meaning image(a) ≺ image(b) under ord).
+//
+// The count is computed exactly by a subset dynamic program that sweeps
+// candidate data vertices in ascending ≺-rank: each value may be assigned
+// to at most one free vertex, and a constrained vertex only becomes
+// assignable after its predecessors (values strictly below it) have been
+// assigned. Complexity O(|∪images| · 2^t · t) for t free vertices.
+func (c *Code) Count(constraints [][2]int, ord *graph.TotalOrder) int64 {
+	// Plan-emitted codes already exclude helve vertices from image sets
+	// (the compression rewrite keeps every cover-referencing filter), but
+	// hand-built codes may not — filter defensively so Count and Expand
+	// always agree.
+	images := c.Images
+	usedHelve := make(map[int64]bool, len(c.Helve))
+	for _, v := range c.Helve {
+		usedHelve[v] = true
+	}
+	needFilter := false
+	for _, img := range images {
+		for _, v := range img {
+			if usedHelve[v] {
+				needFilter = true
+			}
+		}
+	}
+	if needFilter {
+		filtered := make([][]int64, len(images))
+		for i, img := range images {
+			out := make([]int64, 0, len(img))
+			for _, v := range img {
+				if !usedHelve[v] {
+					out = append(out, v)
+				}
+			}
+			filtered[i] = out
+		}
+		images = filtered
+	}
+	return CountInjective(c.FreeVertices, images, constraints, ord)
+}
+
+// CountInjective counts injective assignments f(free[i]) ∈ images[i]
+// subject to order constraints (a, b): f(a) ≺ f(b). See Code.Count.
+func CountInjective(free []int, images [][]int64, constraints [][2]int, ord *graph.TotalOrder) int64 {
+	t := len(free)
+	if t == 0 {
+		return 1
+	}
+	if t == 1 {
+		return int64(len(images[0]))
+	}
+	// pred[i] = bitmask of free-vertex indices that must receive a
+	// ≺-smaller value than free[i].
+	idx := make(map[int]int, t)
+	for i, u := range free {
+		idx[u] = i
+	}
+	pred := make([]uint32, t)
+	for _, con := range constraints {
+		a, aok := idx[con[0]]
+		b, bok := idx[con[1]]
+		if aok && bok {
+			pred[b] |= 1 << uint(a)
+		}
+	}
+
+	// Candidate values: union of the image sets, sorted by ≺-rank.
+	var union []int64
+	seen := make(map[int64][]int, 64) // value -> free indices whose image contains it
+	for i, img := range images {
+		for _, v := range img {
+			if _, ok := seen[v]; !ok {
+				union = append(union, v)
+			}
+			seen[v] = append(seen[v], i)
+		}
+	}
+	sort.Slice(union, func(i, j int) bool { return ord.Less(union[i], union[j]) })
+
+	full := uint32(1)<<uint(t) - 1
+	dp := make([]int64, full+1)
+	ndp := make([]int64, full+1)
+	dp[0] = 1
+	for _, v := range union {
+		copy(ndp, dp)
+		holders := seen[v]
+		for mask := uint32(0); mask <= full; mask++ {
+			if dp[mask] == 0 {
+				continue
+			}
+			for _, i := range holders {
+				bit := uint32(1) << uint(i)
+				if mask&bit != 0 {
+					continue
+				}
+				if pred[i]&^mask != 0 {
+					continue // some predecessor not yet assigned a smaller value
+				}
+				ndp[mask|bit] += dp[mask]
+			}
+		}
+		dp, ndp = ndp, dp
+	}
+	return dp[full]
+}
+
+// Expand enumerates the complete matches of the code, calling emit with
+// each full match f (indexed by pattern vertex; reused between calls —
+// copy to retain). n is the pattern's vertex count. Enumeration respects
+// injectivity and the given order constraints. It stops early if emit
+// returns false; Expand reports whether enumeration ran to completion.
+func (c *Code) Expand(n int, constraints [][2]int, ord *graph.TotalOrder, emit func(f []int64) bool) bool {
+	f := make([]int64, n)
+	for i := range f {
+		f[i] = -1
+	}
+	for i, u := range c.CoverVertices {
+		f[u] = c.Helve[i]
+	}
+	idx := make(map[int]int, len(c.FreeVertices))
+	for i, u := range c.FreeVertices {
+		idx[u] = i
+	}
+	usedHelve := make(map[int64]bool, len(c.Helve))
+	for _, v := range c.Helve {
+		usedHelve[v] = true
+	}
+
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(c.FreeVertices) {
+			return emit(f)
+		}
+		u := c.FreeVertices[i]
+		for _, v := range c.Images[i] {
+			if usedHelve[v] {
+				// The plan's remaining filters already exclude helve
+				// vertices from image sets, but expansion double-checks so
+				// hand-built codes behave too.
+				continue
+			}
+			ok := true
+			for j := 0; j < i && ok; j++ {
+				if f[c.FreeVertices[j]] == v {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, con := range constraints {
+				a, aok := idx[con[0]]
+				b, bok := idx[con[1]]
+				if !aok || !bok {
+					continue
+				}
+				av, bv := int64(-1), int64(-1)
+				if a <= i {
+					av = f[c.FreeVertices[a]]
+				}
+				if b <= i {
+					bv = f[c.FreeVertices[b]]
+				}
+				if a == i {
+					av = v
+				}
+				if b == i {
+					bv = v
+				}
+				if av >= 0 && bv >= 0 && !ord.Less(av, bv) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			f[u] = v
+			if !rec(i + 1) {
+				return false
+			}
+			f[u] = -1
+		}
+		return true
+	}
+	return rec(0)
+}

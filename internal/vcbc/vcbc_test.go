@@ -1,0 +1,242 @@
+package vcbc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"benu/internal/graph"
+)
+
+// bruteCount enumerates injective order-respecting assignments naively.
+func bruteCount(free []int, images [][]int64, constraints [][2]int, ord *graph.TotalOrder) int64 {
+	idx := make(map[int]int)
+	for i, u := range free {
+		idx[u] = i
+	}
+	var count int64
+	assign := make([]int64, len(free))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(free) {
+			count++
+			return
+		}
+	next:
+		for _, v := range images[i] {
+			for j := 0; j < i; j++ {
+				if assign[j] == v {
+					continue next
+				}
+			}
+			assign[i] = v
+			ok := true
+			for _, c := range constraints {
+				a, aok := idx[c[0]]
+				b, bok := idx[c[1]]
+				if !aok || !bok || a > i || b > i {
+					continue
+				}
+				if !ord.Less(assign[a], assign[b]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(i + 1)
+			}
+		}
+	}
+	rec(0)
+	return count
+}
+
+func randImages(rng *rand.Rand, t, maxVal int) [][]int64 {
+	images := make([][]int64, t)
+	for i := range images {
+		n := 1 + rng.Intn(6)
+		seen := map[int64]bool{}
+		for len(seen) < n {
+			seen[rng.Int63n(int64(maxVal))] = true
+		}
+		for v := range seen {
+			images[i] = append(images[i], v)
+		}
+		sort.Slice(images[i], func(a, b int) bool { return images[i][a] < images[i][b] })
+	}
+	return images
+}
+
+func TestCountInjectiveAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ord := graph.IdentityOrder(20)
+	for trial := 0; trial < 300; trial++ {
+		tt := 1 + rng.Intn(4)
+		free := make([]int, tt)
+		for i := range free {
+			free[i] = i
+		}
+		images := randImages(rng, tt, 20)
+		var constraints [][2]int
+		for a := 0; a < tt; a++ {
+			for b := 0; b < tt; b++ {
+				if a != b && rng.Float64() < 0.25 {
+					constraints = append(constraints, [2]int{a, b})
+				}
+			}
+		}
+		got := CountInjective(free, images, constraints, ord)
+		want := bruteCount(free, images, constraints, ord)
+		if got != want {
+			t.Fatalf("trial %d: got %d, want %d (images=%v constraints=%v)",
+				trial, got, want, images, constraints)
+		}
+	}
+}
+
+func TestCountInjectiveEdgeCases(t *testing.T) {
+	ord := graph.IdentityOrder(10)
+	if got := CountInjective(nil, nil, nil, ord); got != 1 {
+		t.Errorf("empty free set: %d, want 1", got)
+	}
+	if got := CountInjective([]int{0}, [][]int64{{1, 2, 3}}, nil, ord); got != 3 {
+		t.Errorf("single vertex: %d, want 3", got)
+	}
+	// Two identical sets, no constraints: ordered injective pairs.
+	if got := CountInjective([]int{0, 1}, [][]int64{{1, 2, 3}, {1, 2, 3}}, nil, ord); got != 6 {
+		t.Errorf("identical pair: %d, want 6", got)
+	}
+	// Same with the constraint 0 < 1: only ascending pairs.
+	if got := CountInjective([]int{0, 1}, [][]int64{{1, 2, 3}, {1, 2, 3}}, [][2]int{{0, 1}}, ord); got != 3 {
+		t.Errorf("constrained pair: %d, want 3", got)
+	}
+	// Empty image: zero.
+	if got := CountInjective([]int{0, 1}, [][]int64{{}, {1}}, nil, ord); got != 0 {
+		t.Errorf("empty image: %d, want 0", got)
+	}
+}
+
+func TestCountInjectiveRespectsTotalOrder(t *testing.T) {
+	// Order by rank, not by id: build a graph where ids and ranks differ.
+	g := graph.FromEdges(4, [][2]int64{{0, 1}, {0, 2}, {0, 3}, {1, 2}})
+	// Degrees: 0→3, 1→2, 2→2, 3→1 so ≺ order is 3, 1, 2, 0.
+	ord := graph.NewTotalOrder(g)
+	// constraint 0<1 over identical sets {0, 3}: pairs with first ≺ second:
+	// (3, 0) only (3 ≺ 0; 0 ⊀ 3).
+	got := CountInjective([]int{0, 1}, [][]int64{{0, 3}, {0, 3}}, [][2]int{{0, 1}}, ord)
+	if got != 1 {
+		t.Errorf("rank-based count = %d, want 1", got)
+	}
+}
+
+func TestExpandAgreesWithCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ord := graph.IdentityOrder(30)
+	for trial := 0; trial < 100; trial++ {
+		tt := 1 + rng.Intn(3)
+		images := randImages(rng, tt, 25)
+		free := make([]int, tt)
+		for i := range free {
+			free[i] = 2 + i // pattern vertices 2..; cover is {0, 1}
+		}
+		var constraints [][2]int
+		if tt >= 2 && rng.Float64() < 0.5 {
+			constraints = append(constraints, [2]int{free[0], free[1]})
+		}
+		code := &Code{
+			CoverVertices: []int{0, 1},
+			Helve:         []int64{26, 27},
+			FreeVertices:  free,
+			Images:        images,
+		}
+		want := code.Count(constraints, ord)
+		var got int64
+		code.Expand(2+tt, constraints, ord, func(f []int64) bool {
+			got++
+			// Full match must bind every vertex.
+			for _, v := range f {
+				if v < 0 {
+					t.Fatal("unbound vertex in expanded match")
+				}
+			}
+			return true
+		})
+		if got != want {
+			t.Fatalf("trial %d: expand %d != count %d", trial, got, want)
+		}
+	}
+}
+
+func TestExpandFiltersHelveCollisions(t *testing.T) {
+	ord := graph.IdentityOrder(10)
+	code := &Code{
+		CoverVertices: []int{0},
+		Helve:         []int64{5},
+		FreeVertices:  []int{1},
+		Images:        [][]int64{{4, 5, 6}}, // 5 collides with the helve
+	}
+	if got := code.Count(nil, ord); got != 2 {
+		t.Errorf("count = %d, want 2", got)
+	}
+	var got int64
+	code.Expand(2, nil, ord, func([]int64) bool { got++; return true })
+	if got != 2 {
+		t.Errorf("expand = %d, want 2", got)
+	}
+}
+
+func TestExpandEarlyStop(t *testing.T) {
+	ord := graph.IdentityOrder(10)
+	code := &Code{
+		CoverVertices: []int{0},
+		Helve:         []int64{9},
+		FreeVertices:  []int{1},
+		Images:        [][]int64{{1, 2, 3}},
+	}
+	calls := 0
+	done := code.Expand(2, nil, ord, func([]int64) bool { calls++; return false })
+	if done || calls != 1 {
+		t.Errorf("early stop: done=%v calls=%d", done, calls)
+	}
+}
+
+func TestCodeSizeBytes(t *testing.T) {
+	code := &Code{
+		CoverVertices: []int{0, 1},
+		Helve:         []int64{1, 2},
+		FreeVertices:  []int{2},
+		Images:        [][]int64{{3, 4, 5}},
+	}
+	if got := code.SizeBytes(); got != (2+3)*8 {
+		t.Errorf("SizeBytes = %d, want 40", got)
+	}
+	if code.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestCountInjectivePermutationInvariance(t *testing.T) {
+	// Property: permuting the (unconstrained) free vertices leaves the
+	// count unchanged.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ord := graph.IdentityOrder(15)
+		tt := 2 + rng.Intn(3)
+		images := randImages(rng, tt, 15)
+		free := make([]int, tt)
+		for i := range free {
+			free[i] = i
+		}
+		base := CountInjective(free, images, nil, ord)
+		perm := rng.Perm(tt)
+		pImages := make([][]int64, tt)
+		for i, p := range perm {
+			pImages[i] = images[p]
+		}
+		return CountInjective(free, pImages, nil, ord) == base
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
