@@ -1,0 +1,41 @@
+# Development targets. `make check` is the tier-1 verification gate
+# (build + vet + tests); `make race` adds the race detector over the
+# concurrency-heavy packages. Everything is stdlib-only Go — no tools to
+# install.
+
+GO ?= go
+
+.PHONY: all build test short race vet bench check clean
+
+all: check
+
+## build: compile every package and binary
+build:
+	$(GO) build ./...
+
+## test: the full test suite (~1 min; includes the experiment regenerators)
+test:
+	$(GO) test ./...
+
+## short: the quick suite (skips the experiment regenerators)
+short:
+	$(GO) test -short ./...
+
+## race: race-detector pass over the concurrent packages (obs registry,
+## simulated cluster, KV store, cache)
+race:
+	$(GO) test -race ./internal/obs ./internal/cluster ./internal/kv ./internal/cache
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## bench: micro-benchmarks and quick-mode experiment wrappers
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+## check: tier-1 verification — what CI (and the next PR) must keep green
+check: build vet test race
+
+clean:
+	$(GO) clean ./...

@@ -15,6 +15,7 @@ import (
 	"benu/internal/gen"
 	"benu/internal/graph"
 	"benu/internal/kv"
+	"benu/internal/obs"
 	"benu/internal/plan"
 	"benu/internal/vcbc"
 )
@@ -44,6 +45,13 @@ type (
 	Code = vcbc.Code
 	// Store serves adjacency sets (the distributed database interface).
 	Store = kv.Store
+	// Metrics is a concurrency-safe registry of counters, gauges, and
+	// histograms — the unified observability layer every runtime package
+	// reports into. See docs/METRICS.md for the metric name reference.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a Metrics registry; it
+	// renders to aligned text (WriteText) and JSON (JSON).
+	MetricsSnapshot = obs.Snapshot
 )
 
 // NewGraph builds a data graph with n vertices from an edge list.
@@ -102,6 +110,15 @@ type Options struct {
 	// Cluster overrides the simulated cluster configuration; nil =
 	// cluster.Defaults for the data graph.
 	Cluster *ClusterConfig
+	// Metrics, when non-nil, is the registry the run records into: task
+	// and straggler histograms, DB traffic, cache behaviour, store query
+	// latency (the store is wrapped for timing). nil falls back to the
+	// process-wide default registry, without store latency timing.
+	Metrics *Metrics
+	// Observer, when non-nil, receives the metrics snapshot of the
+	// finished run. When Metrics is nil a private registry is created for
+	// the run, so the snapshot covers exactly this enumeration.
+	Observer func(*MetricsSnapshot)
 }
 
 func (o *Options) resolve(g *Graph) (PlanOptions, ClusterConfig) {
@@ -121,6 +138,43 @@ func (o *Options) resolve(g *Graph) (PlanOptions, ClusterConfig) {
 	return popts, cfg
 }
 
+// registry returns the registry this run should record into, or nil when
+// neither Metrics nor Observer asks for one.
+func (o *Options) registry() *Metrics {
+	if o == nil {
+		return nil
+	}
+	if o.Metrics != nil {
+		return o.Metrics
+	}
+	if o.Observer != nil {
+		return NewMetrics()
+	}
+	return nil
+}
+
+// instrument wires reg into the run: the cluster config reports there and
+// the store is wrapped with latency observation. A nil reg leaves both
+// untouched (cluster.Run then uses the process-wide default registry).
+func (o *Options) instrument(reg *Metrics, cfg *ClusterConfig, store Store) Store {
+	if reg == nil {
+		return store
+	}
+	cfg.Obs = reg
+	return kv.ObserveStore(store, reg)
+}
+
+// observe delivers the final snapshot to the Observer, if any.
+func (o *Options) observe(reg *Metrics) {
+	if o != nil && o.Observer != nil {
+		o.Observer(reg.Snapshot())
+	}
+}
+
+// NewMetrics creates an empty metrics registry to pass as
+// Options.Metrics (or as ClusterConfig.Obs for RunOnStore).
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
 // Count enumerates p in g on the simulated cluster and returns the
 // result summary (Result.Matches is the subgraph count).
 func Count(p *Pattern, g *Graph, opts *Options) (*Result, error) {
@@ -129,7 +183,14 @@ func Count(p *Pattern, g *Graph, opts *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cluster.Run(pl, kv.NewLocal(g), graph.NewTotalOrder(g), g.Degree, cfg)
+	reg := opts.registry()
+	store := opts.instrument(reg, &cfg, kv.NewLocal(g))
+	res, err := cluster.Run(pl, store, graph.NewTotalOrder(g), g.Degree, cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts.observe(reg)
+	return res, nil
 }
 
 // Enumerate streams every match of p in g to emit. The slice is indexed
@@ -144,7 +205,14 @@ func Enumerate(p *Pattern, g *Graph, opts *Options, emit func(match []int64) boo
 		return nil, err
 	}
 	cfg.Emit = emit
-	return cluster.Run(pl, kv.NewLocal(g), graph.NewTotalOrder(g), g.Degree, cfg)
+	reg := opts.registry()
+	store := opts.instrument(reg, &cfg, kv.NewLocal(g))
+	res, err := cluster.Run(pl, store, graph.NewTotalOrder(g), g.Degree, cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts.observe(reg)
+	return res, nil
 }
 
 // EnumerateCodes streams VCBC-compressed results to emit under the same
@@ -158,19 +226,31 @@ func EnumerateCodes(p *Pattern, g *Graph, opts *Options, emit func(c *Code) bool
 		return nil, nil, err
 	}
 	cfg.EmitCode = emit
-	res, err := cluster.Run(pl, kv.NewLocal(g), graph.NewTotalOrder(g), g.Degree, cfg)
+	reg := opts.registry()
+	store := opts.instrument(reg, &cfg, kv.NewLocal(g))
+	res, err := cluster.Run(pl, store, graph.NewTotalOrder(g), g.Degree, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
+	opts.observe(reg)
 	return pl, res, nil
 }
 
 // RunOnStore executes a previously generated plan against any adjacency
 // store — e.g. a TCP-backed kv.Client spanning storage nodes — with the
-// given degree oracle for task splitting.
+// given degree oracle for task splitting. Set cfg.Obs to a NewMetrics
+// registry (and wrap the store with ObserveStore) to collect the run's
+// metrics in isolation.
 func RunOnStore(pl *ExecutionPlan, store Store, ord *TotalOrder, degree func(v int64) int, cfg ClusterConfig) (*Result, error) {
 	return cluster.Run(pl, store, ord, degree, cfg)
 }
+
+// ObserveStore wraps store with per-query latency observation recording
+// into reg: histograms kv.<backend>.get_latency_ns and
+// kv.<backend>.batchget_latency_ns plus an error counter (see
+// docs/METRICS.md). Use with RunOnStore; Count/Enumerate wrap their
+// store automatically when Options.Metrics or Options.Observer is set.
+func ObserveStore(store Store, reg *Metrics) Store { return kv.ObserveStore(store, reg) }
 
 // ServeGraph shards g over p TCP storage nodes on loopback and returns
 // the servers plus their addresses; DialStore connects a Store to them.

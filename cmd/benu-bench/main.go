@@ -9,16 +9,33 @@
 //
 // Experiment names: table1, exp1/table4, exp2/fig7, exp3/fig8, exp4/fig9,
 // exp5/table5, exp6/table6, exp7/fig10, all.
+//
+// Measurement substrate for performance work:
+//
+//	benu-bench -exp fig9 -metrics            # dump the metrics snapshot
+//	benu-bench -exp table5 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	benu-bench -exp all -pprof localhost:6060 &   # live net/http/pprof
+//
+// -metrics prints the process-wide observability snapshot (every run of
+// the simulated cluster reports into it; see docs/METRICS.md) after the
+// experiments finish. -pprof serves the stdlib net/http/pprof handlers
+// on the given address for live CPU/heap/goroutine inspection, and
+// -cpuprofile/-memprofile write pprof files for offline analysis.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers for -pprof
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"benu/internal/experiments"
+	"benu/internal/obs"
 )
 
 type experiment struct {
@@ -122,11 +139,15 @@ var suite = []experiment{
 
 func main() {
 	var (
-		expName  = flag.String("exp", "all", "experiment to run (see -list)")
-		quick    = flag.Bool("quick", false, "reduced sweeps and budgets")
-		deadline = flag.Duration("deadline", 0, "per-cell time budget for the comparison tables")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		progress = flag.Bool("progress", true, "print per-cell progress to stderr")
+		expName    = flag.String("exp", "all", "experiment to run (see -list)")
+		quick      = flag.Bool("quick", false, "reduced sweeps and budgets")
+		deadline   = flag.Duration("deadline", 0, "per-cell time budget for the comparison tables")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		progress   = flag.Bool("progress", true, "print per-cell progress to stderr")
+		metrics    = flag.Bool("metrics", false, "print the process metrics snapshot after the experiments (see docs/METRICS.md)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -136,6 +157,52 @@ func main() {
 		}
 		return
 	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "benu-bench: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benu-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benu-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer func() {
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benu-bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benu-bench: memprofile: %v\n", err)
+			}
+		}
+	}()
+	defer func() {
+		if *metrics {
+			fmt.Println("\nmetrics snapshot:")
+			if err := obs.Default().Snapshot().WriteText(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "benu-bench: metrics: %v\n", err)
+			}
+		}
+	}()
 
 	opts := experiments.Options{Quick: *quick, CellDeadline: *deadline}
 	if *progress {

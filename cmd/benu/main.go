@@ -7,6 +7,15 @@
 //	benu -pattern q4 -preset ok
 //	benu -pattern clique4 -graph edges.txt -workers 8 -threads 4
 //	benu -pattern triangle -preset as -uncompressed -v
+//	benu -pattern q4 -preset ok -metrics
+//	benu -pattern square -preset as -output results.vcbc
+//
+// -output streams the results to a file: a VCBC-compressed stream for
+// compressed plans (count or expand it with benu-decode), plain
+// space-separated matches otherwise. -metrics prints the observability
+// snapshot of the run — every counter, gauge, and histogram the runtime
+// collected (see docs/METRICS.md); -metrics-json writes the same
+// snapshot as JSON to a file.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"benu/internal/gen"
 	"benu/internal/graph"
 	"benu/internal/kv"
+	"benu/internal/obs"
 	"benu/internal/plan"
 	"benu/internal/vcbc"
 )
@@ -38,6 +48,8 @@ func main() {
 		degreeFilter = flag.Bool("degree-filter", false, "add degree filtering conditions (§IV-A extension)")
 		cliqueCache  = flag.Bool("clique-cache", false, "generalize the triangle cache to pattern cliques (§IV-B extension)")
 		output       = flag.String("output", "", "write results to this file (VCBC stream for compressed plans, text otherwise; decode with benu-decode)")
+		metrics      = flag.Bool("metrics", false, "print the run's metrics snapshot (see docs/METRICS.md)")
+		metricsJSON  = flag.String("metrics-json", "", "write the run's metrics snapshot as JSON to this file")
 		verbose      = flag.Bool("v", false, "print the execution plan and per-worker stats")
 	)
 	flag.Parse()
@@ -47,6 +59,7 @@ func main() {
 		workers: *workers, threads: *threads, cacheRel: *cacheRel, tau: *tau,
 		uncompressed: *uncompressed, degreeFilter: *degreeFilter,
 		cliqueCache: *cliqueCache, output: *output, verbose: *verbose,
+		metrics: *metrics, metricsJSON: *metricsJSON,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "benu:", err)
 		os.Exit(1)
@@ -62,6 +75,8 @@ type runConfig struct {
 	degreeFilter, cliqueCache  bool
 	output                     string
 	verbose                    bool
+	metrics                    bool
+	metricsJSON                string
 }
 
 func run(rc runConfig) error {
@@ -113,6 +128,15 @@ func run(rc runConfig) error {
 	cfg.CacheBytes = int64(rc.cacheRel * float64(g.SizeBytes()))
 	cfg.Tau = rc.tau
 
+	// A private registry isolates the snapshot to exactly this run.
+	var reg *obs.Registry
+	store := kv.Store(kv.NewLocal(g))
+	if rc.metrics || rc.metricsJSON != "" {
+		reg = obs.NewRegistry()
+		cfg.Obs = reg
+		store = kv.ObserveStore(store, reg)
+	}
+
 	var finishOutput func() error
 	if rc.output != "" {
 		f, err := os.Create(rc.output)
@@ -162,7 +186,7 @@ func run(rc runConfig) error {
 		}
 	}
 
-	res, err := cluster.Run(best.Plan, kv.NewLocal(g), ord, g.Degree, cfg)
+	res, err := cluster.Run(best.Plan, store, ord, g.Degree, cfg)
 	if err != nil {
 		return err
 	}
@@ -186,6 +210,25 @@ func run(rc runConfig) error {
 		for _, w := range res.PerWorker {
 			fmt.Printf("  worker %d: tasks=%d busy=%s matches=%d remoteQ=%d cacheHits=%d\n",
 				w.Machine, w.Tasks, w.BusyTime.Round(1e6), w.Exec.Matches, w.RemoteQ, w.Cache.Hits)
+		}
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		if rc.metrics {
+			fmt.Println("\nmetrics snapshot:")
+			if err := snap.WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if rc.metricsJSON != "" {
+			data, err := snap.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(rc.metricsJSON, data, 0o644); err != nil {
+				return fmt.Errorf("writing metrics: %w", err)
+			}
+			fmt.Printf("metrics written to %s\n", rc.metricsJSON)
 		}
 	}
 	return nil

@@ -19,6 +19,11 @@
 //   - internal/vcbc — the compressed-result codec;
 //   - internal/cluster — the simulated shared-nothing cluster with task
 //     generation and task splitting;
+//   - internal/obs — the observability layer: a concurrency-safe metrics
+//     registry (counters, gauges, bounded histograms, task spans) every
+//     runtime package reports into, surfaced through Options.Observer,
+//     Options.Metrics, and the -metrics command-line flags (the metric
+//     name reference is docs/METRICS.md);
 //   - internal/join — the BFS-style baselines (TwinTwig left-deep join
 //     and a BiGJoin-style worst-case optimal join);
 //   - internal/gen — synthetic datasets and the evaluation patterns;

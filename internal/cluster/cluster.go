@@ -23,6 +23,7 @@ import (
 	"benu/internal/exec"
 	"benu/internal/graph"
 	"benu/internal/kv"
+	"benu/internal/obs"
 	"benu/internal/plan"
 	"benu/internal/vcbc"
 )
@@ -67,6 +68,11 @@ type Config struct {
 	// pattern is labeled (property-graph extension). Pass
 	// graph.Graph.Label for in-process data graphs.
 	LabelOf func(v int64) int64
+	// Obs selects the metrics registry the run reports into: task spans
+	// and straggler histograms, queue depth, DB traffic, cache behaviour
+	// (see docs/METRICS.md, cluster.* and cache.* names). nil means
+	// obs.Default(). The registry is also handed to every executor.
+	Obs *obs.Registry
 }
 
 // Defaults returns the configuration used by most experiments: 4 machines
@@ -160,12 +166,20 @@ func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int
 		res.TaskTimes = make([]time.Duration, 0, len(tasks))
 	}
 
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	queueDepth := reg.Gauge("cluster.queue.depth")
+	queueDepth.Add(float64(len(tasks)))
+
 	var (
-		mu       sync.Mutex // guards res.TaskTimes
-		wg       sync.WaitGroup
-		runErr   error
-		errOnce  sync.Once
-		timedOut atomic.Bool
+		mu         sync.Mutex // guards res.TaskTimes
+		wg         sync.WaitGroup
+		runErr     error
+		errOnce    sync.Once
+		timedOut   atomic.Bool
+		dispatched atomic.Int64 // tasks actually popped (≤ len(tasks) on deadline)
 	)
 	perWorker := make([]WorkerStats, cfg.Workers)
 	start := time.Now()
@@ -190,6 +204,8 @@ func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int
 				}
 				t := queue[next]
 				next++
+				dispatched.Add(1)
+				queueDepth.Add(-1)
 				return t, true
 			}
 
@@ -207,6 +223,7 @@ func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int
 						Emit:                 cfg.Emit,
 						EmitCode:             cfg.EmitCode,
 						TriangleCacheEntries: cfg.TriangleCacheEntries,
+						Obs:                  reg,
 					}
 					if pl.DegreeFiltered {
 						eopts.DegreeOf = degree
@@ -218,12 +235,13 @@ func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int
 						if !ok {
 							break
 						}
-						t0 := time.Now()
-						if _, err := e.Run(t); err != nil {
+						sp := reg.StartSpan("cluster.task")
+						_, err := e.Run(t)
+						d := sp.End()
+						if err != nil {
 							errOnce.Do(func() { runErr = err })
 							break
 						}
-						d := time.Since(t0)
 						busy[th] += d
 						taskCount[th]++
 						if cfg.CollectTaskTimes {
@@ -267,6 +285,10 @@ func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int
 	}
 	res.Wall = time.Since(start)
 	res.TimedOut = timedOut.Load()
+	// Tasks abandoned by a deadline were never popped; zero their queue
+	// depth contribution so the gauge settles at the true backlog (0 when
+	// every concurrent run drained).
+	queueDepth.Add(float64(dispatched.Load()) - float64(len(tasks)))
 	if runErr != nil {
 		return nil, runErr
 	}
@@ -283,7 +305,45 @@ func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int
 	}
 	res.CacheHitRate = hitSum / float64(len(perWorker))
 	res.PerWorker = perWorker
+	publishObs(reg, res)
 	return res, nil
+}
+
+// publishObs records the run-level summary into the metrics registry:
+// the communication/result counters that Result reports, plus the cache
+// and per-worker skew figures the paper's Exp-3/Exp-4 build on. Executor
+// counters (exec.*) were already flushed per task; these are the
+// cluster-level aggregates layered on top.
+func publishObs(reg *obs.Registry, res *Result) {
+	reg.Counter("cluster.runs").Inc()
+	reg.Counter("cluster.tasks.total").Add(int64(res.Tasks))
+	reg.Counter("cluster.tasks.split").Add(int64(res.SplitTasks))
+	reg.Counter("cluster.matches").Add(res.Matches)
+	reg.Counter("cluster.codes").Add(res.Codes)
+	reg.Counter("cluster.db.queries").Add(res.DBQueries)
+	reg.Counter("cluster.db.bytes_fetched").Add(res.BytesFetched)
+	reg.Counter("cluster.result_bytes").Add(res.ResultBytes)
+	reg.Gauge("cluster.cache.hit_rate").Set(res.CacheHitRate)
+	reg.Gauge("cluster.wall_ns").Set(float64(res.Wall.Nanoseconds()))
+	if res.TimedOut {
+		reg.Counter("cluster.deadline.expired").Inc()
+	}
+	workerBusy := reg.Histogram("cluster.worker.busy_ns")
+	var hits, misses, evictions, bytes, entries int64
+	for i := range res.PerWorker {
+		ws := &res.PerWorker[i]
+		workerBusy.Record(ws.BusyTime.Nanoseconds())
+		hits += ws.Cache.Hits
+		misses += ws.Cache.Misses
+		evictions += ws.Cache.Evictions
+		bytes += ws.Cache.Bytes
+		entries += int64(ws.Cache.Entries)
+	}
+	reg.Counter("cache.hits").Add(hits)
+	reg.Counter("cache.misses").Add(misses)
+	reg.Counter("cache.evictions").Add(evictions)
+	reg.Gauge("cache.bytes").Set(float64(bytes))
+	reg.Gauge("cache.entries").Set(float64(entries))
 }
 
 // generateTasks produces one local search task per data vertex, splitting

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"testing"
+
+	"benu/internal/graph"
+	"benu/internal/kv"
+	"benu/internal/obs"
+	"benu/internal/plan"
+)
+
+// TestObsMatchesResult runs an enumeration with a private registry and
+// checks that the snapshot agrees with the Result summary — the contract
+// cmd/benu -metrics relies on.
+func TestObsMatchesResult(t *testing.T) {
+	g := testGraph()
+	ord := graph.NewTotalOrder(g)
+	p, err := graph.NewPattern("triangle", 3, [][2]int64{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := bestPlan(t, p, g, plan.AllOptions)
+
+	reg := obs.NewRegistry()
+	cfg := Defaults(g)
+	cfg.Obs = reg
+	store := kv.ObserveStore(kv.NewLocal(g), reg)
+	res, err := Run(pl, store, ord, g.Degree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	wantCounters := map[string]int64{
+		"cluster.matches":          res.Matches,
+		"cluster.codes":            res.Codes,
+		"cluster.db.queries":       res.DBQueries,
+		"cluster.db.bytes_fetched": res.BytesFetched,
+		"cluster.result_bytes":     res.ResultBytes,
+		"cluster.tasks.total":      int64(res.Tasks),
+		"cluster.tasks.split":      int64(res.SplitTasks),
+		"cluster.runs":             1,
+		// Per-task executor flushes must sum to the run totals.
+		"exec.matches": res.Matches,
+		"exec.codes":   res.Codes,
+		"exec.tasks":   int64(res.Tasks),
+	}
+	for name, want := range wantCounters {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Gauges["cluster.cache.hit_rate"]; got != res.CacheHitRate {
+		t.Errorf("cluster.cache.hit_rate = %g, want %g", got, res.CacheHitRate)
+	}
+	if got := snap.Gauges["cluster.queue.depth"]; got != 0 {
+		t.Errorf("cluster.queue.depth = %g, want 0 after drain", got)
+	}
+	if got := snap.Gauges["cluster.task.active"]; got != 0 {
+		t.Errorf("cluster.task.active = %g, want 0 after run", got)
+	}
+	if got := snap.Histograms["cluster.task.duration_ns"].Count; got != int64(res.Tasks) {
+		t.Errorf("task duration histogram count = %d, want %d", got, res.Tasks)
+	}
+	if got := snap.Histograms["cluster.worker.busy_ns"].Count; got != int64(cfg.Workers) {
+		t.Errorf("worker busy histogram count = %d, want %d", got, cfg.Workers)
+	}
+	// The observed store times exactly the queries that missed the cache.
+	if got := snap.Histograms["kv.local.get_latency_ns"].Count; got != res.DBQueries {
+		t.Errorf("kv latency histogram count = %d, want %d DB queries", got, res.DBQueries)
+	}
+	// Cache counters aggregate the per-worker stats.
+	var hits, misses int64
+	for _, w := range res.PerWorker {
+		hits += w.Cache.Hits
+		misses += w.Cache.Misses
+	}
+	if got := snap.Counters["cache.hits"]; got != hits {
+		t.Errorf("cache.hits = %d, want %d", got, hits)
+	}
+	if got := snap.Counters["cache.misses"]; got != misses {
+		t.Errorf("cache.misses = %d, want %d", got, misses)
+	}
+}
+
+// TestObsIsolatedRegistries: two runs with separate registries must not
+// bleed into each other, and a nil Config.Obs must leave a private
+// registry untouched.
+func TestObsIsolatedRegistries(t *testing.T) {
+	g := testGraph()
+	ord := graph.NewTotalOrder(g)
+	p, err := graph.NewPattern("wedge", 3, [][2]int64{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := bestPlan(t, p, g, plan.OptimizedUncompressed)
+	store := kv.NewLocal(g)
+
+	regA, regB := obs.NewRegistry(), obs.NewRegistry()
+	cfg := Defaults(g)
+	cfg.Obs = regA
+	if _, err := Run(pl, store, ord, g.Degree, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Obs = regB
+	if _, err := Run(pl, store, ord, g.Degree, cfg); err != nil {
+		t.Fatal(err)
+	}
+	a, b := regA.Snapshot(), regB.Snapshot()
+	if a.Counters["cluster.runs"] != 1 || b.Counters["cluster.runs"] != 1 {
+		t.Errorf("runs = %d/%d, want 1/1", a.Counters["cluster.runs"], b.Counters["cluster.runs"])
+	}
+	if a.Counters["cluster.matches"] != b.Counters["cluster.matches"] {
+		t.Errorf("identical runs disagree: %d vs %d", a.Counters["cluster.matches"], b.Counters["cluster.matches"])
+	}
+
+	cfg.Obs = nil // must route to obs.Default(), not a previous registry
+	if _, err := Run(pl, store, ord, g.Degree, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := regA.Snapshot().Counters["cluster.runs"]; got != 1 {
+		t.Errorf("registry A polluted by nil-Obs run: runs = %d", got)
+	}
+}

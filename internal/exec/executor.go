@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"benu/internal/graph"
+	"benu/internal/obs"
 	"benu/internal/plan"
 	"benu/internal/vcbc"
 )
@@ -47,6 +48,7 @@ type Stats struct {
 	Codes      int64 // compressed codes emitted (0 for uncompressed plans)
 	DBQueries  int64 // DBQ instruction executions (GetAdj calls issued)
 	IntOps     int64 // INT/TRC instruction executions
+	EnuSteps   int64 // ENU candidate vertices tried (backtracking branches)
 	ResultSize int64 // bytes of emitted results (8 per reported vertex id)
 	TriHits    int64 // triangle-cache hits
 	TriMisses  int64 // triangle-cache misses
@@ -58,9 +60,24 @@ func (s *Stats) Add(o Stats) {
 	s.Codes += o.Codes
 	s.DBQueries += o.DBQueries
 	s.IntOps += o.IntOps
+	s.EnuSteps += o.EnuSteps
 	s.ResultSize += o.ResultSize
 	s.TriHits += o.TriHits
 	s.TriMisses += o.TriMisses
+}
+
+// Sub returns s - o field by field (the delta of two snapshots).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Matches:    s.Matches - o.Matches,
+		Codes:      s.Codes - o.Codes,
+		DBQueries:  s.DBQueries - o.DBQueries,
+		IntOps:     s.IntOps - o.IntOps,
+		EnuSteps:   s.EnuSteps - o.EnuSteps,
+		ResultSize: s.ResultSize - o.ResultSize,
+		TriHits:    s.TriHits - o.TriHits,
+		TriMisses:  s.TriMisses - o.TriMisses,
+	}
 }
 
 // Options configures an Executor.
@@ -84,6 +101,11 @@ type Options struct {
 	// LabelOf supplies data-vertex labels. Required for plans of labeled
 	// patterns (the property-graph extension); Run fails without it.
 	LabelOf func(v int64) int64
+	// Obs selects the metrics registry the executor reports into (see
+	// docs/METRICS.md, exec.* names). nil means obs.Default(). The
+	// executor accumulates thread-locally and flushes once per task, so
+	// reporting never touches the per-candidate inner loops.
+	Obs *obs.Registry
 }
 
 // Executor runs local search tasks for one compiled program. It is
@@ -105,6 +127,10 @@ type Executor struct {
 	ktmpB []int64
 	tri   *TriangleCache
 	stats Stats
+
+	sink     *obsSink // pre-resolved registry handles, flushed per task
+	depth    int      // current ENU recursion level
+	maxDepth int      // deepest level reached in the current task
 
 	start      int64
 	start2     int64
@@ -132,6 +158,7 @@ func NewExecutor(prog *Program, src AdjSource, numVertices int, ord *graph.Total
 	for i := range e.f {
 		e.f[i] = -1
 	}
+	e.sink = newObsSink(opts.Obs)
 	if opts.TriangleCacheEntries > 0 {
 		e.tri = NewTriangleCache(opts.TriangleCacheEntries)
 	}
@@ -162,6 +189,7 @@ func (e *Executor) Run(t Task) (Stats, error) {
 				e.prog.Plan.Pattern.Name())
 		}
 		if e.opts.LabelOf(t.Start) != e.prog.startLabel {
+			e.sink.flushTask(Stats{}, 0)
 			return Stats{}, nil // start vertex can never match the first order vertex
 		}
 	}
@@ -183,18 +211,13 @@ func (e *Executor) Run(t Task) (Stats, error) {
 		}
 		e.f[k1] = -1
 	}
+	e.depth, e.maxDepth = 0, 0
 	var err error
 	if runnable {
 		err = e.run(0)
 	}
-	delta := e.stats
-	delta.Matches -= before.Matches
-	delta.Codes -= before.Codes
-	delta.DBQueries -= before.DBQueries
-	delta.IntOps -= before.IntOps
-	delta.ResultSize -= before.ResultSize
-	delta.TriHits -= before.TriHits
-	delta.TriMisses -= before.TriMisses
+	delta := e.stats.Sub(before)
+	e.sink.flushTask(delta, e.maxDepth)
 	return delta, err
 }
 
@@ -227,8 +250,13 @@ func (e *Executor) run(pc int) error {
 
 		case plan.OpENU:
 			set := e.enuSource(in)
+			e.depth++
+			if e.depth > e.maxDepth {
+				e.maxDepth = e.depth
+			}
 			if pc == e.prog.splitPC && e.splitCnt > 1 {
 				for i := e.splitIdx; i < len(set); i += e.splitCnt {
+					e.stats.EnuSteps++
 					e.f[in.vertex] = set[i]
 					if err := e.run(pc + 1); err != nil {
 						return err
@@ -239,6 +267,7 @@ func (e *Executor) run(pc int) error {
 				}
 			} else {
 				for _, v := range set {
+					e.stats.EnuSteps++
 					e.f[in.vertex] = v
 					if err := e.run(pc + 1); err != nil {
 						return err
@@ -248,6 +277,7 @@ func (e *Executor) run(pc int) error {
 					}
 				}
 			}
+			e.depth--
 			e.f[in.vertex] = -1
 			return nil
 

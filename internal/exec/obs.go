@@ -1,0 +1,56 @@
+package exec
+
+import "benu/internal/obs"
+
+// obsSink is an executor's pre-resolved set of registry handles. The
+// innermost backtracking loops keep accumulating into the plain Stats
+// struct (no atomics there); Executor.Run flushes the per-task delta
+// through the sink once per task, so registry cost is O(tasks), not
+// O(instructions).
+type obsSink struct {
+	tasks       *obs.Counter
+	dbq         *obs.Counter
+	intersect   *obs.Counter
+	enuSteps    *obs.Counter
+	matches     *obs.Counter
+	codes       *obs.Counter
+	resultBytes *obs.Counter
+	triHits     *obs.Counter
+	triMisses   *obs.Counter
+	depth       *obs.Histogram
+}
+
+// newObsSink resolves the executor metric handles in r (obs.Default when
+// r is nil). See docs/METRICS.md for the name reference.
+func newObsSink(r *obs.Registry) *obsSink {
+	if r == nil {
+		r = obs.Default()
+	}
+	return &obsSink{
+		tasks:       r.Counter("exec.tasks"),
+		dbq:         r.Counter("exec.instr.dbq"),
+		intersect:   r.Counter("exec.instr.intersect"),
+		enuSteps:    r.Counter("exec.instr.enumerate_steps"),
+		matches:     r.Counter("exec.matches"),
+		codes:       r.Counter("exec.codes"),
+		resultBytes: r.Counter("exec.result_bytes"),
+		triHits:     r.Counter("exec.tricache.hits"),
+		triMisses:   r.Counter("exec.tricache.misses"),
+		depth:       r.Histogram("exec.task.backtrack_depth"),
+	}
+}
+
+// flushTask publishes one finished task's stats delta and the deepest
+// recursion level its backtracking reached.
+func (s *obsSink) flushTask(d Stats, maxDepth int) {
+	s.tasks.Inc()
+	s.dbq.Add(d.DBQueries)
+	s.intersect.Add(d.IntOps)
+	s.enuSteps.Add(d.EnuSteps)
+	s.matches.Add(d.Matches)
+	s.codes.Add(d.Codes)
+	s.resultBytes.Add(d.ResultSize)
+	s.triHits.Add(d.TriHits)
+	s.triMisses.Add(d.TriMisses)
+	s.depth.Record(int64(maxDepth))
+}

@@ -1,0 +1,85 @@
+package kv
+
+import (
+	"time"
+
+	"benu/internal/obs"
+)
+
+// Store observation: ObserveStore wraps any backend with per-query
+// latency histograms, named after the backend so a snapshot separates
+// in-process from networked cost (kv.local.* vs kv.tcp.*). Latency
+// timing costs two clock reads per query, so it is opt-in — the cached
+// hot path never pays it unless a registry is wired in (cmd/benu
+// -metrics, benu.Options.Metrics/Observer).
+
+// Observed is a Store decorator that times every query into a registry.
+// It preserves the batched fast path of BatchStore backends.
+type Observed struct {
+	store    Store
+	getLat   *obs.Histogram
+	batchLat *obs.Histogram
+	errors   *obs.Counter
+}
+
+// ObserveStore wraps store with latency observation recording into reg.
+// Metric names are "kv.<backend>.get_latency_ns",
+// "kv.<backend>.batchget_latency_ns", and "kv.<backend>.errors", where
+// <backend> identifies the outermost store implementation (local,
+// partitioned, tcp, map, mutable, or store for unknown types).
+func ObserveStore(store Store, reg *obs.Registry) *Observed {
+	name := backendName(store)
+	return &Observed{
+		store:    store,
+		getLat:   reg.Histogram("kv." + name + ".get_latency_ns"),
+		batchLat: reg.Histogram("kv." + name + ".batchget_latency_ns"),
+		errors:   reg.Counter("kv." + name + ".errors"),
+	}
+}
+
+// backendName maps a Store implementation to its snapshot label.
+func backendName(s Store) string {
+	switch s.(type) {
+	case *Local:
+		return "local"
+	case *Partitioned:
+		return "partitioned"
+	case *Client:
+		return "tcp"
+	case *MapStore:
+		return "map"
+	case *Mutable:
+		return "mutable"
+	default:
+		return "store"
+	}
+}
+
+// GetAdj implements Store, timing the underlying query.
+func (o *Observed) GetAdj(v int64) ([]int64, error) {
+	t0 := time.Now()
+	adj, err := o.store.GetAdj(v)
+	o.getLat.RecordDuration(time.Since(t0))
+	if err != nil {
+		o.errors.Inc()
+	}
+	return adj, err
+}
+
+// NumVertices implements Store.
+func (o *Observed) NumVertices() int { return o.store.NumVertices() }
+
+// BatchGetAdj implements BatchStore: one timed round through the wrapped
+// store's batched path (or the serial fallback).
+func (o *Observed) BatchGetAdj(vs []int64) ([][]int64, error) {
+	t0 := time.Now()
+	adjs, err := BatchGetAdj(o.store, vs)
+	o.batchLat.RecordDuration(time.Since(t0))
+	if err != nil {
+		o.errors.Inc()
+	}
+	return adjs, err
+}
+
+// Unwrap returns the wrapped store.
+func (o *Observed) Unwrap() Store { return o.store }

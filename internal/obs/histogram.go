@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucketing: non-negative int64 samples land in a fixed array
+// of buckets, so memory stays bounded no matter how many samples are
+// recorded. Values below 16 get exact unit buckets; above that each
+// power-of-two octave is split into 4 sub-buckets (HDR-histogram style,
+// 2 significant bits), bounding the relative quantile-estimation error
+// at 25% of the bucket's lower bound.
+const (
+	histExact   = 16               // values 0..15 are exact
+	histSubBits = 2                // sub-buckets per octave = 1<<histSubBits
+	histSub     = 1 << histSubBits //
+	// Octaves run from major=4 (values 16..31) to major=62 (up to 2^63-1),
+	// 59 in total; every non-negative int64 lands in a bucket.
+	histBuckets = histExact + 59*histSub
+)
+
+// bucketOf maps a sample to its bucket index. Negative samples clamp
+// to bucket 0.
+func bucketOf(v int64) int {
+	if v < histExact {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	major := bits.Len64(uint64(v)) - 1 // 2^major ≤ v < 2^(major+1), major ≥ 4
+	sub := int(v>>(uint(major)-histSubBits)) & (histSub - 1)
+	return histExact + (major-4)*histSub + sub
+}
+
+// bucketLo returns the smallest sample that lands in bucket i.
+func bucketLo(i int) int64 {
+	if i < histExact {
+		return int64(i)
+	}
+	g := i - histExact
+	major := uint(g/histSub) + 4
+	sub := int64(g % histSub)
+	return int64(1)<<major + sub<<(major-histSubBits)
+}
+
+// bucketWidth returns the number of distinct samples bucket i covers.
+func bucketWidth(i int) int64 {
+	if i < histExact {
+		return 1
+	}
+	major := uint((i-histExact)/histSub) + 4
+	return int64(1) << (major - histSubBits)
+}
+
+// Histogram is a bounded, lock-free distribution of int64 samples
+// (durations in nanoseconds, sizes in bytes, depths, ...). The zero value
+// is ready to use; a nil Histogram ignores updates. Memory is a fixed
+// ~2 KB regardless of sample count.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	// min/max store sample+1 so that 0 doubles as the "no samples yet"
+	// sentinel without a racy initialization flag.
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Record adds one sample (no-op on nil; negative samples clamp to 0).
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+	enc := v + 1 // offset encoding: 0 means "unset"
+	for {
+		cur := h.min.Load()
+		if cur != 0 && enc >= cur {
+			break
+		}
+		if h.min.CompareAndSwap(cur, enc) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if enc <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, enc) {
+			break
+		}
+	}
+}
+
+// RecordDuration records d in nanoseconds (no-op on nil).
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(d.Nanoseconds()) }
+
+// Count returns the number of recorded samples (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of the recorded
+// samples by linear interpolation inside the target bucket; the estimate
+// is within 25% of the exact order statistic. Returns 0 when empty or nil.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	return h.Snapshot().Quantile(q)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, with summary
+// statistics precomputed for rendering.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+
+	buckets [histBuckets]int64
+}
+
+// Snapshot copies the histogram's current state. Safe to call
+// concurrently with recorders; the copy is per-field atomic.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	if s.Count > 0 {
+		s.Min = h.min.Load() - 1
+		s.Max = h.max.Load() - 1
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// Quantile estimates the q-th quantile from the snapshot's buckets.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target order statistic, 1-based.
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := s.buckets[i]
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			// Interpolate inside the bucket.
+			frac := float64(rank-cum) / float64(n)
+			est := bucketLo(i) + int64(frac*float64(bucketWidth(i)-1))
+			if est < s.Min {
+				est = s.Min
+			}
+			if est > s.Max {
+				est = s.Max
+			}
+			return est
+		}
+		cum += n
+	}
+	return s.Max
+}
+
+// Span measures one timed operation: duration lands in the histogram
+// "<name>.duration_ns" and the gauge "<name>.active" tracks in-flight
+// spans. The zero Span is a no-op.
+type Span struct {
+	h      *Histogram
+	active *Gauge
+	start  time.Time
+}
+
+// StartSpan begins a span rooted at name. Safe on a nil registry — the
+// returned span simply does nothing.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	sp := Span{
+		h:      r.Histogram(name + ".duration_ns"),
+		active: r.Gauge(name + ".active"),
+		start:  time.Now(),
+	}
+	sp.active.Add(1)
+	return sp
+}
+
+// End stops the span, records its duration, and returns it. Ending a
+// zero span returns 0.
+func (s Span) End() time.Duration {
+	if s.h == nil && s.active == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.active.Add(-1)
+	s.h.RecordDuration(d)
+	return d
+}

@@ -1,0 +1,255 @@
+// Package obs is the unified observability layer: a zero-dependency,
+// concurrency-safe metrics registry threaded through every runtime
+// package (cluster, exec, kv, cache) and surfaced at the edges
+// (benu.Options.Observer, the -metrics flags of cmd/benu and
+// cmd/benu-bench).
+//
+// The registry holds three metric kinds plus a span helper:
+//
+//   - Counter — a monotonically increasing int64 (events, queries, bytes);
+//   - Gauge — a float64 that can move both ways (queue depth, hit rate);
+//   - Histogram — a bounded log-bucketed distribution of int64 samples
+//     with p50/p95/p99 estimation (latencies, task durations, depths);
+//   - Span — a start/stop timer that records its duration into a
+//     histogram and tracks the number of in-flight spans in a gauge.
+//
+// Design rules, chosen so the hot paths stay hot:
+//
+//   - Handles are resolved once (Registry.Counter et al. get-or-create by
+//     name) and then updated lock-free with atomics. Resolve outside
+//     loops; update inside them.
+//   - Every method is nil-safe: a nil *Registry hands out nil handles and
+//     a nil handle ignores updates. Instrumented code therefore needs no
+//     "is observability on?" branches.
+//   - Tight per-candidate loops (the executor's innermost backtracking)
+//     accumulate into plain thread-local counters and flush the delta
+//     into the registry once per task, not per event.
+//
+// Metric names are dotted paths, lowest-level subsystem first
+// (e.g. "cluster.task.duration_ns"); units ride in the suffix (_ns,
+// _bytes, rates are unit-less gauges in [0,1]). docs/METRICS.md is the
+// reference table of every name emitted by this repository.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is usable;
+// a nil Counter ignores updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one (no-op on nil).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 measurement. The zero value is
+// usable; a nil Gauge ignores updates.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits of the current value
+}
+
+// Set stores v (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the gauge by delta (no-op on nil).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use; the zero value is not usable — construct with
+// NewRegistry or use Default.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// defaultRegistry collects metrics from instrumented code that was not
+// handed an explicit registry (cluster.Run with Config.Obs == nil, the
+// executor with Options.Obs == nil). cmd/benu-bench -metrics dumps it.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide default registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter with the given name, creating it on first
+// use. Returns nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+// Returns nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it on
+// first use. Returns nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.histograms[name] = h
+	return h
+}
+
+// Reset drops every metric, returning the registry to empty. Handles
+// resolved before the reset keep working but are no longer reachable
+// from snapshots; re-resolve after resetting.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = make(map[string]*Counter)
+	r.gauges = make(map[string]*Gauge)
+	r.histograms = make(map[string]*Histogram)
+}
+
+// Snapshot captures the current value of every metric. The snapshot is
+// a consistent-enough view for reporting: each metric is read atomically,
+// but the set is not captured under a global lock.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.Snapshot()
+	}
+	return s
+}
+
+// names returns m's keys sorted; shared by the text renderers.
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

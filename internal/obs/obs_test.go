@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentUpdates hammers one registry from many goroutines —
+// counters, gauges, histograms, spans, and snapshots all at once. Run
+// with -race (the Makefile's race target does) to verify the lock-free
+// paths; the final counts are asserted exactly.
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	const (
+		goroutines = 8
+		perG       = 10000
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("test.events")
+			g := reg.Gauge("test.level")
+			h := reg.Histogram("test.value")
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Record(int64(j))
+				if j%1000 == 0 {
+					sp := reg.StartSpan("test.span")
+					sp.End()
+				}
+			}
+		}()
+	}
+	// Concurrent readers: snapshots must not race with writers.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				reg.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["test.events"]; got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := snap.Gauges["test.level"]; got != goroutines*perG {
+		t.Errorf("gauge = %g, want %d", got, goroutines*perG)
+	}
+	h := snap.Histograms["test.value"]
+	if h.Count != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count, goroutines*perG)
+	}
+	if h.Min != 0 || h.Max != perG-1 {
+		t.Errorf("histogram min/max = %d/%d, want 0/%d", h.Min, h.Max, perG-1)
+	}
+	if got := snap.Gauges["test.span.active"]; got != 0 {
+		t.Errorf("span active gauge = %g, want 0 after all spans ended", got)
+	}
+	if got := snap.Histograms["test.span.duration_ns"].Count; got != goroutines*(perG/1000) {
+		t.Errorf("span histogram count = %d, want %d", got, goroutines*(perG/1000))
+	}
+}
+
+// TestNilSafety: nil registries and nil handles must be silently inert —
+// instrumented code relies on this instead of branching.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x").Add(5)
+	reg.Counter("x").Inc()
+	reg.Gauge("y").Set(1)
+	reg.Gauge("y").Add(2)
+	reg.Histogram("z").Record(3)
+	reg.Histogram("z").RecordDuration(time.Second)
+	sp := reg.StartSpan("s")
+	if d := sp.End(); d != 0 {
+		t.Errorf("nil span duration = %v, want 0", d)
+	}
+	reg.Reset()
+	snap := reg.Snapshot()
+	if !snap.Empty() {
+		t.Errorf("nil registry snapshot not empty: %+v", snap)
+	}
+	if v := reg.Counter("x").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	if v := reg.Gauge("y").Value(); v != 0 {
+		t.Errorf("nil gauge value = %g", v)
+	}
+	if n := reg.Histogram("z").Count(); n != 0 {
+		t.Errorf("nil histogram count = %d", n)
+	}
+	if q := reg.Histogram("z").Quantile(0.5); q != 0 {
+		t.Errorf("nil histogram quantile = %d", q)
+	}
+}
+
+// TestHistogramQuantiles checks the bucketed estimates against exact
+// order statistics of the recorded samples. The bucket scheme guarantees
+// ≤25% relative error; assert within 26% to leave rounding headroom.
+func TestHistogramQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	distributions := map[string]func() int64{
+		"uniform": func() int64 { return rng.Int63n(1_000_000) },
+		"small":   func() int64 { return rng.Int63n(12) }, // exact buckets only
+		"loguniform": func() int64 {
+			return int64(1) << uint(rng.Intn(40))
+		},
+		"skewed": func() int64 {
+			v := rng.Int63n(1000)
+			if rng.Intn(100) == 0 {
+				v *= 100_000 // heavy tail: the straggler shape
+			}
+			return v
+		},
+	}
+	for name, draw := range distributions {
+		t.Run(name, func(t *testing.T) {
+			var h Histogram
+			samples := make([]int64, 20000)
+			for i := range samples {
+				samples[i] = draw()
+				h.Record(samples[i])
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			snap := h.Snapshot()
+			if snap.Count != int64(len(samples)) {
+				t.Fatalf("count = %d, want %d", snap.Count, len(samples))
+			}
+			if snap.Min != samples[0] || snap.Max != samples[len(samples)-1] {
+				t.Errorf("min/max = %d/%d, want %d/%d", snap.Min, snap.Max, samples[0], samples[len(samples)-1])
+			}
+			for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+				rank := int(q*float64(len(samples))) - 1
+				if rank < 0 {
+					rank = 0
+				}
+				exact := samples[rank]
+				got := snap.Quantile(q)
+				lo, hi := float64(exact)*0.74, float64(exact)*1.26+1
+				if float64(got) < lo || float64(got) > hi {
+					t.Errorf("q%.2f = %d, exact %d (allowed [%.0f, %.0f])", q, got, exact, lo, hi)
+				}
+			}
+		})
+	}
+}
+
+// TestBucketRoundTrip pins the bucket layout: every bucket's lower bound
+// maps back to that bucket, boundaries are monotone, and extreme values
+// stay in range.
+func TestBucketRoundTrip(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		lo := bucketLo(i)
+		if lo <= prev {
+			t.Fatalf("bucket %d lower bound %d not increasing (prev %d)", i, lo, prev)
+		}
+		prev = lo
+		if got := bucketOf(lo); got != i {
+			t.Fatalf("bucketOf(bucketLo(%d)=%d) = %d", i, lo, got)
+		}
+		hi := lo + bucketWidth(i) - 1
+		if got := bucketOf(hi); got != i {
+			t.Fatalf("bucketOf(hi=%d) = %d, want %d", hi, got, i)
+		}
+	}
+	for _, v := range []int64{-1, 0, 1, 15, 16, 1 << 62, (1 << 62) + 12345, 1<<63 - 1} {
+		b := bucketOf(v)
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, b)
+		}
+	}
+}
+
+// TestSnapshotGolden locks the text rendering against a golden file so
+// the -metrics output format changes deliberately, not accidentally.
+func TestSnapshotGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("cluster.db.queries").Add(56250)
+	reg.Counter("cluster.tasks.total").Add(1000)
+	reg.Counter("cache.hits").Add(93000)
+	reg.Gauge("cluster.cache.hit_rate").Set(0.925)
+	reg.Gauge("cluster.queue.depth").Set(0)
+	h := reg.Histogram("cluster.task.duration_ns")
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i * 1000)
+	}
+	got := reg.Snapshot().Text()
+
+	goldenPath := filepath.Join("testdata", "snapshot.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1 go test ./internal/obs): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("snapshot text drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSnapshotJSON sanity-checks the JSON rendering round-trips the
+// summary fields.
+func TestSnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.b").Add(7)
+	reg.Gauge("c.d").Set(1.5)
+	reg.Histogram("e.f").Record(42)
+	data, err := reg.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a.b"] != 7 || back.Gauges["c.d"] != 1.5 {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+	if h := back.Histograms["e.f"]; h.Count != 1 || h.Min != 42 || h.Max != 42 {
+		t.Errorf("histogram round trip mismatch: %+v", h)
+	}
+}
+
+// TestRegistryReset verifies Reset empties the registry.
+func TestRegistryReset(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Add(3)
+	reg.Reset()
+	if !reg.Snapshot().Empty() {
+		t.Error("registry not empty after Reset")
+	}
+	if v := reg.Counter("x").Value(); v != 0 {
+		t.Errorf("re-resolved counter = %d after Reset, want 0", v)
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of a registry: every counter, gauge,
+// and histogram by name. It marshals to JSON directly and renders to
+// aligned text with WriteText; both orderings are deterministic (sorted
+// by metric name).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Empty reports whether the snapshot carries no metrics at all.
+func (s *Snapshot) Empty() bool {
+	return s == nil || len(s.Counters)+len(s.Gauges)+len(s.Histograms) == 0
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// WriteText renders the snapshot as an aligned, human-readable report:
+//
+//	counters:
+//	  cluster.db.queries          56250
+//	gauges:
+//	  cluster.cache.hit_rate      0.92
+//	histograms:
+//	  cluster.task.duration_ns    count=100 min=12 mean=40.5 p50=38 p95=91 p99=97 max=99 sum=4050
+func (s *Snapshot) WriteText(w io.Writer) error {
+	width := 0
+	for _, m := range []int{maxNameLen(s.Counters), maxNameLen(s.Gauges), maxNameLen(s.Histograms)} {
+		if m > width {
+			width = m
+		}
+	}
+	if len(s.Counters) > 0 {
+		if _, err := fmt.Fprintln(w, "counters:"); err != nil {
+			return err
+		}
+		for _, name := range sortedNames(s.Counters) {
+			if _, err := fmt.Fprintf(w, "  %-*s %d\n", width, name, s.Counters[name]); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Gauges) > 0 {
+		if _, err := fmt.Fprintln(w, "gauges:"); err != nil {
+			return err
+		}
+		for _, name := range sortedNames(s.Gauges) {
+			if _, err := fmt.Fprintf(w, "  %-*s %s\n", width, name, formatFloat(s.Gauges[name])); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Histograms) > 0 {
+		if _, err := fmt.Fprintln(w, "histograms:"); err != nil {
+			return err
+		}
+		for _, name := range sortedNames(s.Histograms) {
+			h := s.Histograms[name]
+			if _, err := fmt.Fprintf(w, "  %-*s count=%d min=%d mean=%s p50=%d p95=%d p99=%d max=%d sum=%d\n",
+				width, name, h.Count, h.Min, formatFloat(h.Mean), h.P50, h.P95, h.P99, h.Max, h.Sum); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Text renders WriteText into a string.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	s.WriteText(&b)
+	return b.String()
+}
+
+// formatFloat renders v compactly and deterministically (shortest
+// round-trip representation).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func maxNameLen[V any](m map[string]V) int {
+	n := 0
+	for k := range m {
+		if len(k) > n {
+			n = len(k)
+		}
+	}
+	return n
+}
