@@ -4,8 +4,9 @@
 # install.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build test short race vet bench check clean
+.PHONY: all build test short race vet bench check diff fuzz clean
 
 all: check
 
@@ -22,9 +23,21 @@ short:
 	$(GO) test -short ./...
 
 ## race: race-detector pass over the concurrent packages (obs registry,
-## simulated cluster, KV store, cache)
+## simulated cluster, KV store, cache, differential harness)
 race:
-	$(GO) test -race ./internal/obs ./internal/cluster ./internal/kv ./internal/cache
+	$(GO) test -race ./internal/obs ./internal/cluster ./internal/kv ./internal/cache ./internal/check
+
+## diff: the differential matrix in its quick configuration — every
+## preset pattern × random data graphs × plan variants × backends,
+## cross-validated against the reference enumerator (see docs/TESTING.md)
+diff:
+	$(GO) test -short -run 'TestDifferential' ./internal/check
+
+## fuzz: run each native fuzz target for $(FUZZTIME) (default 30s)
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzGraphParse -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzPlanDecode -fuzztime=$(FUZZTIME) ./internal/plan
+	$(GO) test -run='^$$' -fuzz=FuzzVCBCRoundTrip -fuzztime=$(FUZZTIME) ./internal/vcbc
 
 ## vet: static analysis
 vet:
@@ -35,7 +48,7 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 ## check: tier-1 verification — what CI (and the next PR) must keep green
-check: build vet test race
+check: build vet test race diff
 
 clean:
 	$(GO) clean ./...

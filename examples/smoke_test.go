@@ -1,0 +1,33 @@
+// Package examples_test smoke-tests the runnable examples: each one
+// must build and run to completion against its built-in data. The
+// examples double as end-to-end tests of the public API surface — a
+// facade change that breaks a downstream user breaks here first.
+package examples_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build and run full pipelines; skipped in -short")
+	}
+	for _, name := range []string{
+		"quickstart", "motifs", "labeled", "dynamic", "distributed", "recommend",
+	} {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			start := time.Now()
+			out, err := exec.Command("go", "run", "benu/examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed after %v: %v\n%s", name, time.Since(start), err, out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+// Package check is the differential correctness harness: it validates the
+// whole execution stack — planner, optimizations, VCBC compression,
+// executor, caches, task splitting, storage backends — against an
+// independent oracle, on randomized inputs, with automatic counterexample
+// shrinking.
+//
+// The oracle (Reference) is deliberately dumb: a pure recursive
+// isomorphism search that scans all of V(G) at every level, checks edges
+// pairwise, and applies the symmetry-breaking constraints as an explicit
+// post-filter on complete matches. It shares no code with the plan
+// compiler or the executor, so any disagreement means one of the two
+// sides is wrong.
+//
+// The driver (RunBatch) sweeps seeded random data graphs × pattern
+// presets × plan variants (raw / Opt 1–3 / degree-filtered / VCBC) ×
+// execution backends (executor-direct, batched partitioned store,
+// simulated cluster with task splitting) and asserts that match counts
+// AND canonicalized embedding sets agree exactly. A failing case is
+// shrunk to a minimal graph (Shrink) before it is reported, and every
+// graph is regenerable from one integer seed (gen.RandomDataGraph), so a
+// report is a complete reproduction recipe. See docs/TESTING.md.
+package check
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"benu/internal/graph"
+)
+
+// Outcome is one side's answer for a (pattern, graph) pair: the match
+// count and the canonicalized embedding multiset, sorted ascending. Two
+// correct enumerations produce identical Outcomes.
+type Outcome struct {
+	Count      int64
+	Embeddings []string
+}
+
+// Canon renders a complete match (indexed by pattern vertex) in the
+// canonical embedding form used for set comparison: data vertex ids
+// separated by single spaces. Under symmetry breaking each subgraph
+// yields exactly one such tuple, so equal sorted slices ⇔ identical
+// results.
+func Canon(f []int64) string {
+	var b strings.Builder
+	for i, v := range f {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.FormatInt(v, 10))
+	}
+	return b.String()
+}
+
+// Reference enumerates p in g by brute force and returns the oracle
+// Outcome. No plan, no candidate anchoring, no caching: pattern vertices
+// are matched in id order, every level scans the full vertex range, and
+// only edges to already-matched pattern vertices are checked. The
+// symmetry-breaking constraints of p are applied as a post-filter on
+// complete matches, independently of how plans compile them into inline
+// filters.
+func Reference(p *graph.Pattern, g *graph.Graph, ord *graph.TotalOrder) Outcome {
+	n := p.NumVertices()
+	f := make([]int64, n)
+	used := make([]bool, g.NumVertices())
+	sbc := p.SymmetryBreaking()
+	labeled := p.Labeled()
+	var embs []string
+
+	var rec func(u int)
+	rec = func(u int) {
+		if u == n {
+			// Explicit symmetry-breaking post-filter: keep the match only
+			// if every constraint f(a) ≺ f(b) holds.
+			for _, c := range sbc {
+				if !ord.Less(f[c[0]], f[c[1]]) {
+					return
+				}
+			}
+			embs = append(embs, Canon(f))
+			return
+		}
+		for v := int64(0); v < int64(g.NumVertices()); v++ {
+			if used[v] {
+				continue
+			}
+			if labeled && g.Label(v) != p.Label(int64(u)) {
+				continue
+			}
+			ok := true
+			for _, w := range p.Adj(int64(u)) {
+				if w < int64(u) && !g.HasEdge(f[w], v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			f[u] = v
+			used[v] = true
+			rec(u + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	sort.Strings(embs)
+	return Outcome{Count: int64(len(embs)), Embeddings: embs}
+}
+
+// DiffEmbeddings returns the embeddings present in want but not got
+// (missing) and present in got but not want (extra). Both inputs must be
+// sorted; duplicates are significant (an executor emitting a match twice
+// shows up as extra).
+func DiffEmbeddings(want, got []string) (missing, extra []string) {
+	i, j := 0, 0
+	for i < len(want) && j < len(got) {
+		switch {
+		case want[i] == got[j]:
+			i++
+			j++
+		case want[i] < got[j]:
+			missing = append(missing, want[i])
+			i++
+		default:
+			extra = append(extra, got[j])
+			j++
+		}
+	}
+	missing = append(missing, want[i:]...)
+	extra = append(extra, got[j:]...)
+	return missing, extra
+}

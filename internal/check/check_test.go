@@ -1,0 +1,128 @@
+package check
+
+import (
+	"reflect"
+	"testing"
+
+	"benu/internal/gen"
+	"benu/internal/graph"
+)
+
+// The reference enumerator is itself validated two ways: against known
+// closed-form counts on fixed graphs, and against graph.RefCount — the
+// repo's older anchored brute-force enumerator, which shares no code with
+// check.Reference (full-range scan + post-filter here, neighbor-anchored
+// candidates + inline filter there).
+
+func TestReferenceKnownCounts(t *testing.T) {
+	k4 := graph.FromEdges(4, [][2]int64{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	cases := []struct {
+		name string
+		p    *graph.Pattern
+		g    *graph.Graph
+		want int64
+	}{
+		{"triangle-in-k4", gen.Triangle(), k4, 4},
+		{"square-in-k4", gen.Square(), k4, 3},
+		{"clique4-in-k4", gen.Clique(4), k4, 1},
+		{"path3-in-k4", gen.Path(3), k4, 12},
+		{"demo-fan-fig1", gen.DemoPattern(), gen.DemoDataGraph(), 2},
+	}
+	for _, c := range cases {
+		ord := graph.NewTotalOrder(c.g)
+		got := Reference(c.p, c.g, ord)
+		if got.Count != c.want {
+			t.Errorf("%s: Reference count = %d, want %d", c.name, got.Count, c.want)
+		}
+		if int64(len(got.Embeddings)) != got.Count {
+			t.Errorf("%s: %d embeddings for count %d", c.name, len(got.Embeddings), got.Count)
+		}
+	}
+}
+
+func TestReferenceAgreesWithRefCount(t *testing.T) {
+	spec := gen.RandomGraphSpec{MinN: 8, MaxN: 40}
+	for seed := int64(100); seed < 106; seed++ {
+		g := gen.RandomDataGraph(spec, seed)
+		ord := graph.NewTotalOrder(g)
+		for _, p := range []*graph.Pattern{gen.Triangle(), gen.Square(), gen.ChordalSquare(), gen.Q(1)} {
+			want := graph.RefCount(p, g, ord)
+			got := Reference(p, g, ord)
+			if got.Count != want {
+				t.Errorf("seed %d, %s: Reference = %d, graph.RefCount = %d", seed, p.Name(), got.Count, want)
+			}
+		}
+	}
+}
+
+func TestReferenceTriangleMatchesCountTriangles(t *testing.T) {
+	g := gen.RandomDataGraph(gen.RandomGraphSpec{MinN: 20, MaxN: 20, Models: []string{"er-dense"}}, 7)
+	ord := graph.NewTotalOrder(g)
+	if got, want := Reference(gen.Triangle(), g, ord).Count, graph.CountTriangles(g); got != want {
+		t.Errorf("Reference = %d, CountTriangles = %d", got, want)
+	}
+}
+
+func TestDiffEmbeddings(t *testing.T) {
+	want := []string{"0 1 2", "0 1 3", "2 3 4"}
+	got := []string{"0 1 2", "1 2 3", "2 3 4", "2 3 4"}
+	missing, extra := DiffEmbeddings(want, got)
+	if !reflect.DeepEqual(missing, []string{"0 1 3"}) {
+		t.Errorf("missing = %v", missing)
+	}
+	if !reflect.DeepEqual(extra, []string{"1 2 3", "2 3 4"}) {
+		t.Errorf("extra = %v (duplicates must count)", extra)
+	}
+}
+
+func TestRemoveVertexRelabels(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int64{{0, 1}, {1, 2}, {2, 3}})
+	got := RemoveVertex(g, 1) // path 0-1-2-3 minus inner vertex
+	if got.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d, want 3", got.NumVertices())
+	}
+	if !reflect.DeepEqual(got.EdgeList(), [][2]int64{{1, 2}}) {
+		t.Errorf("edges = %v, want [[1 2]] (old 2-3 relabeled down)", got.EdgeList())
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := graph.FromEdges(3, [][2]int64{{0, 1}, {1, 2}, {0, 2}})
+	got := RemoveEdge(g, 1, 0)
+	if got.NumEdges() != 2 || got.HasEdge(0, 1) {
+		t.Errorf("edge (0,1) not removed: %v", got.EdgeList())
+	}
+	if got.NumVertices() != 3 {
+		t.Errorf("vertex count changed: %d", got.NumVertices())
+	}
+}
+
+func TestShrinkToMinimalTriangle(t *testing.T) {
+	// Start from a larger graph that contains triangles; the predicate
+	// "has a triangle" must shrink to exactly K3.
+	g := gen.RandomDataGraph(gen.RandomGraphSpec{MinN: 24, MaxN: 24, Models: []string{"er-dense"}}, 11)
+	hasTriangle := func(g2 *graph.Graph) bool { return graph.CountTriangles(g2) > 0 }
+	if !hasTriangle(g) {
+		t.Fatal("seed graph has no triangle; pick another seed")
+	}
+	small := Shrink(g, hasTriangle, 5000)
+	if small.NumVertices() != 3 || small.NumEdges() != 3 {
+		t.Errorf("shrunk to %d vertices / %d edges, want the minimal K3: %v",
+			small.NumVertices(), small.NumEdges(), small.EdgeList())
+	}
+}
+
+func TestShrinkRespectsCheckBudget(t *testing.T) {
+	g := gen.RandomDataGraph(gen.RandomGraphSpec{MinN: 30, MaxN: 30, Models: []string{"er-dense"}}, 13)
+	calls := 0
+	small := Shrink(g, func(g2 *graph.Graph) bool {
+		calls++
+		return graph.CountTriangles(g2) > 0
+	}, 10)
+	if calls > 10 {
+		t.Errorf("predicate evaluated %d times, budget was 10", calls)
+	}
+	if small.NumVertices() > g.NumVertices() {
+		t.Error("shrink grew the graph")
+	}
+}

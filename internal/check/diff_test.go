@@ -1,0 +1,201 @@
+package check
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/kv"
+)
+
+// matrixPatterns are the preset patterns every differential batch
+// cross-validates. To add a preset to the matrix, append it here (and to
+// the fuller all=true list if it is cheap enough for -short runs); see
+// docs/TESTING.md.
+func matrixPatterns(all bool) []*graph.Pattern {
+	ps := []*graph.Pattern{
+		gen.Triangle(),
+		gen.Square(),
+		gen.ChordalSquare(),
+		gen.Q(1),
+		gen.Q(4),
+		gen.Q(6),
+	}
+	if all {
+		ps = append(ps, gen.Q(2), gen.DemoPattern())
+	}
+	return ps
+}
+
+// sparseSpec keeps the reference enumerator fast: power-law and sparse
+// uniform graphs up to ~56 vertices.
+var sparseSpec = gen.RandomGraphSpec{MinN: 8, MaxN: 56, Models: []string{"er-sparse", "powerlaw"}}
+
+// denseSpec stresses high-clustering inputs (triangle caches, VCBC image
+// sets); kept small because both sides enumerate every embedding.
+var denseSpec = gen.RandomGraphSpec{MinN: 8, MaxN: 22, Models: []string{"er-dense"}}
+
+// TestDifferentialMatrix is the main cross-validation sweep: random data
+// graphs × preset patterns × plan variants × backends, counts and
+// canonicalized embedding sets compared against the reference enumerator.
+// -short runs a reduced matrix (3 sparse graphs, raw/opt/vcbc, two
+// backends); the full run adds dense graphs, the degree-filtered variant,
+// and the batched backend.
+func TestDifferentialMatrix(t *testing.T) {
+	cfg := BatchConfig{
+		Seed:     2024,
+		Graphs:   3,
+		Spec:     sparseSpec,
+		Patterns: matrixPatterns(!testing.Short()),
+		Variants: ShortVariants(),
+	}
+	if testing.Short() {
+		all := Backends(nil)
+		cfg.Backends = []Backend{all[0], all[2]} // exec + cluster-split
+	} else {
+		cfg.Graphs = 6
+		cfg.Variants = Variants()
+	}
+	for _, m := range RunBatch(cfg) {
+		t.Error(m.String())
+	}
+	if !testing.Short() {
+		dense := cfg
+		dense.Seed = 7000
+		dense.Graphs = 3
+		dense.Spec = denseSpec
+		for _, m := range RunBatch(dense) {
+			t.Error(m.String())
+		}
+	}
+}
+
+func TestRandomDataGraphSeededReproducibility(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		a := gen.RandomDataGraph(sparseSpec, seed)
+		b := gen.RandomDataGraph(sparseSpec, seed)
+		if a.NumVertices() != b.NumVertices() || !reflect.DeepEqual(a.EdgeList(), b.EdgeList()) {
+			t.Fatalf("seed %d: RandomDataGraph is not deterministic", seed)
+		}
+	}
+	// Distinct seeds must not all collapse onto one graph.
+	if reflect.DeepEqual(gen.RandomDataGraph(sparseSpec, 1).EdgeList(),
+		gen.RandomDataGraph(sparseSpec, 2).EdgeList()) {
+		t.Error("seeds 1 and 2 generated identical graphs")
+	}
+}
+
+// truncatingStore simulates a subtly corrupt database: one vertex's
+// adjacency set is served with its last neighbor missing. The harness
+// must detect the resulting miscount and shrink the witness graph.
+type truncatingStore struct {
+	inner  kv.Store
+	victim int64
+}
+
+func (s truncatingStore) GetAdj(v int64) ([]int64, error) {
+	adj, err := s.inner.GetAdj(v)
+	if err != nil || v != s.victim || len(adj) == 0 {
+		return adj, err
+	}
+	return adj[:len(adj)-1], nil
+}
+
+func (s truncatingStore) NumVertices() int { return s.inner.NumVertices() }
+
+func TestHarnessCatchesInjectedBugAndShrinks(t *testing.T) {
+	wrap := func(s kv.Store) kv.Store { return truncatingStore{inner: s, victim: 0} }
+	buggy := Backends(wrap)[0] // exec backend over the corrupt store
+	opt := Variants()[1]
+
+	// K4: truncating vertex 0's adjacency must lose triangles.
+	g := graph.FromEdges(4, [][2]int64{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	m := Validate(gen.Triangle(), g, opt, buggy)
+	if m == nil {
+		t.Fatal("harness missed the corrupt store")
+	}
+	if m.Err != nil {
+		t.Fatalf("expected a count mismatch, got backend error: %v", m.Err)
+	}
+	if m.GotCount >= m.WantCount {
+		t.Errorf("corrupt store should undercount: got %d, reference %d", m.GotCount, m.WantCount)
+	}
+	if len(m.Missing) == 0 {
+		t.Error("mismatch reports no missing embeddings")
+	}
+
+	// The batch driver must find it on random graphs too, and shrink the
+	// counterexample below the original graph.
+	cfg := BatchConfig{
+		Seed:     42,
+		Graphs:   1,
+		Spec:     gen.RandomGraphSpec{MinN: 16, MaxN: 16, Models: []string{"er-dense"}},
+		Patterns: []*graph.Pattern{gen.Triangle()},
+		Variants: []Variant{opt},
+		Backends: []Backend{buggy},
+	}
+	ms := RunBatch(cfg)
+	if len(ms) != 1 {
+		t.Fatalf("RunBatch found %d mismatches, want 1", len(ms))
+	}
+	orig := gen.RandomDataGraph(cfg.Spec, cfg.Seed)
+	got := ms[0]
+	if !got.Shrunk || got.Graph.NumVertices() >= orig.NumVertices() {
+		t.Errorf("counterexample not shrunk: %d vertices (original %d, Shrunk=%v)",
+			got.Graph.NumVertices(), orig.NumVertices(), got.Shrunk)
+	}
+	// The shrunken graph must still exhibit the failure.
+	if Validate(gen.Triangle(), got.Graph, opt, buggy) == nil {
+		t.Error("shrunken counterexample no longer fails")
+	}
+	if got.String() == "" {
+		t.Error("empty mismatch report")
+	}
+}
+
+// TestErrorPathsSurfaceInjectedFailures cross-validates the error paths:
+// with a fault-injecting store underneath, every backend × variant must
+// surface an error that still wraps kv.ErrInjected after crossing the
+// executor and cluster layers.
+func TestErrorPathsSurfaceInjectedFailures(t *testing.T) {
+	g := gen.RandomDataGraph(sparseSpec, 31)
+	p := gen.Q(1)
+	for _, v := range ShortVariants() {
+		wrap := func(s kv.Store) kv.Store {
+			f := kv.NewFaulty(s)
+			f.FailEveryN = 3
+			return f
+		}
+		for _, b := range Backends(wrap) {
+			m := Validate(p, g, v, b)
+			if m == nil || m.Err == nil {
+				t.Errorf("%s/%s: injected store failures did not surface", v.Name, b.Name)
+				continue
+			}
+			if !errors.Is(m.Err, kv.ErrInjected) {
+				t.Errorf("%s/%s: error chain lost ErrInjected: %v", v.Name, b.Name, m.Err)
+			}
+		}
+	}
+}
+
+// TestBatchIsDeterministic reruns a small batch and requires identical
+// outcomes — the reproducibility contract counterexample reports rely on.
+func TestBatchIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by the full run")
+	}
+	cfg := BatchConfig{
+		Seed:     99,
+		Graphs:   2,
+		Spec:     sparseSpec,
+		Patterns: []*graph.Pattern{gen.Triangle(), gen.Q(1)},
+		Variants: ShortVariants(),
+	}
+	a, b := RunBatch(cfg), RunBatch(cfg)
+	if len(a) != 0 || len(b) != 0 {
+		t.Fatalf("healthy stack mismatched: %d and %d failures", len(a), len(b))
+	}
+}

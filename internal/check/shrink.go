@@ -1,0 +1,91 @@
+package check
+
+import "benu/internal/graph"
+
+// Counterexample shrinking. A randomized batch that fails usually fails
+// on a graph with dozens of vertices; the actual defect almost always
+// survives on a much smaller one. Shrink greedily removes vertices and
+// edges while the failure predicate keeps holding, so reports show the
+// minimal graph a human has to stare at.
+
+// Shrink minimizes g under fails: it repeatedly tries removing one vertex
+// (preferred — it shrinks the search space fastest) or one edge, keeping
+// any candidate on which fails still returns true, until no single
+// removal preserves the failure or maxChecks predicate evaluations have
+// been spent. fails(g) must be true on entry; the result is then a local
+// minimum — every proper one-step reduction of it passes.
+//
+// fails must be deterministic and total: return false (not panic) on
+// graphs it cannot evaluate, e.g. when no plan can be generated.
+func Shrink(g *graph.Graph, fails func(*graph.Graph) bool, maxChecks int) *graph.Graph {
+	if maxChecks <= 0 {
+		maxChecks = 400
+	}
+	checks := 0
+	try := func(cand *graph.Graph) bool {
+		if checks >= maxChecks {
+			return false
+		}
+		checks++
+		return fails(cand)
+	}
+	cur := g
+	for {
+		reduced := false
+		for v := int64(0); v < int64(cur.NumVertices()); v++ {
+			cand := RemoveVertex(cur, v)
+			if try(cand) {
+				cur = cand
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		for _, e := range cur.EdgeList() {
+			cand := RemoveEdge(cur, e[0], e[1])
+			if try(cand) {
+				cur = cand
+				reduced = true
+				break
+			}
+		}
+		if !reduced || checks >= maxChecks {
+			return cur
+		}
+	}
+}
+
+// RemoveVertex returns g without vertex v; vertices above v shift down by
+// one so ids stay dense.
+func RemoveVertex(g *graph.Graph, v int64) *graph.Graph {
+	relabel := func(u int64) int64 {
+		if u > v {
+			return u - 1
+		}
+		return u
+	}
+	var edges [][2]int64
+	g.Edges(func(a, b int64) bool {
+		if a != v && b != v {
+			edges = append(edges, [2]int64{relabel(a), relabel(b)})
+		}
+		return true
+	})
+	return graph.FromEdges(g.NumVertices()-1, edges)
+}
+
+// RemoveEdge returns g without the undirected edge (u, v). The vertex
+// count is unchanged (an isolated endpoint is removed by a later
+// RemoveVertex step if the failure survives it).
+func RemoveEdge(g *graph.Graph, u, v int64) *graph.Graph {
+	var edges [][2]int64
+	g.Edges(func(a, b int64) bool {
+		if !(a == u && b == v) && !(a == v && b == u) {
+			edges = append(edges, [2]int64{a, b})
+		}
+		return true
+	})
+	return graph.FromEdges(g.NumVertices(), edges)
+}

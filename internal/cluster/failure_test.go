@@ -2,8 +2,6 @@ package cluster
 
 import (
 	"errors"
-	"fmt"
-	"sync/atomic"
 	"testing"
 
 	"benu/internal/gen"
@@ -12,39 +10,24 @@ import (
 	"benu/internal/plan"
 )
 
-// flakyStore wraps a store and fails every failEvery-th query — the
-// failure-injection harness for the runtime's error paths.
-type flakyStore struct {
-	inner     kv.Store
-	failEvery int64
-	calls     atomic.Int64
-}
-
-var errInjected = errors.New("injected store failure")
-
-func (s *flakyStore) GetAdj(v int64) ([]int64, error) {
-	if s.calls.Add(1)%s.failEvery == 0 {
-		return nil, fmt.Errorf("query %d: %w", s.calls.Load(), errInjected)
-	}
-	return s.inner.GetAdj(v)
-}
-
-func (s *flakyStore) NumVertices() int { return s.inner.NumVertices() }
-
 func TestRunSurfacesStoreFailures(t *testing.T) {
 	g := gen.PowerLaw(gen.PowerLawConfig{N: 200, EdgesPer: 4, Triad: 0.4, Seed: 51})
 	ord := graph.NewTotalOrder(g)
 	pl := bestPlan(t, gen.Q(1), g, plan.OptimizedUncompressed)
 
-	store := &flakyStore{inner: kv.NewLocal(g), failEvery: 97}
+	store := kv.NewFaulty(kv.NewLocal(g))
+	store.FailEveryN = 97
 	cfg := Defaults(g)
 	cfg.CacheBytes = 0 // force every query to the flaky store
 	_, err := Run(pl, store, ord, g.Degree, cfg)
 	if err == nil {
 		t.Fatal("store failures swallowed")
 	}
-	if !errors.Is(err, errInjected) {
+	if !errors.Is(err, kv.ErrInjected) {
 		t.Errorf("error chain lost the cause: %v", err)
+	}
+	if store.Injected() == 0 {
+		t.Error("no failures were actually injected")
 	}
 }
 

@@ -1,0 +1,19 @@
+package exec
+
+import "benu/internal/graph"
+
+// RunAll executes every local search task of prog — one per data vertex,
+// no splitting — on a single executor and returns its accumulated stats.
+// This is the minimal single-threaded deployment of the framework: no
+// simulated cluster, no task shuffle, deterministic task order. The
+// differential harness (internal/check) uses it as the executor-direct
+// backend; it is also the cheapest way to run a plan in-process.
+func RunAll(prog *Program, src AdjSource, numVertices int, ord *graph.TotalOrder, opts Options) (Stats, error) {
+	e := NewExecutor(prog, src, numVertices, ord, opts)
+	for v := int64(0); v < int64(numVertices); v++ {
+		if _, err := e.Run(Task{Start: v}); err != nil {
+			return e.Stats(), err
+		}
+	}
+	return e.Stats(), nil
+}

@@ -122,6 +122,58 @@ func ErdosRenyi(n int, m int, seed int64) *graph.Graph {
 	return b.Build()
 }
 
+// RandomGraphSpec parameterizes RandomDataGraph: the knobs of the
+// randomized cross-validation batches (internal/check). The zero value is
+// usable; Normalize fills the defaults.
+type RandomGraphSpec struct {
+	// MinN and MaxN bound the vertex count (inclusive). Defaults: 8, 64.
+	MinN, MaxN int
+	// Models restricts the graph models drawn from; empty means all of
+	// "er-sparse" (m ≈ n..3n uniform edges), "er-dense" (¼..½ of all
+	// pairs), and "powerlaw" (preferential attachment with triads).
+	Models []string
+}
+
+// Normalize fills defaults and repairs inverted bounds in place.
+func (s *RandomGraphSpec) Normalize() {
+	if s.MinN < 2 {
+		s.MinN = 8
+	}
+	if s.MaxN < s.MinN {
+		s.MaxN = s.MinN + 56
+	}
+	if len(s.Models) == 0 {
+		s.Models = []string{"er-sparse", "er-dense", "powerlaw"}
+	}
+}
+
+// RandomDataGraph generates the seed-th random data graph of the spec's
+// distribution: the model, size, and density are all derived from seed, so
+// one integer reproduces the graph exactly (the reproducibility contract
+// the differential harness's counterexample reports rely on).
+func RandomDataGraph(spec RandomGraphSpec, seed int64) *graph.Graph {
+	spec.Normalize()
+	rng := rand.New(rand.NewSource(seed))
+	n := spec.MinN + rng.Intn(spec.MaxN-spec.MinN+1)
+	switch spec.Models[rng.Intn(len(spec.Models))] {
+	case "er-sparse":
+		m := n + rng.Intn(2*n+1)
+		return ErdosRenyi(n, m, rng.Int63())
+	case "er-dense":
+		pairs := n * (n - 1) / 2
+		m := pairs/4 + rng.Intn(pairs/4+1)
+		return ErdosRenyi(n, m, rng.Int63())
+	default: // "powerlaw"
+		return PowerLaw(PowerLawConfig{
+			N:        n,
+			M0:       2 + rng.Intn(3),
+			EdgesPer: 1 + rng.Intn(4),
+			Triad:    rng.Float64() * 0.6,
+			Seed:     rng.Int63(),
+		})
+	}
+}
+
 // RandomConnectedPattern generates a random connected pattern graph with n
 // vertices: a uniform random spanning tree plus each remaining vertex pair
 // independently with probability extra. Used by Exp-1 (Table IV) which

@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzGraphParse exercises the edge-list loader on arbitrary text. A
+// successful parse must yield a structurally sound simple graph, and
+// writing it back out must round-trip losslessly.
+func FuzzGraphParse(f *testing.F) {
+	f.Add("0 1\n1 2\n2 0\n")
+	f.Add("# comment\n3 4\n\n4 5\n")
+	f.Add("0 1 extra tokens ignored? no: fields>=2 ok\n")
+	f.Add("10 10\n")  // self-loop, dropped
+	f.Add("1 0\n0 1") // duplicate in both directions
+	f.Add("-3 4\n")
+	f.Add("999999999999999999 1\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		// Keep the fuzzer productive: ids with more than 6 digits are
+		// valid up to MaxEdgeListVertexID and would make the loader
+		// allocate per-vertex state for millions of vertices per exec.
+		// The large-id rejection path has its own explicit seed above.
+		for _, tok := range strings.Fields(text) {
+			if len(tok) > 6 {
+				t.Skip("oversized token")
+			}
+		}
+		g, err := ReadEdgeList(strings.NewReader(text))
+		if err != nil {
+			return // rejecting malformed input is correct
+		}
+		n := int64(g.NumVertices())
+		var degSum int64
+		for v := int64(0); v < n; v++ {
+			adj := g.Adj(v)
+			degSum += int64(len(adj))
+			for i, w := range adj {
+				if w < 0 || w >= n {
+					t.Fatalf("vertex %d: neighbor %d outside [0,%d)", v, w, n)
+				}
+				if w == v {
+					t.Fatalf("vertex %d: self-loop survived parsing", v)
+				}
+				if i > 0 && adj[i-1] >= w {
+					t.Fatalf("vertex %d: adjacency not strictly sorted: %v", v, adj)
+				}
+				if !g.HasEdge(w, v) {
+					t.Fatalf("edge (%d,%d) not symmetric", v, w)
+				}
+			}
+		}
+		if degSum != 2*g.NumEdges() {
+			t.Fatalf("degree sum %d != 2m = %d", degSum, 2*g.NumEdges())
+		}
+
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write back: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("reparse of written output: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed edge count: %d -> %d", g.NumEdges(), g2.NumEdges())
+		}
+		a, b := g.EdgeList(), g2.EdgeList()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round trip changed edge %d: %v -> %v", i, a[i], b[i])
+			}
+		}
+	})
+}

@@ -8,10 +8,17 @@ import (
 	"strings"
 )
 
+// MaxEdgeListVertexID bounds vertex ids accepted by ReadEdgeList. The
+// loader allocates per-vertex state up to the largest id seen, so an id
+// beyond any graph this repository can hold (a corrupt or hostile input)
+// must fail cleanly instead of attempting a multi-gigabyte allocation.
+const MaxEdgeListVertexID = 1 << 30
+
 // ReadEdgeList parses a whitespace-separated edge list (one "u v" pair per
 // line; '#' starts a comment) into a Graph. Vertex ids must be
-// non-negative integers; the vertex count is 1 + the largest id seen.
-// This is the SNAP text format the paper's data graphs ship in.
+// non-negative integers ≤ MaxEdgeListVertexID; the vertex count is 1 + the
+// largest id seen. This is the SNAP text format the paper's data graphs
+// ship in.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	b := NewBuilder(0)
 	sc := bufio.NewScanner(r)
@@ -37,6 +44,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		if u < 0 || v < 0 {
 			return nil, fmt.Errorf("edge list line %d: negative vertex id", line)
+		}
+		if u > MaxEdgeListVertexID || v > MaxEdgeListVertexID {
+			return nil, fmt.Errorf("edge list line %d: vertex id exceeds %d", line, int64(MaxEdgeListVertexID))
 		}
 		b.AddEdge(u, v)
 	}

@@ -1,0 +1,83 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Fault injection. The runtime's error paths — executor task failures,
+// cluster error propagation, cache behaviour under a flaky database —
+// deserve the same cross-validation as the happy path, so the injecting
+// store lives here as a first-class backend rather than as a private test
+// helper.
+
+// ErrInjected is the sentinel every injected failure wraps; tests assert
+// errors.Is(err, ErrInjected) to verify the error chain survives the
+// executor and cluster layers intact.
+var ErrInjected = errors.New("kv: injected failure")
+
+// Faulty wraps a Store and injects errors on a configurable schedule.
+// Queries are numbered 1, 2, 3, … across GetAdj and BatchGetAdj (one
+// number per requested vertex); a query fails when the schedule selects
+// its number. The zero schedule never fails, so a Faulty with no knobs
+// set behaves like its inner store (plus call counting).
+//
+// Like every Store, Faulty is safe for concurrent use (the counters are
+// atomic; the knobs must be set before the store is shared).
+type Faulty struct {
+	inner Store
+
+	// FailEveryN fails every N-th query (N ≥ 1). 0 disables.
+	FailEveryN int64
+	// FailOnceAt fails exactly the N-th query (N ≥ 1), once. 0 disables.
+	// Combined with FailEveryN, a query fails when either rule selects it.
+	FailOnceAt int64
+
+	calls    atomic.Int64
+	injected atomic.Int64
+}
+
+// NewFaulty wraps inner with fault injection. Configure the Fail* fields
+// before use.
+func NewFaulty(inner Store) *Faulty { return &Faulty{inner: inner} }
+
+// Calls returns the number of queries seen (injected failures included).
+func (s *Faulty) Calls() int64 { return s.calls.Load() }
+
+// Injected returns the number of failures injected so far.
+func (s *Faulty) Injected() int64 { return s.injected.Load() }
+
+// fail reports whether query number n should fail.
+func (s *Faulty) fail(n int64) bool {
+	if s.FailEveryN > 0 && n%s.FailEveryN == 0 {
+		return true
+	}
+	return s.FailOnceAt > 0 && n == s.FailOnceAt
+}
+
+// GetAdj implements Store.
+func (s *Faulty) GetAdj(v int64) ([]int64, error) {
+	n := s.calls.Add(1)
+	if s.fail(n) {
+		s.injected.Add(1)
+		return nil, fmt.Errorf("query %d (vertex %d): %w", n, v, ErrInjected)
+	}
+	return s.inner.GetAdj(v)
+}
+
+// BatchGetAdj implements BatchStore: each requested vertex counts as one
+// query, so batched reads hit the same failure schedule as serial ones.
+func (s *Faulty) BatchGetAdj(vs []int64) ([][]int64, error) {
+	for _, v := range vs {
+		n := s.calls.Add(1)
+		if s.fail(n) {
+			s.injected.Add(1)
+			return nil, fmt.Errorf("batch query %d (vertex %d): %w", n, v, ErrInjected)
+		}
+	}
+	return BatchGetAdj(s.inner, vs)
+}
+
+// NumVertices implements Store.
+func (s *Faulty) NumVertices() int { return s.inner.NumVertices() }

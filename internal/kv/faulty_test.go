@@ -1,0 +1,75 @@
+package kv
+
+import (
+	"errors"
+	"testing"
+
+	"benu/internal/graph"
+)
+
+func faultyTestGraph() *graph.Graph {
+	return graph.FromEdges(4, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+}
+
+func TestFaultyFailEveryN(t *testing.T) {
+	s := NewFaulty(NewLocal(faultyTestGraph()))
+	s.FailEveryN = 3
+	var failures int
+	for i := 0; i < 9; i++ {
+		_, err := s.GetAdj(int64(i % 4))
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("failure does not wrap ErrInjected: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Errorf("9 queries with FailEveryN=3: %d failures, want 3", failures)
+	}
+	if s.Calls() != 9 || s.Injected() != 3 {
+		t.Errorf("Calls=%d Injected=%d, want 9 and 3", s.Calls(), s.Injected())
+	}
+}
+
+func TestFaultyFailOnceAt(t *testing.T) {
+	s := NewFaulty(NewLocal(faultyTestGraph()))
+	s.FailOnceAt = 2
+	if _, err := s.GetAdj(0); err != nil {
+		t.Fatalf("query 1 failed: %v", err)
+	}
+	if _, err := s.GetAdj(1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("query 2 should fail with ErrInjected, got %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := s.GetAdj(int64(i % 4)); err != nil {
+			t.Fatalf("query after the one-shot failure failed: %v", err)
+		}
+	}
+}
+
+func TestFaultyZeroScheduleIsTransparent(t *testing.T) {
+	g := faultyTestGraph()
+	s := NewFaulty(NewLocal(g))
+	for v := int64(0); v < 4; v++ {
+		adj, err := s.GetAdj(v)
+		if err != nil {
+			t.Fatalf("GetAdj(%d): %v", v, err)
+		}
+		if len(adj) != g.Degree(v) {
+			t.Errorf("GetAdj(%d) returned %d neighbors, want %d", v, len(adj), g.Degree(v))
+		}
+	}
+}
+
+func TestFaultyBatchCountsPerVertex(t *testing.T) {
+	s := NewFaulty(NewLocal(faultyTestGraph()))
+	s.FailEveryN = 3
+	// Batch of 2 succeeds (queries 1, 2), next batch of 2 hits query 3.
+	if _, err := s.BatchGetAdj([]int64{0, 1}); err != nil {
+		t.Fatalf("first batch failed: %v", err)
+	}
+	if _, err := s.BatchGetAdj([]int64{2, 3}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second batch should fail with ErrInjected, got %v", err)
+	}
+}

@@ -57,6 +57,12 @@ type wireCond struct {
 
 const wireVersion = 1
 
+// maxWirePatternVertices bounds the pattern size accepted from the wire.
+// Plan generation is super-exponential in pattern vertices, so anything
+// beyond this could never have been produced by a working master; it is
+// a decode-time guard against hostile or corrupt payloads.
+const maxWirePatternVertices = 64
+
 var opNames = map[OpType]string{
 	OpINI: "INI", OpDBQ: "DBQ", OpINT: "INT", OpENU: "ENU", OpTRC: "TRC", OpRES: "RES",
 }
@@ -147,6 +153,21 @@ func UnmarshalPlan(data []byte) (*Plan, error) {
 	}
 	if wp.Version != wireVersion {
 		return nil, fmt.Errorf("plan: wire version %d, want %d", wp.Version, wireVersion)
+	}
+	// The payload crosses the network, so validate structural bounds
+	// before graph construction: FromEdges panics on out-of-range
+	// endpoints (it only sees trusted inputs), and a huge claimed vertex
+	// count must not drive a huge allocation.
+	if wp.Pattern.N < 1 || wp.Pattern.N > maxWirePatternVertices {
+		return nil, fmt.Errorf("plan: pattern vertex count %d outside [1, %d]", wp.Pattern.N, maxWirePatternVertices)
+	}
+	for _, e := range wp.Pattern.Edges {
+		if e[0] < 0 || e[1] < 0 || e[0] >= int64(wp.Pattern.N) || e[1] >= int64(wp.Pattern.N) {
+			return nil, fmt.Errorf("plan: pattern edge %v outside [0, %d)", e, wp.Pattern.N)
+		}
+	}
+	if wp.Pattern.Labels != nil && len(wp.Pattern.Labels) != wp.Pattern.N {
+		return nil, fmt.Errorf("plan: %d labels for %d pattern vertices", len(wp.Pattern.Labels), wp.Pattern.N)
 	}
 	var pat *graph.Pattern
 	var err error

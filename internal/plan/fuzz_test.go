@@ -1,0 +1,68 @@
+package plan_test
+
+import (
+	"testing"
+
+	"benu/internal/estimate"
+	"benu/internal/exec"
+	"benu/internal/gen"
+	"benu/internal/plan"
+)
+
+// FuzzPlanDecode exercises the broadcast-payload decoder on arbitrary
+// bytes: it must never panic, and any payload it accepts must be a
+// validated plan that compiles and survives an encode/decode round trip
+// unchanged. Seeds are real broadcast payloads at every optimization
+// level.
+func FuzzPlanDecode(f *testing.F) {
+	// Keep seed construction cheap: this code runs at startup in every
+	// fuzz worker process, where instrumentation makes plan generation
+	// markedly slower.
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 40, EdgesPer: 3, Triad: 0.3, Seed: 9})
+	st := estimate.NewStats(g, estimate.MaxMomentDefault)
+	for _, p := range []string{"triangle", "chordal-square"} {
+		pat, err := gen.PatternByName(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, opts := range []plan.Options{{}, plan.OptimizedUncompressed, plan.AllOptions} {
+			res, err := plan.GenerateBestPlan(pat, st, opts)
+			if err != nil {
+				f.Fatal(err)
+			}
+			data, err := res.Plan.MarshalJSON()
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"version":1,"pattern":{"name":"x","n":3,"edges":[[0,1],[1,2],[0,2]]}}`))
+	f.Add([]byte(`{"version":1,"pattern":{"name":"x","n":999999999,"edges":[]}}`))
+	f.Add([]byte(`{"version":1,"pattern":{"name":"x","n":2,"edges":[[0,7]]}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pl, err := plan.UnmarshalPlan(data)
+		if err != nil {
+			return // rejecting a malformed payload is correct
+		}
+		// Accepted payloads must satisfy the full structural contract.
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid plan: %v\n%s", err, pl)
+		}
+		if _, err := exec.Compile(pl); err != nil {
+			t.Fatalf("decoded plan does not compile: %v\n%s", err, pl)
+		}
+		data2, err := pl.MarshalJSON()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		pl2, err := plan.UnmarshalPlan(data2)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if pl.String() != pl2.String() {
+			t.Fatalf("round trip changed the plan:\n%s\nvs\n%s", pl, pl2)
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package vcbc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"benu/internal/graph"
+)
+
+// fuzzSeedStream serializes a small realistic code stream for the seed
+// corpus.
+func fuzzSeedStream(f *testing.F) []byte {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, []int{0, 2}, []int{1, 3}, [][2]int{{1, 3}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	codes := []*Code{
+		{CoverVertices: []int{0, 2}, Helve: []int64{5, 7}, FreeVertices: []int{1, 3}, Images: [][]int64{{1, 2, 9}, {2, 4}}},
+		{CoverVertices: []int{0, 2}, Helve: []int64{0, 1}, FreeVertices: []int{1, 3}, Images: [][]int64{{3}, {}}},
+	}
+	for _, c := range codes {
+		if err := w.Write(c); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzVCBCRoundTrip exercises the compressed-result codec on arbitrary
+// bytes: decoding must never panic, every decoded stream must re-encode
+// and re-decode to the same codes, and for small codes the analytic
+// expansion count (Code.Count) must equal the number of matches
+// Code.Expand actually produces.
+func FuzzVCBCRoundTrip(f *testing.F) {
+	f.Add(fuzzSeedStream(f))
+	f.Add([]byte{})
+	// Valid magic + version, then truncation mid-header.
+	var trunc [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(trunc[:], streamMagic)
+	n += binary.PutUvarint(trunc[n:], streamVersion)
+	f.Add(trunc[:n])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting a malformed header is correct
+		}
+		var codes []*Code
+		for len(codes) < 64 {
+			c, err := sr.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				return // truncated/corrupt body rejected cleanly: fine
+			}
+			codes = append(codes, c)
+		}
+
+		// Re-encode the decoded prefix and decode it again: the codec
+		// must be a lossless round trip on its own output.
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, sr.Cover(), sr.Free(), sr.Constraints())
+		if err != nil {
+			t.Fatalf("re-encode header: %v", err)
+		}
+		for _, c := range codes {
+			if err := w.Write(c); err != nil {
+				t.Fatalf("re-encode code: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		sr2, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode header: %v", err)
+		}
+		if !reflect.DeepEqual(sr2.Cover(), sr.Cover()) || !reflect.DeepEqual(sr2.Free(), sr.Free()) ||
+			!reflect.DeepEqual(sr2.Constraints(), sr.Constraints()) {
+			t.Fatal("round trip changed the stream header")
+		}
+		for i, want := range codes {
+			got, err := sr2.Next()
+			if err != nil {
+				t.Fatalf("round trip lost code %d: %v", i, err)
+			}
+			if !reflect.DeepEqual(got.Helve, want.Helve) || !imagesEqual(got.Images, want.Images) {
+				t.Fatalf("round trip changed code %d: %v vs %v", i, got, want)
+			}
+		}
+		if _, err := sr2.Next(); !errors.Is(err, io.EOF) {
+			t.Fatalf("re-encoded stream has trailing codes: %v", err)
+		}
+
+		// Differential invariant: Count computes what Expand enumerates.
+		// Guarded to small codes — Count's subset DP is O(2^t) in the
+		// free-vertex count and Expand is exponential in image sizes.
+		var ord *graph.TotalOrder
+		for _, c := range codes {
+			if !countableInFuzz(c) {
+				continue
+			}
+			if ord == nil {
+				ord = graph.IdentityOrder(1 << 16)
+			}
+			want := c.Count(sr.Constraints(), ord)
+			var got int64
+			c.Expand(maxPatternVertex(c)+1, sr.Constraints(), ord, func([]int64) bool {
+				got++
+				return true
+			})
+			if got != want {
+				t.Fatalf("Count=%d but Expand produced %d for %v", want, got, c)
+			}
+		}
+	})
+}
+
+// countableInFuzz bounds the differential Count/Expand check to codes it
+// can evaluate quickly and safely.
+func countableInFuzz(c *Code) bool {
+	if len(c.FreeVertices) > 6 || len(c.CoverVertices) > 8 {
+		return false
+	}
+	total := 0
+	for _, img := range c.Images {
+		total += len(img)
+		for _, v := range img {
+			if v < 0 || v >= 1<<16 {
+				return false
+			}
+		}
+	}
+	for _, v := range c.Helve {
+		if v < 0 || v >= 1<<16 {
+			return false
+		}
+	}
+	for _, u := range append(append([]int{}, c.CoverVertices...), c.FreeVertices...) {
+		if u < 0 || u > 64 {
+			return false
+		}
+	}
+	return total <= 24
+}
+
+func maxPatternVertex(c *Code) int {
+	m := 0
+	for _, u := range c.CoverVertices {
+		if u > m {
+			m = u
+		}
+	}
+	for _, u := range c.FreeVertices {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+func imagesEqual(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

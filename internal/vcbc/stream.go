@@ -155,6 +155,25 @@ func NewReader(r io.Reader) (*Reader, error) {
 	for i := 0; i < len(flat); i += 2 {
 		sr.constraints = append(sr.constraints, [2]int{flat[i], flat[i+1]})
 	}
+	// Every pattern vertex is either cover or free, never both and never
+	// twice: Count and Expand index per-pattern-vertex state, so a header
+	// with duplicated vertices silently aliases slots. Reject it as
+	// corrupt rather than decode codes with undefined semantics. An empty
+	// header is corrupt too — codes would occupy zero bytes, so Next
+	// could never distinguish a code from end of stream.
+	if len(sr.cover)+len(sr.free) == 0 {
+		return nil, errors.New("vcbc: header has no pattern vertices")
+	}
+	seen := make(map[int]bool, len(sr.cover)+len(sr.free))
+	for _, u := range append(append([]int(nil), sr.cover...), sr.free...) {
+		if u > 1<<16 {
+			return nil, fmt.Errorf("vcbc: unreasonable pattern vertex %d in header", u)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("vcbc: pattern vertex %d duplicated in header", u)
+		}
+		seen[u] = true
+	}
 	return sr, nil
 }
 
@@ -169,13 +188,16 @@ func (sr *Reader) intList() ([]int, error) {
 	if n > 1<<16 {
 		return nil, fmt.Errorf("vcbc: unreasonable list length %d", n)
 	}
-	out := make([]int, n)
-	for i := range out {
+	// Grow by appending rather than trusting the claimed length with one
+	// allocation: a truncated or hostile stream then fails after reading
+	// at most the bytes it actually contains.
+	out := make([]int, 0, min(int(n), 4096))
+	for i := uint64(0); i < n; i++ {
 		x, err := binary.ReadUvarint(sr.r)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = int(x)
+		out = append(out, int(x))
 	}
 	return out, nil
 }
@@ -213,13 +235,15 @@ func (sr *Reader) Next() (*Code, error) {
 		if n > 1<<28 {
 			return nil, fmt.Errorf("vcbc: unreasonable image size %d", n)
 		}
-		img := make([]int64, n)
-		for j := range img {
+		// Append-grow so a hostile length claim cannot force a huge
+		// allocation; decoding fails at the stream's actual end instead.
+		img := make([]int64, 0, min(int(n), 4096))
+		for j := uint64(0); j < n; j++ {
 			v, err := binary.ReadUvarint(sr.r)
 			if err != nil {
 				return nil, fmt.Errorf("vcbc: truncated image set: %w", err)
 			}
-			img[j] = int64(v)
+			img = append(img, int64(v))
 		}
 		c.Images[i] = img
 	}
