@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test short race vet bench check diff fuzz clean
+.PHONY: all build test short race vet bench bench-json check diff fuzz clean
 
 all: check
 
@@ -36,6 +36,7 @@ diff:
 ## fuzz: run each native fuzz target for $(FUZZTIME) (default 30s)
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzGraphParse -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzAdjListDecode -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzPlanDecode -fuzztime=$(FUZZTIME) ./internal/plan
 	$(GO) test -run='^$$' -fuzz=FuzzVCBCRoundTrip -fuzztime=$(FUZZTIME) ./internal/vcbc
 
@@ -46,6 +47,13 @@ vet:
 ## bench: micro-benchmarks and quick-mode experiment wrappers
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+## bench-json: machine-readable data-plane benchmark snapshot — triangle
+## and q4 on the ok-s dataset over local and TCP backends, baseline vs
+## prefetch+compact (BENCH_JSON overrides the output path)
+BENCH_JSON ?= BENCH_PR3.json
+bench-json:
+	$(GO) run ./cmd/benu-bench -bench-json $(BENCH_JSON)
 
 ## check: tier-1 verification — what CI (and the next PR) must keep green
 check: build vet test race diff

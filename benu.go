@@ -119,6 +119,16 @@ type Options struct {
 	// finished run. When Metrics is nil a private registry is created for
 	// the run, so the snapshot covers exactly this enumeration.
 	Observer func(*MetricsSnapshot)
+	// Prefetch turns on the ENU-stage batched adjacency prefetcher
+	// (synchronous unless Cluster.PrefetchWorkers says otherwise).
+	// Ignored when Cluster is set — configure ClusterConfig.Prefetch
+	// directly there.
+	Prefetch bool
+	// CompactAdjacency moves the per-machine data plane to the compact
+	// varint-delta adjacency encoding (smaller cache entries and, on
+	// networked stores, less wire volume). Ignored when Cluster is set —
+	// configure ClusterConfig.CompactAdjacency directly there.
+	CompactAdjacency bool
 }
 
 func (o *Options) resolve(g *Graph) (PlanOptions, ClusterConfig) {
@@ -130,6 +140,9 @@ func (o *Options) resolve(g *Graph) (PlanOptions, ClusterConfig) {
 		}
 		if o.Cluster != nil {
 			cfg = *o.Cluster
+		} else {
+			cfg.Prefetch = o.Prefetch
+			cfg.CompactAdjacency = o.CompactAdjacency
 		}
 	}
 	if g.Labeled() && cfg.LabelOf == nil {

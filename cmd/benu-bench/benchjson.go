@@ -1,0 +1,177 @@
+package main
+
+// -bench-json: a machine-readable benchmark snapshot of the adjacency
+// data plane. The matrix is small enough for CI smoke (seconds): two
+// patterns (triangle, q4) × two store backends (in-process local, TCP
+// over loopback) × two data-plane variants (baseline demand fetch vs
+// batched prefetch + compact encoding), all on the "ok-s" dataset — a
+// bench-scaled cut of the Orkut stand-in. No thresholds are enforced;
+// the snapshot records the numbers (store trips, bytes, wall time) that
+// BENCH_*.json files track across PRs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"benu/internal/cluster"
+	"benu/internal/estimate"
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/kv"
+	"benu/internal/plan"
+)
+
+// okSmall is the bench-json dataset: the Orkut stand-in's shape at a
+// scale where the whole matrix runs in CI seconds.
+var okSmall = gen.Preset{
+	Name:     "ok-s",
+	FullName: "Orkut (bench-scaled)",
+	Config:   gen.PowerLawConfig{N: 1200, M0: 4, EdgesPer: 6, Triad: 0.45, Seed: 3},
+}
+
+// benchCell is one matrix point.
+type benchCell struct {
+	Pattern string `json:"pattern"`
+	Backend string `json:"backend"`
+	Variant string `json:"variant"`
+
+	Matches      int64   `json:"matches"`
+	WallMS       float64 `json:"wall_ms"`
+	DBQueries    int64   `json:"db_queries"`
+	StoreTrips   int64   `json:"store_trips"`
+	BytesFetched int64   `json:"bytes_fetched"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// Wire* are the TCP client's own counters (absent for local cells):
+	// what actually crossed the sockets, batch-aware.
+	WireQueries int64 `json:"wire_queries,omitempty"`
+	WireTrips   int64 `json:"wire_trips,omitempty"`
+	WireBytes   int64 `json:"wire_bytes,omitempty"`
+}
+
+// benchSnapshot is the -bench-json file format.
+type benchSnapshot struct {
+	Dataset   string      `json:"dataset"`
+	Vertices  int         `json:"vertices"`
+	Edges     int64       `json:"edges"`
+	GoVersion string      `json:"go_version"`
+	Cells     []benchCell `json:"cells"`
+}
+
+// runBenchJSON runs the matrix and writes the snapshot to path.
+func runBenchJSON(path string) error {
+	g := okSmall.Cached()
+	ord := graph.NewTotalOrder(g)
+	st := estimate.NewStats(g, estimate.MaxMomentDefault)
+
+	snap := benchSnapshot{
+		Dataset:   okSmall.Name,
+		Vertices:  g.NumVertices(),
+		Edges:     g.NumEdges(),
+		GoVersion: runtime.Version(),
+	}
+
+	variants := []struct {
+		name              string
+		prefetch, compact bool
+	}{
+		{"baseline", false, false},
+		{"prefetch-compact", true, true},
+	}
+
+	for _, patName := range []string{"triangle", "q4"} {
+		p, err := gen.PatternByName(patName)
+		if err != nil {
+			return err
+		}
+		best, err := plan.GenerateBestPlan(p, st, plan.AllOptions)
+		if err != nil {
+			return err
+		}
+
+		var want int64 = -1
+		for _, backend := range []string{"local", "tcp"} {
+			for _, v := range variants {
+				cfg := cluster.Defaults(g)
+				cfg.Workers = 2
+				cfg.ThreadsPerWorker = 2
+				cfg.TriangleCacheEntries = 1 << 12
+				cfg.Prefetch = v.prefetch
+				cfg.CompactAdjacency = v.compact
+
+				var store kv.Store
+				var client *kv.Client
+				var servers []*kv.Server
+				switch backend {
+				case "local":
+					store = kv.NewLocal(g)
+				case "tcp":
+					var addrs []string
+					servers, addrs, err = kv.ServeGraph(g, 2)
+					if err != nil {
+						return err
+					}
+					client, err = kv.Dial(addrs, g.NumVertices())
+					if err != nil {
+						return err
+					}
+					store = client
+				}
+
+				t0 := time.Now()
+				res, err := cluster.Run(best.Plan, store, ord, g.Degree, cfg)
+				wall := time.Since(t0)
+				if client != nil {
+					client.Close()
+				}
+				for _, s := range servers {
+					s.Close()
+				}
+				if err != nil {
+					return fmt.Errorf("bench-json %s/%s/%s: %w", patName, backend, v.name, err)
+				}
+				if want < 0 {
+					want = res.Matches
+				} else if res.Matches != want {
+					return fmt.Errorf("bench-json %s/%s/%s: %d matches, other variants found %d",
+						patName, backend, v.name, res.Matches, want)
+				}
+
+				cell := benchCell{
+					Pattern:      patName,
+					Backend:      backend,
+					Variant:      v.name,
+					Matches:      res.Matches,
+					WallMS:       float64(wall.Microseconds()) / 1e3,
+					DBQueries:    res.DBQueries,
+					StoreTrips:   res.StoreTrips,
+					BytesFetched: res.BytesFetched,
+					CacheHitRate: res.CacheHitRate,
+				}
+				if client != nil {
+					m := client.Metrics()
+					cell.WireQueries = m.Queries()
+					cell.WireTrips = m.Trips()
+					cell.WireBytes = m.Bytes()
+				}
+				snap.Cells = append(snap.Cells, cell)
+				fmt.Fprintf(os.Stderr, "bench-json %-8s %-5s %-16s matches=%d trips=%d bytes=%d wall=%.1fms\n",
+					patName, backend, v.name, cell.Matches, cell.StoreTrips, cell.BytesFetched, cell.WallMS)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchmark snapshot written to %s (%d cells)\n", path, len(snap.Cells))
+	return nil
+}

@@ -140,6 +140,7 @@ var suite = []experiment{
 func main() {
 	var (
 		expName    = flag.String("exp", "all", "experiment to run (see -list)")
+		benchJSON  = flag.String("bench-json", "", "write a machine-readable data-plane benchmark snapshot to this file and exit")
 		quick      = flag.Bool("quick", false, "reduced sweeps and budgets")
 		deadline   = flag.Duration("deadline", 0, "per-cell time budget for the comparison tables")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -154,6 +155,14 @@ func main() {
 	if *list {
 		for _, e := range suite {
 			fmt.Printf("%-16v %s\n", e.names, e.about)
+		}
+		return
+	}
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "benu-bench:", err)
+			os.Exit(1)
 		}
 		return
 	}

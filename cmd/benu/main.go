@@ -47,6 +47,9 @@ func main() {
 		uncompressed = flag.Bool("uncompressed", false, "disable VCBC compression")
 		degreeFilter = flag.Bool("degree-filter", false, "add degree filtering conditions (§IV-A extension)")
 		cliqueCache  = flag.Bool("clique-cache", false, "generalize the triangle cache to pattern cliques (§IV-B extension)")
+		prefetch     = flag.Bool("prefetch", false, "batch-prefetch ENU candidate adjacency before enumerating")
+		pfWorkers    = flag.Int("prefetch-workers", 0, "async prefetch goroutines per machine (0 = synchronous inline)")
+		compact      = flag.Bool("compact", false, "use the compact varint-delta adjacency encoding in cache and fetches")
 		output       = flag.String("output", "", "write results to this file (VCBC stream for compressed plans, text otherwise; decode with benu-decode)")
 		metrics      = flag.Bool("metrics", false, "print the run's metrics snapshot (see docs/METRICS.md)")
 		metricsJSON  = flag.String("metrics-json", "", "write the run's metrics snapshot as JSON to this file")
@@ -60,6 +63,7 @@ func main() {
 		uncompressed: *uncompressed, degreeFilter: *degreeFilter,
 		cliqueCache: *cliqueCache, output: *output, verbose: *verbose,
 		metrics: *metrics, metricsJSON: *metricsJSON,
+		prefetch: *prefetch, prefetchWorkers: *pfWorkers, compact: *compact,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "benu:", err)
 		os.Exit(1)
@@ -77,6 +81,9 @@ type runConfig struct {
 	verbose                    bool
 	metrics                    bool
 	metricsJSON                string
+	prefetch                   bool
+	prefetchWorkers            int
+	compact                    bool
 }
 
 func run(rc runConfig) error {
@@ -127,6 +134,9 @@ func run(rc runConfig) error {
 	cfg.ThreadsPerWorker = rc.threads
 	cfg.CacheBytes = int64(rc.cacheRel * float64(g.SizeBytes()))
 	cfg.Tau = rc.tau
+	cfg.Prefetch = rc.prefetch
+	cfg.PrefetchWorkers = rc.prefetchWorkers
+	cfg.CompactAdjacency = rc.compact
 
 	// A private registry isolates the snapshot to exactly this run.
 	var reg *obs.Registry
@@ -206,6 +216,11 @@ func run(rc runConfig) error {
 	fmt.Printf("time: %s  tasks: %d (%d split)\n", res.Wall.Round(1e6), res.Tasks, res.SplitTasks)
 	fmt.Printf("communication: %d DB queries, %.2f MB fetched, cache hit rate %.1f%%\n",
 		res.DBQueries, float64(res.BytesFetched)/(1<<20), res.CacheHitRate*100)
+	if rc.prefetch || rc.compact {
+		fmt.Printf("data plane: %d store trips (%.1f keys/trip), prefetch=%v workers=%d compact=%v\n",
+			res.StoreTrips, float64(res.DBQueries)/float64(max64(res.StoreTrips, 1)),
+			rc.prefetch, rc.prefetchWorkers, rc.compact)
+	}
 	if rc.verbose {
 		for _, w := range res.PerWorker {
 			fmt.Printf("  worker %d: tasks=%d busy=%s matches=%d remoteQ=%d cacheHits=%d\n",

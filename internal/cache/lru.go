@@ -9,6 +9,8 @@ package cache
 import (
 	"container/list"
 	"sync"
+
+	"benu/internal/graph"
 )
 
 // entryOverhead approximates the per-entry bookkeeping cost in bytes
@@ -53,9 +55,15 @@ type LRU struct {
 	evictions int64
 }
 
+// lruEntry holds one cached adjacency set in exactly one of two forms:
+// the raw decoded slice (Put) or the compact varint-delta encoding
+// (PutList). A cache serves whichever form it stores; a source runs one
+// mode end to end, so cross-form reads (Get of a compact entry, GetList
+// of a raw one) are correct but pay a per-call conversion.
 type lruEntry struct {
 	key  int64
 	adj  []int64
+	list graph.AdjList
 	size int64
 }
 
@@ -88,7 +96,54 @@ func (c *LRU) Get(v int64) ([]int64, bool) {
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).adj, true
+	e := el.Value.(*lruEntry)
+	if e.adj == nil && !e.list.IsZero() {
+		// Compact entry read through the raw interface: decode per call
+		// (payloads installed by PutList are validated, so the decode
+		// cannot fail).
+		adj, _ := e.list.AppendDecoded(nil)
+		return adj, true
+	}
+	return e.adj, true
+}
+
+// GetList returns the cached adjacency set of v in compact form. Raw
+// entries are encoded per call; compact entries are returned as stored
+// (zero-copy).
+func (c *LRU) GetList(v int64) (graph.AdjList, bool) {
+	if c.capacity <= 0 {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return graph.AdjList{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[v]
+	if !ok {
+		c.misses++
+		return graph.AdjList{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*lruEntry)
+	if e.list.IsZero() && e.adj != nil {
+		return graph.EncodeAdjList(e.adj), true
+	}
+	return e.list, true
+}
+
+// Contains reports whether v is cached, without touching recency order or
+// the hit/miss counters — the prefetcher's peek, used to skip keys that
+// a batch fetch would only re-install.
+func (c *LRU) Contains(v int64) bool {
+	if c.capacity <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[v]
+	return ok
 }
 
 // Put inserts the adjacency set of v, evicting least-recently-used
@@ -109,12 +164,45 @@ func (c *LRU) Put(v int64, adj []int64) {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*lruEntry)
 		c.bytes += size - e.size
-		e.adj, e.size = adj, size
+		e.adj, e.list, e.size = adj, graph.AdjList{}, size
 	} else {
 		el := c.ll.PushFront(&lruEntry{key: v, adj: adj, size: size})
 		c.items[v] = el
 		c.bytes += size
 	}
+	c.evictLocked()
+}
+
+// PutList inserts the compact adjacency list of v under the same policy
+// as Put, charging the encoded size against capacity — the point of the
+// compact data plane: the cache holds the wire bytes, so the same budget
+// caches several times more vertices.
+func (c *LRU) PutList(v int64, l graph.AdjList) {
+	if c.capacity <= 0 {
+		return
+	}
+	size := l.SizeBytes() + entryOverhead
+	if size > c.capacity {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[v]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*lruEntry)
+		c.bytes += size - e.size
+		e.adj, e.list, e.size = nil, l, size
+	} else {
+		el := c.ll.PushFront(&lruEntry{key: v, list: l, size: size})
+		c.items[v] = el
+		c.bytes += size
+	}
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used entries until the cache fits its
+// capacity. Caller holds c.mu.
+func (c *LRU) evictLocked() {
 	for c.bytes > c.capacity {
 		back := c.ll.Back()
 		if back == nil {

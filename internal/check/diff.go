@@ -67,6 +67,11 @@ type Backend struct {
 //     threads, a deliberately small DB cache (evictions), a tiny triangle
 //     cache, and τ low enough that most start vertices split into
 //     subtasks.
+//   - "cluster-prefetch": the batched data plane — synchronous ENU-stage
+//     prefetch, compact varint-delta adjacency encoding, a small batch
+//     size so multi-batch prefetches occur, plus task splitting. Sync
+//     mode keeps fault injection deterministic: batch errors surface on
+//     the querying thread exactly like demand-fetch errors.
 func Backends(wrap StoreWrap) []Backend {
 	if wrap == nil {
 		wrap = func(s kv.Store) kv.Store { return s }
@@ -123,6 +128,22 @@ func Backends(wrap StoreWrap) []Backend {
 					Tau:                  4,
 					TriangleCacheEntries: 64,
 					Obs:                  obs.NewRegistry(),
+				}
+				return runCluster(pl, g, ord, wrap(kv.NewLocal(g)), cfg)
+			},
+		},
+		{
+			Name: "cluster-prefetch",
+			Run: func(pl *plan.Plan, g *graph.Graph, ord *graph.TotalOrder) (*Outcome, error) {
+				cfg := cluster.Config{
+					Workers:           2,
+					ThreadsPerWorker:  2,
+					CacheBytes:        g.SizeBytes() * 2,
+					Tau:               4,
+					Prefetch:          true,
+					CompactAdjacency:  true,
+					PrefetchBatchSize: 8,
+					Obs:               obs.NewRegistry(),
 				}
 				return runCluster(pl, g, ord, wrap(kv.NewLocal(g)), cfg)
 			},

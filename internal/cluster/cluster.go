@@ -45,6 +45,21 @@ type Config struct {
 	// TriangleCacheEntries bounds each thread's triangle cache
 	// (0 disables it).
 	TriangleCacheEntries int
+	// Prefetch turns on the ENU-stage adjacency prefetcher: before an
+	// enumeration loop whose candidates will be DB-queried, the whole
+	// candidate set is handed to the machine's source and fetched in
+	// batched store round trips.
+	Prefetch bool
+	// PrefetchWorkers is the number of background prefetch goroutines per
+	// machine. 0 (with Prefetch on) fetches synchronously inline — fully
+	// deterministic, errors surface on the querying thread.
+	PrefetchWorkers int
+	// CompactAdjacency moves each machine's data plane to the compact
+	// varint-delta encoding: batched fetches travel and cache as encoded
+	// bytes, and executors decode into per-instruction scratch.
+	CompactAdjacency bool
+	// PrefetchBatchSize caps keys per batched round trip (0 = default 64).
+	PrefetchBatchSize int
 	// CollectTaskTimes records per-task wall durations (Exp-4).
 	CollectTaskTimes bool
 	// Deadline, when positive, stops dispatching new tasks once the run
@@ -98,6 +113,7 @@ type WorkerStats struct {
 	Cache     cache.Stats
 	RemoteQ   int64 // cache-missing queries issued to the store
 	RemoteB   int64 // bytes fetched from the store
+	RemoteT   int64 // store round trips (a batched fetch of k keys is one)
 	TriHits   int64
 	TriMisses int64
 }
@@ -120,6 +136,10 @@ type Result struct {
 	// reached the database (i.e. missed every cache) and their volume.
 	DBQueries    int64
 	BytesFetched int64
+	// StoreTrips counts store round trips — with the batched prefetcher a
+	// trip serves many queries, so StoreTrips ≪ DBQueries measures the
+	// latency amortization of the data plane.
+	StoreTrips int64
 	// ResultBytes is the size of the emitted results (compressed size
 	// for VCBC plans).
 	ResultBytes int64
@@ -188,7 +208,12 @@ func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int
 		{
 			// One machine: a shared cached source and a work queue
 			// drained by ThreadsPerWorker threads.
-			src := exec.NewCachedSource(store, cfg.CacheBytes)
+			src := exec.NewCachedSourceWith(store, cfg.CacheBytes, exec.SourceOptions{
+				Compact:         cfg.CompactAdjacency,
+				PrefetchWorkers: cfg.PrefetchWorkers,
+				BatchSize:       cfg.PrefetchBatchSize,
+				Obs:             reg,
+			})
 			queue := queues[w]
 			var next int
 			var qmu sync.Mutex
@@ -224,6 +249,8 @@ func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int
 						EmitCode:             cfg.EmitCode,
 						TriangleCacheEntries: cfg.TriangleCacheEntries,
 						Obs:                  reg,
+						Prefetch:             cfg.Prefetch,
+						CompactAdjacency:     cfg.CompactAdjacency,
 					}
 					if pl.DegreeFiltered {
 						eopts.DegreeOf = degree
@@ -254,6 +281,9 @@ func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int
 				}()
 			}
 			tw.Wait()
+			// Drain the async prefetch workers before reading the source's
+			// counters, so the per-machine stats are settled.
+			src.Close()
 			ws := &perWorker[w]
 			ws.Machine = w
 			for th := range threadStats {
@@ -264,6 +294,7 @@ func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int
 			ws.Cache = src.Cache().Stats()
 			ws.RemoteQ = src.RemoteQueries()
 			ws.RemoteB = src.RemoteBytes()
+			ws.RemoteT = src.RemoteTrips()
 			ws.TriHits = ws.Exec.TriHits
 			ws.TriMisses = ws.Exec.TriMisses
 		}
@@ -300,6 +331,7 @@ func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int
 		res.Codes += ws.Exec.Codes
 		res.DBQueries += ws.RemoteQ
 		res.BytesFetched += ws.RemoteB
+		res.StoreTrips += ws.RemoteT
 		res.ResultBytes += ws.Exec.ResultSize
 		hitSum += ws.Cache.HitRate()
 	}
@@ -322,6 +354,7 @@ func publishObs(reg *obs.Registry, res *Result) {
 	reg.Counter("cluster.codes").Add(res.Codes)
 	reg.Counter("cluster.db.queries").Add(res.DBQueries)
 	reg.Counter("cluster.db.bytes_fetched").Add(res.BytesFetched)
+	reg.Counter("cluster.db.trips").Add(res.StoreTrips)
 	reg.Counter("cluster.result_bytes").Add(res.ResultBytes)
 	reg.Gauge("cluster.cache.hit_rate").Set(res.CacheHitRate)
 	reg.Gauge("cluster.wall_ns").Set(float64(res.Wall.Nanoseconds()))

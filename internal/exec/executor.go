@@ -16,6 +16,21 @@ type AdjSource interface {
 	GetAdj(v int64) ([]int64, error)
 }
 
+// ListSource is the compact read path of the adjacency data plane:
+// adjacency sets served as varint-delta graph.AdjList payloads, decoded
+// by the consumer into scratch it owns. *CachedSource implements it.
+type ListSource interface {
+	GetList(v int64) (graph.AdjList, error)
+}
+
+// Prefetcher accepts ENU-stage candidate batches: all keys a coming
+// enumeration loop will query, handed over up front so the source can
+// fetch them in batched round trips instead of one miss at a time.
+// *CachedSource implements it.
+type Prefetcher interface {
+	Prefetch(vs []int64) error
+}
+
 // GraphSource adapts an in-memory graph as an AdjSource with zero
 // overhead; the single-machine (QFrag-style broadcast) configuration.
 type GraphSource struct{ G *graph.Graph }
@@ -106,6 +121,16 @@ type Options struct {
 	// executor accumulates thread-locally and flushes once per task, so
 	// reporting never touches the per-candidate inner loops.
 	Obs *obs.Registry
+	// Prefetch lets prefetchable ENU instructions (those whose target
+	// vertex is DB-queried before the next enumeration level) hand their
+	// whole candidate set to the source before iterating. Takes effect
+	// only when the source implements Prefetcher; ignored otherwise.
+	Prefetch bool
+	// CompactAdjacency routes DBQ instructions through the source's
+	// compact list path (ListSource), decoding into per-instruction
+	// scratch. Takes effect only when the source implements ListSource;
+	// ignored otherwise. Results are bit-identical to the raw path.
+	CompactAdjacency bool
 }
 
 // Executor runs local search tasks for one compiled program. It is
@@ -114,6 +139,8 @@ type Options struct {
 type Executor struct {
 	prog *Program
 	src  AdjSource
+	lsrc ListSource // non-nil when Options.CompactAdjacency and src supports it
+	pf   Prefetcher // non-nil when Options.Prefetch and src supports it
 	ord  *graph.TotalOrder
 	numV int
 
@@ -157,6 +184,16 @@ func NewExecutor(prog *Program, src AdjSource, numVertices int, ord *graph.Total
 	}
 	for i := range e.f {
 		e.f[i] = -1
+	}
+	if opts.CompactAdjacency {
+		if ls, ok := src.(ListSource); ok {
+			e.lsrc = ls
+		}
+	}
+	if opts.Prefetch {
+		if p, ok := src.(Prefetcher); ok {
+			e.pf = p
+		}
 	}
 	e.sink = newObsSink(opts.Obs)
 	if opts.TriangleCacheEntries > 0 {
@@ -235,12 +272,26 @@ func (e *Executor) run(pc int) error {
 			}
 
 		case plan.OpDBQ:
-			adj, err := e.src.GetAdj(e.f[in.vertex])
-			if err != nil {
-				return err
+			if e.lsrc != nil {
+				l, err := e.lsrc.GetList(e.f[in.vertex])
+				if err != nil {
+					return err
+				}
+				buf, err := l.AppendDecoded(e.bufs[in.buf][:0])
+				if err != nil {
+					return err
+				}
+				e.stats.DBQueries++
+				e.bufs[in.buf] = buf
+				e.regs[in.dst] = buf
+			} else {
+				adj, err := e.src.GetAdj(e.f[in.vertex])
+				if err != nil {
+					return err
+				}
+				e.stats.DBQueries++
+				e.regs[in.dst] = adj
 			}
-			e.stats.DBQueries++
-			e.regs[in.dst] = adj
 
 		case plan.OpINT:
 			e.execIntersect(in)
@@ -250,6 +301,11 @@ func (e *Executor) run(pc int) error {
 
 		case plan.OpENU:
 			set := e.enuSource(in)
+			if e.pf != nil && in.prefetch {
+				if err := e.prefetchENU(set, pc == e.prog.splitPC && e.splitCnt > 1); err != nil {
+					return err
+				}
+			}
 			e.depth++
 			if e.depth > e.maxDepth {
 				e.maxDepth = e.depth
@@ -290,6 +346,33 @@ func (e *Executor) run(pc int) error {
 		pc++
 	}
 	return nil
+}
+
+// prefetchENU hands an enumeration loop's candidate set to the source
+// before the loop iterates, so the per-candidate DBQ instructions behind
+// it hit a warm cache instead of missing one key at a time. Split tasks
+// prefetch only their stride slice (the candidates this subtask will
+// actually visit), assembled in pooled scratch. Sets of fewer than two
+// candidates gain nothing over the demand fetch and are skipped.
+func (e *Executor) prefetchENU(set []int64, split bool) error {
+	if !split {
+		if len(set) < 2 {
+			return nil
+		}
+		return e.pf.Prefetch(set)
+	}
+	p := graph.BorrowInts()
+	sub := (*p)[:0]
+	for i := e.splitIdx; i < len(set); i += e.splitCnt {
+		sub = append(sub, set[i])
+	}
+	*p = sub
+	var err error
+	if len(sub) >= 2 {
+		err = e.pf.Prefetch(sub)
+	}
+	graph.ReturnInts(p)
+	return err
 }
 
 // enuSource returns the candidate slice an ENU instruction iterates.

@@ -36,6 +36,12 @@ type cInstr struct {
 	buf     int       // scratch buffer index for set-producing instructions
 	keys    []int     // TRC cache-key pattern vertices
 	iniIdx  int       // 0 = Task.Start, 1 = Task.Start2 (anchored plans)
+
+	// prefetch marks an ENU whose target vertex is DB-queried before the
+	// next enumeration level opens: every candidate the loop binds will be
+	// looked up in the store, so batch-fetching the candidate set up front
+	// replaces |set| cache misses with one batched round trip.
+	prefetch bool
 }
 
 // resOperand describes one RES operand: either the f value of a pattern
@@ -124,6 +130,10 @@ func Compile(pl *plan.Plan) (*Program, error) {
 		case plan.OpDBQ:
 			ci.vertex = in.Operands[0].Index
 			ci.dst = setReg(in.Target)
+			// The compact read path decodes into per-instruction scratch;
+			// the raw path shares the source's slice and leaves it unused.
+			ci.buf = prog.numBufs
+			prog.numBufs++
 		case plan.OpINT, plan.OpTRC:
 			ci.dst = setReg(in.Target)
 			for _, o := range in.Operands {
@@ -182,6 +192,25 @@ func Compile(pl *plan.Plan) (*Program, error) {
 			}
 		}
 		prog.instrs = append(prog.instrs, ci)
+	}
+
+	// Prefetch analysis: an ENU is prefetchable when some DBQ between it
+	// and the next ENU queries the vertex it binds — i.e. the enumeration
+	// loop issues one store lookup per candidate, the access pattern the
+	// batched prefetch collapses into one round trip.
+	for pc := range prog.instrs {
+		if prog.instrs[pc].op != plan.OpENU {
+			continue
+		}
+		for j := pc + 1; j < len(prog.instrs); j++ {
+			if prog.instrs[j].op == plan.OpENU {
+				break
+			}
+			if prog.instrs[j].op == plan.OpDBQ && prog.instrs[j].vertex == prog.instrs[pc].vertex {
+				prog.instrs[pc].prefetch = true
+				break
+			}
+		}
 	}
 
 	if pl.Pattern.Labeled() {

@@ -1,10 +1,13 @@
 package exec
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"benu/internal/cache"
+	"benu/internal/graph"
 	"benu/internal/kv"
+	"benu/internal/obs"
 )
 
 // CachedSource is the per-machine adjacency source of Fig. 2: a shared
@@ -12,45 +15,424 @@ import (
 // free; misses query the store, install the result, and count as
 // communication.
 //
+// Beyond the plain read-through cache, CachedSource implements the
+// batched adjacency data plane:
+//
+//   - Single-flight misses: concurrent misses on the same key issue ONE
+//     store query; every other caller joins the in-flight fetch and
+//     shares its result. Duplicate remote fetches (and the double
+//     accounting they used to cause) are structurally impossible.
+//   - Compact mode (SourceOptions.Compact): fetches travel and cache as
+//     varint-delta graph.AdjList payloads — typically 4-8x smaller than
+//     raw int64 slices — served to the executor through GetList.
+//   - Prefetch: the ENU-stage prefetcher hands over a whole candidate
+//     set; uncached keys are fetched in batched round trips. With
+//     PrefetchWorkers == 0 the batch runs inline and errors propagate to
+//     the caller (fully deterministic); with workers the batch is
+//     speculative — it runs in the background and failures are counted,
+//     not raised, because the demand path will re-fetch and surface them.
+//
 // A CachedSource is safe for concurrent use by all worker threads of a
-// machine (the underlying LRU locks internally; the miss counters are
-// atomic).
+// machine. Call Close when done (it stops the async prefetch workers; a
+// no-op in synchronous mode).
 type CachedSource struct {
-	store kv.Store
-	cache *cache.LRU
+	store    kv.Store
+	cache    *cache.LRU
+	capacity int64
+	opts     SourceOptions
 
 	remoteQueries atomic.Int64
 	remoteBytes   atomic.Int64
+	remoteTrips   atomic.Int64
+
+	mu      sync.Mutex
+	flights map[int64]*flight
+	// prefetched holds keys installed by prefetch and not yet read by a
+	// demand query; its size is tracked in pfOutstanding so the demand
+	// hot path can skip the map entirely when no prefetches are pending.
+	prefetched    map[int64]struct{}
+	pfOutstanding atomic.Int64
+
+	queue     chan []int64
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	so *sourceObs
+}
+
+// SourceOptions configures a CachedSource's data plane. The zero value
+// reproduces the classic behavior: raw []int64 fetches, no prefetch
+// workers, metrics into obs.Default().
+type SourceOptions struct {
+	// Compact moves fetches and cache entries to the compact varint-delta
+	// encoding (graph.AdjList). The executor reads compact sources through
+	// GetList and decodes into per-instruction scratch.
+	Compact bool
+	// PrefetchWorkers is the number of background goroutines draining the
+	// prefetch queue. 0 means synchronous prefetch: Prefetch fetches
+	// inline and returns the first batch error (deterministic, used by the
+	// differential matrix and fault-injection tests).
+	PrefetchWorkers int
+	// BatchSize caps the keys per batched store round trip (default 64).
+	BatchSize int
+	// Obs selects the metrics registry (source.* names, see
+	// docs/METRICS.md). nil means obs.Default().
+	Obs *obs.Registry
+}
+
+// defaultBatchSize bounds one batched round trip when SourceOptions does
+// not say otherwise.
+const defaultBatchSize = 64
+
+// flight is one in-progress store fetch that concurrent misses share.
+type flight struct {
+	done    chan struct{}
+	compact bool
+	adj     []int64
+	list    graph.AdjList
+	err     error
+}
+
+// sourceObs is the pre-resolved registry handles of one source.
+type sourceObs struct {
+	batchSize   *obs.Histogram
+	dedupJoins  *obs.Counter
+	pfEnqueued  *obs.Counter
+	pfDropped   *obs.Counter
+	pfInstalled *obs.Counter
+	pfUsed      *obs.Counter
+	pfErrors    *obs.Counter
+	bytesSaved  *obs.Counter
+}
+
+func newSourceObs(r *obs.Registry) *sourceObs {
+	if r == nil {
+		r = obs.Default()
+	}
+	return &sourceObs{
+		batchSize:   r.Histogram("source.batch.size"),
+		dedupJoins:  r.Counter("source.singleflight.joins"),
+		pfEnqueued:  r.Counter("source.prefetch.enqueued"),
+		pfDropped:   r.Counter("source.prefetch.dropped"),
+		pfInstalled: r.Counter("source.prefetch.installed"),
+		pfUsed:      r.Counter("source.prefetch.used"),
+		pfErrors:    r.Counter("source.prefetch.errors"),
+		bytesSaved:  r.Counter("source.compact.bytes_saved"),
+	}
 }
 
 // NewCachedSource wraps store with an LRU database cache of the given
-// byte capacity. capacity ≤ 0 disables caching (every query is remote).
+// byte capacity and default data-plane options. capacity ≤ 0 disables
+// caching (every query is remote).
 func NewCachedSource(store kv.Store, capacity int64) *CachedSource {
-	return &CachedSource{store: store, cache: cache.NewLRU(capacity)}
+	return NewCachedSourceWith(store, capacity, SourceOptions{})
+}
+
+// NewCachedSourceWith wraps store with an LRU database cache and the
+// given data-plane options.
+func NewCachedSourceWith(store kv.Store, capacity int64, opts SourceOptions) *CachedSource {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = defaultBatchSize
+	}
+	s := &CachedSource{
+		store:      store,
+		cache:      cache.NewLRU(capacity),
+		capacity:   capacity,
+		opts:       opts,
+		flights:    make(map[int64]*flight),
+		prefetched: make(map[int64]struct{}),
+		so:         newSourceObs(opts.Obs),
+	}
+	if opts.PrefetchWorkers > 0 {
+		s.queue = make(chan []int64, opts.PrefetchWorkers*8)
+		for i := 0; i < opts.PrefetchWorkers; i++ {
+			s.wg.Add(1)
+			go s.prefetchWorker()
+		}
+	}
+	return s
+}
+
+// Close stops the async prefetch workers, draining the queue first. It is
+// idempotent and a no-op for synchronous sources.
+func (s *CachedSource) Close() {
+	s.closeOnce.Do(func() {
+		if s.queue != nil {
+			close(s.queue)
+			s.wg.Wait()
+		}
+	})
 }
 
 // GetAdj implements AdjSource.
 func (s *CachedSource) GetAdj(v int64) ([]int64, error) {
 	if adj, ok := s.cache.Get(v); ok {
+		s.noteUse(v)
 		return adj, nil
 	}
-	adj, err := s.store.GetAdj(v)
+	fl, err := s.fetchOne(v)
 	if err != nil {
 		return nil, err
 	}
-	s.remoteQueries.Add(1)
-	s.remoteBytes.Add(int64(len(adj)) * 8)
-	s.cache.Put(v, adj)
-	return adj, nil
+	if fl.compact {
+		return fl.list.AppendDecoded(nil)
+	}
+	return fl.adj, nil
+}
+
+// GetList implements ListSource: the compact read path. On a compact
+// source a hit is zero-copy; raw entries are encoded per call.
+func (s *CachedSource) GetList(v int64) (graph.AdjList, error) {
+	if l, ok := s.cache.GetList(v); ok {
+		s.noteUse(v)
+		return l, nil
+	}
+	fl, err := s.fetchOne(v)
+	if err != nil {
+		return graph.AdjList{}, err
+	}
+	if fl.compact {
+		return fl.list, nil
+	}
+	return graph.EncodeAdjList(fl.adj), nil
+}
+
+// fetchOne resolves a cache miss through the single-flight table: the
+// first caller becomes the flight leader (one store query, one accounting
+// update, one cache install); concurrent callers block on the flight and
+// share its result. A waiter whose leader failed retries with its own
+// fetch, so transient store errors are not broadcast beyond the flight
+// that hit them.
+func (s *CachedSource) fetchOne(v int64) (*flight, error) {
+	for {
+		s.mu.Lock()
+		if fl, ok := s.flights[v]; ok {
+			s.mu.Unlock()
+			s.so.dedupJoins.Inc()
+			<-fl.done
+			if fl.err == nil {
+				return fl, nil
+			}
+			continue // leader failed; retry with our own fetch
+		}
+		fl := &flight{done: make(chan struct{}), compact: s.opts.Compact}
+		s.flights[v] = fl
+		s.mu.Unlock()
+
+		s.lead(fl, v)
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		return fl, nil
+	}
+}
+
+// lead performs the leader's store fetch for flight fl and completes it.
+func (s *CachedSource) lead(fl *flight, v int64) {
+	if fl.compact {
+		lists, err := kv.GetAdjBatch(s.store, []int64{v})
+		if err == nil {
+			fl.list = lists[0]
+			s.account(1, fl.list.SizeBytes())
+			s.so.bytesSaved.Add(int64(fl.list.Len())*8 - fl.list.SizeBytes())
+			s.cache.PutList(v, fl.list)
+		} else {
+			fl.err = err
+		}
+	} else {
+		adj, err := s.store.GetAdj(v)
+		if err == nil {
+			fl.adj = adj
+			s.account(1, int64(len(adj))*8)
+			s.cache.Put(v, adj)
+		} else {
+			fl.err = err
+		}
+	}
+	s.complete(v, fl)
+}
+
+// complete removes fl from the flight table and releases its waiters.
+// The removal must happen before the channel close: a waiter that saw an
+// error loops back to retry, and it must not rejoin the dead flight.
+func (s *CachedSource) complete(v int64, fl *flight) {
+	s.mu.Lock()
+	delete(s.flights, v)
+	s.mu.Unlock()
+	close(fl.done)
+}
+
+// account records remote traffic: one store round trip serving keys
+// queries with the given payload volume.
+func (s *CachedSource) account(keys int, bytes int64) {
+	s.remoteQueries.Add(int64(keys))
+	s.remoteTrips.Add(1)
+	s.remoteBytes.Add(bytes)
+}
+
+// Prefetch implements Prefetcher: batch-fetch the uncached keys of vs
+// into the cache ahead of demand. Synchronous mode (PrefetchWorkers == 0)
+// fetches inline and returns the first batch error; asynchronous mode
+// enqueues copies of the key batches and returns immediately (a full
+// queue drops the overflow — prefetch is speculative, dropping is safe).
+// A disabled cache makes prefetch pointless (nothing can be installed),
+// so it becomes a no-op.
+func (s *CachedSource) Prefetch(vs []int64) error {
+	if s.capacity <= 0 || len(vs) == 0 {
+		return nil
+	}
+	need := vs[:0:0] // fresh slice; vs may be caller scratch
+	for _, v := range vs {
+		if !s.cache.Contains(v) {
+			need = append(need, v)
+		}
+	}
+	for len(need) > 0 {
+		n := len(need)
+		if n > s.opts.BatchSize {
+			n = s.opts.BatchSize
+		}
+		batch := need[:n]
+		need = need[n:]
+		if s.queue != nil {
+			select {
+			case s.queue <- batch:
+				s.so.pfEnqueued.Add(int64(len(batch)))
+			default:
+				s.so.pfDropped.Add(int64(len(batch)))
+			}
+			continue
+		}
+		if err := s.fetchBatch(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prefetchWorker drains the async queue. Failures are speculative —
+// counted, never raised — because any key the worker failed to install
+// will be re-fetched (and its error surfaced) by the demand path.
+func (s *CachedSource) prefetchWorker() {
+	defer s.wg.Done()
+	for batch := range s.queue {
+		if err := s.fetchBatch(batch); err != nil {
+			s.so.pfErrors.Inc()
+		}
+	}
+}
+
+// fetchBatch fetches one batch of keys in a single batched store round
+// trip and installs the results. Keys already in flight are skipped (the
+// flight leader will install them); this fetch leads a flight for every
+// remaining key so demand misses dedup against the prefetch. The install
+// honors the store contract: on error nothing is installed (the store
+// returned no partial results to install).
+func (s *CachedSource) fetchBatch(keys []int64) error {
+	s.mu.Lock()
+	mine := make([]int64, 0, len(keys))
+	fls := make([]*flight, 0, len(keys))
+	for _, v := range keys {
+		if _, ok := s.flights[v]; ok {
+			continue
+		}
+		fl := &flight{done: make(chan struct{}), compact: s.opts.Compact}
+		s.flights[v] = fl
+		mine = append(mine, v)
+		fls = append(fls, fl)
+	}
+	s.mu.Unlock()
+	if len(mine) == 0 {
+		return nil
+	}
+	s.so.batchSize.Record(int64(len(mine)))
+
+	var err error
+	if s.opts.Compact {
+		var lists []graph.AdjList
+		lists, err = kv.GetAdjBatch(s.store, mine)
+		if err == nil {
+			var bytes, saved int64
+			for i, l := range lists {
+				fls[i].list = l
+				bytes += l.SizeBytes()
+				saved += int64(l.Len())*8 - l.SizeBytes()
+				s.cache.PutList(mine[i], l)
+			}
+			s.account(len(mine), bytes)
+			s.so.bytesSaved.Add(saved)
+		}
+	} else {
+		var adjs [][]int64
+		adjs, err = kv.BatchGetAdj(s.store, mine)
+		if err == nil {
+			var bytes int64
+			for i, adj := range adjs {
+				fls[i].adj = adj
+				bytes += int64(len(adj)) * 8
+				s.cache.Put(mine[i], adj)
+			}
+			s.account(len(mine), bytes)
+		}
+	}
+	if err != nil {
+		for _, fl := range fls {
+			fl.err = err
+		}
+	} else {
+		s.markPrefetched(mine)
+	}
+	for i, fl := range fls {
+		s.complete(mine[i], fl)
+	}
+	return err
+}
+
+// markPrefetched records keys installed ahead of demand, for the
+// coverage metric (source.prefetch.used counts the ones a demand query
+// later reads).
+func (s *CachedSource) markPrefetched(keys []int64) {
+	s.mu.Lock()
+	for _, v := range keys {
+		if _, ok := s.prefetched[v]; !ok {
+			s.prefetched[v] = struct{}{}
+			s.pfOutstanding.Add(1)
+		}
+	}
+	s.mu.Unlock()
+	s.so.pfInstalled.Add(int64(len(keys)))
+}
+
+// noteUse credits a cache hit against the prefetch coverage set. The
+// atomic guard keeps the common case (no outstanding prefetches) free of
+// the mutex.
+func (s *CachedSource) noteUse(v int64) {
+	if s.pfOutstanding.Load() == 0 {
+		return
+	}
+	s.mu.Lock()
+	_, ok := s.prefetched[v]
+	if ok {
+		delete(s.prefetched, v)
+		s.pfOutstanding.Add(-1)
+	}
+	s.mu.Unlock()
+	if ok {
+		s.so.pfUsed.Inc()
+	}
 }
 
 // Cache exposes the underlying LRU (for stats).
 func (s *CachedSource) Cache() *cache.LRU { return s.cache }
 
-// RemoteQueries returns the number of queries that missed the cache and
-// hit the store.
+// RemoteQueries returns the number of keys fetched from the store (cache
+// misses and prefetched keys; deduplicated fetches count once).
 func (s *CachedSource) RemoteQueries() int64 { return s.remoteQueries.Load() }
 
-// RemoteBytes returns the bytes fetched from the store (8 per adjacency
-// entry).
+// RemoteBytes returns the bytes fetched from the store: 8 per adjacency
+// entry raw, the encoded size in compact mode.
 func (s *CachedSource) RemoteBytes() int64 { return s.remoteBytes.Load() }
+
+// RemoteTrips returns the number of store calls this source issued (a
+// batched fetch of k keys is one trip).
+func (s *CachedSource) RemoteTrips() int64 { return s.remoteTrips.Load() }

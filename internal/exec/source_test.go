@@ -1,10 +1,14 @@
 package exec
 
 import (
+	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"benu/internal/gen"
 	"benu/internal/kv"
+	"benu/internal/obs"
 	"benu/internal/plan"
 )
 
@@ -48,6 +52,208 @@ func TestCachedSourceZeroCapacity(t *testing.T) {
 	}
 	if src.RemoteQueries() != 3 {
 		t.Errorf("remote queries = %d, want 3 (cache disabled)", src.RemoteQueries())
+	}
+}
+
+// gateStore blocks every GetAdj until the gate opens, so a test can pile
+// concurrent misses onto one key and count how many reach the store.
+type gateStore struct {
+	kv.Store
+	gate  chan struct{}
+	calls atomic.Int64
+}
+
+func (s *gateStore) GetAdj(v int64) ([]int64, error) {
+	s.calls.Add(1)
+	<-s.gate
+	return s.Store.GetAdj(v)
+}
+
+// The regression the single-flight table exists for: before it, two
+// threads missing on the same key both queried the store and both counted
+// the fetch, inflating RemoteQueries and the communication-cost
+// experiments built on it. Now concurrent misses share one flight.
+func TestCachedSourceSingleFlight(t *testing.T) {
+	g := gen.DemoDataGraph()
+	gs := &gateStore{Store: kv.NewLocal(g), gate: make(chan struct{})}
+	src := NewCachedSource(gs, g.SizeBytes()*2)
+
+	const readers = 8
+	var wg sync.WaitGroup
+	results := make([][]int64, readers)
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = src.GetAdj(1)
+		}(i)
+	}
+	close(gs.gate) // release the leader; everyone else joins or hits cache
+	wg.Wait()
+
+	for i := 0; i < readers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("reader %d: %v", i, errs[i])
+		}
+		if len(results[i]) != len(g.Adj(1)) {
+			t.Fatalf("reader %d got %d entries, want %d", i, len(results[i]), len(g.Adj(1)))
+		}
+	}
+	if n := gs.calls.Load(); n != 1 {
+		t.Errorf("store saw %d queries for one key, want 1", n)
+	}
+	if src.RemoteQueries() != 1 {
+		t.Errorf("remote queries = %d, want 1 (no double accounting)", src.RemoteQueries())
+	}
+}
+
+// A flight whose leader fails must not poison the key: the failed flight
+// leaves the table before its waiters wake, so the next read retries the
+// store instead of replaying a stale error.
+func TestCachedSourceFlightErrorRetry(t *testing.T) {
+	g := gen.DemoDataGraph()
+	f := kv.NewFaulty(kv.NewLocal(g))
+	f.FailOnceAt = 1
+	src := NewCachedSource(f, g.SizeBytes()*2)
+
+	if _, err := src.GetAdj(0); !errors.Is(err, kv.ErrInjected) {
+		t.Fatalf("first read: err = %v, want ErrInjected", err)
+	}
+	adj, err := src.GetAdj(0)
+	if err != nil {
+		t.Fatalf("second read after transient failure: %v", err)
+	}
+	if len(adj) != len(g.Adj(0)) {
+		t.Errorf("second read returned %d entries, want %d", len(adj), len(g.Adj(0)))
+	}
+}
+
+func TestCachedSourceSyncPrefetchTrips(t *testing.T) {
+	g := gen.DemoDataGraph()
+	reg := obs.NewRegistry()
+	src := NewCachedSourceWith(kv.NewLocal(g), 1<<20, SourceOptions{
+		BatchSize: 3,
+		Obs:       reg,
+	})
+	keys := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+	if err := src.Prefetch(keys); err != nil {
+		t.Fatal(err)
+	}
+	if src.RemoteQueries() != int64(len(keys)) {
+		t.Errorf("remote queries = %d, want %d", src.RemoteQueries(), len(keys))
+	}
+	if src.RemoteTrips() != 3 {
+		t.Errorf("remote trips = %d, want 3 (8 keys / batches of 3)", src.RemoteTrips())
+	}
+	// Demand reads are now all hits; traffic does not move.
+	for _, v := range keys {
+		if _, err := src.GetAdj(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if src.RemoteQueries() != int64(len(keys)) {
+		t.Errorf("demand reads after prefetch went remote: queries = %d", src.RemoteQueries())
+	}
+	if got := reg.Counter("source.prefetch.installed").Value(); got != int64(len(keys)) {
+		t.Errorf("prefetch.installed = %d, want %d", got, len(keys))
+	}
+	if got := reg.Counter("source.prefetch.used").Value(); got != int64(len(keys)) {
+		t.Errorf("prefetch.used = %d, want %d (full coverage)", got, len(keys))
+	}
+	// A second prefetch of cached keys is free.
+	if err := src.Prefetch(keys[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if src.RemoteTrips() != 3 {
+		t.Errorf("prefetch of cached keys issued a trip: trips = %d", src.RemoteTrips())
+	}
+}
+
+func TestCachedSourceSyncPrefetchFailFast(t *testing.T) {
+	g := gen.DemoDataGraph()
+	f := kv.NewFaulty(kv.NewLocal(g))
+	f.FailOnceAt = 3
+	src := NewCachedSourceWith(f, g.SizeBytes()*2, SourceOptions{Obs: obs.NewRegistry()})
+
+	err := src.Prefetch([]int64{0, 1, 2, 3})
+	if !errors.Is(err, kv.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// Fail-fast means no partial installs: the store returned nothing, so
+	// the cache holds nothing.
+	if n := src.Cache().Len(); n != 0 {
+		t.Errorf("cache holds %d entries after a failed batch, want 0", n)
+	}
+	if src.RemoteQueries() != 0 {
+		t.Errorf("failed batch was accounted: queries = %d", src.RemoteQueries())
+	}
+}
+
+func TestCachedSourceAsyncPrefetchDrain(t *testing.T) {
+	g := gen.DemoDataGraph()
+	src := NewCachedSourceWith(kv.NewLocal(g), 1<<20, SourceOptions{
+		PrefetchWorkers: 2,
+		BatchSize:       3,
+		Obs:             obs.NewRegistry(),
+	})
+	keys := []int64{0, 1, 2, 3, 4, 5, 6}
+	if err := src.Prefetch(keys); err != nil {
+		t.Fatal(err)
+	}
+	src.Close() // drains the queue; the counters are stable afterwards
+
+	for _, v := range keys {
+		if _, err := src.GetAdj(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every key was fetched by the workers exactly once; the demand reads
+	// all hit the cache.
+	if src.RemoteQueries() != int64(len(keys)) {
+		t.Errorf("remote queries = %d, want %d", src.RemoteQueries(), len(keys))
+	}
+	st := src.Cache().Stats()
+	if st.Hits != int64(len(keys)) {
+		t.Errorf("cache hits = %d, want %d", st.Hits, len(keys))
+	}
+}
+
+func TestCachedSourceCompactMatchesRaw(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 200, EdgesPer: 4, Seed: 11})
+	src := NewCachedSourceWith(kv.NewLocal(g), g.SizeBytes()*2, SourceOptions{
+		Compact: true,
+		Obs:     obs.NewRegistry(),
+	})
+	var entries int64
+	for v := int64(0); v < int64(g.NumVertices()); v++ {
+		adj, err := src.GetAdj(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.Adj(v)
+		if len(adj) != len(want) {
+			t.Fatalf("adj(%d): %d entries, want %d", v, len(adj), len(want))
+		}
+		for j := range want {
+			if adj[j] != want[j] {
+				t.Fatalf("adj(%d) content mismatch", v)
+			}
+		}
+		l, err := src.GetList(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Len() != len(want) {
+			t.Fatalf("list(%d).Len = %d, want %d", v, l.Len(), len(want))
+		}
+		entries += int64(len(want))
+	}
+	// The whole point of the compact plane: remote volume is well under
+	// the 8 bytes/entry of the raw path.
+	if src.RemoteBytes() >= entries*8 {
+		t.Errorf("compact fetches moved %d bytes for %d entries; raw would be %d",
+			src.RemoteBytes(), entries, entries*8)
 	}
 }
 

@@ -1,0 +1,246 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+
+	"benu/internal/varint"
+)
+
+// AdjList is the compact adjacency representation used as the single
+// currency of the adjacency data plane: the KV wire format, the DB cache
+// entries, and the executor's DBQ results all carry the same bytes.
+//
+// Layout: uvarint neighbor count, then the first neighbor id as a
+// uvarint, then each subsequent neighbor as a uvarint delta to its
+// predecessor. Adjacency sets are sorted ascending and duplicate-free,
+// so deltas are small and the encoding typically lands at 1-2 bytes per
+// neighbor instead of the 8 bytes of a raw int64 — the "bytes saved"
+// counter of the data plane measures exactly this gap.
+//
+// An AdjList is immutable after construction and safe for concurrent
+// use; decoding is lazy (Len peeks only at the header, AppendDecoded and
+// IntersectSorted stream through the bytes on demand).
+type AdjList struct {
+	b []byte
+}
+
+// EncodeAdjList encodes a sorted, duplicate-free adjacency set. The
+// input slice is not retained.
+func EncodeAdjList(adj []int64) AdjList {
+	b := make([]byte, 0, 1+len(adj)*2) // typical: small deltas
+	b = varint.Append(b, uint64(len(adj)))
+	prev := int64(0)
+	for i, v := range adj {
+		if i == 0 {
+			b = varint.Append(b, uint64(v))
+		} else {
+			b = varint.Append(b, uint64(v-prev))
+		}
+		prev = v
+	}
+	return AdjList{b: b}
+}
+
+// AdjListFromBytes wraps an encoded adjacency list without copying or
+// validating. Use Validate (or any decoding method, which fail on
+// malformed input) before trusting bytes from the network.
+func AdjListFromBytes(b []byte) AdjList { return AdjList{b: b} }
+
+// Bytes returns the encoded form. The caller must not modify it.
+func (l AdjList) Bytes() []byte { return l.b }
+
+// IsZero reports whether l is the zero AdjList (no encoding at all — an
+// encoded empty set is one byte and not zero).
+func (l AdjList) IsZero() bool { return l.b == nil }
+
+// SizeBytes returns the encoded size — the unit cache capacity and wire
+// accounting are charged in for compact entries.
+func (l AdjList) SizeBytes() int64 { return int64(len(l.b)) }
+
+// Len returns the neighbor count claimed by the header (0 when the
+// header is missing or malformed; decoding methods report the error).
+func (l AdjList) Len() int {
+	n, _, err := varint.Uvarint(l.b)
+	if err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+// AppendDecoded appends the decoded neighbor ids to dst and returns it.
+// It fails on truncated or overflowing varints without over-allocating:
+// the claimed count only caps the initial reservation, growth is
+// append-driven, so a hostile header cannot force a huge allocation.
+func (l AdjList) AppendDecoded(dst []int64) ([]int64, error) {
+	b := l.b
+	n, k, err := varint.Uvarint(b)
+	if err != nil {
+		return dst, fmt.Errorf("graph: adjlist header: %w", err)
+	}
+	b = b[k:]
+	if cap(dst)-len(dst) < int(min64u(n, 4096)) {
+		grown := make([]int64, len(dst), len(dst)+int(min64u(n, 4096)))
+		copy(grown, dst)
+		dst = grown
+	}
+	prev := int64(0)
+	for i := uint64(0); i < n; i++ {
+		x, k, err := varint.Uvarint(b)
+		if err != nil {
+			return dst, fmt.Errorf("graph: adjlist entry %d/%d: %w", i, n, err)
+		}
+		b = b[k:]
+		if i == 0 {
+			prev = int64(x)
+		} else {
+			prev += int64(x)
+		}
+		dst = append(dst, prev)
+	}
+	return dst, nil
+}
+
+// Decode materializes the neighbor ids into a fresh slice.
+func (l AdjList) Decode() ([]int64, error) { return l.AppendDecoded(nil) }
+
+// Validate walks the encoding and reports whether it is well-formed:
+// header present, exactly the claimed number of entries, no trailing
+// bytes, ids strictly increasing (the sorted duplicate-free invariant
+// every Store promises).
+func (l AdjList) Validate() error {
+	b := l.b
+	n, k, err := varint.Uvarint(b)
+	if err != nil {
+		return fmt.Errorf("graph: adjlist header: %w", err)
+	}
+	b = b[k:]
+	prev := int64(-1)
+	for i := uint64(0); i < n; i++ {
+		x, k, err := varint.Uvarint(b)
+		if err != nil {
+			return fmt.Errorf("graph: adjlist entry %d/%d: %w", i, n, err)
+		}
+		b = b[k:]
+		var v int64
+		if i == 0 {
+			v = int64(x)
+		} else {
+			v = prev + int64(x)
+			if int64(x) == 0 {
+				return fmt.Errorf("graph: adjlist entry %d duplicates its predecessor", i)
+			}
+		}
+		if v < 0 {
+			return fmt.Errorf("graph: adjlist entry %d is negative (%d)", i, v)
+		}
+		prev = v
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("graph: adjlist has %d trailing bytes", len(b))
+	}
+	return nil
+}
+
+// IntersectSorted intersects l with the ascending-sorted set other,
+// appending matches to dst — a streaming merge over the compact bytes,
+// no intermediate decode. It fails on malformed encodings.
+func (l AdjList) IntersectSorted(dst []int64, other []int64) ([]int64, error) {
+	b := l.b
+	n, k, err := varint.Uvarint(b)
+	if err != nil {
+		return dst, fmt.Errorf("graph: adjlist header: %w", err)
+	}
+	b = b[k:]
+	j := 0
+	prev := int64(0)
+	for i := uint64(0); i < n; i++ {
+		x, k, err := varint.Uvarint(b)
+		if err != nil {
+			return dst, fmt.Errorf("graph: adjlist entry %d/%d: %w", i, n, err)
+		}
+		b = b[k:]
+		if i == 0 {
+			prev = int64(x)
+		} else {
+			prev += int64(x)
+		}
+		for j < len(other) && other[j] < prev {
+			j++
+		}
+		if j == len(other) {
+			break
+		}
+		if other[j] == prev {
+			dst = append(dst, prev)
+			j++
+		}
+	}
+	return dst, nil
+}
+
+func min64u(a uint64, b int) uint64 {
+	if a < uint64(b) {
+		return a
+	}
+	return uint64(b)
+}
+
+// CompactAdjacency is the whole-graph compact adjacency index: every
+// vertex's AdjList sliced out of one contiguous buffer. In-process
+// stores build it lazily (the graph is immutable) so batched compact
+// reads are zero-copy slices rather than per-query encodes.
+type CompactAdjacency struct {
+	off  []int64
+	data []byte
+}
+
+// NewCompactAdjacency encodes every adjacency set of g.
+func NewCompactAdjacency(g *Graph) *CompactAdjacency {
+	n := g.NumVertices()
+	c := &CompactAdjacency{off: make([]int64, n+1)}
+	// Two passes would need encoded sizes anyway; append once instead.
+	for v := 0; v < n; v++ {
+		adj := g.Adj(int64(v))
+		c.data = varint.Append(c.data, uint64(len(adj)))
+		prev := int64(0)
+		for i, w := range adj {
+			if i == 0 {
+				c.data = varint.Append(c.data, uint64(w))
+			} else {
+				c.data = varint.Append(c.data, uint64(w-prev))
+			}
+			prev = w
+		}
+		c.off[v+1] = int64(len(c.data))
+	}
+	return c
+}
+
+// NumVertices returns the number of vertices indexed.
+func (c *CompactAdjacency) NumVertices() int { return len(c.off) - 1 }
+
+// List returns the compact adjacency list of v (zero-copy).
+func (c *CompactAdjacency) List(v int64) AdjList {
+	return AdjList{b: c.data[c.off[v]:c.off[v+1]:c.off[v+1]]}
+}
+
+// SizeBytes returns the total encoded size — compare against
+// Graph.SizeBytes (8 bytes per directed edge) for the compression ratio.
+func (c *CompactAdjacency) SizeBytes() int64 { return int64(len(c.data)) }
+
+// intsPool recycles the scratch id slices of the data plane: prefetch
+// batches copy candidate sets through here, and decode temporaries
+// borrow from it, so steady-state prefetching allocates nothing.
+var intsPool = sync.Pool{New: func() any { s := make([]int64, 0, 256); return &s }}
+
+// BorrowInts borrows a reusable empty []int64 from the pool.
+func BorrowInts() *[]int64 {
+	p := intsPool.Get().(*[]int64)
+	*p = (*p)[:0]
+	return p
+}
+
+// ReturnInts returns a slice borrowed with BorrowInts to the pool. The
+// caller must not use *p afterwards.
+func ReturnInts(p *[]int64) { intsPool.Put(p) }

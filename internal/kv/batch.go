@@ -1,23 +1,55 @@
 package kv
 
-import "fmt"
+import (
+	"fmt"
+
+	"benu/internal/graph"
+)
 
 // Batched reads. The paper's implementation queries HBase at adjacency-set
 // granularity to amortize per-query latency (§III-B); batching multiple
 // vertex keys into one round trip amortizes it further when a caller
-// knows several keys up front (cache warm-up, task prefetching).
+// knows several keys up front (the ENU-stage prefetcher, cache warm-up).
+//
+// Two batched shapes exist:
+//
+//   - BatchStore / BatchGetAdj: raw [][]int64 adjacency sets;
+//   - Provider / GetAdjBatch: compact graph.AdjList payloads — the wire
+//     format of the adjacency data plane (varint-delta encoded, typically
+//     4-8x smaller than raw int64s on power-law graphs).
+//
+// Error semantics, uniform across every backend and both shapes:
+// batched reads are FAIL-FAST with NO PARTIAL RESULTS. If any key of a
+// batch fails, the call returns (nil, err) — never a partially filled
+// slice — so callers can install results into caches without checking
+// per-key validity. A backend that fans a batch out over several round
+// trips (Partitioned, the TCP client) stops at the first failing trip.
 
 // BatchStore is implemented by stores that can serve several adjacency
 // sets in one call.
 type BatchStore interface {
 	Store
 	// BatchGetAdj returns the adjacency sets of vs, parallel to vs.
+	// On error the result is nil (fail-fast, no partial results).
 	BatchGetAdj(vs []int64) ([][]int64, error)
+}
+
+// Provider is the compact batched interface of the adjacency data plane:
+// every backend serves multiple keys per round trip as graph.AdjList
+// payloads. All shipped backends (Local, Partitioned, MapStore, Mutable,
+// the TCP Client, Faulty, Observed) implement it.
+type Provider interface {
+	Store
+	// GetAdjBatch returns the compact adjacency lists of vs, parallel to
+	// vs. On error the result is nil (fail-fast, no partial results).
+	GetAdjBatch(vs []int64) ([]graph.AdjList, error)
 }
 
 // BatchGetAdj fetches several adjacency sets from any store, using the
 // batched fast path when the store provides one and falling back to
-// serial gets otherwise.
+// serial gets otherwise. Fail-fast: on any error the result is nil —
+// adjacency sets fetched before the failing key are discarded, so a
+// caller never installs a partial batch.
 func BatchGetAdj(s Store, vs []int64) ([][]int64, error) {
 	if b, ok := s.(BatchStore); ok {
 		return b.BatchGetAdj(vs)
@@ -33,20 +65,59 @@ func BatchGetAdj(s Store, vs []int64) ([][]int64, error) {
 	return out, nil
 }
 
-// BatchGetAdj implements BatchStore.
-func (s *Local) BatchGetAdj(vs []int64) ([][]int64, error) {
-	out := make([][]int64, len(vs))
-	for i, v := range vs {
-		adj, err := s.GetAdj(v)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = adj
+// GetAdjBatch fetches several compact adjacency lists from any store:
+// Providers serve natively, everything else is served through BatchGetAdj
+// and encoded. Same fail-fast, no-partial-results contract as
+// BatchGetAdj.
+func GetAdjBatch(s Store, vs []int64) ([]graph.AdjList, error) {
+	if p, ok := s.(Provider); ok {
+		return p.GetAdjBatch(vs)
+	}
+	adjs, err := BatchGetAdj(s, vs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]graph.AdjList, len(adjs))
+	for i, adj := range adjs {
+		out[i] = graph.EncodeAdjList(adj)
 	}
 	return out, nil
 }
 
-// BatchGetArgs is the RPC request for AdjService.BatchGet.
+// BatchGetAdj implements BatchStore. One metered trip for the whole
+// batch.
+func (s *Local) BatchGetAdj(vs []int64) ([][]int64, error) {
+	out := make([][]int64, len(vs))
+	var bytes int64
+	for i, v := range vs {
+		if v < 0 || int(v) >= s.g.NumVertices() {
+			return nil, fmt.Errorf("kv: vertex %d out of range [0,%d)", v, s.g.NumVertices())
+		}
+		out[i] = s.g.Adj(v)
+		bytes += int64(len(out[i])) * 8
+	}
+	s.metrics.RecordBatch(len(vs), bytes)
+	return out, nil
+}
+
+// BatchGetAdj implements BatchStore.
+func (s *MapStore) BatchGetAdj(vs []int64) ([][]int64, error) {
+	out := make([][]int64, len(vs))
+	var bytes int64
+	for i, v := range vs {
+		adj, ok := s.data[v]
+		if !ok {
+			return nil, fmt.Errorf("kv: vertex %d not stored in this partition", v)
+		}
+		out[i] = adj
+		bytes += int64(len(adj)) * 8
+	}
+	s.metrics.RecordBatch(len(vs), bytes)
+	return out, nil
+}
+
+// BatchGetArgs is the RPC request for AdjService.BatchGet and
+// AdjService.BatchGetCompact.
 type BatchGetArgs struct {
 	Vertices []int64
 }
@@ -54,6 +125,14 @@ type BatchGetArgs struct {
 // BatchGetReply is the RPC response for AdjService.BatchGet.
 type BatchGetReply struct {
 	Adjs [][]int64
+}
+
+// BatchGetCompactReply is the RPC response for AdjService.BatchGetCompact:
+// one varint-delta encoded adjacency list per requested vertex. This is
+// the compact wire format — the bytes on the socket are (modulo gob
+// framing) the bytes the client installs into its DB cache.
+type BatchGetCompactReply struct {
+	Lists [][]byte
 }
 
 // BatchGet returns the adjacency sets of args.Vertices in one round trip.
@@ -66,15 +145,85 @@ func (s *AdjService) BatchGet(args *BatchGetArgs, reply *BatchGetReply) error {
 	return nil
 }
 
+// BatchGetCompact returns the compact adjacency lists of args.Vertices
+// in one round trip.
+func (s *AdjService) BatchGetCompact(args *BatchGetArgs, reply *BatchGetCompactReply) error {
+	lists, err := GetAdjBatch(s.store, args.Vertices)
+	if err != nil {
+		return err
+	}
+	reply.Lists = make([][]byte, len(lists))
+	for i, l := range lists {
+		reply.Lists[i] = l.Bytes()
+	}
+	return nil
+}
+
 // BatchGetAdj implements BatchStore for the TCP client: keys are grouped
-// by owning partition and each partition is asked once.
+// by owning partition and each partition is asked once. Fail-fast: the
+// first failing partition call fails the whole batch with a nil result.
 func (c *Client) BatchGetAdj(vs []int64) ([][]int64, error) {
 	out := make([][]int64, len(vs))
-	// Group request positions by partition.
+	err := c.routeBatch(vs, func(p int, keys []int64, idxs []int) error {
+		var reply BatchGetReply
+		if err := c.call(p, "AdjService.BatchGet", &BatchGetArgs{Vertices: keys}, &reply); err != nil {
+			return fmt.Errorf("kv: batch get: %w", err)
+		}
+		if len(reply.Adjs) != len(keys) {
+			return fmt.Errorf("kv: batch get returned %d sets for %d keys", len(reply.Adjs), len(keys))
+		}
+		var bytes int64
+		for j, i := range idxs {
+			out[i] = reply.Adjs[j]
+			bytes += int64(len(reply.Adjs[j])) * 8
+		}
+		c.metrics.RecordBatch(len(keys), bytes)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetAdjBatch implements Provider for the TCP client over the compact
+// wire format. Received payloads are validated once (Validate walks the
+// encoding) so downstream lazy decodes cannot fail on corrupt bytes.
+func (c *Client) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
+	out := make([]graph.AdjList, len(vs))
+	err := c.routeBatch(vs, func(p int, keys []int64, idxs []int) error {
+		var reply BatchGetCompactReply
+		if err := c.call(p, "AdjService.BatchGetCompact", &BatchGetArgs{Vertices: keys}, &reply); err != nil {
+			return fmt.Errorf("kv: compact batch get: %w", err)
+		}
+		if len(reply.Lists) != len(keys) {
+			return fmt.Errorf("kv: compact batch get returned %d lists for %d keys", len(reply.Lists), len(keys))
+		}
+		var bytes int64
+		for j, i := range idxs {
+			l := graph.AdjListFromBytes(reply.Lists[j])
+			if err := l.Validate(); err != nil {
+				return fmt.Errorf("kv: compact batch get, key %d: %w", keys[j], err)
+			}
+			out[i] = l
+			bytes += l.SizeBytes()
+		}
+		c.metrics.RecordBatch(len(keys), bytes)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// routeBatch groups request positions by owning partition and serves
+// each group with one RPC.
+func (c *Client) routeBatch(vs []int64, serve func(p int, keys []int64, idxs []int) error) error {
 	byPart := make(map[int][]int)
 	for i, v := range vs {
 		if v < 0 || int(v) >= c.n {
-			return nil, fmt.Errorf("kv: vertex %d out of range [0,%d)", v, c.n)
+			return fmt.Errorf("kv: vertex %d out of range [0,%d)", v, c.n)
 		}
 		p := int(v) % len(c.pools)
 		byPart[p] = append(byPart[p], i)
@@ -84,24 +233,9 @@ func (c *Client) BatchGetAdj(vs []int64) ([][]int64, error) {
 		for j, i := range idxs {
 			keys[j] = vs[i]
 		}
-		pool := c.pools[p]
-		conn, err := pool.get()
-		if err != nil {
-			return nil, err
-		}
-		var reply BatchGetReply
-		if err := conn.Call("AdjService.BatchGet", &BatchGetArgs{Vertices: keys}, &reply); err != nil {
-			conn.Close()
-			return nil, fmt.Errorf("kv: batch get: %w", err)
-		}
-		pool.put(conn)
-		if len(reply.Adjs) != len(keys) {
-			return nil, fmt.Errorf("kv: batch get returned %d sets for %d keys", len(reply.Adjs), len(keys))
-		}
-		for j, i := range idxs {
-			out[i] = reply.Adjs[j]
-			c.metrics.Record(len(reply.Adjs[j]))
+		if err := serve(p, keys, idxs); err != nil {
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"benu/internal/graph"
 )
 
 // Fault injection. The runtime's error paths — executor task failures,
@@ -68,15 +70,35 @@ func (s *Faulty) GetAdj(v int64) ([]int64, error) {
 
 // BatchGetAdj implements BatchStore: each requested vertex counts as one
 // query, so batched reads hit the same failure schedule as serial ones.
+// Fail-fast: an injected failure anywhere in the batch yields a nil
+// result (no partial sets).
 func (s *Faulty) BatchGetAdj(vs []int64) ([][]int64, error) {
+	if err := s.failBatch(vs); err != nil {
+		return nil, err
+	}
+	return BatchGetAdj(s.inner, vs)
+}
+
+// GetAdjBatch implements Provider under the same per-vertex numbering
+// and fail-fast rules as BatchGetAdj.
+func (s *Faulty) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
+	if err := s.failBatch(vs); err != nil {
+		return nil, err
+	}
+	return GetAdjBatch(s.inner, vs)
+}
+
+// failBatch numbers every requested vertex and injects the first
+// scheduled failure, if any.
+func (s *Faulty) failBatch(vs []int64) error {
 	for _, v := range vs {
 		n := s.calls.Add(1)
 		if s.fail(n) {
 			s.injected.Add(1)
-			return nil, fmt.Errorf("batch query %d (vertex %d): %w", n, v, ErrInjected)
+			return fmt.Errorf("batch query %d (vertex %d): %w", n, v, ErrInjected)
 		}
 	}
-	return BatchGetAdj(s.inner, vs)
+	return nil
 }
 
 // NumVertices implements Store.

@@ -11,10 +11,15 @@
 //     building block for multi-node stores).
 //   - TCP server/client (server.go): a real networked store over stdlib
 //     net/rpc, used by the distributed example and integration tests.
+//
+// Every backend also speaks the batched data plane (batch.go): multiple
+// keys per round trip, served either as raw []int64 sets (BatchStore) or
+// as compact varint-delta graph.AdjList payloads (Provider).
 package kv
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"benu/internal/graph"
@@ -33,20 +38,39 @@ type Store interface {
 }
 
 // Metrics counts store traffic. All fields are manipulated atomically.
+//
+// Queries counts requested keys (one per vertex, batched or not), Trips
+// counts store round trips (a batch of k keys is k queries but one
+// trip), and Bytes is the payload volume — 8 bytes per adjacency entry
+// on the raw path, the encoded size on the compact path.
 type Metrics struct {
 	queries atomic.Int64
+	trips   atomic.Int64
 	bytes   atomic.Int64
 }
 
-// Record notes one query returning n adjacency entries. An adjacency
-// entry travels as 8 bytes, matching Graph.SizeBytes accounting.
+// Record notes one single-key query returning n adjacency entries. An
+// adjacency entry travels as 8 bytes, matching Graph.SizeBytes
+// accounting.
 func (m *Metrics) Record(n int) {
 	m.queries.Add(1)
+	m.trips.Add(1)
 	m.bytes.Add(int64(n) * 8)
 }
 
-// Queries returns the number of GetAdj calls recorded.
+// RecordBatch notes one batched round trip serving keys queries with the
+// given payload volume.
+func (m *Metrics) RecordBatch(keys int, bytes int64) {
+	m.queries.Add(int64(keys))
+	m.trips.Add(1)
+	m.bytes.Add(bytes)
+}
+
+// Queries returns the number of keys served.
 func (m *Metrics) Queries() int64 { return m.queries.Load() }
+
+// Trips returns the number of store round trips (batch-aware).
+func (m *Metrics) Trips() int64 { return m.trips.Load() }
 
 // Bytes returns the total bytes transferred for recorded queries.
 func (m *Metrics) Bytes() int64 { return m.bytes.Load() }
@@ -54,6 +78,7 @@ func (m *Metrics) Bytes() int64 { return m.bytes.Load() }
 // Reset zeroes the counters.
 func (m *Metrics) Reset() {
 	m.queries.Store(0)
+	m.trips.Store(0)
 	m.bytes.Store(0)
 }
 
@@ -63,6 +88,9 @@ func (m *Metrics) Reset() {
 type Local struct {
 	g       *graph.Graph
 	metrics Metrics
+
+	compactOnce sync.Once
+	compact     *graph.CompactAdjacency
 }
 
 // NewLocal stores g in a Local store.
@@ -83,6 +111,23 @@ func (s *Local) NumVertices() int { return s.g.NumVertices() }
 
 // Metrics exposes the store's traffic counters.
 func (s *Local) Metrics() *Metrics { return &s.metrics }
+
+// GetAdjBatch implements Provider. The compact index is built once, on
+// first use (the graph is immutable), so compact reads are zero-copy.
+func (s *Local) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
+	s.compactOnce.Do(func() { s.compact = graph.NewCompactAdjacency(s.g) })
+	out := make([]graph.AdjList, len(vs))
+	var bytes int64
+	for i, v := range vs {
+		if v < 0 || int(v) >= s.g.NumVertices() {
+			return nil, fmt.Errorf("kv: vertex %d out of range [0,%d)", v, s.g.NumVertices())
+		}
+		out[i] = s.compact.List(v)
+		bytes += out[i].SizeBytes()
+	}
+	s.metrics.RecordBatch(len(vs), bytes)
+	return out, nil
+}
 
 // Partitioned hash-partitions vertex ids across several stores, the way
 // a distributed table spreads regions across region servers. Partition of
@@ -122,12 +167,80 @@ func (s *Partitioned) GetAdj(v int64) ([]int64, error) {
 // NumVertices implements Store.
 func (s *Partitioned) NumVertices() int { return s.n }
 
+// BatchGetAdj implements BatchStore: keys are grouped by owning
+// partition and each partition is asked once (through its own batched
+// fast path when it has one). Fail-fast: any partition error fails the
+// whole batch with no partial results.
+func (s *Partitioned) BatchGetAdj(vs []int64) ([][]int64, error) {
+	out := make([][]int64, len(vs))
+	err := s.route(vs, func(part Store, keys []int64, idxs []int) error {
+		adjs, err := BatchGetAdj(part, keys)
+		if err != nil {
+			return err
+		}
+		for j, i := range idxs {
+			out[i] = adjs[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetAdjBatch implements Provider under the same routing and fail-fast
+// rules as BatchGetAdj.
+func (s *Partitioned) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
+	out := make([]graph.AdjList, len(vs))
+	err := s.route(vs, func(part Store, keys []int64, idxs []int) error {
+		lists, err := GetAdjBatch(part, keys)
+		if err != nil {
+			return err
+		}
+		for j, i := range idxs {
+			out[i] = lists[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// route groups request positions by owning partition and hands each
+// partition its keys plus their positions in the original request.
+func (s *Partitioned) route(vs []int64, serve func(part Store, keys []int64, idxs []int) error) error {
+	byPart := make(map[int][]int)
+	for i, v := range vs {
+		if v < 0 || int(v) >= s.n {
+			return fmt.Errorf("kv: vertex %d out of range [0,%d)", v, s.n)
+		}
+		p := int(v) % len(s.parts)
+		byPart[p] = append(byPart[p], i)
+	}
+	for p, idxs := range byPart {
+		keys := make([]int64, len(idxs))
+		for j, i := range idxs {
+			keys[j] = vs[i]
+		}
+		if err := serve(s.parts[p], keys, idxs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // MapStore is a Store over an explicit vertex→adjacency map; the storage
 // node side of a partitioned deployment.
 type MapStore struct {
 	data    map[int64][]int64
 	n       int
 	metrics Metrics
+
+	compactOnce sync.Once
+	compact     map[int64]graph.AdjList
 }
 
 // NewMapStore wraps data as a store. n is the global vertex count.
@@ -150,3 +263,26 @@ func (s *MapStore) NumVertices() int { return s.n }
 
 // Metrics exposes the store's traffic counters.
 func (s *MapStore) Metrics() *Metrics { return &s.metrics }
+
+// GetAdjBatch implements Provider; the per-vertex encodings are built
+// once on first use (the stored data is immutable).
+func (s *MapStore) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
+	s.compactOnce.Do(func() {
+		s.compact = make(map[int64]graph.AdjList, len(s.data))
+		for v, adj := range s.data {
+			s.compact[v] = graph.EncodeAdjList(adj)
+		}
+	})
+	out := make([]graph.AdjList, len(vs))
+	var bytes int64
+	for i, v := range vs {
+		l, ok := s.compact[v]
+		if !ok {
+			return nil, fmt.Errorf("kv: vertex %d not stored in this partition", v)
+		}
+		out[i] = l
+		bytes += l.SizeBytes()
+	}
+	s.metrics.RecordBatch(len(vs), bytes)
+	return out, nil
+}

@@ -3,6 +3,7 @@ package kv
 import (
 	"time"
 
+	"benu/internal/graph"
 	"benu/internal/obs"
 )
 
@@ -79,6 +80,18 @@ func (o *Observed) BatchGetAdj(vs []int64) ([][]int64, error) {
 		o.errors.Inc()
 	}
 	return adjs, err
+}
+
+// GetAdjBatch implements Provider: one timed round through the wrapped
+// store's compact path (or the encode-on-top fallback).
+func (o *Observed) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
+	t0 := time.Now()
+	lists, err := GetAdjBatch(o.store, vs)
+	o.batchLat.RecordDuration(time.Since(t0))
+	if err != nil {
+		o.errors.Inc()
+	}
+	return lists, err
 }
 
 // Unwrap returns the wrapped store.

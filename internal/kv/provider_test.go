@@ -1,0 +1,197 @@
+package kv
+
+import (
+	"errors"
+	"testing"
+
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/obs"
+)
+
+// decodeAll decodes every list or fails the test.
+func decodeAll(t *testing.T, lists []graph.AdjList) [][]int64 {
+	t.Helper()
+	out := make([][]int64, len(lists))
+	for i, l := range lists {
+		adj, err := l.AppendDecoded(nil)
+		if err != nil {
+			t.Fatalf("list %d: %v", i, err)
+		}
+		out[i] = adj
+	}
+	return out
+}
+
+// providerBackends builds every shipped Provider over the same graph, so
+// one test sweeps the whole compact data plane. The TCP client is tested
+// separately (it needs servers).
+func providerBackends(g *graph.Graph) map[string]Provider {
+	parts := make([]Store, 3)
+	for i := range parts {
+		parts[i] = NewMapStore(Shard(g, i, len(parts)), g.NumVertices())
+	}
+	return map[string]Provider{
+		"local":       NewLocal(g),
+		"map":         NewMapStore(Shard(g, 0, 1), g.NumVertices()),
+		"partitioned": NewPartitioned(parts, g.NumVertices()),
+		"mutable":     NewMutable(g),
+		"faulty":      NewFaulty(NewLocal(g)), // zero schedule: behaves like local
+		"observed":    ObserveStore(NewLocal(g), obs.NewRegistry()),
+	}
+}
+
+func TestGetAdjBatchMatchesSerialReads(t *testing.T) {
+	g := gen.DemoDataGraph()
+	vs := []int64{0, 3, 7, 1, 0}
+	for name, p := range providerBackends(g) {
+		lists, err := p.GetAdjBatch(vs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(lists) != len(vs) {
+			t.Fatalf("%s: %d lists for %d keys", name, len(lists), len(vs))
+		}
+		for i, adj := range decodeAll(t, lists) {
+			want := g.Adj(vs[i])
+			if len(adj) != len(want) {
+				t.Fatalf("%s: adj(%d) has %d entries, want %d", name, vs[i], len(adj), len(want))
+			}
+			for j := range want {
+				if adj[j] != want[j] {
+					t.Fatalf("%s: adj(%d) content mismatch", name, vs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGetAdjBatchFailFastNoPartialResults(t *testing.T) {
+	g := gen.DemoDataGraph()
+	// The last key is invalid: every backend must return a nil slice, not
+	// a partially filled one, regardless of how many keys preceded it.
+	vs := []int64{0, 1, 2, int64(g.NumVertices()) + 7}
+	for name, p := range providerBackends(g) {
+		lists, err := p.GetAdjBatch(vs)
+		if err == nil {
+			t.Fatalf("%s: invalid key accepted", name)
+		}
+		if lists != nil {
+			t.Fatalf("%s: partial results returned alongside error", name)
+		}
+	}
+	// Same contract through the generic helper over a Store with no
+	// Provider fast path.
+	lists, err := GetAdjBatch(errStore{n: 5}, []int64{1, 2})
+	if err == nil || lists != nil {
+		t.Fatalf("helper fallback: lists=%v err=%v", lists, err)
+	}
+}
+
+func TestGetAdjBatchUnderFaultInjection(t *testing.T) {
+	g := gen.DemoDataGraph()
+	f := NewFaulty(NewLocal(g))
+	f.FailOnceAt = 3
+
+	// Batch of four: the third requested vertex hits the schedule; the
+	// whole batch must fail with ErrInjected and a nil result.
+	lists, err := f.GetAdjBatch([]int64{0, 1, 2, 3})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if lists != nil {
+		t.Fatal("partial results survived an injected failure")
+	}
+	if f.Calls() != 3 {
+		t.Errorf("calls = %d, want 3 (numbering stops at the failing key)", f.Calls())
+	}
+	if f.Injected() != 1 {
+		t.Errorf("injected = %d, want 1", f.Injected())
+	}
+
+	// The schedule fired once; the same batch now succeeds, and batched
+	// reads share the serial numbering (4 more calls).
+	if _, err := f.GetAdjBatch([]int64{0, 1, 2, 3}); err != nil {
+		t.Fatalf("post-failure batch: %v", err)
+	}
+	if f.Calls() != 7 {
+		t.Errorf("calls = %d, want 7", f.Calls())
+	}
+}
+
+func TestGetAdjBatchTripAccounting(t *testing.T) {
+	g := gen.DemoDataGraph()
+	s := NewLocal(g)
+	if _, err := s.GetAdjBatch([]int64{0, 1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Queries() != 5 {
+		t.Errorf("queries = %d, want 5", m.Queries())
+	}
+	if m.Trips() != 1 {
+		t.Errorf("trips = %d, want 1 (a batch is one round trip)", m.Trips())
+	}
+	if m.Bytes() <= 0 {
+		t.Errorf("bytes = %d, want > 0", m.Bytes())
+	}
+	// A serial read is one query and one trip.
+	if _, err := s.GetAdj(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Queries() != 6 || m.Trips() != 2 {
+		t.Errorf("after serial read: queries=%d trips=%d, want 6/2", m.Queries(), m.Trips())
+	}
+}
+
+func TestGetAdjBatchTCPCompact(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 120, EdgesPer: 3, Seed: 8})
+	servers, addrs, err := ServeGraph(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	client, err := Dial(addrs, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	vs := []int64{0, 1, 2, 50, 51, 52, 119, 0}
+	lists, err := client.GetAdjBatch(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire int64
+	for i, adj := range decodeAll(t, lists) {
+		want := g.Adj(vs[i])
+		if len(adj) != len(want) {
+			t.Fatalf("compact adj(%d): %d entries, want %d", vs[i], len(adj), len(want))
+		}
+		for j := range want {
+			if adj[j] != want[j] {
+				t.Fatalf("compact adj(%d) content mismatch", vs[i])
+			}
+		}
+		wire += lists[i].SizeBytes()
+	}
+	m := client.Metrics()
+	if m.Queries() != int64(len(vs)) {
+		t.Errorf("queries = %d, want %d", m.Queries(), len(vs))
+	}
+	// Keys span 3 partitions: one RPC each, not one per key.
+	if m.Trips() != 3 {
+		t.Errorf("trips = %d, want 3 (one per partition)", m.Trips())
+	}
+	if m.Bytes() != wire {
+		t.Errorf("bytes = %d, want compact volume %d", m.Bytes(), wire)
+	}
+	// Fail-fast through the wire, too.
+	if lists, err := client.GetAdjBatch([]int64{5, -1}); err == nil || lists != nil {
+		t.Errorf("negative key: lists=%v err=%v", lists, err)
+	}
+}

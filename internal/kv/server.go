@@ -161,23 +161,32 @@ func Dial(addrs []string, numVertices int) (*Client, error) {
 	return c, nil
 }
 
+// call runs one RPC against partition p through its connection pool,
+// dropping the connection on error (it may be poisoned) and returning it
+// to the pool on success.
+func (c *Client) call(p int, method string, args, reply any) error {
+	pool := c.pools[p]
+	conn, err := pool.get()
+	if err != nil {
+		return err
+	}
+	if err := conn.Call(method, args, reply); err != nil {
+		conn.Close()
+		return err
+	}
+	pool.put(conn)
+	return nil
+}
+
 // GetAdj implements Store by calling the owning storage node.
 func (c *Client) GetAdj(v int64) ([]int64, error) {
 	if v < 0 || int(v) >= c.n {
 		return nil, fmt.Errorf("kv: vertex %d out of range [0,%d)", v, c.n)
 	}
-	pool := c.pools[int(v)%len(c.pools)]
-	conn, err := pool.get()
-	if err != nil {
-		return nil, err
-	}
 	var reply GetReply
-	err = conn.Call("AdjService.Get", &GetArgs{Vertex: v}, &reply)
-	if err != nil {
-		conn.Close()
+	if err := c.call(int(v)%len(c.pools), "AdjService.Get", &GetArgs{Vertex: v}, &reply); err != nil {
 		return nil, fmt.Errorf("kv: get %d: %w", v, err)
 	}
-	pool.put(conn)
 	c.metrics.Record(len(reply.Adj))
 	return reply.Adj, nil
 }

@@ -1,0 +1,56 @@
+// Package varint holds the unsigned-varint primitives shared by the
+// compact adjacency codec (graph.AdjList) and the VCBC result stream
+// (internal/vcbc). Both encode non-negative vertex ids, so the whole
+// data plane — KV wire payloads, cache entries, result streams — speaks
+// one integer encoding: LEB128, 7 bits per byte, low bits first, high
+// bit marking continuation (the same layout as encoding/binary's
+// Uvarint, which the decode side delegates to).
+package varint
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// MaxLen64 is the maximum byte length of one encoded uint64.
+const MaxLen64 = binary.MaxVarintLen64
+
+// ErrTruncated reports an encoded integer cut off by the end of input.
+var ErrTruncated = errors.New("varint: truncated input")
+
+// ErrOverflow reports an encoded integer wider than 64 bits.
+var ErrOverflow = errors.New("varint: 64-bit overflow")
+
+// Append appends the unsigned varint encoding of x to dst.
+func Append(dst []byte, x uint64) []byte {
+	return binary.AppendUvarint(dst, x)
+}
+
+// Uvarint decodes one unsigned varint from the front of b, returning the
+// value and the number of bytes consumed. Unlike binary.Uvarint, failure
+// is an explicit error: ErrTruncated when b ends mid-integer, ErrOverflow
+// when the encoding exceeds 64 bits.
+func Uvarint(b []byte) (uint64, int, error) {
+	x, n := binary.Uvarint(b)
+	switch {
+	case n > 0:
+		return x, n, nil
+	case n == 0:
+		return 0, 0, ErrTruncated
+	default:
+		return 0, 0, ErrOverflow
+	}
+}
+
+// Write writes the unsigned varint encoding of x byte by byte — the
+// streaming counterpart of Append for buffered writers.
+func Write(w io.ByteWriter, x uint64) error {
+	for x >= 0x80 {
+		if err := w.WriteByte(byte(x) | 0x80); err != nil {
+			return err
+		}
+		x >>= 7
+	}
+	return w.WriteByte(byte(x))
+}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"benu/internal/varint"
 )
 
 // Binary stream codec for compressed results. The paper reports output
@@ -31,7 +33,6 @@ type Writer struct {
 	w           *bufio.Writer
 	cover, free []int
 	codes       int64
-	scratch     [binary.MaxVarintLen64]byte
 }
 
 // NewWriter writes the stream header: the cover and free pattern-vertex
@@ -66,9 +67,7 @@ func NewWriter(w io.Writer, cover, free []int, constraints [][2]int) (*Writer, e
 }
 
 func (sw *Writer) uvarint(x uint64) error {
-	n := binary.PutUvarint(sw.scratch[:], x)
-	_, err := sw.w.Write(sw.scratch[:n])
-	return err
+	return varint.Write(sw.w, x)
 }
 
 func (sw *Writer) intList(xs []int) error {
