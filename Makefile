@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test short race vet bench bench-json check diff fuzz clean
+.PHONY: all build test short race vet bench bench-json check diff chaos fuzz clean
 
 all: check
 
@@ -33,6 +33,12 @@ race:
 diff:
 	$(GO) test -short -run 'TestDifferential' ./internal/check
 
+## chaos: fault-injected verification under the race detector — the
+## resilient differential columns over transiently faulty stores, task
+## re-execution and cancellation tests, and the TCP acceptance scenario
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestResilient|TestTaskRetry|TestFailFast|TestRunContext' ./internal/check ./internal/cluster ./internal/kv
+
 ## fuzz: run each native fuzz target for $(FUZZTIME) (default 30s)
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzGraphParse -fuzztime=$(FUZZTIME) ./internal/graph
@@ -56,7 +62,7 @@ bench-json:
 	$(GO) run ./cmd/benu-bench -bench-json $(BENCH_JSON)
 
 ## check: tier-1 verification — what CI (and the next PR) must keep green
-check: build vet test race diff
+check: build vet test race diff chaos
 
 clean:
 	$(GO) clean ./...

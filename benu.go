@@ -7,6 +7,7 @@ package benu
 // plan → simulated cluster → counts/matches/compressed codes.
 
 import (
+	"context"
 	"io"
 
 	"benu/internal/cluster"
@@ -17,6 +18,7 @@ import (
 	"benu/internal/kv"
 	"benu/internal/obs"
 	"benu/internal/plan"
+	"benu/internal/resilience"
 	"benu/internal/vcbc"
 )
 
@@ -52,6 +54,13 @@ type (
 	// MetricsSnapshot is a point-in-time copy of a Metrics registry; it
 	// renders to aligned text (WriteText) and JSON (JSON).
 	MetricsSnapshot = obs.Snapshot
+	// RetryPolicy configures store-call retries: attempt budget,
+	// exponential backoff with deterministic jitter, per-attempt deadline.
+	RetryPolicy = resilience.Policy
+	// BreakerConfig configures the per-backend circuit breaker.
+	BreakerConfig = resilience.BreakerConfig
+	// ResilientStoreOptions configures NewResilientStore.
+	ResilientStoreOptions = kv.ResilientOptions
 )
 
 // NewGraph builds a data graph with n vertices from an edge list.
@@ -129,6 +138,18 @@ type Options struct {
 	// networked stores, less wire volume). Ignored when Cluster is set —
 	// configure ClusterConfig.CompactAdjacency directly there.
 	CompactAdjacency bool
+	// Ctx bounds the run: cancellation stops task dispatch on every
+	// simulated machine, interrupts store traffic, and makes the run
+	// return the context's error. nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the run-bounding context.
+func (o *Options) ctx() context.Context {
+	if o != nil && o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o *Options) resolve(g *Graph) (PlanOptions, ClusterConfig) {
@@ -198,7 +219,7 @@ func Count(p *Pattern, g *Graph, opts *Options) (*Result, error) {
 	}
 	reg := opts.registry()
 	store := opts.instrument(reg, &cfg, kv.NewLocal(g))
-	res, err := cluster.Run(pl, store, graph.NewTotalOrder(g), g.Degree, cfg)
+	res, err := cluster.RunContext(opts.ctx(), pl, store, graph.NewTotalOrder(g), g.Degree, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +241,7 @@ func Enumerate(p *Pattern, g *Graph, opts *Options, emit func(match []int64) boo
 	cfg.Emit = emit
 	reg := opts.registry()
 	store := opts.instrument(reg, &cfg, kv.NewLocal(g))
-	res, err := cluster.Run(pl, store, graph.NewTotalOrder(g), g.Degree, cfg)
+	res, err := cluster.RunContext(opts.ctx(), pl, store, graph.NewTotalOrder(g), g.Degree, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +262,7 @@ func EnumerateCodes(p *Pattern, g *Graph, opts *Options, emit func(c *Code) bool
 	cfg.EmitCode = emit
 	reg := opts.registry()
 	store := opts.instrument(reg, &cfg, kv.NewLocal(g))
-	res, err := cluster.Run(pl, store, graph.NewTotalOrder(g), g.Degree, cfg)
+	res, err := cluster.RunContext(opts.ctx(), pl, store, graph.NewTotalOrder(g), g.Degree, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -256,6 +277,23 @@ func EnumerateCodes(p *Pattern, g *Graph, opts *Options, emit func(c *Code) bool
 // metrics in isolation.
 func RunOnStore(pl *ExecutionPlan, store Store, ord *TotalOrder, degree func(v int64) int, cfg ClusterConfig) (*Result, error) {
 	return cluster.Run(pl, store, ord, degree, cfg)
+}
+
+// RunOnStoreContext is RunOnStore bounded by ctx: cancellation stops
+// task dispatch on every worker, interrupts store traffic, and returns
+// the context's error once the workers drain.
+func RunOnStoreContext(ctx context.Context, pl *ExecutionPlan, store Store, ord *TotalOrder, degree func(v int64) int, cfg ClusterConfig) (*Result, error) {
+	return cluster.RunContext(ctx, pl, store, ord, degree, cfg)
+}
+
+// NewResilientStore wraps any Store with the fault-tolerance layer the
+// paper inherits from its HBase client: bounded retries with exponential
+// backoff, optional per-attempt deadlines, and a per-backend circuit
+// breaker (metrics under resilience.*, see docs/METRICS.md). Compose it
+// outermost — e.g. over ObserveStore over a DialStore client — and pair
+// with ClusterConfig.TaskRetries for task-level re-execution.
+func NewResilientStore(store Store, opts ResilientStoreOptions) *kv.Resilient {
+	return kv.NewResilient(store, opts)
 }
 
 // ObserveStore wraps store with per-query latency observation recording

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"benu/internal/cluster"
 	"benu/internal/estimate"
@@ -32,6 +33,7 @@ import (
 	"benu/internal/kv"
 	"benu/internal/obs"
 	"benu/internal/plan"
+	"benu/internal/resilience"
 	"benu/internal/vcbc"
 )
 
@@ -53,6 +55,9 @@ func main() {
 		output       = flag.String("output", "", "write results to this file (VCBC stream for compressed plans, text otherwise; decode with benu-decode)")
 		metrics      = flag.Bool("metrics", false, "print the run's metrics snapshot (see docs/METRICS.md)")
 		metricsJSON  = flag.String("metrics-json", "", "write the run's metrics snapshot as JSON to this file")
+		retry        = flag.Int("retry", 2, "fault tolerance: store-call retries and task re-executions per failure (0 = off)")
+		deadline     = flag.Duration("deadline", 0, "per-store-call deadline, e.g. 500ms (0 = none)")
+		failFast     = flag.Bool("failfast", false, "fail on the first fault instead of retrying (overrides -retry)")
 		verbose      = flag.Bool("v", false, "print the execution plan and per-worker stats")
 	)
 	flag.Parse()
@@ -64,6 +69,7 @@ func main() {
 		cliqueCache: *cliqueCache, output: *output, verbose: *verbose,
 		metrics: *metrics, metricsJSON: *metricsJSON,
 		prefetch: *prefetch, prefetchWorkers: *pfWorkers, compact: *compact,
+		retry: *retry, deadline: *deadline, failFast: *failFast,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "benu:", err)
 		os.Exit(1)
@@ -84,6 +90,9 @@ type runConfig struct {
 	prefetch                   bool
 	prefetchWorkers            int
 	compact                    bool
+	retry                      int
+	deadline                   time.Duration
+	failFast                   bool
 }
 
 func run(rc runConfig) error {
@@ -145,6 +154,21 @@ func run(rc runConfig) error {
 		reg = obs.NewRegistry()
 		cfg.Obs = reg
 		store = kv.ObserveStore(store, reg)
+	}
+
+	// Fault tolerance: the resilient decorator wraps outermost (so latency
+	// observation below it times each raw attempt), and the cluster gets a
+	// matching task re-execution budget. -failfast strips both layers.
+	if rc.failFast {
+		cfg.FailFast = true
+	} else if rc.retry > 0 || rc.deadline > 0 {
+		pol := resilience.DefaultPolicy()
+		if rc.retry > 0 {
+			pol.MaxAttempts = rc.retry + 1
+		}
+		pol.Timeout = rc.deadline
+		store = kv.NewResilient(store, kv.ResilientOptions{Policy: pol, Obs: reg})
+		cfg.TaskRetries = rc.retry
 	}
 
 	var finishOutput func() error
@@ -214,6 +238,9 @@ func run(rc runConfig) error {
 	}
 	fmt.Println()
 	fmt.Printf("time: %s  tasks: %d (%d split)\n", res.Wall.Round(1e6), res.Tasks, res.SplitTasks)
+	if res.TasksRetried > 0 {
+		fmt.Printf("fault tolerance: %d task re-executions healed transient failures\n", res.TasksRetried)
+	}
 	fmt.Printf("communication: %d DB queries, %.2f MB fetched, cache hit rate %.1f%%\n",
 		res.DBQueries, float64(res.BytesFetched)/(1<<20), res.CacheHitRate*100)
 	if rc.prefetch || rc.compact {

@@ -1,0 +1,106 @@
+package check
+
+import (
+	"testing"
+
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/kv"
+)
+
+// Chaos differential tests: the fault-tolerant backends run over a
+// transiently faulty store and must still agree with the fault-free
+// reference on counts AND canonical embedding sets. Identical results
+// under injected faults are the differential proof that the recovery
+// layers (kv.Resilient retries, cluster task re-execution) are
+// exactly-once — no lost matches, no double-counted ones.
+
+// transientWrap injects a transient failure on every n-th store query:
+// the query errors, but the same vertex is guaranteed to succeed when
+// asked again (the failure model retries are proven against).
+func transientWrap(n int64) StoreWrap {
+	return func(s kv.Store) kv.Store {
+		f := kv.NewFaulty(s)
+		f.Transient = true
+		f.FailEveryN = n
+		return f
+	}
+}
+
+// TestChaosDifferentialTransientFaults sweeps the resilient backends over
+// transiently faulty stores: zero mismatches required.
+func TestChaosDifferentialTransientFaults(t *testing.T) {
+	patterns := []*graph.Pattern{gen.Triangle(), gen.Q(1)}
+	if !testing.Short() {
+		patterns = append(patterns, gen.Q(4))
+	}
+	cfg := BatchConfig{
+		Seed:     4040,
+		Graphs:   2,
+		Spec:     sparseSpec,
+		Patterns: patterns,
+		Variants: ShortVariants(),
+		Backends: ResilientBackends(transientWrap(23)),
+	}
+	for _, m := range RunBatch(cfg) {
+		t.Error(m.String())
+	}
+}
+
+// TestChaosHighFaultRate pushes the transient rate much higher (every
+// 7th query fails) on a smaller sweep — the recovery layers must still
+// converge to exact results.
+func TestChaosHighFaultRate(t *testing.T) {
+	cfg := BatchConfig{
+		Seed:     5050,
+		Graphs:   1,
+		Spec:     sparseSpec,
+		Patterns: []*graph.Pattern{gen.Triangle()},
+		Variants: ShortVariants(),
+		Backends: ResilientBackends(transientWrap(7)),
+	}
+	for _, m := range RunBatch(cfg) {
+		t.Error(m.String())
+	}
+}
+
+// TestChaosPermanentFaultsSurface is the counterweight: when faults are
+// permanent (every query fails, retries cannot help), the resilient
+// backends must fail loudly — an error, never a silently wrong count.
+func TestChaosPermanentFaultsSurface(t *testing.T) {
+	g := gen.RandomDataGraph(sparseSpec, 31)
+	wrap := func(s kv.Store) kv.Store {
+		f := kv.NewFaulty(s)
+		f.FailEveryN = 1
+		return f
+	}
+	v := Variants()[1] // opt
+	for _, b := range ResilientBackends(wrap) {
+		m := Validate(gen.Triangle(), g, v, b)
+		if m == nil {
+			t.Errorf("%s: permanent faults healed?", b.Name)
+			continue
+		}
+		if m.Err == nil {
+			t.Errorf("%s: permanent faults produced a count (%d vs %d) instead of an error",
+				b.Name, m.GotCount, m.WantCount)
+		}
+	}
+}
+
+// TestResilientBackendsTransparentWhenHealthy runs the resilient columns
+// with no fault injection: the recovery layers must be invisible on a
+// healthy store (this is why they can ride in the default matrix).
+func TestResilientBackendsTransparentWhenHealthy(t *testing.T) {
+	cfg := BatchConfig{
+		Seed:     6060,
+		Graphs:   1,
+		Spec:     sparseSpec,
+		Patterns: []*graph.Pattern{gen.Triangle(), gen.Q(1)},
+		Variants: ShortVariants(),
+		Backends: ResilientBackends(nil),
+	}
+	for _, m := range RunBatch(cfg) {
+		t.Error(m.String())
+	}
+}

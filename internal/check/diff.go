@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"benu/internal/cluster"
 	"benu/internal/estimate"
@@ -14,6 +15,7 @@ import (
 	"benu/internal/kv"
 	"benu/internal/obs"
 	"benu/internal/plan"
+	"benu/internal/resilience"
 	"benu/internal/vcbc"
 )
 
@@ -146,6 +148,92 @@ func Backends(wrap StoreWrap) []Backend {
 					Obs:               obs.NewRegistry(),
 				}
 				return runCluster(pl, g, ord, wrap(kv.NewLocal(g)), cfg)
+			},
+		},
+	}
+}
+
+// ResilientBackends returns the fault-tolerant execution columns of the
+// matrix: the same simulated cluster run through each recovery layer.
+// Under a transient StoreWrap (kv.Faulty with Transient set) they must
+// produce results identical to the fault-free reference — counts AND
+// canonical embedding sets — which is the differential proof that
+// store-level retries and task re-execution are exactly-once. On
+// healthy stores the layers are transparent, so these columns also run
+// in the default matrix.
+//
+//   - "cluster-resilient": every store read goes through kv.Resilient
+//     (bounded retries with microsecond backoff); the cluster itself
+//     never sees a transient fault.
+//   - "cluster-retry": the store surfaces faults raw and the master
+//     re-executes failed tasks (Config.TaskRetries), exactly-once
+//     accounting healing what the store would not.
+//   - "cluster-resilient-retry": both layers stacked, the deployment
+//     shape of the paper's HBase-retries-plus-MapReduce-re-execution.
+func ResilientBackends(wrap StoreWrap) []Backend {
+	if wrap == nil {
+		wrap = func(s kv.Store) kv.Store { return s }
+	}
+	// Tiny deterministic backoff: chaos sweeps retry thousands of times,
+	// so waiting real milliseconds would dominate the run.
+	pol := resilience.Policy{
+		MaxAttempts: 5,
+		BaseBackoff: 20 * time.Microsecond,
+		MaxBackoff:  200 * time.Microsecond,
+		Multiplier:  2,
+		Seed:        1,
+	}
+	return []Backend{
+		{
+			Name: "cluster-resilient",
+			Run: func(pl *plan.Plan, g *graph.Graph, ord *graph.TotalOrder) (*Outcome, error) {
+				store := kv.NewResilient(wrap(kv.NewLocal(g)), kv.ResilientOptions{
+					Policy:         pol,
+					DisableBreaker: true, // the sweep hammers one store; tripping is the other test's job
+					Obs:            obs.NewRegistry(),
+				})
+				cfg := cluster.Config{
+					Workers:          2,
+					ThreadsPerWorker: 2,
+					CacheBytes:       g.SizeBytes() * 2,
+					Tau:              4,
+					Obs:              obs.NewRegistry(),
+				}
+				return runCluster(pl, g, ord, store, cfg)
+			},
+		},
+		{
+			Name: "cluster-retry",
+			Run: func(pl *plan.Plan, g *graph.Graph, ord *graph.TotalOrder) (*Outcome, error) {
+				cfg := cluster.Config{
+					Workers:          2,
+					ThreadsPerWorker: 2,
+					CacheBytes:       g.SizeBytes() * 2,
+					Tau:              4,
+					TaskRetries:      8,
+					Obs:              obs.NewRegistry(),
+				}
+				return runCluster(pl, g, ord, wrap(kv.NewLocal(g)), cfg)
+			},
+		},
+		{
+			Name: "cluster-resilient-retry",
+			Run: func(pl *plan.Plan, g *graph.Graph, ord *graph.TotalOrder) (*Outcome, error) {
+				store := kv.NewResilient(wrap(kv.NewLocal(g)), kv.ResilientOptions{
+					Policy:         resilience.Policy{MaxAttempts: 3, BaseBackoff: 20 * time.Microsecond, MaxBackoff: 200 * time.Microsecond, Multiplier: 2, Seed: 2},
+					DisableBreaker: true,
+					Obs:            obs.NewRegistry(),
+				})
+				cfg := cluster.Config{
+					Workers:              3,
+					ThreadsPerWorker:     2,
+					CacheBytes:           g.SizeBytes()/2 + 1,
+					Tau:                  4,
+					TriangleCacheEntries: 64,
+					TaskRetries:          8,
+					Obs:                  obs.NewRegistry(),
+				}
+				return runCluster(pl, g, ord, store, cfg)
 			},
 		},
 	}
@@ -355,7 +443,7 @@ func (c *BatchConfig) normalize() {
 		c.Variants = Variants()
 	}
 	if len(c.Backends) == 0 {
-		c.Backends = Backends(nil)
+		c.Backends = append(Backends(nil), ResilientBackends(nil)...)
 	}
 	if c.MaxShrinkChecks <= 0 {
 		c.MaxShrinkChecks = 400

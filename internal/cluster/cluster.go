@@ -13,6 +13,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -66,6 +67,17 @@ type Config struct {
 	// has lasted this long; Result.TimedOut reports whether it fired
 	// (the analogue of the paper's ">7200s" table entries).
 	Deadline time.Duration
+	// TaskRetries re-executes a failed local search task up to this many
+	// times before the run fails — the paper's MapReduce task
+	// re-execution (§VI). Accounting is exactly-once: a task's match
+	// counts and emissions commit only when an attempt succeeds, so a
+	// retried task can never double-count. 0 disables re-execution
+	// (the first task failure fails the run).
+	TaskRetries int
+	// FailFast disables task re-execution even when TaskRetries is set:
+	// the first task failure fails the run immediately. The escape hatch
+	// for debugging — a fault surfaces instead of being healed.
+	FailFast bool
 	// SequentialWorkers runs the simulated machines one after another
 	// instead of concurrently. Use when measuring per-worker busy time
 	// on a host with fewer cores than simulated machines: each machine's
@@ -152,6 +164,12 @@ type Result struct {
 	// TimedOut reports that Config.Deadline fired before all tasks ran;
 	// Matches is then a lower bound.
 	TimedOut bool
+	// TasksRetried counts task re-executions (an attempt that failed and
+	// was requeued). A clean run reports 0.
+	TasksRetried int
+	// TasksFailed counts tasks that exhausted their retry budget. It is
+	// nonzero only when the run returns an error.
+	TasksFailed int
 }
 
 // Run executes pl against the data graph served by store, on a simulated
@@ -159,8 +177,80 @@ type Result struct {
 // graph.Graph.Degree for in-process runs or a degree table fetched from
 // the store's metadata in a real deployment.
 func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int64) int, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), pl, store, ord, degree, cfg)
+}
+
+// taskAttempt is one queue entry: a local search task plus how many
+// times it has already failed.
+type taskAttempt struct {
+	t     exec.Task
+	tries int
+}
+
+// emitBuffer holds one task attempt's emissions while re-execution is
+// on. A failed attempt may have emitted partial results before its
+// fault; delivering them and then re-running the task would deliver
+// them twice. Buffering until the attempt succeeds makes delivery
+// exactly-once at the cost of one copy per result (the executor reuses
+// the emitted slices, so retention requires copying anyway).
+type emitBuffer struct {
+	matches [][]int64
+	codes   []*vcbc.Code
+}
+
+// install redirects opts' emit callbacks into the buffer (only the ones
+// the user actually set).
+func (b *emitBuffer) install(opts *exec.Options, cfg Config) {
+	if cfg.Emit != nil {
+		opts.Emit = func(f []int64) bool {
+			b.matches = append(b.matches, append([]int64(nil), f...))
+			return true
+		}
+	}
+	if cfg.EmitCode != nil {
+		opts.EmitCode = func(c *vcbc.Code) bool {
+			b.codes = append(b.codes, c.Clone())
+			return true
+		}
+	}
+}
+
+// reset discards a previous attempt's buffered results.
+func (b *emitBuffer) reset() {
+	b.matches = b.matches[:0]
+	b.codes = b.codes[:0]
+}
+
+// flush delivers a successful attempt's results to the user callbacks.
+// A callback returning false stops delivery (its contract is "stop the
+// current task early"; the task is already complete, so the remainder
+// of the buffer is simply dropped).
+func (b *emitBuffer) flush(cfg Config) {
+	for _, m := range b.matches {
+		if !cfg.Emit(m) {
+			break
+		}
+	}
+	for _, c := range b.codes {
+		if !cfg.EmitCode(c) {
+			break
+		}
+	}
+}
+
+// RunContext is Run bounded by ctx: cancellation stops task dispatch on
+// every worker, interrupts store traffic (the machine caches stop
+// issuing round trips, and a kv.Resilient store is rebound so its
+// retries stop too), and returns ctx's error once the workers drain.
+func RunContext(ctx context.Context, pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int64) int, cfg Config) (*Result, error) {
 	if cfg.Workers < 1 || cfg.ThreadsPerWorker < 1 {
 		return nil, fmt.Errorf("cluster: need ≥1 worker and ≥1 thread, got %d×%d", cfg.Workers, cfg.ThreadsPerWorker)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	prog, err := exec.Compile(pl)
 	if err != nil {
@@ -193,13 +283,26 @@ func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int
 	queueDepth := reg.Gauge("cluster.queue.depth")
 	queueDepth.Add(float64(len(tasks)))
 
+	// runCtx bounds the whole run: the caller's ctx cancels it, and a
+	// fatal task failure cancels it internally so every worker stops
+	// dispatching instead of grinding through a doomed queue.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
+	// Task re-execution is on when a retry budget is configured and the
+	// FailFast escape hatch is off.
+	retrying := cfg.TaskRetries > 0 && !cfg.FailFast
+
 	var (
-		mu         sync.Mutex // guards res.TaskTimes
-		wg         sync.WaitGroup
-		runErr     error
-		errOnce    sync.Once
-		timedOut   atomic.Bool
-		dispatched atomic.Int64 // tasks actually popped (≤ len(tasks) on deadline)
+		mu           sync.Mutex // guards res.TaskTimes
+		wg           sync.WaitGroup
+		runErr       error
+		errOnce      sync.Once
+		timedOut     atomic.Bool
+		cancelled    atomic.Bool  // a pop observed runCtx cancelled
+		dispatched   atomic.Int64 // tasks actually popped (≤ len(tasks) on deadline)
+		tasksRetried atomic.Int64
+		tasksFailed  atomic.Int64
 	)
 	perWorker := make([]WorkerStats, cfg.Workers)
 	start := time.Now()
@@ -207,31 +310,58 @@ func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int
 	runWorker := func(w int) {
 		{
 			// One machine: a shared cached source and a work queue
-			// drained by ThreadsPerWorker threads.
-			src := exec.NewCachedSourceWith(store, cfg.CacheBytes, exec.SourceOptions{
+			// drained by ThreadsPerWorker threads. A resilient store is
+			// rebound to the run's context so cancellation also stops
+			// its retry loops mid-backoff.
+			mstore := store
+			if rs, ok := store.(*kv.Resilient); ok {
+				mstore = rs.WithContext(runCtx)
+			}
+			src := exec.NewCachedSourceWith(mstore, cfg.CacheBytes, exec.SourceOptions{
 				Compact:         cfg.CompactAdjacency,
 				PrefetchWorkers: cfg.PrefetchWorkers,
 				BatchSize:       cfg.PrefetchBatchSize,
 				Obs:             reg,
+				Ctx:             runCtx,
 			})
 			queue := queues[w]
 			var next int
 			var qmu sync.Mutex
-			pop := func() (exec.Task, bool) {
+			var retryQ []taskAttempt
+			// pop prefers re-executions over fresh tasks: a retried task
+			// already holds warm cache entries, and draining it first
+			// bounds the failure window. Retried pops do not touch the
+			// dispatch accounting — the task was already counted when it
+			// was first popped.
+			pop := func() (taskAttempt, bool) {
+				if runCtx.Err() != nil {
+					cancelled.Store(true)
+					return taskAttempt{}, false
+				}
 				if cfg.Deadline > 0 && time.Since(start) > cfg.Deadline {
 					timedOut.Store(true)
-					return exec.Task{}, false
+					return taskAttempt{}, false
 				}
 				qmu.Lock()
 				defer qmu.Unlock()
+				if n := len(retryQ); n > 0 {
+					ta := retryQ[n-1]
+					retryQ = retryQ[:n-1]
+					return ta, true
+				}
 				if next >= len(queue) {
-					return exec.Task{}, false
+					return taskAttempt{}, false
 				}
 				t := queue[next]
 				next++
 				dispatched.Add(1)
 				queueDepth.Add(-1)
-				return t, true
+				return taskAttempt{t: t}, true
+			}
+			requeue := func(ta taskAttempt) {
+				qmu.Lock()
+				retryQ = append(retryQ, ta)
+				qmu.Unlock()
 			}
 
 			threadStats := make([]exec.Stats, cfg.ThreadsPerWorker)
@@ -256,19 +386,54 @@ func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int
 						eopts.DegreeOf = degree
 					}
 					eopts.LabelOf = cfg.LabelOf
+					// Under re-execution, emissions buffer per task and
+					// reach the user's callbacks only when the attempt
+					// succeeds — a failed attempt's partial results
+					// vanish with it, so a retry cannot double-deliver.
+					var ebuf emitBuffer
+					if retrying {
+						ebuf.install(&eopts, cfg)
+					}
+					// committed accumulates only successful attempts'
+					// stats deltas; failed attempts' partial work never
+					// reaches the run totals (exactly-once accounting).
+					var committed exec.Stats
 					e := exec.NewExecutor(prog, src, n, ord, eopts)
 					for {
-						t, ok := pop()
+						ta, ok := pop()
 						if !ok {
 							break
 						}
+						ebuf.reset()
 						sp := reg.StartSpan("cluster.task")
-						_, err := e.Run(t)
+						delta, err := e.Run(ta.t)
 						d := sp.End()
 						if err != nil {
-							errOnce.Do(func() { runErr = err })
+							if runCtx.Err() != nil {
+								// Cancellation surfacing through the
+								// store, not a task fault.
+								cancelled.Store(true)
+								break
+							}
+							if retrying && ta.tries < cfg.TaskRetries {
+								ta.tries++
+								tasksRetried.Add(1)
+								requeue(ta)
+								continue
+							}
+							tasksFailed.Add(1)
+							errOnce.Do(func() {
+								if ta.tries > 0 {
+									runErr = fmt.Errorf("cluster: task start=%d failed after %d attempts: %w", ta.t.Start, ta.tries+1, err)
+								} else {
+									runErr = err
+								}
+							})
+							cancelRun()
 							break
 						}
+						committed.Add(delta)
+						ebuf.flush(cfg)
 						busy[th] += d
 						taskCount[th]++
 						if cfg.CollectTaskTimes {
@@ -277,7 +442,7 @@ func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int
 							mu.Unlock()
 						}
 					}
-					threadStats[th] = e.Stats()
+					threadStats[th] = committed
 				}()
 			}
 			tw.Wait()
@@ -316,12 +481,22 @@ func Run(pl *plan.Plan, store kv.Store, ord *graph.TotalOrder, degree func(v int
 	}
 	res.Wall = time.Since(start)
 	res.TimedOut = timedOut.Load()
-	// Tasks abandoned by a deadline were never popped; zero their queue
-	// depth contribution so the gauge settles at the true backlog (0 when
-	// every concurrent run drained).
+	res.TasksRetried = int(tasksRetried.Load())
+	res.TasksFailed = int(tasksFailed.Load())
+	// Tasks abandoned by a deadline or cancellation were never popped;
+	// zero their queue depth contribution so the gauge settles at the
+	// true backlog (0 when every concurrent run drained).
 	queueDepth.Add(float64(dispatched.Load()) - float64(len(tasks)))
+	// Retry/failure counters publish even when the run errors — a failed
+	// run's re-execution attempts are exactly what an operator wants to
+	// see (publishObs only runs on success).
+	reg.Counter("cluster.tasks.retried").Add(tasksRetried.Load())
+	reg.Counter("cluster.tasks.failed").Add(tasksFailed.Load())
 	if runErr != nil {
 		return nil, runErr
+	}
+	if cancelled.Load() {
+		return nil, ctx.Err()
 	}
 
 	var hitSum float64

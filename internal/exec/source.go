@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -78,6 +79,12 @@ type SourceOptions struct {
 	// Obs selects the metrics registry (source.* names, see
 	// docs/METRICS.md). nil means obs.Default().
 	Obs *obs.Registry
+	// Ctx, when set, bounds the source's store traffic: once it is
+	// cancelled, misses and prefetches fail with the context error
+	// instead of issuing new store round trips. Cache hits still serve
+	// (they cost nothing and keep the teardown path simple). nil means
+	// never cancelled.
+	Ctx context.Context
 }
 
 // defaultBatchSize bounds one batched round trip when SourceOptions does
@@ -203,7 +210,18 @@ func (s *CachedSource) GetList(v int64) (graph.AdjList, error) {
 // share its result. A waiter whose leader failed retries with its own
 // fetch, so transient store errors are not broadcast beyond the flight
 // that hit them.
+// ctxErr reports the source context's cancellation, if any.
+func (s *CachedSource) ctxErr() error {
+	if s.opts.Ctx != nil {
+		return s.opts.Ctx.Err()
+	}
+	return nil
+}
+
 func (s *CachedSource) fetchOne(v int64) (*flight, error) {
+	if err := s.ctxErr(); err != nil {
+		return nil, err
+	}
 	for {
 		s.mu.Lock()
 		if fl, ok := s.flights[v]; ok {
@@ -329,6 +347,9 @@ func (s *CachedSource) prefetchWorker() {
 // honors the store contract: on error nothing is installed (the store
 // returned no partial results to install).
 func (s *CachedSource) fetchBatch(keys []int64) error {
+	if err := s.ctxErr(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	mine := make([]int64, 0, len(keys))
 	fls := make([]*flight, 0, len(keys))

@@ -3,16 +3,18 @@ package kv
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"benu/internal/graph"
 )
 
 // Fault injection. The runtime's error paths — executor task failures,
-// cluster error propagation, cache behaviour under a flaky database —
-// deserve the same cross-validation as the happy path, so the injecting
-// store lives here as a first-class backend rather than as a private test
-// helper.
+// cluster error propagation, cache behaviour under a flaky database,
+// the resilience layer's retries — deserve the same cross-validation as
+// the happy path, so the injecting store lives here as a first-class
+// backend rather than as a private test helper.
 
 // ErrInjected is the sentinel every injected failure wraps; tests assert
 // errors.Is(err, ErrInjected) to verify the error chain survives the
@@ -25,6 +27,14 @@ var ErrInjected = errors.New("kv: injected failure")
 // its number. The zero schedule never fails, so a Faulty with no knobs
 // set behaves like its inner store (plus call counting).
 //
+// Failures are permanent by default: the schedule is oblivious to
+// retries, so a retried query draws a fresh number and takes its
+// chances. Setting Transient makes every injected failure a blip — a
+// vertex whose query just failed is guaranteed to succeed the next time
+// it is asked for, whatever the schedule says. That is the failure
+// model the resilience layer (kv.Resilient, cluster task re-execution)
+// is proven against: error now, succeed on retry.
+//
 // Like every Store, Faulty is safe for concurrent use (the counters are
 // atomic; the knobs must be set before the store is shared).
 type Faulty struct {
@@ -33,11 +43,26 @@ type Faulty struct {
 	// FailEveryN fails every N-th query (N ≥ 1). 0 disables.
 	FailEveryN int64
 	// FailOnceAt fails exactly the N-th query (N ≥ 1), once. 0 disables.
-	// Combined with FailEveryN, a query fails when either rule selects it.
+	// Combined with the other rules, a query fails when any rule selects
+	// it.
 	FailOnceAt int64
+	// FailRate fails each query independently with this probability,
+	// derived deterministically from Seed and the query number — the
+	// "~1% transient fault rate" knob of chaos tests. 0 disables.
+	FailRate float64
+	// Seed seeds the FailRate hash.
+	Seed uint64
+	// Transient makes injected failures transient (see type comment).
+	Transient bool
+	// Latency delays every store round trip (single gets and batches
+	// alike) by this much, for deadline and timeout testing. 0 disables.
+	Latency time.Duration
 
 	calls    atomic.Int64
 	injected atomic.Int64
+
+	mu   sync.Mutex
+	owed map[int64]struct{} // vertices owed a success (Transient mode)
 }
 
 // NewFaulty wraps inner with fault injection. Configure the Fail* fields
@@ -50,18 +75,72 @@ func (s *Faulty) Calls() int64 { return s.calls.Load() }
 // Injected returns the number of failures injected so far.
 func (s *Faulty) Injected() int64 { return s.injected.Load() }
 
-// fail reports whether query number n should fail.
-func (s *Faulty) fail(n int64) bool {
-	if s.FailEveryN > 0 && n%s.FailEveryN == 0 {
-		return true
+// fail reports whether query number n for vertex v should fail,
+// honouring the transient guarantee.
+func (s *Faulty) fail(n, v int64) bool {
+	if s.Transient && s.redeem(v) {
+		return false
 	}
-	return s.FailOnceAt > 0 && n == s.FailOnceAt
+	hit := false
+	switch {
+	case s.FailEveryN > 0 && n%s.FailEveryN == 0:
+		hit = true
+	case s.FailOnceAt > 0 && n == s.FailOnceAt:
+		hit = true
+	case s.FailRate > 0 && hash01(s.Seed, uint64(n)) < s.FailRate:
+		hit = true
+	}
+	if hit && s.Transient {
+		s.owe(v)
+	}
+	return hit
+}
+
+// owe records that v's next query must succeed; redeem consumes the
+// debt.
+func (s *Faulty) owe(v int64) {
+	s.mu.Lock()
+	if s.owed == nil {
+		s.owed = make(map[int64]struct{})
+	}
+	s.owed[v] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Faulty) redeem(v int64) bool {
+	s.mu.Lock()
+	_, ok := s.owed[v]
+	if ok {
+		delete(s.owed, v)
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// hash01 maps (seed, n) to [0,1) with a splitmix64 finalizer —
+// deterministic per seed, uncorrelated across query numbers.
+func hash01(seed, n uint64) float64 {
+	z := seed + n*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// delay applies the injected per-round-trip latency.
+func (s *Faulty) delay() {
+	if s.Latency > 0 {
+		time.Sleep(s.Latency)
+	}
 }
 
 // GetAdj implements Store.
 func (s *Faulty) GetAdj(v int64) ([]int64, error) {
+	s.delay()
 	n := s.calls.Add(1)
-	if s.fail(n) {
+	if s.fail(n, v) {
 		s.injected.Add(1)
 		return nil, fmt.Errorf("query %d (vertex %d): %w", n, v, ErrInjected)
 	}
@@ -73,6 +152,7 @@ func (s *Faulty) GetAdj(v int64) ([]int64, error) {
 // Fail-fast: an injected failure anywhere in the batch yields a nil
 // result (no partial sets).
 func (s *Faulty) BatchGetAdj(vs []int64) ([][]int64, error) {
+	s.delay()
 	if err := s.failBatch(vs); err != nil {
 		return nil, err
 	}
@@ -82,6 +162,7 @@ func (s *Faulty) BatchGetAdj(vs []int64) ([][]int64, error) {
 // GetAdjBatch implements Provider under the same per-vertex numbering
 // and fail-fast rules as BatchGetAdj.
 func (s *Faulty) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
+	s.delay()
 	if err := s.failBatch(vs); err != nil {
 		return nil, err
 	}
@@ -93,7 +174,7 @@ func (s *Faulty) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
 func (s *Faulty) failBatch(vs []int64) error {
 	for _, v := range vs {
 		n := s.calls.Add(1)
-		if s.fail(n) {
+		if s.fail(n, v) {
 			s.injected.Add(1)
 			return fmt.Errorf("batch query %d (vertex %d): %w", n, v, ErrInjected)
 		}

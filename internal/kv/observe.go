@@ -51,6 +51,10 @@ func backendName(s Store) string {
 		return "map"
 	case *Mutable:
 		return "mutable"
+	case *Resilient:
+		return "resilient"
+	case *Faulty:
+		return "faulty"
 	default:
 		return "store"
 	}

@@ -1,0 +1,159 @@
+package kv
+
+import (
+	"context"
+
+	"benu/internal/graph"
+	"benu/internal/obs"
+	"benu/internal/resilience"
+)
+
+// Resilient decorates any Store with the fault tolerance the paper
+// inherits from the HBase client (§III, §VI): bounded retries with
+// exponential backoff, an optional per-attempt deadline, and a
+// per-backend circuit breaker. It composes over every backend — Local,
+// Partitioned, MapStore, Mutable, the TCP Client, Observed, Faulty —
+// and preserves their batched fast paths (BatchStore and Provider).
+//
+// The per-attempt deadline also bounds stores that cannot be cancelled
+// from the outside (a wedged TCP connection, say): the attempt runs in
+// its own goroutine and is abandoned when the deadline fires. The
+// abandoned call's goroutine lingers until the store returns, but the
+// caller is unblocked and the retry budget keeps the run moving — the
+// same contract an RPC client timeout gives.
+//
+// Resilient is safe for concurrent use when the inner store is.
+type Resilient struct {
+	inner Store
+	ctx   context.Context
+	retr  *resilience.Retrier
+	brk   *resilience.Breaker
+}
+
+// ResilientOptions configures NewResilient. The zero value gives the
+// default retry policy (4 attempts, 1ms→250ms backoff, no jitter), the
+// default breaker (5 consecutive failures, 100ms cooldown), and metrics
+// into obs.Default().
+type ResilientOptions struct {
+	// Policy is the retry policy; zero fields take resilience defaults.
+	Policy resilience.Policy
+	// Breaker configures the circuit breaker; zero fields take defaults.
+	Breaker resilience.BreakerConfig
+	// DisableBreaker runs retries without circuit breaking.
+	DisableBreaker bool
+	// Ctx bounds every call: cancellation stops retries and abandons
+	// in-flight attempts. nil means context.Background(); WithContext
+	// rebinds a run-scoped context later.
+	Ctx context.Context
+	// Obs is the registry the resilience.* metrics report into
+	// (nil means obs.Default()).
+	Obs *obs.Registry
+}
+
+// NewResilient wraps inner with retries, deadlines, and circuit
+// breaking.
+func NewResilient(inner Store, opts ResilientOptions) *Resilient {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := &Resilient{
+		inner: inner,
+		ctx:   ctx,
+		retr:  resilience.NewRetrier(opts.Policy, opts.Obs),
+	}
+	if !opts.DisableBreaker {
+		r.brk = resilience.NewBreaker(opts.Breaker, opts.Obs)
+	}
+	return r
+}
+
+// WithContext returns a copy of r bound to ctx. The copy shares the
+// retrier and breaker (and so the backend-health view and metrics) with
+// r; only the cancellation scope changes.
+func (r *Resilient) WithContext(ctx context.Context) *Resilient {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c := *r
+	c.ctx = ctx
+	return &c
+}
+
+// Unwrap returns the wrapped store.
+func (r *Resilient) Unwrap() Store { return r.inner }
+
+// Breaker exposes the circuit breaker (nil when disabled).
+func (r *Resilient) Breaker() *resilience.Breaker { return r.brk }
+
+// NumVertices implements Store. The count is static metadata on every
+// backend, so it is served without the retry machinery.
+func (r *Resilient) NumVertices() int { return r.inner.NumVertices() }
+
+// GetAdj implements Store with retries, deadline, and breaker.
+func (r *Resilient) GetAdj(v int64) ([]int64, error) {
+	return doResilient(r, func() ([]int64, error) { return r.inner.GetAdj(v) })
+}
+
+// BatchGetAdj implements BatchStore. The whole batch is one attempt
+// (batched reads are fail-fast with no partial results, so retrying the
+// full batch is exact, not approximate).
+func (r *Resilient) BatchGetAdj(vs []int64) ([][]int64, error) {
+	return doResilient(r, func() ([][]int64, error) { return BatchGetAdj(r.inner, vs) })
+}
+
+// GetAdjBatch implements Provider under the same one-attempt-per-batch
+// rule as BatchGetAdj.
+func (r *Resilient) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
+	return doResilient(r, func() ([]graph.AdjList, error) { return GetAdjBatch(r.inner, vs) })
+}
+
+// doResilient runs one read under the retry policy: each attempt first
+// asks the breaker, then runs the store call bounded by the attempt
+// context, then reports the outcome back to the breaker. Results are
+// delivered through a channel so an abandoned (timed-out) attempt can
+// never race a later attempt's result.
+func doResilient[T any](r *Resilient, f func() (T, error)) (T, error) {
+	var out T
+	err := r.retr.Do(r.ctx, func(actx context.Context) error {
+		if err := r.brk.Allow(); err != nil {
+			return err
+		}
+		v, err := runBounded(actx, f)
+		r.brk.Record(err)
+		if err == nil {
+			out = v
+		}
+		return err
+	})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return out, nil
+}
+
+// runBounded runs f, abandoning it if ctx expires first. When ctx can
+// never be cancelled the call is inlined (no goroutine on the happy
+// path).
+func runBounded[T any](ctx context.Context, f func() (T, error)) (T, error) {
+	if ctx.Done() == nil {
+		return f()
+	}
+	type result struct {
+		v   T
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := f()
+		ch <- result{v, err}
+	}()
+	select {
+	case res := <-ch:
+		return res.v, res.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}

@@ -1,0 +1,278 @@
+package kv
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"benu/internal/graph"
+	"benu/internal/obs"
+	"benu/internal/resilience"
+)
+
+// fastResilient wraps inner with microsecond-scale backoff so tests
+// exercising retry exhaustion stay fast.
+func fastResilient(inner Store, attempts int, reg *obs.Registry) *Resilient {
+	return NewResilient(inner, ResilientOptions{
+		Policy: resilience.Policy{
+			MaxAttempts: attempts,
+			BaseBackoff: 10 * time.Microsecond,
+			MaxBackoff:  100 * time.Microsecond,
+			Multiplier:  2,
+		},
+		Breaker: resilience.BreakerConfig{FailureThreshold: 100, Cooldown: time.Millisecond},
+		Obs:     reg,
+	})
+}
+
+func resilientTestGraph() *graph.Graph {
+	return graph.FromEdges(5, [][2]int64{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}})
+}
+
+func TestResilientTransparentOnHealthyStore(t *testing.T) {
+	g := resilientTestGraph()
+	plain := NewLocal(g)
+	res := fastResilient(NewLocal(g), 4, obs.NewRegistry())
+	for v := int64(0); v < int64(g.NumVertices()); v++ {
+		want, _ := plain.GetAdj(v)
+		got, err := res.GetAdj(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("GetAdj(%d) = %v, want %v", v, got, want)
+		}
+	}
+	if res.NumVertices() != g.NumVertices() {
+		t.Error("NumVertices mismatch")
+	}
+	wantB, _ := BatchGetAdj(plain, []int64{0, 3, 4})
+	gotB, err := res.BatchGetAdj([]int64{0, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotB, wantB) {
+		t.Error("BatchGetAdj mismatch")
+	}
+	wantL, _ := GetAdjBatch(plain, []int64{1, 2})
+	gotL, err := res.GetAdjBatch([]int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotL) != len(wantL) {
+		t.Fatalf("GetAdjBatch returned %d lists, want %d", len(gotL), len(wantL))
+	}
+	for i := range gotL {
+		a, _ := gotL[i].AppendDecoded(nil)
+		b, _ := wantL[i].AppendDecoded(nil)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("list %d: %v != %v", i, a, b)
+		}
+	}
+}
+
+func TestResilientAbsorbsTransientFaults(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := NewFaulty(NewLocal(resilientTestGraph()))
+	f.Transient = true
+	f.FailEveryN = 2 // every other query fails, but always succeeds on retry
+	res := fastResilient(f, 4, reg)
+	for round := 0; round < 3; round++ {
+		for v := int64(0); v < 5; v++ {
+			if _, err := res.GetAdj(v); err != nil {
+				t.Fatalf("round %d vertex %d: %v", round, v, err)
+			}
+		}
+	}
+	if f.Injected() == 0 {
+		t.Fatal("no faults were injected — test proves nothing")
+	}
+	if got := reg.Counter("resilience.retries").Value(); got == 0 {
+		t.Error("retries counter stayed 0 despite injected faults")
+	}
+	if got := reg.Counter("resilience.giveups").Value(); got != 0 {
+		t.Errorf("giveups = %d on a transiently faulty store", got)
+	}
+}
+
+func TestResilientBatchAbsorbsTransientFaults(t *testing.T) {
+	f := NewFaulty(NewLocal(resilientTestGraph()))
+	f.Transient = true
+	f.FailEveryN = 3
+	res := fastResilient(f, 6, obs.NewRegistry())
+	want, _ := BatchGetAdj(NewLocal(resilientTestGraph()), []int64{0, 1, 2, 3, 4})
+	got, err := res.BatchGetAdj([]int64{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("batch under transient faults = %v, want %v", got, want)
+	}
+	if f.Injected() == 0 {
+		t.Fatal("no faults injected")
+	}
+}
+
+func TestResilientExhaustsOnPermanentFaults(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := NewFaulty(NewLocal(resilientTestGraph()))
+	f.FailEveryN = 1 // every query fails, retries cannot help
+	res := fastResilient(f, 3, reg)
+	_, err := res.GetAdj(0)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("error chain lost ErrInjected: %v", err)
+	}
+	if got := f.Calls(); got != 3 {
+		t.Errorf("inner store saw %d calls, want 3 attempts", got)
+	}
+	if got := reg.Counter("resilience.giveups").Value(); got != 1 {
+		t.Errorf("giveups = %d, want 1", got)
+	}
+}
+
+func TestResilientBreakerOpensOnDeadBackend(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := NewFaulty(NewLocal(resilientTestGraph()))
+	f.FailEveryN = 1
+	res := NewResilient(f, ResilientOptions{
+		Policy: resilience.Policy{
+			MaxAttempts: 2,
+			BaseBackoff: 10 * time.Microsecond,
+			MaxBackoff:  50 * time.Microsecond,
+		},
+		Breaker: resilience.BreakerConfig{FailureThreshold: 3, Cooldown: time.Hour},
+		Obs:     reg,
+	})
+	// Hammer the dead store; after the threshold the breaker must open
+	// and short-circuit instead of reaching the backend.
+	for i := 0; i < 10; i++ {
+		res.GetAdj(0)
+	}
+	if res.Breaker().State() != resilience.StateOpen {
+		t.Fatalf("breaker state = %v, want open", res.Breaker().State())
+	}
+	callsWhenOpen := f.Calls()
+	if _, err := res.GetAdj(1); !errors.Is(err, resilience.ErrBreakerOpen) {
+		t.Errorf("open breaker error = %v", err)
+	}
+	if f.Calls() != callsWhenOpen {
+		t.Error("open breaker still let calls reach the backend")
+	}
+	if reg.Counter("resilience.breaker.opens").Value() == 0 {
+		t.Error("breaker.opens never counted")
+	}
+}
+
+func TestResilientPerAttemptDeadlineBoundsWedgedStore(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := NewFaulty(NewLocal(resilientTestGraph()))
+	f.Latency = time.Hour // wedged: every call blocks effectively forever
+	res := NewResilient(f, ResilientOptions{
+		Policy: resilience.Policy{
+			MaxAttempts: 2,
+			BaseBackoff: 10 * time.Microsecond,
+			MaxBackoff:  50 * time.Microsecond,
+			Timeout:     20 * time.Millisecond,
+		},
+		DisableBreaker: true,
+		Obs:            reg,
+	})
+	start := time.Now()
+	_, err := res.GetAdj(0)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("wedged store succeeded?")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline did not bound the wedged call: took %v", elapsed)
+	}
+	if got := reg.Counter("resilience.timeouts").Value(); got != 2 {
+		t.Errorf("timeouts = %d, want 2", got)
+	}
+}
+
+func TestResilientWithContextCancellation(t *testing.T) {
+	f := NewFaulty(NewLocal(resilientTestGraph()))
+	f.FailEveryN = 1
+	base := NewResilient(f, ResilientOptions{
+		Policy: resilience.Policy{MaxAttempts: 100, BaseBackoff: time.Hour, MaxBackoff: time.Hour},
+		Obs:    obs.NewRegistry(),
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	res := base.WithContext(ctx)
+	done := make(chan error, 1)
+	go func() {
+		_, err := res.GetAdj(0)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled resilient call never returned")
+	}
+	// The base store (background context) keeps its own scope.
+	if base.ctx.Err() != nil {
+		t.Error("WithContext mutated the receiver")
+	}
+}
+
+func TestFaultyTransientGuaranteesNextQuery(t *testing.T) {
+	f := NewFaulty(NewLocal(resilientTestGraph()))
+	f.Transient = true
+	f.FailOnceAt = 1
+	if _, err := f.GetAdj(2); err == nil {
+		t.Fatal("scheduled failure did not fire")
+	}
+	if _, err := f.GetAdj(2); err != nil {
+		t.Fatalf("transient failure was not redeemed on retry: %v", err)
+	}
+}
+
+func TestFaultyFailRateDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []bool {
+		f := NewFaulty(NewLocal(resilientTestGraph()))
+		f.FailRate = 0.3
+		f.Seed = seed
+		out := make([]bool, 50)
+		for i := range out {
+			_, err := f.GetAdj(int64(i % 5))
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(11), run(11)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different fault schedules")
+	}
+	fails := 0
+	for _, x := range a {
+		if x {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Errorf("FailRate=0.3 injected %d/%d failures — schedule degenerate", fails, len(a))
+	}
+}
+
+func TestFaultyLatencyInjection(t *testing.T) {
+	f := NewFaulty(NewLocal(resilientTestGraph()))
+	f.Latency = 10 * time.Millisecond
+	start := time.Now()
+	if _, err := f.GetAdj(0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("injected latency not applied: call took %v", d)
+	}
+}

@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -49,6 +50,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
+	conns  map[net.Conn]struct{}
 }
 
 // Serve starts a storage node on addr (e.g. "127.0.0.1:0") serving store.
@@ -76,10 +78,24 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if s.conns == nil {
+			s.conns = make(map[net.Conn]struct{})
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.rpcSrv.ServeConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
 		}()
 	}
 }
@@ -87,8 +103,10 @@ func (s *Server) acceptLoop() {
 // Addr returns the server's bound address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close stops the listener. In-flight connections finish serving their
-// current call and then drop.
+// Close stops the node like a crash would: the listener and every
+// established connection are severed at once, so clients holding pooled
+// connections observe transport errors on their next call (the failure
+// mode connPool's flush-and-redial exists for).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -96,7 +114,12 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	return s.listener.Close()
+	err := s.listener.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = nil
+	return err
 }
 
 // Client is a Store backed by a set of remote storage nodes, one per hash
@@ -110,22 +133,34 @@ type Client struct {
 	metrics Metrics
 }
 
-// connPool is a tiny round-robin-free pool: take a connection, return it.
+// connPool is a tiny round-robin-free pool: take a connection, return
+// it. Connections that hit a transport error must never be returned —
+// call discards them and flushes the pool instead, since every idle
+// connection was likely severed by the same event (a storage-node
+// restart kills all of them at once).
 type connPool struct {
 	addr string
 	mu   sync.Mutex
 	idle []*rpc.Client
 }
 
-func (p *connPool) get() (*rpc.Client, error) {
+// get returns a connection and whether it came from the pool (a pooled
+// connection may be stale; a fresh dial proves the server reachable
+// right now).
+func (p *connPool) get() (c *rpc.Client, pooled bool, err error) {
 	p.mu.Lock()
 	if n := len(p.idle); n > 0 {
 		c := p.idle[n-1]
 		p.idle = p.idle[:n-1]
 		p.mu.Unlock()
-		return c, nil
+		return c, true, nil
 	}
 	p.mu.Unlock()
+	c, err = p.dial()
+	return c, false, err
+}
+
+func (p *connPool) dial() (*rpc.Client, error) {
 	conn, err := net.Dial("tcp", p.addr)
 	if err != nil {
 		return nil, fmt.Errorf("kv: dial %s: %w", p.addr, err)
@@ -139,7 +174,8 @@ func (p *connPool) put(c *rpc.Client) {
 	p.mu.Unlock()
 }
 
-func (p *connPool) closeAll() {
+// flush closes and drops every idle connection.
+func (p *connPool) flush() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, c := range p.idle {
@@ -161,21 +197,55 @@ func Dial(addrs []string, numVertices int) (*Client, error) {
 	return c, nil
 }
 
-// call runs one RPC against partition p through its connection pool,
-// dropping the connection on error (it may be poisoned) and returning it
-// to the pool on success.
+// call runs one RPC against partition p through its connection pool.
+//
+// Outcomes, in order of health:
+//
+//   - success, or an application-level error the server returned
+//     (rpc.ServerError): the connection is fine and goes back to the
+//     pool — a "vertex not stored" reply must not cost a socket.
+//   - transport error on a pooled connection: the connection is stale
+//     (the server restarted, the socket was severed). It and every idle
+//     sibling are discarded, and the call is retried once on a fresh
+//     dial — reads are idempotent, and a live server must not look dead
+//     just because the pool remembers its previous life.
+//   - transport error on a freshly dialed connection: the server really
+//     is unreachable; the error propagates (kv.Resilient adds backoff
+//     and circuit breaking on top).
 func (c *Client) call(p int, method string, args, reply any) error {
 	pool := c.pools[p]
-	conn, err := pool.get()
+	conn, pooled, err := pool.get()
 	if err != nil {
 		return err
 	}
-	if err := conn.Call(method, args, reply); err != nil {
+	err = conn.Call(method, args, reply)
+	if err == nil || isServerError(err) {
+		pool.put(conn)
+		return err
+	}
+	conn.Close()
+	pool.flush()
+	if !pooled {
+		return err
+	}
+	conn, derr := pool.dial()
+	if derr != nil {
+		return err // report the original failure; the redial added nothing
+	}
+	err = conn.Call(method, args, reply)
+	if err != nil && !isServerError(err) {
 		conn.Close()
 		return err
 	}
 	pool.put(conn)
-	return nil
+	return err
+}
+
+// isServerError reports whether err is an application-level error
+// returned by the remote handler (the RPC round trip itself succeeded).
+func isServerError(err error) bool {
+	var se rpc.ServerError
+	return errors.As(err, &se)
 }
 
 // GetAdj implements Store by calling the owning storage node.
@@ -200,7 +270,7 @@ func (c *Client) Metrics() *Metrics { return &c.metrics }
 // Close drops all pooled connections.
 func (c *Client) Close() {
 	for _, p := range c.pools {
-		p.closeAll()
+		p.flush()
 	}
 }
 

@@ -1,0 +1,155 @@
+package kv
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"benu/internal/gen"
+)
+
+// Regression tests for the connection pool's failure handling: a pooled
+// connection severed by a storage-node restart must be discarded and
+// redialed, never returned to the pool; an application-level error must
+// not cost a socket.
+
+// restartableServer serves store on a fixed loopback address so a "crash"
+// can be followed by a restart on the same address (as a supervised
+// storage node would).
+func restartableServer(t *testing.T, store Store) (srv *Server, addr string) {
+	t.Helper()
+	srv, err := Serve("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, srv.Addr()
+}
+
+func TestClientRedialsAfterServerRestart(t *testing.T) {
+	g := gen.DemoDataGraph()
+	store := NewLocal(g)
+	srv, addr := restartableServer(t, store)
+
+	client, err := Dial([]string{addr}, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Prime the pool with a live connection.
+	want, _ := store.GetAdj(0)
+	got, err := client.GetAdj(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pre-restart adj = %v, want %v", got, want)
+	}
+
+	// Crash the node, then bring it back on the same address. The
+	// client's pooled connection is now severed.
+	srv.Close()
+	var srv2 *Server
+	for i := 0; i < 50; i++ { // the old listener may take a moment to release the port
+		srv2, err = Serve(addr, store)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	// The next call rides the stale pooled connection, must observe the
+	// transport error, flush, redial, and still succeed.
+	got, err = client.GetAdj(0)
+	if err != nil {
+		t.Fatalf("post-restart call did not redial: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-restart adj = %v, want %v", got, want)
+	}
+}
+
+func TestClientFlushesPoolOnTransportError(t *testing.T) {
+	g := gen.DemoDataGraph()
+	srv, addr := restartableServer(t, NewLocal(g))
+	defer srv.Close()
+
+	client, err := Dial([]string{addr}, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if _, err := client.GetAdj(0); err != nil {
+		t.Fatal(err)
+	}
+	pool := client.pools[0]
+	pool.mu.Lock()
+	idle := len(pool.idle)
+	pool.mu.Unlock()
+	if idle != 1 {
+		t.Fatalf("pool holds %d idle conns after one call, want 1", idle)
+	}
+
+	srv.Close()
+	if _, err := client.GetAdj(0); err == nil {
+		t.Fatal("call against a dead node succeeded")
+	}
+	pool.mu.Lock()
+	idle = len(pool.idle)
+	pool.mu.Unlock()
+	if idle != 0 {
+		t.Fatalf("dead connection returned to the pool (%d idle)", idle)
+	}
+}
+
+func TestServerErrorKeepsConnectionPooled(t *testing.T) {
+	// A MapStore holding only part of the vertex range returns
+	// application-level errors for missing vertices; those must ride the
+	// same connection back to the pool.
+	store := NewMapStore(map[int64][]int64{0: {1}}, 10)
+	srv, addr := restartableServer(t, store)
+	defer srv.Close()
+
+	client, err := Dial([]string{addr}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if _, err := client.GetAdj(5); err == nil {
+		t.Fatal("missing vertex accepted")
+	}
+	pool := client.pools[0]
+	pool.mu.Lock()
+	idle := len(pool.idle)
+	pool.mu.Unlock()
+	if idle != 1 {
+		t.Fatalf("app-level error cost a socket: %d idle conns, want 1", idle)
+	}
+	// And the kept connection still works.
+	if adj, err := client.GetAdj(0); err != nil || len(adj) != 1 {
+		t.Fatalf("pooled conn unusable after app error: adj=%v err=%v", adj, err)
+	}
+}
+
+func TestClientErrorWhenServerStaysDown(t *testing.T) {
+	g := gen.DemoDataGraph()
+	srv, addr := restartableServer(t, NewLocal(g))
+	client, err := Dial([]string{addr}, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.GetAdj(0); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err = client.GetAdj(0); err == nil {
+		t.Fatal("call against a permanently dead node succeeded")
+	}
+}

@@ -1,0 +1,214 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"benu/internal/obs"
+)
+
+// ErrBreakerOpen is returned by Breaker.Allow while the breaker refuses
+// traffic. It is retryable under DefaultRetryable: a retry loop wrapping
+// the breaker backs off and re-probes once the cooldown elapses.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerState is one of the three classic breaker states.
+type BreakerState int32
+
+const (
+	// StateClosed: traffic flows; consecutive failures are counted.
+	StateClosed BreakerState = iota
+	// StateOpen: traffic is refused until the cooldown elapses.
+	StateOpen
+	// StateHalfOpen: one probe call at a time is let through; enough
+	// successes close the breaker, any failure reopens it.
+	StateHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes a Breaker. Zero fields take the defaults
+// documented on each.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that trips
+	// the breaker open. Default 5.
+	FailureThreshold int
+	// Cooldown is how long an open breaker refuses traffic before
+	// letting a half-open probe through. Default 100ms.
+	Cooldown time.Duration
+	// HalfOpenSuccesses is the number of consecutive successful probes
+	// that close a half-open breaker. Default 1.
+	HalfOpenSuccesses int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 100 * time.Millisecond
+	}
+	if c.HalfOpenSuccesses <= 0 {
+		c.HalfOpenSuccesses = 1
+	}
+	return c
+}
+
+// Breaker is a per-backend circuit breaker. Callers pair Allow with
+// Record: Allow asks whether a call may proceed (transitioning
+// open → half-open after the cooldown), Record reports the call's
+// outcome. A nil *Breaker allows everything and records nothing, so
+// breaking is trivially optional.
+//
+// The state is published to the registry as the gauge
+// resilience.breaker.state (0 closed, 1 open, 2 half-open), with
+// resilience.breaker.opens counting trips and
+// resilience.breaker.short_circuits counting refused calls.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // test hook; time.Now outside tests
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int // consecutive failures while closed
+	successes int // consecutive probe successes while half-open
+	probing   bool
+	openedAt  time.Time
+
+	stateGauge *obs.Gauge
+	opens      *obs.Counter
+	shorts     *obs.Counter
+}
+
+// NewBreaker builds a breaker for cfg (zero fields defaulted), reporting
+// into reg (nil means obs.Default()).
+func NewBreaker(cfg BreakerConfig, reg *obs.Registry) *Breaker {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	b := &Breaker{
+		cfg:        cfg.withDefaults(),
+		now:        time.Now,
+		stateGauge: reg.Gauge("resilience.breaker.state"),
+		opens:      reg.Counter("resilience.breaker.opens"),
+		shorts:     reg.Counter("resilience.breaker.short_circuits"),
+	}
+	b.stateGauge.Set(float64(StateClosed))
+	return b
+}
+
+// State returns the current state (StateClosed on nil).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return StateClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a call may proceed now. It returns nil (go
+// ahead) or ErrBreakerOpen. Every nil return must be followed by exactly
+// one Record with the call's outcome.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return nil
+	case StateOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.shorts.Inc()
+			return ErrBreakerOpen
+		}
+		b.setState(StateHalfOpen)
+		b.successes = 0
+		b.probing = true
+		return nil
+	default: // StateHalfOpen
+		if b.probing {
+			b.shorts.Inc()
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record reports the outcome of a call Allow let through. Caller
+// cancellation (context.Canceled) is neutral — it says nothing about the
+// backend's health; everything else counts as success or failure.
+func (b *Breaker) Record(err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateHalfOpen {
+		b.probing = false
+	}
+	if err != nil && errors.Is(err, context.Canceled) {
+		return
+	}
+	if err == nil {
+		b.onSuccess()
+	} else {
+		b.onFailure()
+	}
+}
+
+// onSuccess and onFailure run with b.mu held.
+func (b *Breaker) onSuccess() {
+	switch b.state {
+	case StateClosed:
+		b.failures = 0
+	case StateHalfOpen:
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenSuccesses {
+			b.setState(StateClosed)
+			b.failures = 0
+		}
+	}
+}
+
+func (b *Breaker) onFailure() {
+	switch b.state {
+	case StateClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case StateHalfOpen:
+		// The probe failed: back to open for another cooldown.
+		b.trip()
+	}
+}
+
+// trip opens the breaker, with b.mu held.
+func (b *Breaker) trip() {
+	b.setState(StateOpen)
+	b.openedAt = b.now()
+	b.failures = 0
+	b.opens.Inc()
+}
+
+// setState transitions and publishes the gauge, with b.mu held.
+func (b *Breaker) setState(s BreakerState) {
+	b.state = s
+	b.stateGauge.Set(float64(s))
+}

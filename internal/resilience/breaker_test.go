@@ -1,0 +1,179 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"benu/internal/obs"
+)
+
+// testBreaker returns a breaker with a controllable clock.
+func testBreaker(cfg BreakerConfig, reg *obs.Registry) (*Breaker, *time.Time) {
+	b := NewBreaker(cfg, reg)
+	now := time.Unix(0, 0)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	reg := obs.NewRegistry()
+	b, _ := testBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Second}, reg)
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker refused call %d: %v", i, err)
+		}
+		b.Record(errBoom)
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Errorf("open breaker allowed a call: %v", err)
+	}
+	if got := reg.Counter("resilience.breaker.opens").Value(); got != 1 {
+		t.Errorf("opens = %d, want 1", got)
+	}
+	if got := reg.Counter("resilience.breaker.short_circuits").Value(); got != 1 {
+		t.Errorf("short_circuits = %d, want 1", got)
+	}
+	if got := reg.Gauge("resilience.breaker.state").Value(); got != float64(StateOpen) {
+		t.Errorf("state gauge = %v, want %v", got, float64(StateOpen))
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{FailureThreshold: 3}, obs.NewRegistry())
+	for i := 0; i < 10; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			b.Record(errBoom)
+		} else {
+			b.Record(nil)
+		}
+	}
+	if b.State() != StateClosed {
+		t.Errorf("alternating outcomes tripped the breaker: %v", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeAndClose(t *testing.T) {
+	b, now := testBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second}, obs.NewRegistry())
+	_ = b.Allow()
+	b.Record(errBoom)
+	if b.State() != StateOpen {
+		t.Fatal("breaker did not open")
+	}
+	// Before the cooldown: refused.
+	if err := b.Allow(); err == nil {
+		t.Fatal("open breaker allowed a call before cooldown")
+	}
+	// After the cooldown: one probe allowed, concurrent calls refused.
+	*now = now.Add(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("cooldown elapsed but probe refused: %v", err)
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Error("second concurrent probe allowed in half-open")
+	}
+	b.Record(nil)
+	if b.State() != StateClosed {
+		t.Errorf("successful probe did not close: %v", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Errorf("closed breaker refused: %v", err)
+	}
+	b.Record(nil)
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, now := testBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second}, obs.NewRegistry())
+	_ = b.Allow()
+	b.Record(errBoom)
+	*now = now.Add(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(errBoom)
+	if b.State() != StateOpen {
+		t.Errorf("failed probe left state %v, want open", b.State())
+	}
+	// A fresh cooldown must elapse before the next probe.
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Error("reopened breaker allowed a call immediately")
+	}
+}
+
+func TestBreakerHalfOpenRequiresConfiguredSuccesses(t *testing.T) {
+	b, now := testBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second, HalfOpenSuccesses: 2}, obs.NewRegistry())
+	_ = b.Allow()
+	b.Record(errBoom)
+	*now = now.Add(2 * time.Second)
+	_ = b.Allow()
+	b.Record(nil)
+	if b.State() != StateHalfOpen {
+		t.Fatalf("one of two successes closed the breaker: %v", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(nil)
+	if b.State() != StateClosed {
+		t.Errorf("two successes did not close: %v", b.State())
+	}
+}
+
+func TestBreakerIgnoresCallerCancellation(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{FailureThreshold: 1}, obs.NewRegistry())
+	_ = b.Allow()
+	b.Record(context.Canceled)
+	if b.State() != StateClosed {
+		t.Errorf("caller cancellation tripped the breaker: %v", b.State())
+	}
+}
+
+func TestNilBreakerIsTransparent(t *testing.T) {
+	var b *Breaker
+	if err := b.Allow(); err != nil {
+		t.Errorf("nil breaker refused: %v", err)
+	}
+	b.Record(errBoom) // must not panic
+	if b.State() != StateClosed {
+		t.Errorf("nil breaker state = %v", b.State())
+	}
+}
+
+func TestRetrierRidesOutBreakerCooldown(t *testing.T) {
+	// A retry loop around a tripped breaker must recover once the
+	// backend heals: the first attempts short-circuit, a later one
+	// probes and succeeds.
+	reg := obs.NewRegistry()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Millisecond}, reg)
+	r := NewRetrier(Policy{MaxAttempts: 6, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond, Multiplier: 2}, reg)
+	_ = b.Allow()
+	b.Record(errBoom) // trip it
+	healed := false
+	err := r.Do(context.Background(), func(context.Context) error {
+		if err := b.Allow(); err != nil {
+			return err
+		}
+		healed = true
+		b.Record(nil)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retry loop never got through the breaker: %v", err)
+	}
+	if !healed {
+		t.Error("op never ran")
+	}
+	if b.State() != StateClosed {
+		t.Errorf("state = %v, want closed", b.State())
+	}
+}

@@ -29,6 +29,24 @@ type Code struct {
 	Images        [][]int64
 }
 
+// Clone returns a deep copy of c. Emit callbacks receive codes whose
+// slices are reused across results; a consumer that retains codes past
+// the callback (a buffering emitter, a result collector) must clone.
+func (c *Code) Clone() *Code {
+	out := &Code{
+		CoverVertices: append([]int(nil), c.CoverVertices...),
+		Helve:         append([]int64(nil), c.Helve...),
+		FreeVertices:  append([]int(nil), c.FreeVertices...),
+	}
+	if c.Images != nil {
+		out.Images = make([][]int64, len(c.Images))
+		for i, img := range c.Images {
+			out.Images[i] = append([]int64(nil), img...)
+		}
+	}
+	return out
+}
+
 // SizeBytes returns the wire size of the code at 8 bytes per vertex id.
 func (c *Code) SizeBytes() int64 {
 	n := int64(len(c.Helve))
