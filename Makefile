@@ -1,12 +1,13 @@
 # Development targets. `make check` is the tier-1 verification gate
-# (build + vet + tests); `make race` adds the race detector over the
-# concurrency-heavy packages. Everything is stdlib-only Go — no tools to
-# install.
+# (build + vet + lint + tests); `make race` adds the race detector over
+# the concurrency-heavy packages; `make lint` runs the project's own
+# analyzer suite (cmd/benu-lint, see docs/LINTING.md). Everything is
+# stdlib-only Go — no tools to install.
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test short race vet bench bench-json check diff chaos fuzz clean
+.PHONY: all build test short race vet lint bench bench-json check diff chaos fuzz tidy-check clean
 
 all: check
 
@@ -23,9 +24,10 @@ short:
 	$(GO) test -short ./...
 
 ## race: race-detector pass over the concurrent packages (obs registry,
-## simulated cluster, KV store, cache, differential harness)
+## simulated cluster, KV store, cache, differential harness, executor
+## data plane, resilience layer)
 race:
-	$(GO) test -race ./internal/obs ./internal/cluster ./internal/kv ./internal/cache ./internal/check
+	$(GO) test -race ./internal/obs ./internal/cluster ./internal/kv ./internal/cache ./internal/check ./internal/exec ./internal/resilience
 
 ## diff: the differential matrix in its quick configuration — every
 ## preset pattern × random data graphs × plan variants × backends,
@@ -46,9 +48,21 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPlanDecode -fuzztime=$(FUZZTIME) ./internal/plan
 	$(GO) test -run='^$$' -fuzz=FuzzVCBCRoundTrip -fuzztime=$(FUZZTIME) ./internal/vcbc
 
-## vet: static analysis
+## vet: stock static analysis
 vet:
 	$(GO) vet ./...
+
+## lint: the project's own analyzer suite — determinism, instrswitch,
+## metricname, ctxflow, decodesafe (docs/LINTING.md) over every package
+lint:
+	$(GO) run ./cmd/benu-lint ./...
+
+## tidy-check: go.mod/go.sum must be tidy (CI hygiene job; needs a
+## clean working tree to be meaningful)
+tidy-check:
+	$(GO) mod tidy
+	git diff --exit-code -- go.mod go.sum
+	@test -z "$$(git status --porcelain -- go.mod go.sum)" || { echo "go mod tidy changed go.mod/go.sum"; exit 1; }
 
 ## bench: micro-benchmarks and quick-mode experiment wrappers
 bench:
@@ -62,7 +76,7 @@ bench-json:
 	$(GO) run ./cmd/benu-bench -bench-json $(BENCH_JSON)
 
 ## check: tier-1 verification — what CI (and the next PR) must keep green
-check: build vet test race diff chaos
+check: build vet lint test race diff chaos
 
 clean:
 	$(GO) clean ./...

@@ -1,3 +1,9 @@
+// Dependency policy: stdlib only, enforced by the CI hygiene job
+// (`make tidy-check`) and documented in docs/LINTING.md — which also
+// records the planned exception (golang.org/x/tools for the analyzer
+// framework) and why it is deferred: the build must stay reproducible
+// in hermetic, proxy-less environments. A new require line needs a
+// matching update to that policy section.
 module benu
 
 go 1.22

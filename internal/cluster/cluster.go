@@ -305,6 +305,7 @@ func RunContext(ctx context.Context, pl *plan.Plan, store kv.Store, ord *graph.T
 		tasksFailed  atomic.Int64
 	)
 	perWorker := make([]WorkerStats, cfg.Workers)
+	//benulint:wallclock run timing feeds Result.Wall and the deadline check, never the embeddings
 	start := time.Now()
 
 	runWorker := func(w int) {
@@ -338,6 +339,7 @@ func RunContext(ctx context.Context, pl *plan.Plan, store kv.Store, ord *graph.T
 					cancelled.Store(true)
 					return taskAttempt{}, false
 				}
+				//benulint:wallclock Config.Deadline is an explicit wall-clock budget (the paper's >7200s cells)
 				if cfg.Deadline > 0 && time.Since(start) > cfg.Deadline {
 					timedOut.Store(true)
 					return taskAttempt{}, false
@@ -479,7 +481,7 @@ func RunContext(ctx context.Context, pl *plan.Plan, store kv.Store, ord *graph.T
 		}
 		wg.Wait()
 	}
-	res.Wall = time.Since(start)
+	res.Wall = time.Since(start) //benulint:wallclock observational: reported, never part of results
 	res.TimedOut = timedOut.Load()
 	res.TasksRetried = int(tasksRetried.Load())
 	res.TasksFailed = int(tasksFailed.Load())

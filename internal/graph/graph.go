@@ -168,6 +168,7 @@ func FromEdges(n int, edges [][2]int64) *Graph {
 	b := NewBuilder(n)
 	for _, e := range edges {
 		if int(e[0]) >= n || int(e[1]) >= n {
+			//benulint:panicok FromEdges takes trusted in-process edge lists, never wire bytes; io.go validates on load
 			panic(fmt.Sprintf("graph: edge (%d,%d) outside vertex range [0,%d)", e[0], e[1], n))
 		}
 		b.AddEdge(e[0], e[1])

@@ -1,0 +1,144 @@
+// Package analysis is a deliberately small, stdlib-only re-creation of
+// the golang.org/x/tools/go/analysis driver surface: an Analyzer runs
+// over one type-checked package at a time (a Pass) and reports
+// positioned Diagnostics.
+//
+// Why not the real thing? This repository is built and verified in
+// hermetic environments with no module proxy, and x/tools would be its
+// first external dependency. The API below is shaped so that each
+// analyzer's Run function is source-compatible with x/tools modulo the
+// import path — swapping this package for
+// golang.org/x/tools/go/analysis (and linttest for analysistest) when a
+// dependency policy allows it is a mechanical change. See
+// docs/LINTING.md, "Dependency policy".
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //benulint: suppression tags. Lowercase, no spaces.
+	Name string
+
+	// Doc is the one-paragraph description shown by `benu-lint -help`.
+	Doc string
+
+	// Run applies the check to a single package. The returned value (may
+	// be nil) is collected per package and handed to Finish.
+	Run func(*Pass) (any, error)
+
+	// Finish, if non-nil, runs once after every package has been
+	// analyzed, with the non-nil per-package Run results. Cross-package
+	// invariants (for example doc/code drift, which no single package
+	// can see) report here. Diagnostics with token.NoPos carry their
+	// location in the message text.
+	Finish func(results []any, report func(Diagnostic)) error
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass provides one analyzer run over one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// SuppressionPrefix starts every in-source justification comment:
+// //benulint:<tag> <reason>. The reason is mandatory by convention
+// (docs/LINTING.md) but not enforced here.
+const SuppressionPrefix = "benulint:"
+
+// Suppressed reports whether a //benulint:<tag> comment justifies the
+// construct at pos: the comment must sit on the same line or on the
+// line immediately above (the usual directive position).
+func (p *Pass) Suppressed(pos token.Pos, tag string) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	target := p.Fset.Position(pos)
+	for _, f := range p.Files {
+		if p.Fset.Position(f.Pos()).Filename != target.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				line := p.Fset.Position(c.Slash).Line
+				if line != target.Line && line != target.Line-1 {
+					continue
+				}
+				if directiveTag(c.Text) == tag {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// directiveTag extracts "<tag>" from a "//benulint:<tag> reason..."
+// comment, or "" when the comment is not a benulint directive.
+func directiveTag(text string) string {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return ""
+	}
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, SuppressionPrefix)
+	if !ok {
+		return ""
+	}
+	tag, _, _ := strings.Cut(rest, " ")
+	return strings.TrimSpace(tag)
+}
+
+// WalkFiles applies fn to every node of every file in the pass,
+// descending while fn returns true.
+func (p *Pass) WalkFiles(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// PathHasSuffix reports whether an import path ends in suffix on a
+// path-segment boundary: "benu/internal/plan" matches "internal/plan"
+// but "internal/planx" does not. Analyzers use it to scope themselves
+// to configured package paths while staying testable from linttest
+// modules whose paths carry an example.com/ prefix.
+func PathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}
+
+// InScope reports whether path matches any of the suffix patterns.
+func InScope(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if PathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import "testing"
+
+func TestPathHasSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"benu/internal/plan", "internal/plan", true},
+		{"internal/plan", "internal/plan", true},
+		{"example.com/fix/internal/plan", "internal/plan", true},
+		{"benu/internal/planx", "internal/plan", false},
+		{"benu/xinternal/plan", "internal/plan", false},
+		{"benu/internal/plan/sub", "internal/plan", false},
+	}
+	for _, c := range cases {
+		if got := PathHasSuffix(c.path, c.suffix); got != c.want {
+			t.Errorf("PathHasSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}
+
+func TestDirectiveTag(t *testing.T) {
+	cases := []struct {
+		text string
+		want string
+	}{
+		{"//benulint:ordered reason here", "ordered"},
+		{"// benulint:ordered spaced form", "ordered"},
+		{"//benulint:wallclock", "wallclock"},
+		{"// want \"not a directive\"", ""},
+		{"// plain comment", ""},
+		{"//benulint: missing tag", ""},
+	}
+	for _, c := range cases {
+		if got := directiveTag(c.text); got != c.want {
+			t.Errorf("directiveTag(%q) = %q, want %q", c.text, got, c.want)
+		}
+	}
+}
+
+func TestModuleRoot(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	if root == "" {
+		t.Fatal("ModuleRoot returned empty path")
+	}
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, parsed, type-checked package ready for
+// analysis.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists, parses, and type-checks the packages matched by patterns,
+// with dir as the working directory (it must sit inside a Go module).
+//
+// Instead of re-implementing go/packages, the loader leans on the go
+// tool: `go list -export -deps -json` compiles every dependency and
+// reports the build-cache location of its export data, which a
+// "gc"-compiler importer then serves to the type checker. Only the
+// matched packages themselves are parsed from source (test files
+// excluded, like a production build); everything below them — including
+// sibling in-module packages — is resolved from export data. This works
+// fully offline and reuses the build cache the tier-1 gate has already
+// warmed.
+func Load(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	exports := make(map[string]string)
+	var targets []*listedPkg
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("lint: go list: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, nil, fmt.Errorf("lint: parse: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		cfg := types.Config{Importer: imp}
+		tpkg, err := cfg.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: typecheck %s: %w", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  lp.ImportPath,
+			Name:  lp.Name,
+			Dir:   lp.Dir,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return fset, pkgs, nil
+}
+
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Standard,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	var listed []*listedPkg
+	for {
+		lp := new(listedPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// ModuleRoot resolves the root directory of the module containing dir.
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: go env GOMOD: %v", err)
+	}
+	gomod := string(bytes.TrimSpace(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("lint: %s is not inside a Go module", dir)
+	}
+	return filepath.Dir(gomod), nil
+}

@@ -1,0 +1,157 @@
+// Package ctxflow enforces the context-propagation invariant the
+// fault-tolerance layer (PR 4) depends on: a function that accepts a
+// context.Context must thread that context through to the store /
+// cluster / resilience calls it makes, never mint a fresh root with
+// context.Background() or context.TODO(). A minted root silently
+// detaches the call from cancellation and deadlines — exactly the bug
+// that makes `cluster.RunContext` hang past its deadline while looking
+// correct in every test that never cancels.
+//
+// The one sanctioned form is the nil-guard rebind of the parameter
+// itself (`if ctx == nil { ctx = context.Background() }`), which the
+// exported entry points use to accept optional contexts. Anything else
+// needs //benulint:ctx <reason> (legitimate example: a detached
+// background janitor that must outlive the request).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"benu/internal/lint/analysis"
+)
+
+// Analyzer is the context-propagation check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "functions that accept a context.Context must forward it instead of minting " +
+		"context.Background()/TODO(); the nil-guard rebind of the parameter itself is " +
+		"allowed, anything else needs //benulint:ctx",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pass.WalkFiles(func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				checkFunc(pass, fn.Type, fn.Body)
+			}
+		case *ast.FuncLit:
+			checkFunc(pass, fn.Type, fn.Body)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// ctxParams returns the objects of every context.Context parameter of
+// ft (nil when there are none).
+func ctxParams(pass *analysis.Pass, ft *ast.FuncType) map[types.Object]bool {
+	if ft.Params == nil {
+		return nil
+	}
+	var params map[types.Object]bool
+	for _, field := range ft.Params.List {
+		if !isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if params == nil {
+				params = make(map[types.Object]bool)
+			}
+			params[obj] = true
+		}
+	}
+	return params
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkFunc scans one function body. Nested function literals are
+// skipped here when they declare their own context parameter (they are
+// visited independently by run); literals without one inherit the
+// enclosing function's obligation — a goroutine closure that mints
+// Background() detaches work the caller believes it can cancel.
+func checkFunc(pass *analysis.Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	params := ctxParams(pass, ft)
+	if params == nil {
+		return
+	}
+
+	// First pass: collect the sanctioned nil-guard rebinds
+	// (ctx = context.Background() assigning to a context parameter).
+	allowed := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			return ctxParams(pass, fl.Type) == nil
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || !params[pass.TypesInfo.Uses[id]] {
+				continue
+			}
+			if i < len(asg.Rhs) {
+				if call, ok := ast.Unparen(asg.Rhs[i]).(*ast.CallExpr); ok && isRootCtxCall(pass, call) != "" {
+					allowed[call] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Second pass: report every other root-context mint.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			return ctxParams(pass, fl.Type) == nil
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || allowed[call] {
+			return true
+		}
+		if name := isRootCtxCall(pass, call); name != "" {
+			if !pass.Suppressed(call.Pos(), "ctx") {
+				pass.Reportf(call.Pos(), "context.%s() inside a function that already receives a context.Context; "+
+					"forward the parameter so cancellation and deadlines propagate, or justify the "+
+					"detachment with //benulint:ctx <reason>", name)
+			}
+		}
+		return true
+	})
+}
+
+// isRootCtxCall reports the function name ("Background" or "TODO")
+// when e is a call to context.Background/context.TODO.
+func isRootCtxCall(pass *analysis.Pass, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}

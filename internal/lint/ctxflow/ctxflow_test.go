@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"benu/internal/lint/ctxflow"
+	"benu/internal/lint/linttest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "testdata/mod")
+}

@@ -1,0 +1,3 @@
+module example.com/ctxfix
+
+go 1.22

@@ -1,0 +1,64 @@
+// Package store exercises the context-propagation rules.
+package store
+
+import "context"
+
+func query(ctx context.Context, key string) error { return ctx.Err() }
+
+// Flagged: the function receives a context but mints a fresh root for
+// the downstream call, detaching it from cancellation.
+func Detached(ctx context.Context, key string) error {
+	return query(context.Background(), key) // want `context\.Background\(\) inside a function that already receives`
+}
+
+func DetachedTODO(ctx context.Context, key string) error {
+	return query(context.TODO(), key) // want `context\.TODO\(\) inside a function that already receives`
+}
+
+// Allowed: forwarding the parameter.
+func Forwarded(ctx context.Context, key string) error {
+	return query(ctx, key)
+}
+
+// Allowed: the nil-guard rebind of the parameter itself.
+func NilGuard(ctx context.Context, key string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return query(ctx, key)
+}
+
+// Flagged: a minted root stored in a different variable is not the
+// nil-guard idiom.
+func Sidechannel(ctx context.Context, key string) error {
+	fresh := context.Background() // want `context\.Background\(\) inside a function that already receives`
+	return query(fresh, key)
+}
+
+// Allowed: functions without a context parameter may mint roots (they
+// are entry points by definition).
+func EntryPoint(key string) error {
+	return query(context.Background(), key)
+}
+
+// Flagged: a closure without its own context parameter inherits the
+// enclosing function's obligation.
+func Spawns(ctx context.Context, key string) {
+	go func() {
+		_ = query(context.Background(), key) // want `context\.Background\(\) inside a function that already receives`
+	}()
+}
+
+// The closure declares its own context parameter: it is analyzed on its
+// own and flagged once, not twice.
+func Inner(ctx context.Context) func(context.Context) error {
+	return func(inner context.Context) error {
+		return query(context.Background(), "k") // want `context\.Background\(\) inside a function that already receives`
+	}
+}
+
+// Allowed: justified detachment.
+func Janitor(ctx context.Context) error {
+	//benulint:ctx the janitor outlives the request on purpose
+	return query(context.Background(), "sweep")
+}

@@ -1,0 +1,12 @@
+package decodesafe_test
+
+import (
+	"testing"
+
+	"benu/internal/lint/decodesafe"
+	"benu/internal/lint/linttest"
+)
+
+func TestDecodeSafe(t *testing.T) {
+	linttest.Run(t, decodesafe.Analyzer, "testdata/mod")
+}

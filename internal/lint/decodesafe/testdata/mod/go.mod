@@ -1,0 +1,3 @@
+module example.com/decodefix
+
+go 1.22

@@ -1,0 +1,13 @@
+// Package app is out of the decodesafe scope: panics here are the
+// compiler's and reviewer's business, not this analyzer's.
+package app
+
+func Must(ok bool) {
+	if !ok {
+		panic("app: broken invariant")
+	}
+}
+
+func Unrelated() {
+	panic("not a decode package")
+}

@@ -1,0 +1,41 @@
+// Package varint is an in-scope fixture (import path ends in
+// internal/varint): a wire-decode package where panic is forbidden.
+package varint
+
+import "errors"
+
+// Flagged: a decoder panicking on corrupt input.
+func Decode(b []byte) (uint64, error) {
+	if len(b) == 0 {
+		panic("varint: empty input") // want `panic in wire-decode package varint`
+	}
+	return uint64(b[0]), nil
+}
+
+// Allowed: Must* constructors panic by contract on static inputs.
+func MustDecode(b []byte) uint64 {
+	v, err := Decode(b)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Allowed: justified invariant unreachable from wire data.
+func Grow(s []uint64, n int) []uint64 {
+	if n < 0 {
+		//benulint:panicok n is a caller-computed capacity, never wire data
+		panic("varint: negative capacity")
+	}
+	return append(s, make([]uint64, n)...)
+}
+
+var errShort = errors.New("varint: short buffer")
+
+// Returning errors is the sanctioned decode posture.
+func DecodeChecked(b []byte) (uint64, error) {
+	if len(b) == 0 {
+		return 0, errShort
+	}
+	return uint64(b[0]), nil
+}

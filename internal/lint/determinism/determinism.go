@@ -1,0 +1,226 @@
+// Package determinism enforces the invariant the differential matrix
+// (internal/check) and exactly-once task accounting (internal/cluster)
+// stand on: enumeration output is a pure function of the inputs. Two
+// constructs silently break it — iterating a Go map (randomized order)
+// on a path that emits results or generates plans, and reading wall
+// clocks or global randomness inside deterministic library code.
+//
+// GraphZero and GraphPi (see PAPERS.md) document how ordering
+// subtleties corrupt subgraph-enumeration results without failing any
+// unit test; this analyzer moves that class of bug to lint time.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"benu/internal/lint/analysis"
+)
+
+// Paths scopes the analyzer: import-path suffixes of the packages whose
+// code must be deterministic. Observability-only packages (obs, cache
+// internals) are intentionally absent — iteration order there never
+// reaches results.
+var Paths = []string{
+	"internal/exec",
+	"internal/plan",
+	"internal/cluster",
+	"internal/check",
+}
+
+// Analyzer is the determinism check.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "flags nondeterministic constructs (unordered map iteration, wall clocks, " +
+		"global randomness) in the deterministic enumeration/planning packages; " +
+		"suppress map ranges with //benulint:ordered and clock reads with //benulint:wallclock",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.InScope(pass.Pkg.Path(), Paths) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		parents := parentMap(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkRange(pass, n, parents)
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkRange flags `for ... := range m` when m is a map, unless the
+// loop only collects keys into a slice that is sorted afterwards, or a
+// //benulint:ordered comment justifies it (order-insensitive bodies:
+// pure lookups, commutative aggregation).
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, parents map[ast.Node]ast.Node) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if pass.Suppressed(rs.Pos(), "ordered") {
+		return
+	}
+	if collectsKeysThenSorts(pass, rs, parents) {
+		return
+	}
+	pass.Reportf(rs.Pos(), "iteration over map %s has nondeterministic order in a deterministic path; "+
+		"collect and sort the keys first, or justify with //benulint:ordered <reason>", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+}
+
+// collectsKeysThenSorts recognizes the sanctioned idiom
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice(keys, ...)   // or slices.Sort(keys), sort.Ints, ...
+//
+// i.e. a loop whose body is exactly one append of the range key into a
+// slice, followed (later in the same enclosing block) by a sort.* or
+// slices.Sort* call taking that slice as its first argument.
+func collectsKeysThenSorts(pass *analysis.Pass, rs *ast.RangeStmt, parents map[ast.Node]ast.Node) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	if arg0, ok := call.Args[0].(*ast.Ident); !ok || arg0.Name != dst.Name {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if arg1, ok := call.Args[1].(*ast.Ident); !ok || arg1.Name != key.Name {
+		return false
+	}
+
+	// Find the statement list holding the range loop and look for a
+	// subsequent sort of dst.
+	stmts, idx := enclosingStmts(rs, parents)
+	if stmts == nil {
+		return false
+	}
+	for _, st := range stmts[idx+1:] {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			continue
+		}
+		switch obj.Imported().Path() {
+		case "sort", "slices":
+		default:
+			continue
+		}
+		if arg0, ok := call.Args[0].(*ast.Ident); ok && arg0.Name == dst.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCall flags wall-clock reads and math/rand use. Time spent is
+// observational, never part of enumeration output, so clock reads need
+// an explicit //benulint:wallclock justification; randomness in a
+// deterministic path has no sanctioned form at all (seeded generators
+// belong to the caller, e.g. internal/gen, which is out of scope).
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			if !pass.Suppressed(call.Pos(), "wallclock") {
+				pass.Reportf(call.Pos(), "time.%s in a deterministic path; results must not depend on the clock — "+
+					"justify observational timing with //benulint:wallclock <reason>", fn.Name())
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		pass.Reportf(call.Pos(), "%s.%s in a deterministic path; enumeration and planning must be "+
+			"reproducible — accept a seeded source from the caller instead", fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// parentMap records each node's parent for upward walks.
+func parentMap(file *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// enclosingStmts returns the statement list directly containing n and
+// n's index within it.
+func enclosingStmts(n ast.Node, parents map[ast.Node]ast.Node) ([]ast.Stmt, int) {
+	var list []ast.Stmt
+	switch p := parents[n].(type) {
+	case *ast.BlockStmt:
+		list = p.List
+	case *ast.CaseClause:
+		list = p.Body
+	case *ast.CommClause:
+		list = p.Body
+	default:
+		return nil, -1
+	}
+	for i, st := range list {
+		if st == n {
+			return list, i
+		}
+	}
+	return nil, -1
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"benu/internal/lint/determinism"
+	"benu/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, determinism.Analyzer, "testdata/mod")
+}

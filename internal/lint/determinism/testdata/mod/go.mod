@@ -1,0 +1,3 @@
+module example.com/determfix
+
+go 1.22

@@ -1,0 +1,17 @@
+// Package other is out of the determinism scope: the same constructs
+// must stay silent here.
+package other
+
+import "time"
+
+func Unordered(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+func Clocky() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,61 @@
+// Package plan is an in-scope fixture (its import path ends in
+// internal/plan): every determinism rule fires here.
+package plan
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Flagged: plain map iteration in a deterministic path.
+func Unordered(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "iteration over map"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Allowed: the collect-keys-then-sort idiom.
+func SortedKeys(m map[int]string) []string {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(m))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Allowed: justified order-insensitive iteration.
+func Sum(m map[int]int) int {
+	total := 0
+	//benulint:ordered integer addition is commutative
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Flagged: wall clock and randomness in a deterministic path.
+func Clocky() time.Time {
+	return time.Now() // want `time\.Now in a deterministic path`
+}
+
+func Sincey(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since in a deterministic path`
+}
+
+// Allowed: justified observational timing.
+func Timed() time.Time {
+	//benulint:wallclock observational timing only
+	return time.Now()
+}
+
+func Random() int {
+	return rand.Int() // want `rand\.Int in a deterministic path`
+}

@@ -1,0 +1,189 @@
+// Package instrswitch enforces exhaustive handling of the plan
+// instruction enums (§IV-A, Table III): every switch over plan.OpType —
+// and every map literal keyed by it — must name all six instruction
+// kinds (INI/DBQ/INT/ENU/TRC/RES), so that adding a seventh kind breaks
+// `make lint` at every dispatch site instead of silently falling
+// through a default. VarKind and FilterKind get the same treatment:
+// the wire codec, the executor's compiler, and the optimizer all
+// dispatch on them.
+//
+// A default clause is allowed (decoders want an error arm for corrupt
+// opcodes) but does not count as coverage. A switch that deliberately
+// handles a subset must say so with //benulint:instr <reason>.
+package instrswitch
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"benu/internal/lint/analysis"
+)
+
+// EnumTypes lists the enums to enforce, as "path-suffix.TypeName".
+var EnumTypes = []string{
+	"internal/plan.OpType",
+	"internal/plan.VarKind",
+	"internal/plan.FilterKind",
+}
+
+// Analyzer is the exhaustive-instruction-handling check.
+var Analyzer = &analysis.Analyzer{
+	Name: "instrswitch",
+	Doc: "switches over plan instruction enums (OpType, VarKind, FilterKind) and map " +
+		"literals keyed by them must be exhaustive, so a new instruction kind fails " +
+		"lint at every dispatch site; deliberate subsets need //benulint:instr",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pass.WalkFiles(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SwitchStmt:
+			checkSwitch(pass, n)
+		case *ast.CompositeLit:
+			checkMapLit(pass, n)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// enumType returns the named enum type of t when t is one of the
+// enforced enums, nil otherwise.
+func enumType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	for _, want := range EnumTypes {
+		i := strings.LastIndex(want, ".")
+		if i < 0 {
+			continue
+		}
+		if analysis.PathHasSuffix(obj.Pkg().Path(), want[:i]) && obj.Name() == want[i+1:] {
+			return named
+		}
+	}
+	return nil
+}
+
+// enumConsts returns the names of every package-level constant of
+// exactly the given named type, declared in the type's own package.
+// The enforced enums export all their members, so this is complete
+// even when the type arrives through export data.
+func enumConsts(named *types.Named) []string {
+	scope := named.Obj().Pkg().Scope()
+	var consts []string
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if types.Identical(c.Type(), named) {
+			consts = append(consts, c.Name())
+		}
+	}
+	sort.Strings(consts)
+	return consts
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(ast.Unparen(sw.Tag))
+	if t == nil {
+		return
+	}
+	named := enumType(t)
+	if named == nil {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, cl := range sw.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name := constName(pass, e, named); name != "" {
+				covered[name] = true
+			}
+		}
+	}
+	reportMissing(pass, sw.Pos(), "switch", named, covered)
+}
+
+// checkMapLit enforces exhaustiveness of map literals keyed by an enum
+// — the lookup-table twin of a switch (e.g. the wire codec's opcode
+// name tables).
+func checkMapLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return
+	}
+	named := enumType(m.Key())
+	if named == nil {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if name := constName(pass, kv.Key, named); name != "" {
+			covered[name] = true
+		}
+	}
+	reportMissing(pass, lit.Pos(), "map literal keyed by", named, covered)
+}
+
+// constName resolves e to a constant of the enum type and returns its
+// name ("" when e is not such a constant).
+func constName(pass *analysis.Pass, e ast.Expr, named *types.Named) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	if !ok || !types.Identical(c.Type(), named) {
+		return ""
+	}
+	return c.Name()
+}
+
+func reportMissing(pass *analysis.Pass, pos token.Pos, what string, named *types.Named, covered map[string]bool) {
+	var missing []string
+	for _, name := range enumConsts(named) {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if pass.Suppressed(pos, "instr") {
+		return
+	}
+	typeName := named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	pass.Reportf(pos, "%s %s is not exhaustive: missing %s; handle every kind (a default clause "+
+		"does not count) or justify the subset with //benulint:instr <reason>",
+		what, typeName, strings.Join(missing, ", "))
+}

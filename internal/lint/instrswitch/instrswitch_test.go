@@ -1,0 +1,12 @@
+package instrswitch_test
+
+import (
+	"testing"
+
+	"benu/internal/lint/instrswitch"
+	"benu/internal/lint/linttest"
+)
+
+func TestInstrSwitch(t *testing.T) {
+	linttest.Run(t, instrswitch.Analyzer, "testdata/mod")
+}

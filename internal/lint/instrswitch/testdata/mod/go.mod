@@ -1,0 +1,3 @@
+module example.com/instrfix
+
+go 1.22

@@ -1,0 +1,61 @@
+// Package plan is a fixture enum package: its import path ends in
+// internal/plan, so OpType below is an enforced enum.
+package plan
+
+// OpType mirrors the real instruction enum, three kinds wide.
+type OpType int
+
+const (
+	OpA OpType = iota
+	OpB
+	OpC
+)
+
+// Exhaustive: silent.
+func Name(t OpType) string {
+	switch t {
+	case OpA:
+		return "A"
+	case OpB:
+		return "B"
+	case OpC:
+		return "C"
+	}
+	return "?"
+}
+
+// Missing a kind: flagged even with a default clause.
+func Partial(t OpType) string {
+	switch t { // want `switch plan\.OpType is not exhaustive: missing OpC`
+	case OpA, OpB:
+		return "AB"
+	default:
+		return "?"
+	}
+}
+
+// Justified subset: silent.
+func JustA(t OpType) bool {
+	//benulint:instr fixture demonstrating a sanctioned subset
+	switch t {
+	case OpA:
+		return true
+	}
+	return false
+}
+
+// Map literals keyed by the enum get the same treatment.
+var complete = map[OpType]string{OpA: "A", OpB: "B", OpC: "C"}
+
+var partial = map[OpType]string{ // want `map literal keyed by plan\.OpType is not exhaustive: missing OpB, OpC`
+	OpA: "A",
+}
+
+// Switches over other types stay silent.
+func Other(n int) bool {
+	switch n {
+	case 0:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,23 @@
+// Package use dispatches on the enum from another package — the enum's
+// constants arrive through export data, the production configuration.
+package use
+
+import "example.com/instrfix/internal/plan"
+
+func Dispatch(t plan.OpType) int {
+	switch t { // want `switch plan\.OpType is not exhaustive: missing OpB`
+	case plan.OpA:
+		return 1
+	case plan.OpC:
+		return 3
+	}
+	return 0
+}
+
+func Full(t plan.OpType) int {
+	switch t {
+	case plan.OpA, plan.OpB, plan.OpC:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,189 @@
+// Package linttest is the golden-test harness for the analyzer suite —
+// the analysistest of this repository's stdlib-only analysis framework.
+// A fixture is a self-contained Go module under the analyzer's testdata
+// directory; expected diagnostics are declared in the source itself
+// with trailing comments of the form
+//
+//	code() // want "regexp"
+//	code() // want "first" "second"
+//
+// Run loads the fixture, applies the analyzer (and its Finish hook, so
+// cross-package diagnostics land too), and fails the test on any
+// unmatched expectation or unexpected diagnostic. Diagnostics without a
+// source position (doc-drift findings) are returned from RunResults for
+// the caller to assert on directly.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"benu/internal/lint/analysis"
+)
+
+// Run applies a to the fixture module rooted at dir and compares
+// diagnostics against the fixture's // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	RunResults(t, a, dir)
+}
+
+// RunResults is Run, additionally returning the position-less
+// diagnostics emitted by the analyzer's Finish hook (doc drift and the
+// like), which have no source line to carry a // want comment.
+func RunResults(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
+	fset, pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	var results []any
+	for _, pkg := range pkgs {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    report,
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
+		}
+		if res != nil {
+			results = append(results, res)
+		}
+	}
+	if a.Finish != nil {
+		if err := a.Finish(results, report); err != nil {
+			t.Fatalf("%s finish: %v", a.Name, err)
+		}
+	}
+
+	wants := collectWants(t, fset, pkgs)
+
+	var unpositioned []analysis.Diagnostic
+	for _, d := range diags {
+		if !d.Pos.IsValid() {
+			unpositioned = append(unpositioned, d)
+			continue
+		}
+		pos := fset.Position(d.Pos)
+		key := lineKey{file: pos.Filename, line: pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.re)
+			}
+		}
+	}
+	return unpositioned
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// collectWants scans fixture comments for // want expectations.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package) map[lineKey][]*want {
+	t.Helper()
+	wants := make(map[lineKey][]*want)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Slash)
+					key := lineKey{file: pos.Filename, line: pos.Line}
+					for _, q := range splitQuoted(t, pos.String(), m[1]) {
+						re, err := regexp.Compile(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, q, err)
+						}
+						wants[key] = append(wants[key], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses the space-separated quoted patterns after a want
+// marker. Both "double-quoted" (escapes interpreted) and `backquoted`
+// (raw) forms are accepted, as in analysistest.
+func splitQuoted(t *testing.T, where, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: malformed want clause near %q (expected quoted pattern)", where, s)
+		}
+		end := 1
+		for end < len(s) {
+			if quote == '"' && s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == quote {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			t.Fatalf("%s: unterminated want pattern in %q", where, s)
+		}
+		q, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %s: %v", where, s[:end+1], err)
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want marker with no patterns", where)
+	}
+	return out
+}
+
+// Fprint formats diagnostics for debugging failed fixture runs.
+func Fprint(fset *token.FileSet, diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return b.String()
+}

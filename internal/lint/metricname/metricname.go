@@ -1,0 +1,315 @@
+// Package metricname keeps the observability surface honest in both
+// directions: every metric registered through the obs registry must use
+// a compile-time-constant, dotted-lowercase name that appears in
+// docs/METRICS.md, and every name documented there must still be
+// registered somewhere in the tree. Undocumented metrics and stale doc
+// rows are the two halves of doc drift; each kills the other's trust.
+//
+// One sanctioned dynamic form exists: a concatenation with constant
+// prefix/suffix around a runtime segment ("kv." + backend +
+// ".get_latency_ns"), which must match a documented template written
+// with an angle-bracket placeholder (`kv.<backend>.get_latency_ns`).
+// Fully dynamic names are rejected outright — a name the analyzer
+// cannot see is a name the docs cannot promise.
+package metricname
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"regexp"
+	"strings"
+
+	"benu/internal/lint/analysis"
+)
+
+// DocFile is the metrics reference the analyzer cross-checks. The
+// driver (internal/lint.Run) points it at <module>/docs/METRICS.md;
+// tests point it at fixture docs.
+var DocFile string
+
+// registryMethods maps obs.Registry constructor methods to the metric
+// kind they mint. StartSpan is special-cased: it registers a
+// ".duration_ns" histogram and an ".active" gauge under its base name.
+var registryMethods = map[string]string{
+	"Counter":   "counter",
+	"Gauge":     "gauge",
+	"Histogram": "histogram",
+	"StartSpan": "span",
+}
+
+// Analyzer is the metric-name hygiene check.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "obs metric names must be compile-time constants in dotted-lowercase form and " +
+		"documented in docs/METRICS.md; documented names must still exist in code " +
+		"(templates with <placeholder> segments admit constant-prefix/suffix dynamic names)",
+	Run:    run,
+	Finish: finish,
+}
+
+// Use is one metric-name registration found in code.
+type Use struct {
+	Pos  token.Pos
+	Name string // concrete name, or star pattern like "kv.*.get_latency_ns"
+	Dyn  bool   // true when Name is a star pattern
+}
+
+// Result is the per-package output collected for Finish.
+type Result struct {
+	Uses []Use
+}
+
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+
+func run(pass *analysis.Pass) (any, error) {
+	// The registry implementation itself is exempt: StartSpan's body
+	// derives ".duration_ns"/".active" names on behalf of its callers,
+	// and those expanded names are checked at every call site instead.
+	if pass.Pkg.Name() == "obs" {
+		return nil, nil
+	}
+	res := &Result{}
+	pass.WalkFiles(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, ok := registryCall(pass, call)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		arg := call.Args[0]
+		name, dyn, ok := nameOf(pass, arg)
+		if !ok {
+			if !pass.Suppressed(call.Pos(), "metric") {
+				pass.Reportf(arg.Pos(), "metric name is not a compile-time constant; the docs cannot "+
+					"promise a name the analyzer cannot see — use a constant, or a constant-prefix "+
+					"concatenation matching a <placeholder> template in the metrics reference")
+			}
+			return true
+		}
+		if !validForm(name, dyn) {
+			if !pass.Suppressed(call.Pos(), "metric") {
+				pass.Reportf(arg.Pos(), "metric name %q is not dotted-lowercase (want e.g. \"pkg.subsystem.what_unit\")", name)
+			}
+			return true
+		}
+		if pass.Suppressed(call.Pos(), "metric") {
+			return true
+		}
+		if kind == "span" {
+			res.Uses = append(res.Uses,
+				Use{Pos: arg.Pos(), Name: name + ".duration_ns", Dyn: dyn},
+				Use{Pos: arg.Pos(), Name: name + ".active", Dyn: dyn})
+		} else {
+			res.Uses = append(res.Uses, Use{Pos: arg.Pos(), Name: name, Dyn: dyn})
+		}
+		return true
+	})
+	return res, nil
+}
+
+// registryCall reports whether call is obs.(*Registry).Counter /
+// Gauge / Histogram / StartSpan, identified structurally (receiver type
+// named Registry in a package named obs) so fixtures can supply a stub
+// registry.
+func registryCall(pass *analysis.Pass, call *ast.CallExpr) (kind string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	kind, ok = registryMethods[sel.Sel.Name]
+	if !ok {
+		return "", false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	recv := selection.Recv()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	return kind, obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+// nameOf extracts the metric name from arg: a constant string yields
+// (name, false, true); a + concatenation with at least one constant
+// part yields a star pattern (dyn=true); anything else is not ok.
+func nameOf(pass *analysis.Pass, arg ast.Expr) (name string, dyn bool, ok bool) {
+	if tv, found := pass.TypesInfo.Types[arg]; found && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), false, true
+	}
+	parts, ok := linearize(pass, arg)
+	if !ok {
+		return "", false, false
+	}
+	var b strings.Builder
+	sawConst, prevDyn := false, false
+	for _, p := range parts {
+		if p.constant {
+			b.WriteString(p.text)
+			sawConst, prevDyn = true, false
+		} else if !prevDyn { // collapse adjacent dynamic parts into one star
+			b.WriteByte('*')
+			prevDyn = true
+		}
+	}
+	if !sawConst {
+		return "", false, false
+	}
+	return b.String(), true, true
+}
+
+type part struct {
+	constant bool
+	text     string
+}
+
+// linearize flattens a tree of string + concatenations into ordered
+// parts, marking which are compile-time constants.
+func linearize(pass *analysis.Pass, e ast.Expr) ([]part, bool) {
+	e = ast.Unparen(e)
+	if tv, found := pass.TypesInfo.Types[e]; found && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return []part{{constant: true, text: constant.StringVal(tv.Value)}}, true
+	}
+	if bin, ok := e.(*ast.BinaryExpr); ok && bin.Op == token.ADD {
+		l, lok := linearize(pass, bin.X)
+		r, rok := linearize(pass, bin.Y)
+		if lok && rok {
+			return append(l, r...), true
+		}
+		return nil, false
+	}
+	// A dynamic leaf is fine as long as it is a string.
+	if t := pass.TypesInfo.TypeOf(e); t != nil {
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			return []part{{constant: false}}, true
+		}
+	}
+	return nil, false
+}
+
+// validForm checks the dotted-lowercase convention; for star patterns
+// each star stands in for one well-formed segment run.
+func validForm(name string, dyn bool) bool {
+	if !dyn {
+		return nameRE.MatchString(name)
+	}
+	return nameRE.MatchString(strings.ReplaceAll(name, "*", "x"))
+}
+
+// docEntry is one documented metric name.
+type docEntry struct {
+	name string // as written, possibly with <placeholder> segments
+	line int
+}
+
+var docNameRE = regexp.MustCompile("^\\|\\s*`([a-z0-9_.<>]+)`")
+
+// parseDoc extracts the first-column backticked names from the
+// reference tables of the metrics doc.
+func parseDoc(path string) ([]docEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []docEntry
+	for i, line := range strings.Split(string(data), "\n") {
+		m := docNameRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		if !strings.Contains(m[1], ".") { // skip table headers like `name`
+			continue
+		}
+		entries = append(entries, docEntry{name: m[1], line: i + 1})
+	}
+	return entries, nil
+}
+
+// canonical converts a documented name to star form: `kv.<backend>.x`
+// -> "kv.*.x". Concrete names pass through unchanged.
+var placeholderRE = regexp.MustCompile(`<[^>]+>`)
+
+func canonical(doc string) string {
+	return placeholderRE.ReplaceAllString(doc, "*")
+}
+
+// starRegexp compiles a star pattern into a matcher for concrete names.
+func starRegexp(pat string) *regexp.Regexp {
+	parts := strings.Split(pat, "*")
+	for i, p := range parts {
+		parts[i] = regexp.QuoteMeta(p)
+	}
+	return regexp.MustCompile("^" + strings.Join(parts, `[a-z0-9_.]+`) + "$")
+}
+
+func finish(results []any, report func(analysis.Diagnostic)) error {
+	if DocFile == "" {
+		return fmt.Errorf("metricname: DocFile is not configured")
+	}
+	entries, err := parseDoc(DocFile)
+	if err != nil {
+		return fmt.Errorf("metricname: reading metrics reference: %w", err)
+	}
+
+	type docIndex struct {
+		entry docEntry
+		canon string
+		re    *regexp.Regexp
+	}
+	var docs []docIndex
+	for _, e := range entries {
+		c := canonical(e.name)
+		docs = append(docs, docIndex{entry: e, canon: c, re: starRegexp(c)})
+	}
+
+	var uses []Use
+	for _, r := range results {
+		if res, ok := r.(*Result); ok {
+			uses = append(uses, res.Uses...)
+		}
+	}
+
+	used := make([]bool, len(docs))
+	for _, u := range uses {
+		matched := false
+		for i, d := range docs {
+			ok := false
+			if u.Dyn {
+				// A dynamic registration satisfies (only) a template
+				// documenting the same constant skeleton.
+				ok = d.canon == u.Name
+			} else {
+				ok = d.canon == u.Name || (strings.Contains(d.canon, "*") && d.re.MatchString(u.Name))
+			}
+			if ok {
+				used[i] = true
+				matched = true
+			}
+		}
+		if !matched {
+			report(analysis.Diagnostic{Pos: u.Pos, Message: fmt.Sprintf(
+				"metric %q is not documented in %s; add a row to the reference table (templates use <placeholder> segments)",
+				u.Name, DocFile)})
+		}
+	}
+	for i, d := range docs {
+		if !used[i] {
+			report(analysis.Diagnostic{Pos: token.NoPos, Message: fmt.Sprintf(
+				"%s:%d: documented metric %q is not registered anywhere in the analyzed packages; "+
+					"delete the stale row or restore the metric", DocFile, d.entry.line, d.entry.name)})
+		}
+	}
+	return nil
+}

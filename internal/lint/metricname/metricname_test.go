@@ -1,0 +1,31 @@
+package metricname_test
+
+import (
+	"strings"
+	"testing"
+
+	"benu/internal/lint/linttest"
+	"benu/internal/lint/metricname"
+)
+
+// TestMetricName covers the positioned diagnostics (call-site rules)
+// and the stale-doc direction, whose finding carries no source position
+// and is returned by RunResults instead of matching a // want comment.
+func TestMetricName(t *testing.T) {
+	prev := metricname.DocFile
+	metricname.DocFile = "testdata/mod/metrics.md"
+	defer func() { metricname.DocFile = prev }()
+
+	unpositioned := linttest.RunResults(t, metricname.Analyzer, "testdata/mod")
+
+	if len(unpositioned) != 1 {
+		t.Fatalf("got %d unpositioned diagnostics, want 1 (the stale doc row): %v", len(unpositioned), unpositioned)
+	}
+	msg := unpositioned[0].Message
+	if !strings.Contains(msg, `"app.stale.count"`) || !strings.Contains(msg, "not registered") {
+		t.Errorf("stale-doc diagnostic = %q, want it to name app.stale.count as unregistered", msg)
+	}
+	if !strings.Contains(msg, "metrics.md:11") {
+		t.Errorf("stale-doc diagnostic = %q, want it to cite metrics.md line 11 (the stale row)", msg)
+	}
+}

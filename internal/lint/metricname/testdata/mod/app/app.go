@@ -1,0 +1,46 @@
+// Package app exercises every metricname rule against the fixture doc
+// in metrics.md.
+package app
+
+import (
+	"fmt"
+
+	"example.com/metricfix/internal/obs"
+)
+
+func Register(r *obs.Registry, backend, arbitrary string) {
+	// Documented constant names: silent.
+	r.Counter("app.good.count")
+	r.Gauge("app.queue.depth")
+
+	// Constant concatenations still fold to constants: silent.
+	r.Histogram("app." + "fold" + ".latency_ns")
+
+	// StartSpan expands to .duration_ns / .active, both documented.
+	r.StartSpan("app.task")
+
+	// Undocumented name.
+	r.Counter("app.missing.count") // want `metric "app\.missing\.count" is not documented`
+
+	// StartSpan whose expansions are not documented.
+	r.StartSpan("app.ghost") // want `metric "app\.ghost\.duration_ns" is not documented` `metric "app\.ghost\.active" is not documented`
+
+	// Malformed names.
+	r.Counter("BadName.Count") // want `not dotted-lowercase`
+	r.Gauge("nodots")          // want `not dotted-lowercase`
+
+	// Sanctioned dynamic form: constant skeleton matching the
+	// documented template kv.<backend>.get_latency_ns.
+	r.Histogram("kv." + backend + ".get_latency_ns")
+
+	// Dynamic form with no matching template.
+	r.Gauge("zz." + backend + ".depth") // want `metric "zz\.\*\.depth" is not documented`
+
+	// Fully dynamic name: rejected outright.
+	r.Counter(arbitrary)                          // want `not a compile-time constant`
+	r.Counter(fmt.Sprintf("app.%s.n", arbitrary)) // want `not a compile-time constant`
+
+	// Justified exception: silent.
+	//benulint:metric fixture demonstrating the escape hatch
+	r.Counter(arbitrary)
+}

@@ -1,0 +1,3 @@
+module example.com/metricfix
+
+go 1.22

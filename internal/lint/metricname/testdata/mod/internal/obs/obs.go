@@ -1,0 +1,19 @@
+// Package obs is a stub of the real registry: the analyzer identifies
+// it structurally (a Registry type in a package named obs), so the
+// fixture needs no dependency on the real module.
+package obs
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+type Span struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter     { return nil }
+func (r *Registry) Gauge(name string) *Gauge         { return nil }
+func (r *Registry) Histogram(name string) *Histogram { return nil }
+func (r *Registry) StartSpan(name string) Span       { return Span{} }

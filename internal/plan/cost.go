@@ -116,6 +116,9 @@ func EstimateCost(pl *Plan, st *estimate.Stats) Cost {
 			cost.Computation += curNum
 		case OpDBQ:
 			cost.Communication += curNum
+		case OpRES:
+			// Reporting is free in the §IV-C model: both cost terms
+			// price work before the match is complete.
 		}
 	}
 	return cost

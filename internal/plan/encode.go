@@ -76,6 +76,7 @@ var filterKindNames = map[FilterKind]string{
 }
 
 func nameToOp(s string) (OpType, error) {
+	//benulint:ordered reverse lookup: names are unique, at most one key matches
 	for op, n := range opNames {
 		if n == s {
 			return op, nil
@@ -85,6 +86,7 @@ func nameToOp(s string) (OpType, error) {
 }
 
 func nameToVarKind(s string) (VarKind, error) {
+	//benulint:ordered reverse lookup: names are unique, at most one key matches
 	for k, n := range varKindNames {
 		if n == s {
 			return k, nil
@@ -94,6 +96,7 @@ func nameToVarKind(s string) (VarKind, error) {
 }
 
 func nameToFilterKind(s string) (FilterKind, error) {
+	//benulint:ordered reverse lookup: names are unique, at most one key matches
 	for k, n := range filterKindNames {
 		if n == s {
 			return k, nil

@@ -183,6 +183,7 @@ func eliminateCommonSubexpressions(pl *Plan) {
 			}
 		}
 		var best *cand
+		//benulint:ordered selection below is a strict total order (size, count, firstIdx, key) — iteration order cannot change the winner
 		for _, c := range found {
 			if c.count < 2 {
 				continue
@@ -431,6 +432,8 @@ func applyCliqueCache(pl *Plan) {
 	for i := range pl.Instrs {
 		in := &pl.Instrs[i]
 		switch in.Op {
+		case OpINI, OpENU, OpRES:
+			// No set composition: these bind vertices or report results.
 		case OpDBQ:
 			comp[in.Target] = []int{in.Target.Index}
 		case OpINT, OpTRC:

@@ -180,6 +180,9 @@ func deadCodeElim(pl *Plan) {
 			switch in.Op {
 			case OpINI, OpENU, OpRES:
 				continue
+			case OpDBQ, OpINT, OpTRC:
+				// Set-producing instructions are the dead-code
+				// candidates: eliminated below when nothing reads them.
 			}
 			if !used[in.Target] {
 				pl.Instrs = append(pl.Instrs[:i], pl.Instrs[i+1:]...)
