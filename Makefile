@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test short race vet lint bench bench-json check diff chaos fuzz tidy-check clean
+.PHONY: all build test short race vet lint bench bench-json bench-gate check diff chaos fuzz tidy-check clean
 
 all: check
 
@@ -45,6 +45,7 @@ chaos:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzGraphParse -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzAdjListDecode -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzUvarint -fuzztime=$(FUZZTIME) ./internal/varint
 	$(GO) test -run='^$$' -fuzz=FuzzPlanDecode -fuzztime=$(FUZZTIME) ./internal/plan
 	$(GO) test -run='^$$' -fuzz=FuzzVCBCRoundTrip -fuzztime=$(FUZZTIME) ./internal/vcbc
 
@@ -69,11 +70,19 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 ## bench-json: machine-readable data-plane benchmark snapshot — triangle
-## and q4 on the ok-s dataset over local and TCP backends, baseline vs
-## prefetch+compact (BENCH_JSON overrides the output path)
-BENCH_JSON ?= BENCH_PR3.json
+## and q4 on the ok-s dataset over local and TCP backends plus the
+## million-vertex pl-1m dataset, baseline vs prefetch+compact
+## (BENCH_JSON overrides the output path)
+BENCH_JSON ?= BENCH_PR6.json
 bench-json:
 	$(GO) run ./cmd/benu-bench -bench-json $(BENCH_JSON)
+
+## bench-gate: regenerate the snapshot into /tmp and gate it against the
+## committed BENCH_PR6.json — intra-run variant ratios plus match counts
+## and loosely-bounded absolute walls (docs/PERFORMANCE.md). This is the
+## CI perf-regression gate.
+bench-gate:
+	$(GO) run ./cmd/benu-bench -bench-json /tmp/bench-fresh.json -bench-baseline BENCH_PR6.json
 
 ## check: tier-1 verification — what CI (and the next PR) must keep green
 check: build vet lint test race diff chaos

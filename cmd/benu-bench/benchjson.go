@@ -1,13 +1,33 @@
 package main
 
 // -bench-json: a machine-readable benchmark snapshot of the adjacency
-// data plane. The matrix is small enough for CI smoke (seconds): two
-// patterns (triangle, q4) × two store backends (in-process local, TCP
-// over loopback) × two data-plane variants (baseline demand fetch vs
-// batched prefetch + compact encoding), all on the "ok-s" dataset — a
-// bench-scaled cut of the Orkut stand-in. No thresholds are enforced;
-// the snapshot records the numbers (store trips, bytes, wall time) that
-// BENCH_*.json files track across PRs.
+// data plane, and (with -bench-baseline) the CI regression gate over it.
+//
+// The matrix spans two datasets:
+//
+//   - "ok-s": a bench-scaled cut of the Orkut stand-in (1.2k vertices).
+//     Two patterns (triangle, q4) × two store backends (in-process
+//     local, TCP over loopback) × two data-plane variants (baseline
+//     demand fetch vs batched prefetch + compact encoding). Cells run
+//     benchRepsSmall times and keep the fastest repetition — single-shot
+//     walls at this scale are mostly scheduler noise.
+//   - "pl-1m": a million-vertex power-law graph (Holme–Kim, EdgesPer 3).
+//     Triangle × TCP × both variants under a constrained 12 MB DB cache,
+//     one repetition — at ~45s per cell the wall is self-averaging, and
+//     this is the configuration where the compact data plane must WIN,
+//     not just break even: the cache is far smaller than the graph, so
+//     the run is dominated by store round trips, which is exactly what
+//     batched prefetch (fewer trips) and compact payloads (more vertices
+//     per cache byte, fewer wire bytes) exist to cut. With the default
+//     graph-sized cache every miss is compulsory and the local backend
+//     serves raw slices zero-copy, so no data-plane change can show up
+//     in the wall there (docs/PERFORMANCE.md, "why the cache is
+//     constrained").
+//
+// Gating policy (docs/PERFORMANCE.md): the machine-independent invariant
+// is the INTRA-RUN ratio wall(prefetch-compact)/wall(baseline), bounded
+// per dataset; the committed BENCH_PR6.json additionally pins match
+// counts exactly and bounds absolute wall inflation loosely.
 
 import (
 	"encoding/json"
@@ -24,19 +44,60 @@ import (
 	"benu/internal/plan"
 )
 
-// okSmall is the bench-json dataset: the Orkut stand-in's shape at a
-// scale where the whole matrix runs in CI seconds.
+// okSmall is the small bench-json dataset: the Orkut stand-in's shape at
+// a scale where its whole matrix runs in CI seconds.
 var okSmall = gen.Preset{
 	Name:     "ok-s",
 	FullName: "Orkut (bench-scaled)",
 	Config:   gen.PowerLawConfig{N: 1200, M0: 4, EdgesPer: 6, Triad: 0.45, Seed: 3},
 }
 
+// plLarge is the million-vertex dataset: large enough that per-embedding
+// decode and allocation costs dominate the wall clock, which is exactly
+// what the compact data plane's fused read path is supposed to fix.
+var plLarge = gen.Preset{
+	Name:     "pl-1m",
+	FullName: "power-law 1M (Holme-Kim)",
+	Config:   gen.PowerLawConfig{N: 1_000_000, M0: 4, EdgesPer: 3, Triad: 0.1, Seed: 7},
+}
+
+const (
+	// benchRepsSmall is the repetition count for ok-s cells (fastest wins).
+	benchRepsSmall = 5
+	// ratioTolSmall bounds wall(prefetch-compact)/wall(baseline) on ok-s.
+	// The variants are near parity there and the cells are
+	// millisecond-scale, where even min-of-5 walls swing 30%+ under CI
+	// machine contention — so this bound only catches gross small-scale
+	// regressions; the tight, trustworthy wall invariant is the pl-1m
+	// ratio below, whose ~50s cells self-average.
+	ratioTolSmall = 1.4
+	// ratioTolLarge bounds the same ratio on pl-1m, where the compact
+	// path must not give back its win: measured ratios sit at 0.86-0.93
+	// (docs/PERFORMANCE.md), the cells are long enough to self-average,
+	// and the tolerance leaves room only for baseline-side jitter — a
+	// breach means the win regressed.
+	ratioTolLarge = 1.05
+	// plCacheBytes is the pl-1m DB-cache budget: ~1/12 of the graph's
+	// raw adjacency volume, so the cache is under genuine pressure and
+	// the data plane's density/batching advantages decide the wall.
+	plCacheBytes = 12 << 20
+	// defaultWallTol bounds wall inflation against the committed
+	// baseline file. Deliberately loose — absolute walls are machine
+	// dependent; this catches only gross regressions (and -bench-tolerance
+	// overrides it).
+	defaultWallTol = 3.0
+)
+
 // benchCell is one matrix point.
 type benchCell struct {
+	Dataset string `json:"dataset"`
 	Pattern string `json:"pattern"`
 	Backend string `json:"backend"`
 	Variant string `json:"variant"`
+	Reps    int    `json:"reps"`
+	// CacheBytes is the DB-cache budget when the cell constrains it
+	// (0 = the default graph-sized cache).
+	CacheBytes int64 `json:"cache_bytes,omitempty"`
 
 	Matches      int64   `json:"matches"`
 	WallMS       float64 `json:"wall_ms"`
@@ -52,116 +113,153 @@ type benchCell struct {
 	WireBytes   int64 `json:"wire_bytes,omitempty"`
 }
 
-// benchSnapshot is the -bench-json file format.
-type benchSnapshot struct {
-	Dataset   string      `json:"dataset"`
-	Vertices  int         `json:"vertices"`
-	Edges     int64       `json:"edges"`
-	GoVersion string      `json:"go_version"`
-	Cells     []benchCell `json:"cells"`
+// benchDataset describes one dataset of the snapshot.
+type benchDataset struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
 }
 
-// runBenchJSON runs the matrix and writes the snapshot to path.
-func runBenchJSON(path string) error {
-	g := okSmall.Cached()
+// benchSnapshot is the -bench-json file format (schema documented in
+// docs/PERFORMANCE.md).
+type benchSnapshot struct {
+	GoVersion string         `json:"go_version"`
+	Datasets  []benchDataset `json:"datasets"`
+	Cells     []benchCell    `json:"cells"`
+}
+
+// benchVariants are the two data-plane configurations every cell pair
+// compares.
+var benchVariants = []struct {
+	name              string
+	prefetch, compact bool
+}{
+	{"baseline", false, false},
+	{"prefetch-compact", true, true},
+}
+
+// runBenchCells runs the variant pair for one (dataset, pattern, backend)
+// point and appends both cells to snap. cacheBytes > 0 overrides the
+// default graph-sized DB-cache budget.
+func runBenchCells(snap *benchSnapshot, ds gen.Preset, patName, backend string, reps int, cacheBytes int64) error {
+	g := ds.Cached()
 	ord := graph.NewTotalOrder(g)
 	st := estimate.NewStats(g, estimate.MaxMomentDefault)
-
-	snap := benchSnapshot{
-		Dataset:   okSmall.Name,
-		Vertices:  g.NumVertices(),
-		Edges:     g.NumEdges(),
-		GoVersion: runtime.Version(),
+	p, err := gen.PatternByName(patName)
+	if err != nil {
+		return err
+	}
+	best, err := plan.GenerateBestPlan(p, st, plan.AllOptions)
+	if err != nil {
+		return err
 	}
 
-	variants := []struct {
-		name              string
-		prefetch, compact bool
-	}{
-		{"baseline", false, false},
-		{"prefetch-compact", true, true},
-	}
+	var want int64 = -1
+	for _, v := range benchVariants {
+		var cell benchCell
+		for rep := 0; rep < reps; rep++ {
+			cfg := cluster.Defaults(g)
+			cfg.Workers = 2
+			cfg.ThreadsPerWorker = 2
+			cfg.TriangleCacheEntries = 1 << 12
+			cfg.Prefetch = v.prefetch
+			cfg.CompactAdjacency = v.compact
+			if cacheBytes > 0 {
+				cfg.CacheBytes = cacheBytes
+			}
 
-	for _, patName := range []string{"triangle", "q4"} {
-		p, err := gen.PatternByName(patName)
-		if err != nil {
-			return err
-		}
-		best, err := plan.GenerateBestPlan(p, st, plan.AllOptions)
-		if err != nil {
-			return err
-		}
-
-		var want int64 = -1
-		for _, backend := range []string{"local", "tcp"} {
-			for _, v := range variants {
-				cfg := cluster.Defaults(g)
-				cfg.Workers = 2
-				cfg.ThreadsPerWorker = 2
-				cfg.TriangleCacheEntries = 1 << 12
-				cfg.Prefetch = v.prefetch
-				cfg.CompactAdjacency = v.compact
-
-				var store kv.Store
-				var client *kv.Client
-				var servers []*kv.Server
-				switch backend {
-				case "local":
-					store = kv.NewLocal(g)
-				case "tcp":
-					var addrs []string
-					servers, addrs, err = kv.ServeGraph(g, 2)
-					if err != nil {
-						return err
-					}
-					client, err = kv.Dial(addrs, g.NumVertices())
-					if err != nil {
-						return err
-					}
-					store = client
-				}
-
-				t0 := time.Now()
-				res, err := cluster.Run(best.Plan, store, ord, g.Degree, cfg)
-				wall := time.Since(t0)
-				if client != nil {
-					client.Close()
-				}
-				for _, s := range servers {
-					s.Close()
-				}
+			var store kv.Store
+			var client *kv.Client
+			var servers []*kv.Server
+			switch backend {
+			case "local":
+				store = kv.NewLocal(g)
+			case "tcp":
+				var addrs []string
+				servers, addrs, err = kv.ServeGraph(g, 2)
 				if err != nil {
-					return fmt.Errorf("bench-json %s/%s/%s: %w", patName, backend, v.name, err)
+					return err
 				}
-				if want < 0 {
-					want = res.Matches
-				} else if res.Matches != want {
-					return fmt.Errorf("bench-json %s/%s/%s: %d matches, other variants found %d",
-						patName, backend, v.name, res.Matches, want)
+				client, err = kv.Dial(addrs, g.NumVertices())
+				if err != nil {
+					return err
 				}
+				store = client
+			}
 
-				cell := benchCell{
-					Pattern:      patName,
-					Backend:      backend,
-					Variant:      v.name,
-					Matches:      res.Matches,
-					WallMS:       float64(wall.Microseconds()) / 1e3,
-					DBQueries:    res.DBQueries,
-					StoreTrips:   res.StoreTrips,
-					BytesFetched: res.BytesFetched,
-					CacheHitRate: res.CacheHitRate,
-				}
-				if client != nil {
-					m := client.Metrics()
-					cell.WireQueries = m.Queries()
-					cell.WireTrips = m.Trips()
-					cell.WireBytes = m.Bytes()
-				}
-				snap.Cells = append(snap.Cells, cell)
-				fmt.Fprintf(os.Stderr, "bench-json %-8s %-5s %-16s matches=%d trips=%d bytes=%d wall=%.1fms\n",
-					patName, backend, v.name, cell.Matches, cell.StoreTrips, cell.BytesFetched, cell.WallMS)
+			t0 := time.Now()
+			res, err := cluster.Run(best.Plan, store, ord, g.Degree, cfg)
+			wall := time.Since(t0)
+			if client != nil {
+				client.Close()
+			}
+			for _, s := range servers {
+				s.Close()
+			}
+			if err != nil {
+				return fmt.Errorf("bench-json %s/%s/%s/%s: %w", ds.Name, patName, backend, v.name, err)
+			}
+			if want < 0 {
+				want = res.Matches
+			} else if res.Matches != want {
+				return fmt.Errorf("bench-json %s/%s/%s/%s: %d matches, other runs found %d",
+					ds.Name, patName, backend, v.name, res.Matches, want)
+			}
+
+			wallMS := float64(wall.Microseconds()) / 1e3
+			if rep > 0 && wallMS >= cell.WallMS {
+				continue // keep the fastest repetition
+			}
+			cell = benchCell{
+				Dataset:      ds.Name,
+				Pattern:      patName,
+				Backend:      backend,
+				Variant:      v.name,
+				CacheBytes:   cacheBytes,
+				Matches:      res.Matches,
+				WallMS:       wallMS,
+				DBQueries:    res.DBQueries,
+				StoreTrips:   res.StoreTrips,
+				BytesFetched: res.BytesFetched,
+				CacheHitRate: res.CacheHitRate,
+			}
+			if client != nil {
+				m := client.Metrics()
+				cell.WireQueries = m.Queries()
+				cell.WireTrips = m.Trips()
+				cell.WireBytes = m.Bytes()
 			}
 		}
+		cell.Reps = reps
+		snap.Cells = append(snap.Cells, cell)
+		fmt.Fprintf(os.Stderr, "bench-json %-6s %-8s %-5s %-16s matches=%d trips=%d bytes=%d wall=%.1fms\n",
+			ds.Name, patName, backend, v.name, cell.Matches, cell.StoreTrips, cell.BytesFetched, cell.WallMS)
+	}
+	return nil
+}
+
+// runBenchJSON runs the matrix, writes the snapshot to path, and — when
+// baselinePath is set — gates the fresh run against the committed
+// snapshot and its own intra-run ratios.
+func runBenchJSON(path, baselinePath string, wallTol float64) error {
+	var snap benchSnapshot
+	snap.GoVersion = runtime.Version()
+
+	for _, patName := range []string{"triangle", "q4"} {
+		for _, backend := range []string{"local", "tcp"} {
+			if err := runBenchCells(&snap, okSmall, patName, backend, benchRepsSmall, 0); err != nil {
+				return err
+			}
+		}
+	}
+	if err := runBenchCells(&snap, plLarge, "triangle", "tcp", 1, plCacheBytes); err != nil {
+		return err
+	}
+	for _, ds := range []gen.Preset{okSmall, plLarge} {
+		g := ds.Cached()
+		snap.Datasets = append(snap.Datasets, benchDataset{
+			Name: ds.Name, Vertices: g.NumVertices(), Edges: g.NumEdges(),
+		})
 	}
 
 	data, err := json.MarshalIndent(&snap, "", "  ")
@@ -173,5 +271,84 @@ func runBenchJSON(path string) error {
 		return err
 	}
 	fmt.Printf("benchmark snapshot written to %s (%d cells)\n", path, len(snap.Cells))
+
+	if baselinePath == "" {
+		return nil
+	}
+	return gateBench(&snap, baselinePath, wallTol)
+}
+
+// gateBench enforces the regression policy: intra-run variant ratios
+// first (machine independent), then match counts and loose absolute
+// walls against the committed baseline snapshot.
+func gateBench(snap *benchSnapshot, baselinePath string, wallTol float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench gate: %w", err)
+	}
+	var base benchSnapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("bench gate: parsing %s: %w", baselinePath, err)
+	}
+	if wallTol <= 0 {
+		wallTol = defaultWallTol
+	}
+	key := func(c benchCell) string {
+		return c.Dataset + "/" + c.Pattern + "/" + c.Backend + "/" + c.Variant
+	}
+	fresh := make(map[string]benchCell, len(snap.Cells))
+	for _, c := range snap.Cells {
+		fresh[key(c)] = c
+	}
+
+	var violations []string
+	// Intra-run ratio gate: prefetch-compact must stay within the
+	// per-dataset tolerance of its paired baseline cell.
+	for _, c := range snap.Cells {
+		if c.Variant != "prefetch-compact" {
+			continue
+		}
+		bk := c.Dataset + "/" + c.Pattern + "/" + c.Backend + "/baseline"
+		b, ok := fresh[bk]
+		if !ok || b.WallMS <= 0 {
+			violations = append(violations, fmt.Sprintf("%s: no paired baseline cell", key(c)))
+			continue
+		}
+		tol := ratioTolSmall
+		if c.Dataset == plLarge.Name {
+			tol = ratioTolLarge
+		}
+		if ratio := c.WallMS / b.WallMS; ratio > tol {
+			violations = append(violations, fmt.Sprintf(
+				"%s: wall %.1fms is %.2fx the baseline variant's %.1fms (tolerance %.2fx)",
+				key(c), c.WallMS, ratio, b.WallMS, tol))
+		}
+	}
+	// Cross-file gate: identical matches (the plans and datasets are
+	// deterministic), loosely bounded wall inflation.
+	for _, bc := range base.Cells {
+		c, ok := fresh[key(bc)]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: cell present in %s but not in this run",
+				key(bc), baselinePath))
+			continue
+		}
+		if c.Matches != bc.Matches {
+			violations = append(violations, fmt.Sprintf("%s: %d matches, committed snapshot has %d",
+				key(bc), c.Matches, bc.Matches))
+		}
+		if bc.WallMS > 0 && c.WallMS > bc.WallMS*wallTol {
+			violations = append(violations, fmt.Sprintf(
+				"%s: wall %.1fms exceeds %.1fx the committed %.1fms",
+				key(bc), c.WallMS, wallTol, bc.WallMS))
+		}
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "bench gate FAIL: %s\n", v)
+		}
+		return fmt.Errorf("bench gate: %d violation(s) against %s", len(violations), baselinePath)
+	}
+	fmt.Printf("bench gate passed against %s (%d cells compared)\n", baselinePath, len(base.Cells))
 	return nil
 }

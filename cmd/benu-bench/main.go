@@ -141,6 +141,8 @@ func main() {
 	var (
 		expName    = flag.String("exp", "all", "experiment to run (see -list)")
 		benchJSON  = flag.String("bench-json", "", "write a machine-readable data-plane benchmark snapshot to this file and exit")
+		benchBase  = flag.String("bench-baseline", "", "with -bench-json: gate the fresh snapshot against this committed baseline (exit nonzero on regression)")
+		benchTol   = flag.Float64("bench-tolerance", 0, "with -bench-baseline: absolute wall-time inflation bound vs the committed snapshot (0 = default, see docs/PERFORMANCE.md)")
 		quick      = flag.Bool("quick", false, "reduced sweeps and budgets")
 		deadline   = flag.Duration("deadline", 0, "per-cell time budget for the comparison tables")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -160,7 +162,7 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON); err != nil {
+		if err := runBenchJSON(*benchJSON, *benchBase, *benchTol); err != nil {
 			fmt.Fprintln(os.Stderr, "benu-bench:", err)
 			os.Exit(1)
 		}

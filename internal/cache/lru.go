@@ -53,6 +53,12 @@ type LRU struct {
 	hits      int64
 	misses    int64
 	evictions int64
+
+	// onPFUse, when set, runs under the lock each time a demand read
+	// consumes an entry flagged by MarkPrefetched — the prefetch
+	// coverage signal, piggybacked on the hit path's existing critical
+	// section so it costs one branch, not a second lock.
+	onPFUse func()
 }
 
 // lruEntry holds one cached adjacency set in exactly one of two forms:
@@ -61,10 +67,11 @@ type LRU struct {
 // mode end to end, so cross-form reads (Get of a compact entry, GetList
 // of a raw one) are correct but pay a per-call conversion.
 type lruEntry struct {
-	key  int64
-	adj  []int64
-	list graph.AdjList
-	size int64
+	key        int64
+	adj        []int64
+	list       graph.AdjList
+	size       int64
+	prefetched bool // installed ahead of demand, not yet read
 }
 
 // NewLRU creates a cache holding at most capacity bytes of adjacency data
@@ -97,6 +104,12 @@ func (c *LRU) Get(v int64) ([]int64, bool) {
 	c.hits++
 	c.ll.MoveToFront(el)
 	e := el.Value.(*lruEntry)
+	if e.prefetched {
+		e.prefetched = false
+		if c.onPFUse != nil {
+			c.onPFUse()
+		}
+	}
 	if e.adj == nil && !e.list.IsZero() {
 		// Compact entry read through the raw interface: decode per call
 		// (payloads installed by PutList are validated, so the decode
@@ -127,10 +140,60 @@ func (c *LRU) GetList(v int64) (graph.AdjList, bool) {
 	c.hits++
 	c.ll.MoveToFront(el)
 	e := el.Value.(*lruEntry)
+	if e.prefetched {
+		e.prefetched = false
+		if c.onPFUse != nil {
+			c.onPFUse()
+		}
+	}
 	if e.list.IsZero() && e.adj != nil {
 		return graph.EncodeAdjList(e.adj), true
 	}
 	return e.list, true
+}
+
+// OnPrefetchUse registers fn to run — under the cache lock, so it must
+// be cheap and must not call back into the cache — each time a demand
+// read consumes a prefetched entry.
+func (c *LRU) OnPrefetchUse(fn func()) {
+	c.mu.Lock()
+	c.onPFUse = fn
+	c.mu.Unlock()
+}
+
+// MarkPrefetched flags the given keys (those of them currently cached)
+// as installed ahead of demand. The flag is consumed by the first Get or
+// GetList that reads the entry, firing the OnPrefetchUse hook; eviction
+// simply drops it. One lock round serves the whole batch.
+func (c *LRU) MarkPrefetched(keys []int64) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, v := range keys {
+		if el, ok := c.items[v]; ok {
+			el.Value.(*lruEntry).prefetched = true
+		}
+	}
+}
+
+// AppendMissing appends to dst the keys of vs that are not currently
+// cached, preserving order, in one lock round — the prefetcher's batch
+// peek. Like Contains it touches neither recency nor the hit/miss
+// counters. A disabled cache misses everything.
+func (c *LRU) AppendMissing(dst, vs []int64) []int64 {
+	if c.capacity <= 0 {
+		return append(dst, vs...)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, v := range vs {
+		if _, ok := c.items[v]; !ok {
+			dst = append(dst, v)
+		}
+	}
+	return dst
 }
 
 // Contains reports whether v is cached, without touching recency order or

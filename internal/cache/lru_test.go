@@ -145,3 +145,69 @@ func TestLRUConcurrentAccess(t *testing.T) {
 		t.Errorf("lost operations: %+v", st)
 	}
 }
+
+func TestLRUPrefetchCoverage(t *testing.T) {
+	c := NewLRU(1 << 20)
+	var used int
+	c.OnPrefetchUse(func() { used++ })
+
+	c.Put(1, []int64{10})
+	c.Put(2, []int64{20})
+	c.MarkPrefetched([]int64{1, 2, 99}) // 99 uncached: ignored
+
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("key 1 should be cached")
+	}
+	if used != 1 {
+		t.Fatalf("used = %d after first read, want 1", used)
+	}
+	// The flag is consumed: a second read of the same entry must not
+	// count again.
+	c.Get(1)
+	if used != 1 {
+		t.Fatalf("used = %d after re-read, want 1", used)
+	}
+	// GetList consumes the flag the same way.
+	if _, ok := c.GetList(2); !ok {
+		t.Fatal("key 2 should be cached")
+	}
+	if used != 2 {
+		t.Fatalf("used = %d after GetList, want 2", used)
+	}
+	// Re-marking re-arms the flag.
+	c.MarkPrefetched([]int64{1})
+	c.Get(1)
+	if used != 3 {
+		t.Fatalf("used = %d after re-mark, want 3", used)
+	}
+}
+
+func TestLRUAppendMissing(t *testing.T) {
+	c := NewLRU(1 << 20)
+	c.Put(2, []int64{1})
+	c.Put(4, []int64{1})
+	got := c.AppendMissing(nil, []int64{1, 2, 3, 4, 5})
+	want := []int64{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("AppendMissing = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendMissing = %v, want %v", got, want)
+		}
+	}
+	// Appends to an existing prefix and never touches hit/miss counters.
+	pre := []int64{42}
+	got = c.AppendMissing(pre, []int64{2, 3})
+	if len(got) != 2 || got[0] != 42 || got[1] != 3 {
+		t.Fatalf("AppendMissing with prefix = %v", got)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("AppendMissing touched counters: %+v", st)
+	}
+	// A disabled cache misses everything.
+	d := NewLRU(0)
+	if got := d.AppendMissing(nil, []int64{7, 8}); len(got) != 2 {
+		t.Fatalf("disabled cache AppendMissing = %v", got)
+	}
+}

@@ -155,6 +155,16 @@ type Executor struct {
 	tri   *TriangleCache
 	stats Stats
 
+	// encRegs parks the encoded payload of lazy DBQ registers on the
+	// compact read path (regs[r] stays nil); the single consuming INT
+	// streams the deltas directly instead of materializing. encBuf maps
+	// such a register to its DBQ's scratch buffer for the rare shapes
+	// that still materialize. intsets is reused operand-collection
+	// scratch so INT/TRC execution allocates nothing in steady state.
+	encRegs []graph.AdjList
+	encBuf  []int
+	intsets [][]int64
+
 	sink     *obsSink // pre-resolved registry handles, flushed per task
 	depth    int      // current ENU recursion level
 	maxDepth int      // deepest level reached in the current task
@@ -173,14 +183,16 @@ type Executor struct {
 // is the total order ≺ used by symmetry-breaking filters.
 func NewExecutor(prog *Program, src AdjSource, numVertices int, ord *graph.TotalOrder, opts Options) *Executor {
 	e := &Executor{
-		prog: prog,
-		src:  src,
-		ord:  ord,
-		numV: numVertices,
-		opts: opts,
-		f:    make([]int64, prog.n),
-		regs: make([][]int64, prog.numRegs),
-		bufs: make([][]int64, prog.numBufs),
+		prog:    prog,
+		src:     src,
+		ord:     ord,
+		numV:    numVertices,
+		opts:    opts,
+		f:       make([]int64, prog.n),
+		regs:    make([][]int64, prog.numRegs),
+		bufs:    make([][]int64, prog.numBufs),
+		encRegs: make([]graph.AdjList, prog.numRegs),
+		encBuf:  make([]int, prog.numRegs),
 	}
 	for i := range e.f {
 		e.f[i] = -1
@@ -277,13 +289,21 @@ func (e *Executor) run(pc int) error {
 				if err != nil {
 					return err
 				}
-				buf, err := l.AppendDecoded(e.bufs[in.buf][:0])
-				if err != nil {
-					return err
-				}
 				e.stats.DBQueries++
-				e.bufs[in.buf] = buf
-				e.regs[in.dst] = buf
+				if in.lazy {
+					// Single INT consumer: park the encoded payload and
+					// let the intersection stream the deltas directly.
+					e.encRegs[in.dst] = l
+					e.encBuf[in.dst] = in.buf
+					e.regs[in.dst] = nil
+				} else {
+					buf, err := l.AppendDecoded(e.bufs[in.buf][:0])
+					if err != nil {
+						return err
+					}
+					e.bufs[in.buf] = buf
+					e.regs[in.dst] = buf
+				}
 			} else {
 				adj, err := e.src.GetAdj(e.f[in.vertex])
 				if err != nil {
@@ -294,7 +314,9 @@ func (e *Executor) run(pc int) error {
 			}
 
 		case plan.OpINT:
-			e.execIntersect(in)
+			if err := e.execIntersect(in); err != nil {
+				return err
+			}
 
 		case plan.OpTRC:
 			e.execTriangle(in)
@@ -393,18 +415,53 @@ func (e *Executor) enuSource(in *cInstr) []int64 {
 
 // execIntersect evaluates an INT instruction: intersect the operand sets
 // and apply the filtering conditions, writing the result into the
-// instruction's scratch buffer.
-func (e *Executor) execIntersect(in *cInstr) {
+// instruction's scratch buffer. Operands parked in encoded form by a
+// lazy DBQ are merged straight off their delta streams.
+func (e *Executor) execIntersect(in *cInstr) error {
 	e.stats.IntOps++
 	buf := e.bufs[in.buf][:0]
 
-	// Collect concrete operand sets, ignoring V(G) (the identity of
-	// intersection) unless it is the only operand.
-	var sets [][]int64
-	for _, r := range in.ops {
-		if r != vgReg {
-			sets = append(sets, e.regs[r])
+	// Collect concrete operand sets into reused scratch, ignoring V(G)
+	// (the identity of intersection) unless it is the only operand.
+	// Encoded operands are gathered separately; more than two (no real
+	// plan shape) fall back to materializing into their DBQ buffers.
+	sets := e.intsets[:0]
+	var enc0, enc1 graph.AdjList
+	nenc := 0
+	for k, r := range in.ops {
+		if r == vgReg {
+			continue
 		}
+		if e.lsrc != nil && in.encMask&(1<<uint(k)) != 0 {
+			switch nenc {
+			case 0:
+				enc0 = e.encRegs[r]
+			case 1:
+				enc1 = e.encRegs[r]
+			default:
+				b, err := e.encRegs[r].AppendDecoded(e.bufs[e.encBuf[r]][:0])
+				if err != nil {
+					return err
+				}
+				e.bufs[e.encBuf[r]] = b
+				sets = append(sets, b)
+				nenc--
+			}
+			nenc++
+			continue
+		}
+		sets = append(sets, e.regs[r])
+	}
+	if nenc > 0 {
+		var err error
+		buf, err = e.intersectEncoded(buf, enc0, enc1, nenc, sets, in.filters)
+		e.intsets = sets
+		if err != nil {
+			return err
+		}
+		e.bufs[in.buf] = buf
+		e.regs[in.dst] = buf
+		return nil
 	}
 	switch len(sets) {
 	case 0:
@@ -415,47 +472,135 @@ func (e *Executor) execIntersect(in *cInstr) {
 			}
 		}
 	case 1:
-		for _, v := range sets[0] {
-			if e.passes(in.filters, v) {
-				buf = append(buf, v)
-			}
-		}
+		buf = e.appendFiltered(buf, sets[0], in.filters)
 	case 2:
 		buf = e.intersectFiltered(buf, sets[0], sets[1], in.filters)
 	default:
-		// k-way: fold pairwise, smallest set first so intermediates
-		// shrink quickly. Intermediates ping-pong between two scratch
-		// buffers; the final step (with filters) writes the instruction's
-		// own buffer, which must outlive deeper recursion levels.
-		small := 0
-		for i, s := range sets {
-			if len(s) < len(sets[small]) {
-				small = i
-			}
-		}
-		sets[0], sets[small] = sets[small], sets[0]
-		cur := sets[0]
-		useA := true
-		for i := 1; i < len(sets); i++ {
-			if i == len(sets)-1 {
-				buf = e.intersectFiltered(buf, cur, sets[i], in.filters)
-				break
-			}
-			if useA {
-				e.ktmpA = e.intersectFiltered(e.ktmpA[:0], cur, sets[i], nil)
-				cur = e.ktmpA
-			} else {
-				e.ktmpB = e.intersectFiltered(e.ktmpB[:0], cur, sets[i], nil)
-				cur = e.ktmpB
-			}
-			useA = !useA
-			if len(cur) == 0 {
-				break // result is empty; buf stays empty
-			}
-		}
+		buf = e.foldIntersect(buf, sets, in.filters)
 	}
+	e.intsets = sets
 	e.bufs[in.buf] = buf
 	e.regs[in.dst] = buf
+	return nil
+}
+
+// intersectEncoded evaluates a fused INT: one or two operands are still
+// varint-delta encoded, the rest (sets) are materialized. The common
+// shapes — encoded∩materialized and encoded∩encoded — stream the
+// payload bytes once, galloping or merging per the size heuristic,
+// without ever building the operand as a []int64.
+func (e *Executor) intersectEncoded(dst []int64, enc0, enc1 graph.AdjList, nenc int, sets [][]int64, filters []cFilter) ([]int64, error) {
+	if len(sets) == 0 {
+		var err error
+		tmp := dst
+		if len(filters) > 0 {
+			tmp = e.ktmpA[:0]
+		}
+		switch {
+		case nenc == 1:
+			tmp, err = enc0.AppendDecoded(tmp)
+		default:
+			tmp, err = graph.IntersectAdjLists(tmp, enc0, enc1)
+		}
+		if len(filters) == 0 {
+			return tmp, err
+		}
+		e.ktmpA = tmp
+		if err != nil {
+			return dst, err
+		}
+		return e.appendFiltered(dst, tmp, filters), nil
+	}
+	if nenc == 1 && len(sets) == 1 {
+		if len(filters) == 0 {
+			return enc0.IntersectSorted(dst, sets[0])
+		}
+		tmp, err := enc0.IntersectSorted(e.ktmpA[:0], sets[0])
+		e.ktmpA = tmp
+		if err != nil {
+			return dst, err
+		}
+		return e.appendFiltered(dst, tmp, filters), nil
+	}
+	// Rare general shape: fold the materialized sets pairwise, then
+	// stream each encoded operand against the shrinking intermediate.
+	cur := sets[0]
+	useA := true
+	for i := 1; i < len(sets); i++ {
+		if useA {
+			e.ktmpA = e.intersectFiltered(e.ktmpA[:0], cur, sets[i], nil)
+			cur = e.ktmpA
+		} else {
+			e.ktmpB = e.intersectFiltered(e.ktmpB[:0], cur, sets[i], nil)
+			cur = e.ktmpB
+		}
+		useA = !useA
+	}
+	for i := 0; i < nenc; i++ {
+		l := enc0
+		if i == 1 {
+			l = enc1
+		}
+		var err error
+		if useA {
+			e.ktmpA, err = l.IntersectSorted(e.ktmpA[:0], cur)
+			cur = e.ktmpA
+		} else {
+			e.ktmpB, err = l.IntersectSorted(e.ktmpB[:0], cur)
+			cur = e.ktmpB
+		}
+		useA = !useA
+		if err != nil {
+			return dst, err
+		}
+	}
+	return e.appendFiltered(dst, cur, filters), nil
+}
+
+// appendFiltered appends the elements of src passing filters to dst.
+func (e *Executor) appendFiltered(dst, src []int64, filters []cFilter) []int64 {
+	if len(filters) == 0 {
+		return append(dst, src...)
+	}
+	for _, v := range src {
+		if e.passes(filters, v) {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// foldIntersect intersects k ≥ 3 materialized sets pairwise, smallest
+// set first so intermediates shrink quickly. Intermediates ping-pong
+// between the two ktmp scratch buffers; the final step (with filters)
+// appends to dst, which must outlive deeper recursion levels.
+func (e *Executor) foldIntersect(dst []int64, sets [][]int64, filters []cFilter) []int64 {
+	small := 0
+	for i, s := range sets {
+		if len(s) < len(sets[small]) {
+			small = i
+		}
+	}
+	sets[0], sets[small] = sets[small], sets[0]
+	cur := sets[0]
+	useA := true
+	for i := 1; i < len(sets); i++ {
+		if i == len(sets)-1 {
+			return e.intersectFiltered(dst, cur, sets[i], filters)
+		}
+		if useA {
+			e.ktmpA = e.intersectFiltered(e.ktmpA[:0], cur, sets[i], nil)
+			cur = e.ktmpA
+		} else {
+			e.ktmpB = e.intersectFiltered(e.ktmpB[:0], cur, sets[i], nil)
+			cur = e.ktmpB
+		}
+		useA = !useA
+		if len(cur) == 0 {
+			return dst // result is empty; dst gains nothing
+		}
+	}
+	return dst
 }
 
 // intersectFiltered merges two sorted sets applying filters on the fly.
@@ -541,12 +686,7 @@ func (e *Executor) execTriangle(in *cInstr) {
 	if len(in.filters) > 0 {
 		// TRC caches the raw intersection; filters (if any) apply to a
 		// private copy so cached entries stay reusable across branches.
-		buf := e.bufs[in.buf][:0]
-		for _, v := range result {
-			if e.passes(in.filters, v) {
-				buf = append(buf, v)
-			}
-		}
+		buf := e.appendFiltered(e.bufs[in.buf][:0], result, in.filters)
 		e.bufs[in.buf] = buf
 		result = buf
 	}
@@ -563,11 +703,12 @@ func (e *Executor) rawIntersect(dst []int64, in *cInstr) []int64 {
 	case 2:
 		return graph.IntersectSorted(dst, e.regs[in.ops[0]], e.regs[in.ops[1]])
 	}
-	sets := make([][]int64, len(in.ops))
-	for i, r := range in.ops {
-		sets[i] = e.regs[r]
+	sets := e.intsets[:0]
+	for _, r := range in.ops {
+		sets = append(sets, e.regs[r])
 	}
-	return graph.IntersectMany(dst, sets...)
+	e.intsets = sets
+	return e.foldIntersect(dst, sets, nil)
 }
 
 // emit handles the RES instruction.

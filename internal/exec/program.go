@@ -42,6 +42,19 @@ type cInstr struct {
 	// looked up in the store, so batch-fetching the candidate set up front
 	// replaces |set| cache misses with one batched round trip.
 	prefetch bool
+
+	// lazy marks a DBQ whose result register is read exactly once, by an
+	// INT instruction that executes exactly once per DBQ execution (no
+	// ENU opens between them). On the compact read path such a register
+	// skips materialization entirely: the DBQ parks the encoded AdjList
+	// and the INT intersects directly over the delta stream, fusing
+	// decode into the merge.
+	lazy bool
+
+	// encMask marks which operand positions of an INT read their
+	// register in encoded form (bit k set = ops[k] is a lazy DBQ
+	// register). Only ever nonzero on INT instructions.
+	encMask uint32
 }
 
 // resOperand describes one RES operand: either the f value of a pattern
@@ -209,6 +222,59 @@ func Compile(pl *plan.Plan) (*Program, error) {
 			if prog.instrs[j].op == plan.OpDBQ && prog.instrs[j].vertex == prog.instrs[pc].vertex {
 				prog.instrs[pc].prefetch = true
 				break
+			}
+		}
+	}
+
+	// Lazy-DBQ analysis: a DBQ register read exactly once, by an INT with
+	// no ENU opening in between, is consumed exactly once per DBQ
+	// execution. On the compact read path such a register never needs
+	// materializing — the INT can merge the encoded delta stream
+	// directly, fusing decode into the intersection. Count reads first.
+	reads := make([]int, prog.numRegs)
+	readerPC := make([]int, prog.numRegs)
+	for pc, ci := range prog.instrs {
+		switch ci.op {
+		case plan.OpINT, plan.OpTRC, plan.OpENU:
+			for _, r := range ci.ops {
+				if r != vgReg {
+					reads[r]++
+					readerPC[r] = pc
+				}
+			}
+		case plan.OpINI, plan.OpDBQ, plan.OpRES:
+		}
+	}
+	for _, op := range prog.res {
+		if op.isSet {
+			reads[op.reg]++
+			readerPC[op.reg] = len(prog.instrs) // RES: never fusable
+		}
+	}
+	for pc := range prog.instrs {
+		in := &prog.instrs[pc]
+		if in.op != plan.OpDBQ || reads[in.dst] != 1 {
+			continue
+		}
+		rpc := readerPC[in.dst]
+		if rpc >= len(prog.instrs) || prog.instrs[rpc].op != plan.OpINT ||
+			len(prog.instrs[rpc].ops) > 32 { // encMask width; plans never get close
+			continue
+		}
+		fusable := true
+		for j := pc + 1; j < rpc; j++ {
+			if prog.instrs[j].op == plan.OpENU {
+				fusable = false // INT re-runs per candidate; eager decode is cheaper
+				break
+			}
+		}
+		if !fusable {
+			continue
+		}
+		in.lazy = true
+		for k, r := range prog.instrs[rpc].ops {
+			if r == in.dst {
+				prog.instrs[rpc].encMask |= 1 << uint(k)
 			}
 		}
 	}

@@ -48,11 +48,6 @@ type CachedSource struct {
 
 	mu      sync.Mutex
 	flights map[int64]*flight
-	// prefetched holds keys installed by prefetch and not yet read by a
-	// demand query; its size is tracked in pfOutstanding so the demand
-	// hot path can skip the map entirely when no prefetches are pending.
-	prefetched    map[int64]struct{}
-	pfOutstanding atomic.Int64
 
 	queue     chan []int64
 	wg        sync.WaitGroup
@@ -110,6 +105,9 @@ type sourceObs struct {
 	pfUsed      *obs.Counter
 	pfErrors    *obs.Counter
 	bytesSaved  *obs.Counter
+	mixedDecode *obs.Counter
+	mixedEncode *obs.Counter
+	scratchUses *obs.Counter
 }
 
 func newSourceObs(r *obs.Registry) *sourceObs {
@@ -125,6 +123,9 @@ func newSourceObs(r *obs.Registry) *sourceObs {
 		pfUsed:      r.Counter("source.prefetch.used"),
 		pfErrors:    r.Counter("source.prefetch.errors"),
 		bytesSaved:  r.Counter("source.compact.bytes_saved"),
+		mixedDecode: r.Counter("source.compact.decode_mixed"),
+		mixedEncode: r.Counter("source.compact.encode_mixed"),
+		scratchUses: r.Counter("source.scratch.borrows"),
 	}
 }
 
@@ -142,14 +143,17 @@ func NewCachedSourceWith(store kv.Store, capacity int64, opts SourceOptions) *Ca
 		opts.BatchSize = defaultBatchSize
 	}
 	s := &CachedSource{
-		store:      store,
-		cache:      cache.NewLRU(capacity),
-		capacity:   capacity,
-		opts:       opts,
-		flights:    make(map[int64]*flight),
-		prefetched: make(map[int64]struct{}),
-		so:         newSourceObs(opts.Obs),
+		store:    store,
+		cache:    cache.NewLRU(capacity),
+		capacity: capacity,
+		opts:     opts,
+		flights:  make(map[int64]*flight),
+		so:       newSourceObs(opts.Obs),
 	}
+	// Prefetch coverage rides the cache's own hit path: entries installed
+	// ahead of demand are flagged, and the first demand read of a flagged
+	// entry bumps the counter — no per-hit bookkeeping in the source.
+	s.cache.OnPrefetchUse(s.so.pfUsed.Inc)
 	if opts.PrefetchWorkers > 0 {
 		s.queue = make(chan []int64, opts.PrefetchWorkers*8)
 		for i := 0; i < opts.PrefetchWorkers; i++ {
@@ -174,7 +178,6 @@ func (s *CachedSource) Close() {
 // GetAdj implements AdjSource.
 func (s *CachedSource) GetAdj(v int64) ([]int64, error) {
 	if adj, ok := s.cache.Get(v); ok {
-		s.noteUse(v)
 		return adj, nil
 	}
 	fl, err := s.fetchOne(v)
@@ -182,6 +185,10 @@ func (s *CachedSource) GetAdj(v int64) ([]int64, error) {
 		return nil, err
 	}
 	if fl.compact {
+		// Raw reader on a compact flight: the mismatch costs one decode
+		// allocation per miss. The counter flags misconfigured pipelines
+		// (an executor without CompactAdjacency over a compact source).
+		s.so.mixedDecode.Inc()
 		return fl.list.AppendDecoded(nil)
 	}
 	return fl.adj, nil
@@ -191,7 +198,6 @@ func (s *CachedSource) GetAdj(v int64) ([]int64, error) {
 // source a hit is zero-copy; raw entries are encoded per call.
 func (s *CachedSource) GetList(v int64) (graph.AdjList, error) {
 	if l, ok := s.cache.GetList(v); ok {
-		s.noteUse(v)
 		return l, nil
 	}
 	fl, err := s.fetchOne(v)
@@ -201,6 +207,9 @@ func (s *CachedSource) GetList(v int64) (graph.AdjList, error) {
 	if fl.compact {
 		return fl.list, nil
 	}
+	// Compact reader on a raw flight: one encode per miss (see the
+	// decode_mixed twin above).
+	s.so.mixedEncode.Inc()
 	return graph.EncodeAdjList(fl.adj), nil
 }
 
@@ -299,19 +308,27 @@ func (s *CachedSource) Prefetch(vs []int64) error {
 	if s.capacity <= 0 || len(vs) == 0 {
 		return nil
 	}
-	need := vs[:0:0] // fresh slice; vs may be caller scratch
-	for _, v := range vs {
-		if !s.cache.Contains(v) {
-			need = append(need, v)
-		}
+	// The uncached-key filter runs once per ENU loop; in synchronous mode
+	// the scratch is pooled so steady-state prefetching allocates nothing.
+	// Asynchronous batches escape into the worker queue and keep their
+	// own fresh backing array.
+	var p *[]int64
+	var need []int64
+	if s.queue == nil {
+		p = graph.BorrowInts()
+		s.so.scratchUses.Inc()
+		need = (*p)[:0]
+	} else {
+		need = vs[:0:0]
 	}
-	for len(need) > 0 {
-		n := len(need)
-		if n > s.opts.BatchSize {
-			n = s.opts.BatchSize
+	need = s.cache.AppendMissing(need, vs)
+	var err error
+	for off := 0; off < len(need) && err == nil; off += s.opts.BatchSize {
+		end := off + s.opts.BatchSize
+		if end > len(need) {
+			end = len(need)
 		}
-		batch := need[:n]
-		need = need[n:]
+		batch := need[off:end]
 		if s.queue != nil {
 			select {
 			case s.queue <- batch:
@@ -321,11 +338,13 @@ func (s *CachedSource) Prefetch(vs []int64) error {
 			}
 			continue
 		}
-		if err := s.fetchBatch(batch); err != nil {
-			return err
-		}
+		err = s.fetchBatch(batch)
 	}
-	return nil
+	if p != nil {
+		*p = need
+		graph.ReturnInts(p)
+	}
+	return err
 }
 
 // prefetchWorker drains the async queue. Failures are speculative —
@@ -350,9 +369,21 @@ func (s *CachedSource) fetchBatch(keys []int64) error {
 	if err := s.ctxErr(); err != nil {
 		return err
 	}
+	mp := graph.BorrowInts()
+	fp := flightScratch.Get().(*[]*flight)
+	s.so.scratchUses.Inc()
+	mine := (*mp)[:0]
+	fls := (*fp)[:0]
+	release := func() {
+		*mp = mine
+		graph.ReturnInts(mp)
+		for i := range fls {
+			fls[i] = nil // drop flight refs before pooling
+		}
+		*fp = fls
+		flightScratch.Put(fp)
+	}
 	s.mu.Lock()
-	mine := make([]int64, 0, len(keys))
-	fls := make([]*flight, 0, len(keys))
 	for _, v := range keys {
 		if _, ok := s.flights[v]; ok {
 			continue
@@ -364,6 +395,7 @@ func (s *CachedSource) fetchBatch(keys []int64) error {
 	}
 	s.mu.Unlock()
 	if len(mine) == 0 {
+		release()
 		return nil
 	}
 	s.so.batchSize.Record(int64(len(mine)))
@@ -406,41 +438,23 @@ func (s *CachedSource) fetchBatch(keys []int64) error {
 	for i, fl := range fls {
 		s.complete(mine[i], fl)
 	}
+	release()
 	return err
 }
 
-// markPrefetched records keys installed ahead of demand, for the
-// coverage metric (source.prefetch.used counts the ones a demand query
-// later reads).
-func (s *CachedSource) markPrefetched(keys []int64) {
-	s.mu.Lock()
-	for _, v := range keys {
-		if _, ok := s.prefetched[v]; !ok {
-			s.prefetched[v] = struct{}{}
-			s.pfOutstanding.Add(1)
-		}
-	}
-	s.mu.Unlock()
-	s.so.pfInstalled.Add(int64(len(keys)))
-}
+// flightScratch pools the per-batch flight-pointer scratch of fetchBatch
+// (the key scratch rides the shared graph int64 pool).
+var flightScratch = sync.Pool{New: func() any {
+	s := make([]*flight, 0, defaultBatchSize)
+	return &s
+}}
 
-// noteUse credits a cache hit against the prefetch coverage set. The
-// atomic guard keeps the common case (no outstanding prefetches) free of
-// the mutex.
-func (s *CachedSource) noteUse(v int64) {
-	if s.pfOutstanding.Load() == 0 {
-		return
-	}
-	s.mu.Lock()
-	_, ok := s.prefetched[v]
-	if ok {
-		delete(s.prefetched, v)
-		s.pfOutstanding.Add(-1)
-	}
-	s.mu.Unlock()
-	if ok {
-		s.so.pfUsed.Inc()
-	}
+// markPrefetched flags keys installed ahead of demand for the coverage
+// metric (source.prefetch.used counts the ones a demand query later
+// reads, via the cache's OnPrefetchUse hook).
+func (s *CachedSource) markPrefetched(keys []int64) {
+	s.cache.MarkPrefetched(keys)
+	s.so.pfInstalled.Add(int64(len(keys)))
 }
 
 // Cache exposes the underlying LRU (for stats).

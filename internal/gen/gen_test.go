@@ -263,3 +263,94 @@ func TestPresets(t *testing.T) {
 		t.Errorf("preset N = %d, want %d", g1.NumVertices(), p.Config.N)
 	}
 }
+
+// powerLawMapRef is the map-backed generator PowerLaw replaced; kept as
+// the reference that pins the map-free version to bit-identical output
+// (the RNG draw sequence must not depend on the adjacency representation,
+// or every committed benchmark dataset silently changes shape).
+func powerLawMapRef(cfg PowerLawConfig) *graph.Graph {
+	if cfg.M0 < 2 {
+		cfg.M0 = 2
+	}
+	if cfg.EdgesPer < 1 {
+		cfg.EdgesPer = 1
+	}
+	if cfg.N < cfg.M0 {
+		cfg.N = cfg.M0
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := graph.NewBuilder(cfg.N)
+	targets := make([]int64, 0, 2*cfg.N*cfg.EdgesPer)
+	adj := make([]map[int64]bool, cfg.N)
+	nbr := make([][]int64, cfg.N)
+	for i := range adj {
+		adj[i] = make(map[int64]bool)
+	}
+	addEdge := func(u, v int64) {
+		if u == v || adj[u][v] {
+			return
+		}
+		adj[u][v] = true
+		adj[v][u] = true
+		nbr[u] = append(nbr[u], v)
+		nbr[v] = append(nbr[v], u)
+		b.AddEdge(u, v)
+		targets = append(targets, u, v)
+	}
+	for i := 0; i < cfg.M0; i++ {
+		for j := i + 1; j < cfg.M0; j++ {
+			addEdge(int64(i), int64(j))
+		}
+	}
+	for v := int64(cfg.M0); v < int64(cfg.N); v++ {
+		var prev int64 = -1
+		for e := 0; e < cfg.EdgesPer; e++ {
+			var t int64
+			if prev >= 0 && cfg.Triad > 0 && rng.Float64() < cfg.Triad && len(nbr[prev]) > 0 {
+				t = nbr[prev][rng.Intn(len(nbr[prev]))]
+			} else {
+				t = targets[rng.Intn(len(targets))]
+			}
+			if t == v || adj[v][t] {
+				for retry := 0; retry < 8; retry++ {
+					t = targets[rng.Intn(len(targets))]
+					if t != v && !adj[v][t] {
+						break
+					}
+				}
+			}
+			if t != v && !adj[v][t] {
+				addEdge(v, t)
+				prev = t
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestPowerLawMatchesMapReference(t *testing.T) {
+	cfgs := []PowerLawConfig{
+		{N: 300, M0: 4, EdgesPer: 3, Triad: 0.3, Seed: 11},
+		{N: 1200, M0: 4, EdgesPer: 6, Triad: 0.45, Seed: 3}, // the ok-s bench dataset
+		{N: 800, M0: 2, EdgesPer: 1, Triad: 0, Seed: 99},
+		{N: 500, M0: 8, EdgesPer: 5, Triad: 0.9, Seed: 5},
+	}
+	for _, cfg := range cfgs {
+		got, want := PowerLaw(cfg), powerLawMapRef(cfg)
+		if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() {
+			t.Fatalf("cfg %+v: %d vertices / %d edges, reference has %d / %d",
+				cfg, got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+		}
+		for v := int64(0); v < int64(want.NumVertices()); v++ {
+			a, b := got.Adj(v), want.Adj(v)
+			if len(a) != len(b) {
+				t.Fatalf("cfg %+v: Adj(%d) differs in size", cfg, v)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("cfg %+v: Adj(%d)[%d] = %d, reference %d", cfg, v, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}

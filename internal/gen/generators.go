@@ -45,17 +45,30 @@ func PowerLaw(cfg PowerLawConfig) *graph.Graph {
 	// appears once per incident edge, so sampling uniformly from the list
 	// samples proportionally to degree.
 	targets := make([]int64, 0, 2*cfg.N*cfg.EdgesPer)
-	adj := make([]map[int64]bool, cfg.N) // membership checks
-	nbr := make([][]int64, cfg.N)        // deterministic sampling order
-	for i := range adj {
-		adj[i] = make(map[int64]bool)
+	nbr := make([][]int64, cfg.N) // adjacency lists in deterministic sampling order
+	// Membership by scanning the smaller endpoint's list: every check
+	// involves either a fresh vertex (degree ≤ EdgesPer) or a seed-clique
+	// member (degree < M0), so scans are O(EdgesPer) and the generator
+	// carries no per-vertex maps — at a million vertices the maps, not
+	// the edges, used to dominate the footprint. No RNG draw depends on
+	// the representation, so graphs are bit-identical to the map-backed
+	// generator this replaces.
+	hasEdge := func(u, v int64) bool {
+		a, x := nbr[u], v
+		if len(nbr[v]) < len(a) {
+			a, x = nbr[v], u
+		}
+		for _, w := range a {
+			if w == x {
+				return true
+			}
+		}
+		return false
 	}
 	addEdge := func(u, v int64) {
-		if u == v || adj[u][v] {
+		if u == v || hasEdge(u, v) {
 			return
 		}
-		adj[u][v] = true
-		adj[v][u] = true
 		nbr[u] = append(nbr[u], v)
 		nbr[v] = append(nbr[v], u)
 		b.AddEdge(u, v)
@@ -78,17 +91,17 @@ func PowerLaw(cfg PowerLawConfig) *graph.Graph {
 			} else {
 				t = targets[rng.Intn(len(targets))]
 			}
-			if t == v || adj[v][t] {
+			if t == v || hasEdge(v, t) {
 				// Fall back to a fresh uniform-degree draw; a few retries
 				// keep the expected edge count on target.
 				for retry := 0; retry < 8; retry++ {
 					t = targets[rng.Intn(len(targets))]
-					if t != v && !adj[v][t] {
+					if t != v && !hasEdge(v, t) {
 						break
 					}
 				}
 			}
-			if t != v && !adj[v][t] {
+			if t != v && !hasEdge(v, t) {
 				addEdge(v, t)
 				prev = t
 			}

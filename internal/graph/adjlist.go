@@ -68,6 +68,22 @@ func (l AdjList) Len() int {
 	return int(n)
 }
 
+// fastUvarint decodes a 1- or 2-byte unsigned varint from the front of
+// b, returning 0 consumed bytes when the encoding is wider (or b too
+// short) — the caller then falls back to varint.Uvarint. It exists so
+// the decode loops below keep the overwhelmingly common case (small
+// sorted-set deltas) inlined, with one branch per byte width and no
+// error-path work.
+func fastUvarint(b []byte) (uint64, int) {
+	if len(b) > 0 && b[0] < 0x80 {
+		return uint64(b[0]), 1
+	}
+	if len(b) > 1 && b[1] < 0x80 {
+		return uint64(b[0]&0x7f) | uint64(b[1])<<7, 2
+	}
+	return 0, 0
+}
+
 // AppendDecoded appends the decoded neighbor ids to dst and returns it.
 // It fails on truncated or overflowing varints without over-allocating:
 // the claimed count only caps the initial reservation, growth is
@@ -86,9 +102,13 @@ func (l AdjList) AppendDecoded(dst []int64) ([]int64, error) {
 	}
 	prev := int64(0)
 	for i := uint64(0); i < n; i++ {
-		x, k, err := varint.Uvarint(b)
-		if err != nil {
-			return dst, fmt.Errorf("graph: adjlist entry %d/%d: %w", i, n, err)
+		x, k := fastUvarint(b)
+		if k == 0 {
+			var err error
+			x, k, err = varint.Uvarint(b)
+			if err != nil {
+				return dst, fmt.Errorf("graph: adjlist entry %d/%d: %w", i, n, err)
+			}
 		}
 		b = b[k:]
 		if i == 0 {
@@ -142,9 +162,22 @@ func (l AdjList) Validate() error {
 	return nil
 }
 
+// adjGallopRatio is the size skew beyond which the encoded intersection
+// gallops through the materialized side instead of merging linearly —
+// the same break-even ratio IntersectSorted (sets.go) uses for two
+// materialized sets.
+const adjGallopRatio = 16
+
 // IntersectSorted intersects l with the ascending-sorted set other,
-// appending matches to dst — a streaming merge over the compact bytes,
+// appending matches to dst — a streaming pass over the compact bytes,
 // no intermediate decode. It fails on malformed encodings.
+//
+// The pass is a linear merge, except when other is at least
+// adjGallopRatio times larger than l's claimed length: then each
+// decoded id gallops (exponential probe + binary search) through other
+// instead of scanning it, which matters when a short adjacency set
+// meets the hub-sized candidate sets of power-law graphs. Both sides
+// early-exit: the byte walk stops as soon as other is exhausted.
 func (l AdjList) IntersectSorted(dst []int64, other []int64) ([]int64, error) {
 	b := l.b
 	n, k, err := varint.Uvarint(b)
@@ -152,12 +185,17 @@ func (l AdjList) IntersectSorted(dst []int64, other []int64) ([]int64, error) {
 		return dst, fmt.Errorf("graph: adjlist header: %w", err)
 	}
 	b = b[k:]
+	gallop := uint64(len(other)) >= adjGallopRatio*n
 	j := 0
 	prev := int64(0)
 	for i := uint64(0); i < n; i++ {
-		x, k, err := varint.Uvarint(b)
-		if err != nil {
-			return dst, fmt.Errorf("graph: adjlist entry %d/%d: %w", i, n, err)
+		x, k := fastUvarint(b)
+		if k == 0 {
+			var err error
+			x, k, err = varint.Uvarint(b)
+			if err != nil {
+				return dst, fmt.Errorf("graph: adjlist entry %d/%d: %w", i, n, err)
+			}
 		}
 		b = b[k:]
 		if i == 0 {
@@ -165,8 +203,12 @@ func (l AdjList) IntersectSorted(dst []int64, other []int64) ([]int64, error) {
 		} else {
 			prev += int64(x)
 		}
-		for j < len(other) && other[j] < prev {
-			j++
+		if gallop {
+			j = gallopTo(other, j, prev)
+		} else {
+			for j < len(other) && other[j] < prev {
+				j++
+			}
 		}
 		if j == len(other) {
 			break
@@ -178,6 +220,186 @@ func (l AdjList) IntersectSorted(dst []int64, other []int64) ([]int64, error) {
 	}
 	return dst, nil
 }
+
+// gallopTo returns the first index i ≥ lo with a[i] >= x, probing
+// exponentially from lo and binary-searching the final window — O(log d)
+// in the distance d advanced rather than O(d).
+func gallopTo(a []int64, lo int, x int64) int {
+	step := 1
+	hi := lo
+	for hi < len(a) && a[hi] < x {
+		lo = hi + 1
+		hi += step
+		step <<= 1
+	}
+	if hi > len(a) {
+		hi = len(a)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// IntersectAdjLists intersects two encoded adjacency lists by merging
+// their delta streams directly — neither side is materialized. The walk
+// stops as soon as either stream is exhausted, so the cost is bounded
+// by the shorter list's byte length plus the matched prefix of the
+// longer one. It fails on malformed encodings.
+//
+// The merge keeps its decode state in locals (not an AdjCursor) so the
+// per-element step is fully inlined; this is the INT fast path of the
+// compact data plane when both operands are still encoded.
+func IntersectAdjLists(dst []int64, a, b AdjList) ([]int64, error) {
+	ba, ka, err := a.header()
+	if err != nil {
+		return dst, err
+	}
+	bb, kb, err := b.header()
+	if err != nil {
+		return dst, err
+	}
+	if ka == 0 || kb == 0 {
+		return dst, nil
+	}
+	va, ba, err := adjStep(ba, 0, true)
+	if err != nil {
+		return dst, err
+	}
+	vb, bb, err := adjStep(bb, 0, true)
+	if err != nil {
+		return dst, err
+	}
+	for {
+		switch {
+		case va < vb:
+			if ka--; ka == 0 {
+				return dst, nil
+			}
+			if va, ba, err = adjStep(ba, va, false); err != nil {
+				return dst, err
+			}
+		case va > vb:
+			if kb--; kb == 0 {
+				return dst, nil
+			}
+			if vb, bb, err = adjStep(bb, vb, false); err != nil {
+				return dst, err
+			}
+		default:
+			dst = append(dst, va)
+			ka--
+			kb--
+			if ka == 0 || kb == 0 {
+				return dst, nil
+			}
+			if va, ba, err = adjStep(ba, va, false); err != nil {
+				return dst, err
+			}
+			if vb, bb, err = adjStep(bb, vb, false); err != nil {
+				return dst, err
+			}
+		}
+	}
+}
+
+// header decodes l's neighbor count and returns the entry bytes.
+func (l AdjList) header() ([]byte, uint64, error) {
+	n, k, err := varint.Uvarint(l.b)
+	if err != nil {
+		return nil, 0, fmt.Errorf("graph: adjlist header: %w", err)
+	}
+	return l.b[k:], n, nil
+}
+
+// adjStep decodes one entry varint from b and applies delta decoding
+// against prev (first marks the absolute first entry). It returns the
+// decoded id and the remaining bytes. The 1-/2-byte fast path keeps the
+// whole step inlinable; wider varints and errors drop to adjStepSlow.
+func adjStep(b []byte, prev int64, first bool) (int64, []byte, error) {
+	x, k := fastUvarint(b)
+	if k == 0 {
+		return adjStepSlow(b, prev, first)
+	}
+	if first {
+		return int64(x), b[k:], nil
+	}
+	return prev + int64(x), b[k:], nil
+}
+
+// adjStepSlow is adjStep's out-of-line general case.
+func adjStepSlow(b []byte, prev int64, first bool) (int64, []byte, error) {
+	x, k, err := varint.Uvarint(b)
+	if err != nil {
+		return 0, b, fmt.Errorf("graph: adjlist entry: %w", err)
+	}
+	if first {
+		return int64(x), b[k:], nil
+	}
+	return prev + int64(x), b[k:], nil
+}
+
+// AdjCursor streams the neighbor ids of an encoded AdjList one at a
+// time, without materializing the set. The zero value is an exhausted
+// cursor; obtain a live one with AdjList.Cursor. After Next returns
+// false, Err distinguishes normal exhaustion (nil) from a malformed
+// encoding.
+type AdjCursor struct {
+	b     []byte
+	rem   uint64
+	prev  int64
+	first bool
+	err   error
+}
+
+// Cursor returns a cursor over l's neighbor ids. A malformed header
+// surfaces on the first Next (false, with Err set).
+func (l AdjList) Cursor() AdjCursor {
+	n, k, err := varint.Uvarint(l.b)
+	if err != nil {
+		return AdjCursor{err: fmt.Errorf("graph: adjlist header: %w", err)}
+	}
+	return AdjCursor{b: l.b[k:], rem: n, first: true}
+}
+
+// Next returns the next neighbor id. It returns ok == false when the
+// list is exhausted or the encoding is malformed (see Err).
+func (c *AdjCursor) Next() (int64, bool) {
+	if c.rem == 0 || c.err != nil {
+		return 0, false
+	}
+	x, k := fastUvarint(c.b)
+	if k == 0 {
+		var err error
+		x, k, err = varint.Uvarint(c.b)
+		if err != nil {
+			c.err = fmt.Errorf("graph: adjlist entry: %w", err)
+			return 0, false
+		}
+	}
+	c.b = c.b[k:]
+	c.rem--
+	if c.first {
+		c.prev = int64(x)
+		c.first = false
+	} else {
+		c.prev += int64(x)
+	}
+	return c.prev, true
+}
+
+// Remaining returns the number of ids Next has yet to yield (per the
+// header's claim; a truncated encoding ends earlier, with Err set).
+func (c *AdjCursor) Remaining() int { return int(c.rem) }
+
+// Err returns the malformed-encoding error that stopped the cursor, or
+// nil after a clean walk.
+func (c *AdjCursor) Err() error { return c.err }
 
 func min64u(a uint64, b int) uint64 {
 	if a < uint64(b) {

@@ -190,6 +190,15 @@ func FuzzAdjListDecode(f *testing.F) {
 	f.Add([]byte{2, 4, 0})    // duplicate via zero delta
 	f.Add([]byte{1, 3, 9, 9}) // trailing bytes
 
+	// Seeds pinning the decoder's 1-/2-byte fast-path seams: deltas at
+	// 127/128 (1→2 bytes), 16383/16384 (2→3 bytes), and a 2-byte varint
+	// cut off after its continuation byte.
+	f.Add(EncodeAdjList([]int64{0, 127, 254}).Bytes())
+	f.Add(EncodeAdjList([]int64{0, 128, 256}).Bytes())
+	f.Add(EncodeAdjList([]int64{0, 16383, 32766}).Bytes())
+	f.Add(EncodeAdjList([]int64{0, 16384, 32768}).Bytes())
+	f.Add([]byte{2, 0x80}) // 2-byte fast path candidate, truncated
+
 	f.Fuzz(func(t *testing.T, b []byte) {
 		l := AdjListFromBytes(b)
 		verr := l.Validate()
@@ -219,6 +228,30 @@ func FuzzAdjListDecode(f *testing.F) {
 		}
 		if len(got) != len(adj) {
 			t.Fatalf("self-intersection lost entries: %d of %d", len(got), len(adj))
+		}
+		// So must the encoded×encoded merge and the cursor walk.
+		got, err = IntersectAdjLists(nil, l, l)
+		if err != nil {
+			t.Fatalf("IntersectAdjLists on valid encoding: %v", err)
+		}
+		if len(got) != len(adj) {
+			t.Fatalf("encoded self-intersection lost entries: %d of %d", len(got), len(adj))
+		}
+		c := l.Cursor()
+		for i := 0; ; i++ {
+			v, ok := c.Next()
+			if !ok {
+				if err := c.Err(); err != nil {
+					t.Fatalf("cursor failed on valid encoding: %v", err)
+				}
+				if i != len(adj) {
+					t.Fatalf("cursor yielded %d ids, decode %d", i, len(adj))
+				}
+				break
+			}
+			if v != adj[i] {
+				t.Fatalf("cursor id %d = %d, decode says %d", i, v, adj[i])
+			}
 		}
 	})
 }

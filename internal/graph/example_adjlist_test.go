@@ -1,0 +1,63 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"benu/internal/graph"
+)
+
+// The compact adjacency round trip: encode a sorted neighbor set,
+// inspect the payload, decode it back, and intersect it — both against
+// a materialized set (what the executor's INT fast path does) and
+// against another encoded list — all without trusting the bytes beyond
+// what the error returns report.
+func ExampleEncodeAdjList() {
+	adj := []int64{3, 5, 8, 13, 1000}
+	l := graph.EncodeAdjList(adj)
+	fmt.Printf("%d neighbors in %d bytes (raw: %d)\n", l.Len(), l.SizeBytes(), 8*len(adj))
+
+	decoded, err := l.AppendDecoded(nil)
+	if err != nil {
+		fmt.Println("decode failed:", err)
+		return
+	}
+	fmt.Println("decoded:", decoded)
+
+	// Encoded ∩ materialized: streams over the bytes, no full decode.
+	hits, err := l.IntersectSorted(nil, []int64{5, 9, 13, 2000})
+	if err != nil {
+		fmt.Println("intersect failed:", err)
+		return
+	}
+	fmt.Println("with slice:", hits)
+
+	// Encoded ∩ encoded: merges two delta streams directly.
+	other := graph.EncodeAdjList([]int64{1, 3, 13})
+	both, err := graph.IntersectAdjLists(nil, l, other)
+	if err != nil {
+		fmt.Println("intersect failed:", err)
+		return
+	}
+	fmt.Println("with list :", both)
+	// Output:
+	// 5 neighbors in 7 bytes (raw: 40)
+	// decoded: [3 5 8 13 1000]
+	// with slice: [5 13]
+	// with list : [3 13]
+}
+
+// AdjCursor streams ids one at a time — the building block for callers
+// that need early exit without materializing the set.
+func ExampleAdjList_Cursor() {
+	c := graph.EncodeAdjList([]int64{2, 4, 6}).Cursor()
+	for v, ok := c.Next(); ok; v, ok = c.Next() {
+		fmt.Println(v)
+	}
+	if err := c.Err(); err != nil {
+		fmt.Println("malformed:", err)
+	}
+	// Output:
+	// 2
+	// 4
+	// 6
+}

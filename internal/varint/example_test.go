@@ -1,0 +1,47 @@
+package varint_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"benu/internal/varint"
+)
+
+// Encode a handful of values, then decode them back: the round trip the
+// whole data plane (graph.AdjList payloads, VCBC result streams) is
+// built on. Note the encoded widths: one byte below 128, two bytes
+// below 1<<14 — the sizes the decoder's fast path is shaped around.
+func Example() {
+	var buf []byte
+	for _, x := range []uint64{7, 127, 128, 16383, 16384} {
+		buf = varint.Append(buf, x)
+	}
+	for len(buf) > 0 {
+		x, n, err := varint.Uvarint(buf)
+		if err != nil {
+			fmt.Println("decode failed:", err)
+			return
+		}
+		fmt.Printf("%d (%d bytes)\n", x, n)
+		buf = buf[n:]
+	}
+	// Output:
+	// 7 (1 bytes)
+	// 127 (1 bytes)
+	// 128 (2 bytes)
+	// 16383 (2 bytes)
+	// 16384 (3 bytes)
+}
+
+// Write is the streaming counterpart of Append for buffered writers;
+// the bytes are identical.
+func ExampleWrite() {
+	var w bytes.Buffer
+	if err := varint.Write(&w, 300); err != nil {
+		fmt.Println("write failed:", err)
+		return
+	}
+	fmt.Printf("%v == %v\n", w.Bytes(), varint.Append(nil, 300))
+	// Output:
+	// [172 2] == [172 2]
+}

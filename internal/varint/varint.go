@@ -4,7 +4,16 @@
 // data plane — KV wire payloads, cache entries, result streams — speaks
 // one integer encoding: LEB128, 7 bits per byte, low bits first, high
 // bit marking continuation (the same layout as encoding/binary's
-// Uvarint, which the decode side delegates to).
+// Uvarint, which the slow decode path delegates to).
+//
+// Decoding is the hot instruction of the compact data plane: the
+// executor's DBQ/INT loop decodes one varint per adjacency entry, and
+// on power-law graphs almost every entry is a 1- or 2-byte delta
+// between consecutive sorted neighbor ids. Uvarint therefore takes a
+// branch-lean fast path for those two widths — two compares and a
+// shift, small enough for the compiler to inline into the decode loops
+// of graph.AdjList — and falls back to the general loop only for wider
+// integers and error cases (truncation, 64-bit overflow).
 package varint
 
 import (
@@ -31,7 +40,25 @@ func Append(dst []byte, x uint64) []byte {
 // value and the number of bytes consumed. Unlike binary.Uvarint, failure
 // is an explicit error: ErrTruncated when b ends mid-integer, ErrOverflow
 // when the encoding exceeds 64 bits.
+//
+// The single-byte encoding (values < 128 — the typical delta of a
+// sorted adjacency set) decodes on an inlinable fast path; everything
+// else goes through uvarintSlow, which peels the 2-byte case (values
+// < 1<<14) before delegating to the general loop.
 func Uvarint(b []byte) (uint64, int, error) {
+	if len(b) > 0 && b[0] < 0x80 {
+		return uint64(b[0]), 1, nil
+	}
+	return uvarintSlow(b)
+}
+
+// uvarintSlow is the out-of-line remainder of Uvarint: the 2-byte fast
+// path, then the general loop for encodings of three or more bytes,
+// truncated input, and 64-bit overflow.
+func uvarintSlow(b []byte) (uint64, int, error) {
+	if len(b) > 1 && b[0] >= 0x80 && b[1] < 0x80 {
+		return uint64(b[0]&0x7f) | uint64(b[1])<<7, 2, nil
+	}
 	x, n := binary.Uvarint(b)
 	switch {
 	case n > 0:

@@ -1,0 +1,154 @@
+package varint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// boundaryValues are the encoding-width boundaries: the last value of
+// each byte width and the first of the next, plus the 64-bit extremes.
+// They pin the seams between the decoder's fast paths (1 and 2 bytes)
+// and the general loop.
+var boundaryValues = []uint64{
+	0, 1, 0x7f, 0x80, 0x3fff, 0x4000,
+	1<<21 - 1, 1 << 21, 1<<28 - 1, 1 << 28,
+	1<<35 - 1, 1 << 35, 1<<42 - 1, 1 << 42,
+	1<<49 - 1, 1 << 49, 1<<56 - 1, 1 << 56,
+	1<<63 - 1, 1 << 63, math.MaxUint64,
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, x := range boundaryValues {
+		b := Append(nil, x)
+		got, n, err := Uvarint(b)
+		if err != nil {
+			t.Fatalf("Uvarint(%x): %v", b, err)
+		}
+		if got != x || n != len(b) {
+			t.Fatalf("Uvarint(Append(%d)) = %d, %d; want %d, %d", x, got, n, x, len(b))
+		}
+		// With trailing bytes the consumed count must not change.
+		got, n, err = Uvarint(append(b, 0xab, 0xcd))
+		if err != nil || got != x || n != len(b) {
+			t.Fatalf("Uvarint with trailing bytes: got %d, %d, %v; want %d, %d", got, n, err, x, len(b))
+		}
+	}
+}
+
+// TestUvarintMatchesStdlib cross-checks every code path against
+// encoding/binary on all prefixes of valid encodings.
+func TestUvarintMatchesStdlib(t *testing.T) {
+	for _, x := range boundaryValues {
+		full := Append(nil, x)
+		for cut := 0; cut <= len(full); cut++ {
+			b := full[:cut]
+			wantX, wantN := binary.Uvarint(b)
+			gotX, gotN, err := Uvarint(b)
+			switch {
+			case wantN > 0:
+				if err != nil || gotX != wantX || gotN != wantN {
+					t.Fatalf("Uvarint(%x) = %d, %d, %v; stdlib says %d, %d", b, gotX, gotN, err, wantX, wantN)
+				}
+			case wantN == 0:
+				if !errors.Is(err, ErrTruncated) {
+					t.Fatalf("Uvarint(%x) err = %v; want ErrTruncated", b, err)
+				}
+			default:
+				if !errors.Is(err, ErrOverflow) {
+					t.Fatalf("Uvarint(%x) err = %v; want ErrOverflow", b, err)
+				}
+			}
+		}
+	}
+}
+
+func TestUvarintErrors(t *testing.T) {
+	if _, _, err := Uvarint(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Uvarint(nil) err = %v; want ErrTruncated", err)
+	}
+	// A lone continuation byte is truncated.
+	if _, _, err := Uvarint([]byte{0x80}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Uvarint([0x80]) err = %v; want ErrTruncated", err)
+	}
+	// Eleven continuation bytes overflow 64 bits.
+	over := bytes.Repeat([]byte{0xff}, 10)
+	over = append(over, 0x01)
+	if _, _, err := Uvarint(over); !errors.Is(err, ErrOverflow) {
+		t.Errorf("Uvarint(11 bytes) err = %v; want ErrOverflow", err)
+	}
+}
+
+func TestWriteMatchesAppend(t *testing.T) {
+	for _, x := range boundaryValues {
+		var w bytes.Buffer
+		if err := Write(&w, x); err != nil {
+			t.Fatalf("Write(%d): %v", x, err)
+		}
+		if !bytes.Equal(w.Bytes(), Append(nil, x)) {
+			t.Fatalf("Write(%d) = %x; Append = %x", x, w.Bytes(), Append(nil, x))
+		}
+	}
+}
+
+// FuzzUvarint differentially checks the fast-path decoder against
+// encoding/binary on arbitrary bytes: same values, same consumed
+// counts, errors exactly where the stdlib reports failure.
+func FuzzUvarint(f *testing.F) {
+	// Seed the fast-path seams: 1-byte, 2-byte, the 2→3 byte boundary,
+	// truncation after a continuation byte, and a 64-bit overflow.
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x7f})
+	f.Add([]byte{0x80, 0x01})
+	f.Add([]byte{0xff, 0x7f})
+	f.Add([]byte{0x80, 0x80, 0x01})
+	f.Add([]byte{0x80})
+	f.Add(bytes.Repeat([]byte{0xff}, 11))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		gotX, gotN, err := Uvarint(b)
+		wantX, wantN := binary.Uvarint(b)
+		switch {
+		case wantN > 0:
+			if err != nil || gotX != wantX || gotN != wantN {
+				t.Fatalf("Uvarint(%x) = %d, %d, %v; stdlib says %d, %d", b, gotX, gotN, err, wantX, wantN)
+			}
+		case wantN == 0:
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("Uvarint(%x) err = %v; want ErrTruncated", b, err)
+			}
+		default:
+			if !errors.Is(err, ErrOverflow) {
+				t.Fatalf("Uvarint(%x) err = %v; want ErrOverflow", b, err)
+			}
+		}
+	})
+}
+
+func BenchmarkUvarint(b *testing.B) {
+	// A realistic delta stream: mostly 1-byte, some 2-byte, a few wider.
+	var buf []byte
+	for i := 0; i < 1024; i++ {
+		switch i % 16 {
+		case 0:
+			buf = Append(buf, 1<<20+uint64(i))
+		case 1, 2, 3:
+			buf = Append(buf, 200+uint64(i))
+		default:
+			buf = Append(buf, uint64(i%128))
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for b.Loop() {
+		rest := buf
+		for len(rest) > 0 {
+			_, n, err := Uvarint(rest)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rest = rest[n:]
+		}
+	}
+}
