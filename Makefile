@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test short race vet lint bench bench-json bench-gate check diff chaos fuzz tidy-check clean
+.PHONY: all build test short race vet lint bench bench-json bench-gate check diff chaos smoke-net fuzz tidy-check clean
 
 all: check
 
@@ -24,10 +24,10 @@ short:
 	$(GO) test -short ./...
 
 ## race: race-detector pass over the concurrent packages (obs registry,
-## simulated cluster, KV store, cache, differential harness, executor
-## data plane, resilience layer)
+## simulated cluster, networked control plane, KV store, cache,
+## differential harness, executor data plane, resilience layer)
 race:
-	$(GO) test -race ./internal/obs ./internal/cluster ./internal/kv ./internal/cache ./internal/check ./internal/exec ./internal/resilience
+	$(GO) test -race ./internal/obs ./internal/cluster ./internal/cluster/sched ./internal/kv ./internal/cache ./internal/check ./internal/exec ./internal/resilience
 
 ## diff: the differential matrix in its quick configuration — every
 ## preset pattern × random data graphs × plan variants × backends,
@@ -36,10 +36,18 @@ diff:
 	$(GO) test -short -run 'TestDifferential' ./internal/check
 
 ## chaos: fault-injected verification under the race detector — the
-## resilient differential columns over transiently faulty stores, task
-## re-execution and cancellation tests, and the TCP acceptance scenario
+## resilient differential columns over transiently faulty stores
+## (including the networked net-retry column), task re-execution and
+## cancellation tests, the TCP acceptance scenario, and the control
+## plane's kill-a-worker-mid-task crash test
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaos|TestResilient|TestTaskRetry|TestFailFast|TestRunContext' ./internal/check ./internal/cluster ./internal/kv
+	$(GO) test -race -count=1 -run 'TestChaos|TestNetChaos|TestResilient|TestTaskRetry|TestFailFast|TestRunContext|TestLeaseExpiry|TestSteal' ./internal/check ./internal/cluster ./internal/cluster/sched ./internal/kv
+
+## smoke-net: multi-process smoke — one benu-master and two benu-worker
+## OS processes over loopback TCP on a small dataset, match count
+## cross-checked against the single-process benu run (seconds, CI-gated)
+smoke-net:
+	./scripts/smoke_net.sh
 
 ## fuzz: run each native fuzz target for $(FUZZTIME) (default 30s)
 fuzz:

@@ -1,0 +1,183 @@
+// Command benu-master is the control-plane master of a networked BENU
+// deployment: it loads (or generates) a data graph, plans the pattern,
+// serves the graph's adjacency partitions over TCP (internal/kv), and
+// serves the resulting task queue to benu-worker processes over the
+// Sched wire protocol (internal/cluster/sched) — pull-based scheduling
+// with work stealing and lease-expiry task re-execution.
+//
+// Usage:
+//
+//	benu-master -pattern q4 -preset as -listen 127.0.0.1:7077
+//	benu-worker -master 127.0.0.1:7077 -threads 4   (on each worker machine)
+//
+// The master exits once every task has committed, printing the match
+// count and scheduling summary. Workers that join late, die mid-task,
+// or straggle are handled by the protocol: the run completes as long as
+// at least one worker survives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"benu/internal/cluster/sched"
+	"benu/internal/estimate"
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/kv"
+	"benu/internal/obs"
+	"benu/internal/plan"
+)
+
+func main() {
+	var (
+		patternName  = flag.String("pattern", "triangle", "pattern: triangle, square, chordal-square, q1..q9, cliqueK, pathK, cycleK, starK, demo")
+		graphPath    = flag.String("graph", "", "data graph edge-list file (overrides -preset)")
+		presetName   = flag.String("preset", "as", "synthetic dataset preset: as, lj, ok, uk, fs")
+		listen       = flag.String("listen", "127.0.0.1:7077", "address to serve the task queue on")
+		partitions   = flag.Int("store-partitions", 2, "adjacency storage nodes served from this process")
+		tau          = flag.Int("tau", 500, "task splitting degree threshold (0 = off)")
+		uncompressed = flag.Bool("uncompressed", false, "disable VCBC compression")
+		degreeFilter = flag.Bool("degree-filter", false, "add degree filtering conditions (§IV-A extension)")
+		retry        = flag.Int("retry", 2, "task re-executions per failure or expired lease (0 = off)")
+		lease        = flag.Duration("lease", 3*time.Second, "heartbeat silence tolerated before a worker's leases expire")
+		metrics      = flag.Bool("metrics", false, "print the run's metrics snapshot (see docs/METRICS.md)")
+		verbose      = flag.Bool("v", false, "print the execution plan")
+	)
+	flag.Parse()
+
+	if err := run(runConfig{
+		pattern: *patternName, graphPath: *graphPath, preset: *presetName,
+		listen: *listen, partitions: *partitions, tau: *tau,
+		uncompressed: *uncompressed, degreeFilter: *degreeFilter,
+		retry: *retry, lease: *lease, metrics: *metrics, verbose: *verbose,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "benu-master:", err)
+		os.Exit(1)
+	}
+}
+
+// runConfig carries the parsed command-line options.
+type runConfig struct {
+	pattern, graphPath, preset string
+	listen                     string
+	partitions                 int
+	tau                        int
+	uncompressed               bool
+	degreeFilter               bool
+	retry                      int
+	lease                      time.Duration
+	metrics                    bool
+	verbose                    bool
+}
+
+// deployment is a started master plus the storage nodes it serves,
+// separated from run so the end-to-end test can join in-process workers
+// before waiting.
+type deployment struct {
+	master  *sched.Master
+	servers []*kv.Server
+	reg     *obs.Registry
+}
+
+func (d *deployment) close() {
+	d.master.Close()
+	for _, s := range d.servers {
+		s.Close()
+	}
+}
+
+func run(rc runConfig) error {
+	d, err := start(rc)
+	if err != nil {
+		return err
+	}
+	defer d.close()
+	fmt.Printf("master: serving tasks on %s (%d storage nodes)\n", d.master.Addr(), len(d.servers))
+
+	res, err := d.master.Wait(nil)
+	if err != nil {
+		return err
+	}
+	// Let parked workers pick up their Done replies before the deferred
+	// close severs connections — otherwise they exit on an EOF.
+	d.master.Drain(2 * time.Second)
+	fmt.Printf("matches=%d tasks=%d (split=%d) workers=%d steals=%d expired=%d retried=%d duplicates=%d wall=%s\n",
+		res.Matches, res.Tasks, res.SplitTasks, res.WorkersJoined,
+		res.Steals, res.LeasesExpired, res.TasksRetried, res.DuplicateReports,
+		res.Wall.Round(time.Millisecond))
+	if rc.metrics {
+		fmt.Print(d.reg.Snapshot().Text())
+	}
+	return nil
+}
+
+// start loads the graph, plans the pattern, serves the storage nodes,
+// and starts the master.
+func start(rc runConfig) (*deployment, error) {
+	p, err := gen.PatternByName(rc.pattern)
+	if err != nil {
+		return nil, err
+	}
+	var g *graph.Graph
+	if rc.graphPath != "" {
+		f, err := os.Open(rc.graphPath)
+		if err != nil {
+			return nil, err
+		}
+		g, err = graph.ReadEdgeList(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		preset, err := gen.PresetByName(rc.preset)
+		if err != nil {
+			return nil, err
+		}
+		g = preset.Generate()
+	}
+	fmt.Printf("data graph: N=%d M=%d maxdeg=%d\n", g.NumVertices(), g.NumEdges(), g.MaxDegree())
+
+	opts := plan.AllOptions
+	opts.VCBC = !rc.uncompressed
+	opts.DegreeFilter = rc.degreeFilter
+	st := estimate.NewStats(g, estimate.MaxMomentDefault)
+	best, err := plan.GenerateBestPlan(p, st, opts)
+	if err != nil {
+		return nil, err
+	}
+	if rc.verbose {
+		fmt.Println(best.Plan)
+	}
+
+	if rc.partitions <= 0 {
+		rc.partitions = 1
+	}
+	servers, addrs, err := kv.ServeGraph(g, rc.partitions)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	m, err := sched.StartMaster(rc.listen, sched.MasterConfig{
+		Plan:          best.Plan,
+		NumVertices:   g.NumVertices(),
+		Ord:           graph.NewTotalOrder(g),
+		Degree:        g.Degree,
+		LabelOf:       g.Label,
+		Tau:           rc.tau,
+		TaskRetries:   rc.retry,
+		LeaseDuration: rc.lease,
+		StoreAddrs:    addrs,
+		Obs:           reg,
+	})
+	if err != nil {
+		for _, s := range servers {
+			s.Close()
+		}
+		return nil, err
+	}
+	return &deployment{master: m, servers: servers, reg: reg}, nil
+}

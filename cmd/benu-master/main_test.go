@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"benu/internal/cluster/sched"
+	"benu/internal/gen"
+	"benu/internal/graph"
+)
+
+// TestMasterEndToEnd runs the binary's own start path — graph from an
+// edge-list file, plan generation, kv storage nodes, task queue — and
+// joins two workers that dial everything over loopback TCP, exactly as
+// benu-worker would.
+func TestMasterEndToEnd(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 200, EdgesPer: 3, Triad: 0.4, Seed: 11})
+	path := filepath.Join(t.TempDir(), "edges.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.EdgeList() {
+		fmt.Fprintf(f, "%d %d\n", e[0], e[1])
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := graph.RefCount(gen.Q(4), g, graph.NewTotalOrder(g))
+
+	d, err := start(runConfig{
+		pattern:    "q4",
+		graphPath:  path,
+		listen:     "127.0.0.1:0",
+		partitions: 2,
+		tau:        500,
+		retry:      2,
+		lease:      3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.close()
+
+	var workers []*sched.Worker
+	for i := 0; i < 2; i++ {
+		w, err := sched.StartWorker(d.master.Addr(), sched.WorkerConfig{Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	res, err := d.master.Wait(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workers {
+		if err := w.Wait(); err != nil {
+			t.Errorf("worker %d exit: %v", w.ID(), err)
+		}
+	}
+	if res.Matches != want {
+		t.Errorf("matches = %d, want %d", res.Matches, want)
+	}
+	if res.Stats.DBQueries == 0 {
+		t.Error("no DB queries recorded: workers did not dial the storage nodes")
+	}
+}

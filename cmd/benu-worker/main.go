@@ -1,0 +1,76 @@
+// Command benu-worker is one worker machine of a networked BENU
+// deployment: it joins the benu-master at -master, receives the plan,
+// total order, and storage-node addresses, and pulls task batches until
+// the run completes. Start as many as you like, whenever you like —
+// workers that join mid-run pull (or steal) whatever work remains.
+//
+// Usage:
+//
+//	benu-worker -master 127.0.0.1:7077 -threads 4
+//	benu-worker -master 127.0.0.1:7077 -cache-mb 64 -name rack2-03
+//
+// The worker exits 0 when the master reports the run done, and non-zero
+// when it is fenced (its lease expired while it was unresponsive) or
+// the master becomes unreachable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"benu/internal/cluster/sched"
+	"benu/internal/obs"
+)
+
+func main() {
+	var (
+		master  = flag.String("master", "127.0.0.1:7077", "benu-master address to join")
+		threads = flag.Int("threads", 4, "working threads")
+		cacheMB = flag.Int("cache-mb", 32, "DB cache capacity in MiB (0 = off)")
+		name    = flag.String("name", "", "worker label used in logs")
+		metrics = flag.Bool("metrics", false, "print the worker's metrics snapshot on exit (see docs/METRICS.md)")
+	)
+	flag.Parse()
+
+	if err := run(runConfig{
+		master: *master, threads: *threads, cacheMB: *cacheMB,
+		name: *name, metrics: *metrics,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "benu-worker:", err)
+		os.Exit(1)
+	}
+}
+
+// runConfig carries the parsed command-line options.
+type runConfig struct {
+	master  string
+	threads int
+	cacheMB int
+	name    string
+	metrics bool
+}
+
+func run(rc runConfig) error {
+	reg := obs.NewRegistry()
+	start := time.Now()
+	w, err := sched.StartWorker(rc.master, sched.WorkerConfig{
+		Threads:    rc.threads,
+		CacheBytes: int64(rc.cacheMB) << 20,
+		Name:       rc.name,
+		Obs:        reg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker %d: joined %s (%d threads)\n", w.ID(), rc.master, rc.threads)
+	err = w.Wait()
+	stats, tasks := w.Stats()
+	fmt.Printf("worker %d: tasks=%d matches=%d dbq=%d wall=%s\n",
+		w.ID(), tasks, stats.Matches, stats.DBQueries, time.Since(start).Round(time.Millisecond))
+	if rc.metrics {
+		fmt.Print(reg.Snapshot().Text())
+	}
+	return err
+}

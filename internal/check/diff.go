@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"benu/internal/cluster"
+	"benu/internal/cluster/sched"
 	"benu/internal/estimate"
 	"benu/internal/exec"
 	"benu/internal/gen"
@@ -150,6 +151,17 @@ func Backends(wrap StoreWrap) []Backend {
 				return runCluster(pl, g, ord, wrap(kv.NewLocal(g)), cfg)
 			},
 		},
+		{
+			// "net": the networked control plane — a real master and two
+			// workers speaking the Sched wire protocol over loopback TCP,
+			// pull-based scheduling with τ splitting. The multi-process
+			// column of the matrix (separate executors, results only via
+			// reports), minus the process boundary for speed.
+			Name: "net",
+			Run: func(pl *plan.Plan, g *graph.Graph, ord *graph.TotalOrder) (*Outcome, error) {
+				return runNet(pl, g, ord, wrap(kv.NewLocal(g)), sched.MasterConfig{Tau: 4}, 2, 2)
+			},
+		},
 	}
 }
 
@@ -236,6 +248,16 @@ func ResilientBackends(wrap StoreWrap) []Backend {
 				return runCluster(pl, g, ord, store, cfg)
 			},
 		},
+		{
+			// "net-retry": the networked control plane with a task
+			// re-execution budget — a failed attempt on a worker re-queues
+			// the task, exactly-once commit healing what the store would
+			// not. The wire analogue of "cluster-retry".
+			Name: "net-retry",
+			Run: func(pl *plan.Plan, g *graph.Graph, ord *graph.TotalOrder) (*Outcome, error) {
+				return runNet(pl, g, ord, wrap(kv.NewLocal(g)), sched.MasterConfig{Tau: 4, TaskRetries: 8}, 2, 2)
+			},
+		},
 	}
 }
 
@@ -263,6 +285,53 @@ func runCluster(pl *plan.Plan, g *graph.Graph, ord *graph.TotalOrder, store kv.S
 		cfg.LabelOf = g.Label
 	}
 	res, err := cluster.Run(pl, store, ord, g.Degree, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return col.outcome(res.Matches)
+}
+
+// runNet executes pl on the networked control plane (sched master plus
+// workers over loopback TCP) and collects the Outcome the same way
+// runCluster does — emissions travel inside task reports, so the
+// collector sees exactly what the exactly-once commit admitted.
+func runNet(pl *plan.Plan, g *graph.Graph, ord *graph.TotalOrder, store kv.Store, cfg sched.MasterConfig, workers, threads int) (*Outcome, error) {
+	col := newCollector(pl, g, ord)
+	col.hook(&cfg.Emit, &cfg.EmitCode)
+	cfg.Plan = pl
+	cfg.NumVertices = g.NumVertices()
+	cfg.Ord = ord
+	cfg.Degree = g.Degree
+	if pl.Pattern.Labeled() {
+		cfg.LabelOf = g.Label
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	m, err := sched.StartMaster("127.0.0.1:0", cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	var ws []*sched.Worker
+	defer func() {
+		for _, w := range ws {
+			w.Close()
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		w, err := sched.StartWorker(m.Addr(), sched.WorkerConfig{
+			Threads:    threads,
+			CacheBytes: g.SizeBytes() * 2,
+			Store:      store,
+			Obs:        cfg.Obs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	res, err := m.Wait(nil)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package check
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"benu/internal/gen"
@@ -158,7 +159,9 @@ func TestHarnessCatchesInjectedBugAndShrinks(t *testing.T) {
 // TestErrorPathsSurfaceInjectedFailures cross-validates the error paths:
 // with a fault-injecting store underneath, every backend × variant must
 // surface an error that still wraps kv.ErrInjected after crossing the
-// executor and cluster layers.
+// executor and cluster layers. The networked backends are the
+// exception: a worker's error crosses the wire as a message (like
+// rpc.ServerError), so identity cannot survive — the message must.
 func TestErrorPathsSurfaceInjectedFailures(t *testing.T) {
 	g := gen.RandomDataGraph(sparseSpec, 31)
 	p := gen.Q(1)
@@ -172,6 +175,12 @@ func TestErrorPathsSurfaceInjectedFailures(t *testing.T) {
 			m := Validate(p, g, v, b)
 			if m == nil || m.Err == nil {
 				t.Errorf("%s/%s: injected store failures did not surface", v.Name, b.Name)
+				continue
+			}
+			if strings.HasPrefix(b.Name, "net") {
+				if !strings.Contains(m.Err.Error(), kv.ErrInjected.Error()) {
+					t.Errorf("%s/%s: remote error lost the cause message: %v", v.Name, b.Name, m.Err)
+				}
 				continue
 			}
 			if !errors.Is(m.Err, kv.ErrInjected) {

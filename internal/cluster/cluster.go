@@ -556,6 +556,15 @@ func publishObs(reg *obs.Registry, res *Result) {
 	reg.Gauge("cache.entries").Set(float64(entries))
 }
 
+// GenerateTasks exposes §V-B task generation to the networked control
+// plane (internal/cluster/sched): the same candidate filtering and
+// τ-splitting the simulated cluster applies, so the two deployments
+// enumerate identical task sets. Returns the tasks and how many of them
+// are split subtasks.
+func GenerateTasks(pl *plan.Plan, prog *exec.Program, n int, degree func(v int64) int, tau int, labelOf func(v int64) int64) ([]exec.Task, int) {
+	return generateTasks(pl, prog, n, degree, tau, labelOf)
+}
+
 // generateTasks produces one local search task per data vertex, splitting
 // heavy start vertices per §V-B: a vertex with degree ≥ τ yields
 // ⌈d/τ⌉ subtasks when the second matching-order vertex anchors on the

@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"fmt"
+	"os"
+	osexec "os/exec"
+	"strconv"
+	"time"
+)
+
+// Cross-process test harness. Tests that want a *genuine* multi-process
+// deployment (separate address spaces, real TCP, real process death)
+// re-exec the test binary as a worker: TestMain calls WorkerProcessMain
+// first, and SpawnWorkerProcess launches the copies. The same wire
+// protocol also runs in-process via StartMaster/StartWorker over
+// loopback, which is what the differential and chaos matrices use for
+// speed; the re-exec path proves nothing depends on shared memory.
+
+// workerProcEnv marks a re-exec'd test binary as a worker process and
+// carries the master address.
+const workerProcEnv = "BENU_SCHED_WORKER_PROC"
+
+// workerProcThreadsEnv optionally overrides the worker's thread count.
+const workerProcThreadsEnv = "BENU_SCHED_WORKER_THREADS"
+
+// WorkerProcessMain is the re-exec hook: call it at the top of TestMain
+// in any package that spawns worker processes. When the binary was
+// launched by SpawnWorkerProcess it runs a worker against the master
+// address in the environment and exits; otherwise it returns
+// immediately and the tests run as usual.
+func WorkerProcessMain() {
+	addr := os.Getenv(workerProcEnv)
+	if addr == "" {
+		return
+	}
+	threads := 2
+	if s := os.Getenv(workerProcThreadsEnv); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			threads = v
+		}
+	}
+	w, err := StartWorker(addr, WorkerConfig{
+		Threads: threads,
+		Name:    fmt.Sprintf("proc-%d", os.Getpid()),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worker process:", err)
+		os.Exit(1)
+	}
+	if err := w.Wait(); err != nil {
+		fmt.Fprintln(os.Stderr, "worker process:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// WorkerProc is a handle on a worker running in a separate OS process.
+type WorkerProc struct {
+	cmd *osexec.Cmd
+}
+
+// SpawnWorkerProcess re-execs the current binary as a worker process
+// joined to the master at addr. The worker dials the storage nodes the
+// master names in its JoinReply, so the master must be configured with
+// StoreAddrs. threads ≤ 0 means the worker default.
+func SpawnWorkerProcess(addr string, threads int) (*WorkerProc, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	cmd := osexec.Command(exe, "-test.run=^$")
+	cmd.Env = append(os.Environ(), workerProcEnv+"="+addr)
+	if threads > 0 {
+		cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%d", workerProcThreadsEnv, threads))
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("sched: spawn worker process: %w", err)
+	}
+	return &WorkerProc{cmd: cmd}, nil
+}
+
+// PID returns the worker's OS process id.
+func (p *WorkerProc) PID() int { return p.cmd.Process.Pid }
+
+// Wait blocks until the process exits and returns its error, if any.
+func (p *WorkerProc) Wait() error { return p.cmd.Wait() }
+
+// Kill terminates the worker process abruptly (SIGKILL): no graceful
+// teardown, no final reports — the real crash the lease-expiry path is
+// for. The kill error is returned; call Wait to reap.
+func (p *WorkerProc) Kill() error { return p.cmd.Process.Kill() }
+
+// WaitTimeout waits for exit up to d, returning an error if the
+// process is still alive after the deadline.
+func (p *WorkerProc) WaitTimeout(d time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		p.cmd.Process.Kill()
+		return fmt.Errorf("sched: worker process %d did not exit within %v", p.PID(), d)
+	}
+}

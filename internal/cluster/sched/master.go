@@ -1,0 +1,773 @@
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"sync"
+	"time"
+
+	"benu/internal/cluster"
+	"benu/internal/exec"
+	"benu/internal/graph"
+	"benu/internal/obs"
+	"benu/internal/plan"
+	"benu/internal/resilience"
+	"benu/internal/vcbc"
+)
+
+// MasterConfig parameterizes a control-plane run. Plan, NumVertices,
+// and Ord are required; everything else has a usable default.
+type MasterConfig struct {
+	// Plan is the plan every worker executes.
+	Plan *plan.Plan
+	// NumVertices is |V(G)| of the data graph.
+	NumVertices int
+	// Ord is the symmetry-breaking total order, shipped to workers.
+	Ord *graph.TotalOrder
+	// Degree reports d_G(v); required for task splitting (Tau > 0) and
+	// degree-filtered plans.
+	Degree func(v int64) int
+	// LabelOf supplies data-vertex labels; required for labeled
+	// patterns.
+	LabelOf func(v int64) int64
+	// Tau is the §V-B task-splitting threshold (0 disables).
+	Tau int
+	// TaskRetries is the re-execution budget per task — failed attempts
+	// and expired leases both count against it. 0 disables re-execution
+	// (the first lost or failed task fails the run), matching
+	// cluster.Config.TaskRetries.
+	TaskRetries int
+	// LeaseDuration is how long heartbeat silence is tolerated before a
+	// worker's leases start expiring. Default 3s.
+	LeaseDuration time.Duration
+	// HeartbeatEvery is the heartbeat/poll interval workers are told to
+	// use. Default LeaseDuration/4.
+	HeartbeatEvery time.Duration
+	// LeaseBatch caps tasks handed out per Lease call. Default 16.
+	LeaseBatch int
+	// Breaker configures the per-worker heartbeat breaker: every expiry
+	// scan that finds a worker silent past LeaseDuration records a
+	// failure, heartbeats record successes, and an open breaker
+	// declares the worker dead. The default (FailureThreshold 2) fences
+	// a worker after two consecutive silent scans.
+	Breaker resilience.BreakerConfig
+	// StoreAddrs are handed to workers that dial their own store.
+	StoreAddrs []string
+	// Emit / EmitCode receive committed results on the master, called
+	// from RPC handler goroutines under the master's lock — they must
+	// not call back into the Master. The slice/code is owned by the
+	// callback (it was decoded fresh from the wire).
+	Emit     func(f []int64) bool
+	EmitCode func(c *vcbc.Code) bool
+	// Worker execution settings, propagated via JoinReply.
+	CompactAdjacency     bool
+	Prefetch             bool
+	PrefetchBatchSize    int
+	TriangleCacheEntries int
+	// Obs selects the metrics registry (sched.* names, plus the
+	// cluster.tasks.retried/failed re-execution counters). nil means
+	// obs.Default().
+	Obs *obs.Registry
+}
+
+func (c *MasterConfig) withDefaults() {
+	if c.LeaseDuration <= 0 {
+		c.LeaseDuration = 3 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.LeaseDuration / 4
+	}
+	if c.LeaseBatch <= 0 {
+		c.LeaseBatch = 16
+	}
+	if c.Breaker.FailureThreshold <= 0 {
+		c.Breaker.FailureThreshold = 2
+	}
+}
+
+// Result summarizes a control-plane run.
+type Result struct {
+	// Matches / Codes are the committed totals (expanded count for
+	// compressed plans / VCBC codes emitted).
+	Matches int64
+	Codes   int64
+	// Tasks is the generated task count; SplitTasks how many are §V-B
+	// split subtasks.
+	Tasks      int
+	SplitTasks int
+	// TasksRetried counts re-queued attempts (failed reports and
+	// expired leases); TasksFailed counts tasks that exhausted the
+	// budget (nonzero only when the run errors).
+	TasksRetried int
+	TasksFailed  int
+	// Steals counts tasks reassigned from a straggler's backlog to an
+	// idle worker.
+	Steals int
+	// LeasesExpired counts tasks re-queued because their holder was
+	// declared dead.
+	LeasesExpired int
+	// DuplicateReports counts completions dropped by exactly-once
+	// dedup (a stolen or expired task that finished anyway).
+	DuplicateReports int
+	// WorkersJoined is the total number of workers that ever joined.
+	WorkersJoined int
+	// Wall is the end-to-end run time, StartMaster to completion.
+	Wall time.Duration
+	// Stats aggregates the committed executor counters.
+	Stats exec.Stats
+}
+
+// Task lifecycle states.
+const (
+	taskPending = iota
+	taskLeased
+	taskDone
+)
+
+// taskState tracks one task through lease, steal, expiry, and commit.
+type taskState struct {
+	st       int
+	worker   int // current lease holder when taskLeased
+	attempts int // failed/expired attempts so far
+}
+
+// workerRec is the master's view of one worker.
+type workerRec struct {
+	id       int
+	lastSeen time.Time
+	dead     bool
+	// departed means this worker has seen a Done=true reply after the
+	// run finished — it will wind down on its own; Drain waits for it.
+	departed bool
+	// leased / running are task indexes: everything this worker holds,
+	// and the subset its last heartbeat said was executing. Backlog
+	// (leased − running) is what stealing may take.
+	leased  map[int]struct{}
+	running map[int]struct{}
+	// revoked accumulates stolen/expired task IDs until the next
+	// heartbeat drains them back to the worker.
+	revoked []int64
+	// spans is this worker's observed task-duration histogram — the
+	// obs task-span view stealing ranks stragglers by.
+	spans *obs.Histogram
+	// br is the heartbeat breaker: silence feeds failures, heartbeats
+	// feed successes, open means dead.
+	br *resilience.Breaker
+}
+
+// errHeartbeatMissed is what an expiry scan records into a silent
+// worker's breaker.
+var errHeartbeatMissed = errors.New("sched: heartbeat missed")
+
+// Master owns the task queue and serves it over TCP.
+type Master struct {
+	cfg       MasterConfig
+	planBytes []byte
+	ranks     []int64
+	degrees   []int32
+	labels    []int64
+
+	listener net.Listener
+	rpcSrv   *rpc.Server
+	wg       sync.WaitGroup
+	quit     chan struct{}
+
+	reg           *obs.Registry
+	workersGauge  *obs.Gauge
+	heartbeatsC   *obs.Counter
+	leasedC       *obs.Counter
+	completedC    *obs.Counter
+	duplicateC    *obs.Counter
+	stealsC       *obs.Counter
+	leaseExpiredC *obs.Counter
+	retriedC      *obs.Counter
+	failedC       *obs.Counter
+	remoteTaskH   *obs.Histogram
+
+	mu        sync.Mutex
+	tasks     []exec.Task
+	state     []taskState
+	pending   []int // task indexes, served LIFO (fresh re-queues drain first)
+	doneCount int
+	workers   []*workerRec
+	conns     map[net.Conn]struct{}
+	closed    bool
+	finished  bool
+	err       error
+	done      chan struct{}
+	start     time.Time
+	res       Result
+}
+
+// schedService is the RPC receiver; a wrapper type keeps the Master's
+// own method set free of wire-shaped signatures.
+type schedService struct{ m *Master }
+
+// StartMaster generates the task queue for cfg.Plan and serves it on
+// addr (e.g. "127.0.0.1:0"). It returns once the listener is bound;
+// use Addr to learn the bound address, Wait for the result, and Close
+// to shut down.
+func StartMaster(addr string, cfg MasterConfig) (*Master, error) {
+	if cfg.Plan == nil || cfg.NumVertices <= 0 || cfg.Ord == nil {
+		return nil, fmt.Errorf("sched: MasterConfig needs Plan, NumVertices, and Ord")
+	}
+	if cfg.Plan.Pattern.Labeled() && cfg.LabelOf == nil {
+		return nil, fmt.Errorf("sched: labeled pattern %q requires MasterConfig.LabelOf", cfg.Plan.Pattern.Name())
+	}
+	cfg.withDefaults()
+	prog, err := exec.Compile(cfg.Plan)
+	if err != nil {
+		return nil, err
+	}
+	planBytes, err := json.Marshal(cfg.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("sched: encode plan: %w", err)
+	}
+	tasks, splitCount := cluster.GenerateTasks(cfg.Plan, prog, cfg.NumVertices, cfg.Degree, cfg.Tau, cfg.LabelOf)
+
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	m := &Master{
+		cfg:           cfg,
+		planBytes:     planBytes,
+		ranks:         cfg.Ord.Ranks(),
+		quit:          make(chan struct{}),
+		reg:           reg,
+		workersGauge:  reg.Gauge("sched.workers"),
+		heartbeatsC:   reg.Counter("sched.heartbeats"),
+		leasedC:       reg.Counter("sched.tasks.leased"),
+		completedC:    reg.Counter("sched.tasks.completed"),
+		duplicateC:    reg.Counter("sched.tasks.duplicate"),
+		stealsC:       reg.Counter("sched.steals"),
+		leaseExpiredC: reg.Counter("sched.lease.expired"),
+		retriedC:      reg.Counter("cluster.tasks.retried"),
+		failedC:       reg.Counter("cluster.tasks.failed"),
+		remoteTaskH:   reg.Histogram("sched.task.remote_ns"),
+		tasks:         tasks,
+		state:         make([]taskState, len(tasks)),
+		done:          make(chan struct{}),
+		start:         time.Now(),
+	}
+	m.res.Tasks = len(tasks)
+	m.res.SplitTasks = splitCount
+	// LIFO pending stack, seeded in reverse so initial leases go out in
+	// task-generation order.
+	m.pending = make([]int, len(tasks))
+	for i := range tasks {
+		m.pending[i] = len(tasks) - 1 - i
+	}
+	if cfg.Plan.DegreeFiltered {
+		if cfg.Degree == nil {
+			return nil, fmt.Errorf("sched: degree-filtered plan requires MasterConfig.Degree")
+		}
+		m.degrees = make([]int32, cfg.NumVertices)
+		for v := 0; v < cfg.NumVertices; v++ {
+			m.degrees[v] = int32(cfg.Degree(int64(v)))
+		}
+	}
+	if cfg.Plan.Pattern.Labeled() {
+		m.labels = make([]int64, cfg.NumVertices)
+		for v := 0; v < cfg.NumVertices; v++ {
+			m.labels[v] = cfg.LabelOf(int64(v))
+		}
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sched: listen %s: %w", addr, err)
+	}
+	m.listener = ln
+	m.rpcSrv = rpc.NewServer()
+	if err := m.rpcSrv.RegisterName("Sched", &schedService{m}); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		m.finish(nil)
+	}
+	m.wg.Add(2)
+	go m.acceptLoop()
+	go m.expiryLoop()
+	return m, nil
+}
+
+// Addr returns the master's bound address.
+func (m *Master) Addr() string { return m.listener.Addr().String() }
+
+// Wait blocks until the run completes (every task committed), fails, or
+// ctx is done, and returns the result.
+func (m *Master) Wait(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-m.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	res := m.res
+	return &res, m.err
+}
+
+// Drain waits up to timeout for every live worker to observe the
+// finished run (a Done=true reply on one of its RPCs), so that a Close
+// immediately afterwards severs no one mid-call — without it, a worker
+// parked in a Lease when the master exits sees an EOF instead of a
+// clean shutdown. Workers already declared dead are not waited for.
+// It reports whether every live worker departed in time.
+func (m *Master) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		m.mu.Lock()
+		all := m.finished
+		if all {
+			for _, w := range m.workers {
+				if !w.dead && !w.departed {
+					all = false
+					break
+				}
+			}
+		}
+		m.mu.Unlock()
+		if all {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close stops serving: the listener and every established connection
+// are severed. A run still in flight fails with ErrMasterClosed, which
+// in-flight workers observe as a transport error.
+func (m *Master) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	if !m.finished {
+		m.finishLocked(ErrMasterClosed)
+	}
+	err := m.listener.Close()
+	for c := range m.conns {
+		c.Close()
+	}
+	m.conns = nil
+	m.mu.Unlock()
+	close(m.quit)
+	m.wg.Wait()
+	return err
+}
+
+// ErrMasterClosed reports a run aborted by Master.Close.
+var ErrMasterClosed = errors.New("sched: master closed before the run completed")
+
+func (m *Master) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if m.conns == nil {
+			m.conns = make(map[net.Conn]struct{})
+		}
+		m.conns[conn] = struct{}{}
+		m.mu.Unlock()
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.rpcSrv.ServeConn(conn)
+			m.mu.Lock()
+			delete(m.conns, conn)
+			m.mu.Unlock()
+		}()
+	}
+}
+
+// expiryLoop scans for silent workers every LeaseDuration/4. Each scan
+// that finds a worker past its lease records a failure into the
+// worker's breaker; when the breaker opens the worker is fenced and its
+// leases are re-queued.
+func (m *Master) expiryLoop() {
+	defer m.wg.Done()
+	tick := m.cfg.LeaseDuration / 4
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case <-t.C:
+			m.scanLeases()
+		}
+	}
+}
+
+func (m *Master) scanLeases() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.finished {
+		return
+	}
+	now := time.Now()
+	for _, w := range m.workers {
+		if w.dead || now.Sub(w.lastSeen) <= m.cfg.LeaseDuration {
+			continue
+		}
+		w.br.Record(errHeartbeatMissed)
+		if w.br.State() != resilience.StateOpen {
+			continue
+		}
+		m.fenceLocked(w)
+		if m.finished {
+			return
+		}
+	}
+}
+
+// fenceLocked declares w dead and re-queues everything it holds.
+// Caller holds m.mu.
+func (m *Master) fenceLocked(w *workerRec) {
+	w.dead = true
+	m.workersGauge.Add(-1)
+	idxs := make([]int, 0, len(w.leased))
+	for idx := range w.leased {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	w.leased = map[int]struct{}{}
+	w.running = map[int]struct{}{}
+	w.revoked = nil // the worker is fenced outright; no need to itemize
+	for _, idx := range idxs {
+		m.res.LeasesExpired++
+		m.leaseExpiredC.Inc()
+		m.requeueLocked(idx, fmt.Errorf("sched: worker %d lost task %d (lease expired)", w.id, idx))
+		if m.finished {
+			return
+		}
+	}
+}
+
+// requeueLocked gives task idx another attempt, or fails the run when
+// the budget is spent. Caller holds m.mu.
+func (m *Master) requeueLocked(idx int, cause error) {
+	ts := &m.state[idx]
+	if ts.st == taskDone {
+		return
+	}
+	ts.attempts++
+	if ts.attempts > m.cfg.TaskRetries {
+		m.res.TasksFailed++
+		m.failedC.Inc()
+		m.finishLocked(fmt.Errorf("sched: task start=%d failed after %d attempts: %w",
+			m.tasks[idx].Start, ts.attempts, cause))
+		return
+	}
+	m.res.TasksRetried++
+	m.retriedC.Inc()
+	ts.st = taskPending
+	ts.worker = -1
+	m.pending = append(m.pending, idx)
+}
+
+// finish / finishLocked complete the run exactly once.
+func (m *Master) finish(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finishLocked(err)
+}
+
+func (m *Master) finishLocked(err error) {
+	if m.finished {
+		return
+	}
+	m.finished = true
+	m.err = err
+	m.res.Wall = time.Since(m.start)
+	m.res.WorkersJoined = len(m.workers)
+	close(m.done)
+}
+
+// ---- RPC handlers ----
+
+func (s *schedService) Join(args *JoinArgs, reply *JoinReply) error {
+	m := s.m
+	m.mu.Lock()
+	w := &workerRec{
+		id:       len(m.workers),
+		lastSeen: time.Now(),
+		leased:   map[int]struct{}{},
+		running:  map[int]struct{}{},
+		spans:    &obs.Histogram{},
+		br:       resilience.NewBreaker(m.cfg.Breaker, m.reg),
+	}
+	m.workers = append(m.workers, w)
+	m.workersGauge.Add(1)
+	m.mu.Unlock()
+
+	reply.WorkerID = w.id
+	reply.Plan = m.planBytes
+	reply.NumVertices = m.cfg.NumVertices
+	reply.Ranks = m.ranks
+	reply.StoreAddrs = m.cfg.StoreAddrs
+	reply.Degrees = m.degrees
+	reply.Labels = m.labels
+	reply.LeaseDuration = m.cfg.LeaseDuration
+	reply.HeartbeatEvery = m.cfg.HeartbeatEvery
+	reply.WantMatches = m.cfg.Emit != nil
+	reply.WantCodes = m.cfg.EmitCode != nil
+	reply.CompactAdjacency = m.cfg.CompactAdjacency
+	reply.Prefetch = m.cfg.Prefetch
+	reply.PrefetchBatchSize = m.cfg.PrefetchBatchSize
+	reply.TriangleCacheEntries = m.cfg.TriangleCacheEntries
+	return nil
+}
+
+// touchLocked renews w's lease and feeds its breaker a success. Caller
+// holds m.mu.
+func (m *Master) touchLocked(w *workerRec) {
+	w.lastSeen = time.Now()
+	w.br.Record(nil)
+}
+
+// workerFor resolves and validates a worker ID. Caller holds m.mu.
+func (m *Master) workerForLocked(id int) (*workerRec, error) {
+	if id < 0 || id >= len(m.workers) {
+		return nil, fmt.Errorf("sched: unknown worker %d", id)
+	}
+	return m.workers[id], nil
+}
+
+// doneReplyLocked reports whether the run has finished, marking w as
+// having observed completion when it has (Drain waits on that mark).
+// Caller holds m.mu.
+func (m *Master) doneReplyLocked(w *workerRec) bool {
+	if m.finished {
+		w.departed = true
+	}
+	return m.finished
+}
+
+func (s *schedService) Lease(args *LeaseArgs, reply *LeaseReply) error {
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, err := m.workerForLocked(args.WorkerID)
+	if err != nil {
+		return err
+	}
+	if w.dead {
+		reply.Fenced = true
+		return nil
+	}
+	if m.doneReplyLocked(w) {
+		reply.Done = true
+		return nil
+	}
+	m.touchLocked(w)
+	max := args.Max
+	if max <= 0 || max > m.cfg.LeaseBatch {
+		max = m.cfg.LeaseBatch
+	}
+	for len(reply.Tasks) < max && len(m.pending) > 0 {
+		idx := m.pending[len(m.pending)-1]
+		m.pending = m.pending[:len(m.pending)-1]
+		ts := &m.state[idx]
+		if ts.st != taskPending {
+			continue // stale queue entry (stolen/re-leased elsewhere)
+		}
+		ts.st = taskLeased
+		ts.worker = w.id
+		w.leased[idx] = struct{}{}
+		reply.Tasks = append(reply.Tasks, WireTask{ID: int64(idx), Task: m.tasks[idx]})
+	}
+	if len(reply.Tasks) == 0 {
+		// Queue empty but the run is live: try to steal backlog from
+		// the worst straggler.
+		reply.Tasks = m.stealLocked(w, max)
+	}
+	if len(reply.Tasks) == 0 {
+		reply.Backoff = m.cfg.HeartbeatEvery
+	} else {
+		m.leasedC.Add(int64(len(reply.Tasks)))
+	}
+	return nil
+}
+
+// stealLocked reassigns up to max tasks from the straggler with the
+// largest expected drain time to thief. Backlog is a victim's leased
+// tasks minus those its last heartbeat reported running; expected drain
+// time weights that backlog by the victim's mean observed task span
+// (the obs task-span histogram), so a slow worker with three queued
+// tasks outranks a fast one with four. Caller holds m.mu.
+func (m *Master) stealLocked(thief *workerRec, max int) []WireTask {
+	var victim *workerRec
+	var victimScore float64
+	for _, w := range m.workers {
+		if w.dead || w.id == thief.id {
+			continue
+		}
+		backlog := len(w.leased) - len(w.running)
+		if backlog <= 0 {
+			continue
+		}
+		// Mean task span, defaulting to 1ns so a worker that has never
+		// completed a task still ranks by backlog size alone.
+		mean := 1.0
+		if snap := w.spans.Snapshot(); snap.Count > 0 {
+			mean = snap.Mean
+		}
+		score := float64(backlog) * mean
+		if victim == nil || score > victimScore {
+			victim, victimScore = w, score
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	// Take up to half the victim's backlog (never the tasks it reported
+	// running), newest leases first — those are coldest on the victim.
+	idxs := make([]int, 0, len(victim.leased))
+	for idx := range victim.leased {
+		if _, running := victim.running[idx]; !running {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(idxs)))
+	take := (len(idxs) + 1) / 2
+	if take > max {
+		take = max
+	}
+	var out []WireTask
+	for _, idx := range idxs[:take] {
+		delete(victim.leased, idx)
+		victim.revoked = append(victim.revoked, int64(idx))
+		ts := &m.state[idx]
+		ts.worker = thief.id
+		thief.leased[idx] = struct{}{}
+		m.res.Steals++
+		m.stealsC.Inc()
+		out = append(out, WireTask{ID: int64(idx), Task: m.tasks[idx], Stolen: true})
+	}
+	return out
+}
+
+func (s *schedService) Report(args *ReportArgs, reply *ReportReply) error {
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, err := m.workerForLocked(args.WorkerID)
+	if err != nil {
+		return err
+	}
+	idx := int(args.TaskID)
+	if idx < 0 || idx >= len(m.tasks) {
+		return fmt.Errorf("sched: unknown task %d", args.TaskID)
+	}
+	if !w.dead {
+		m.touchLocked(w)
+	}
+	delete(w.leased, idx)
+	delete(w.running, idx)
+	ts := &m.state[idx]
+
+	if args.Err != "" {
+		// A failed attempt re-queues the task — unless it is no longer
+		// this worker's lease (committed elsewhere, stolen, or already
+		// re-queued by a fence; the current holder owns the outcome).
+		if ts.st == taskLeased && ts.worker == w.id && !m.finished {
+			m.requeueLocked(idx, errors.New(args.Err))
+		}
+		reply.Done = m.doneReplyLocked(w)
+		return nil
+	}
+
+	if ts.st == taskDone {
+		// Exactly-once: a second completion (stolen or expired task
+		// that finished anyway) is dropped, not double-counted.
+		m.res.DuplicateReports++
+		m.duplicateC.Inc()
+		reply.Done = m.doneReplyLocked(w)
+		return nil
+	}
+	ts.st = taskDone
+	m.doneCount++
+	m.completedC.Inc()
+	w.spans.Record(args.DurationNs)
+	m.remoteTaskH.Record(args.DurationNs)
+	m.res.Stats.Add(args.Stats)
+	m.res.Matches += args.Stats.Matches
+	m.res.Codes += args.Stats.Codes
+	if m.cfg.Emit != nil {
+		for _, f := range args.Matches {
+			if !m.cfg.Emit(f) {
+				break
+			}
+		}
+	}
+	if m.cfg.EmitCode != nil {
+		for _, c := range args.Codes {
+			if !m.cfg.EmitCode(c) {
+				break
+			}
+		}
+	}
+	reply.Accepted = true
+	if m.doneCount == len(m.tasks) {
+		m.finishLocked(nil)
+	}
+	reply.Done = m.doneReplyLocked(w)
+	return nil
+}
+
+func (s *schedService) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) error {
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, err := m.workerForLocked(args.WorkerID)
+	if err != nil {
+		return err
+	}
+	if w.dead {
+		reply.Fenced = true
+		return nil
+	}
+	m.heartbeatsC.Inc()
+	m.touchLocked(w)
+	// Refresh the running set: only tasks the worker still holds count
+	// (a stolen task it reports running is already someone else's).
+	w.running = make(map[int]struct{}, len(args.Running))
+	for _, id := range args.Running {
+		idx := int(id)
+		if _, held := w.leased[idx]; held {
+			w.running[idx] = struct{}{}
+		}
+	}
+	reply.Revoked = w.revoked
+	w.revoked = nil
+	reply.Done = m.doneReplyLocked(w)
+	return nil
+}

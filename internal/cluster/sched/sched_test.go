@@ -1,0 +1,619 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"net/rpc"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"benu/internal/estimate"
+	"benu/internal/exec"
+	"benu/internal/gen"
+	"benu/internal/graph"
+	"benu/internal/kv"
+	"benu/internal/obs"
+	"benu/internal/plan"
+)
+
+// TestMain hooks the cross-process harness: when the binary is re-exec'd
+// by SpawnWorkerProcess it runs a worker instead of the tests.
+func TestMain(m *testing.M) {
+	WorkerProcessMain()
+	os.Exit(m.Run())
+}
+
+func testGraph() *graph.Graph {
+	return gen.PowerLaw(gen.PowerLawConfig{N: 400, EdgesPer: 4, Triad: 0.5, Seed: 21})
+}
+
+func bestPlan(t *testing.T, p *graph.Pattern, g *graph.Graph, opts plan.Options) *plan.Plan {
+	t.Helper()
+	st := estimate.NewStats(g, estimate.MaxMomentDefault)
+	res, err := plan.GenerateBestPlan(p, st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Plan
+}
+
+// masterFor builds a default MasterConfig for g/pl with a fresh registry.
+func masterFor(t *testing.T, pl *plan.Plan, g *graph.Graph, reg *obs.Registry) MasterConfig {
+	t.Helper()
+	return MasterConfig{
+		Plan:        pl,
+		NumVertices: g.NumVertices(),
+		Ord:         graph.NewTotalOrder(g),
+		Degree:      g.Degree,
+		TaskRetries: 3,
+		Obs:         reg,
+	}
+}
+
+func waitResult(t *testing.T, m *Master) *Result {
+	t.Helper()
+	res, err := m.Wait(nil)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	return res
+}
+
+// TestNetRoundTrip runs the full wire protocol over loopback: master plus
+// two in-process workers, counts checked against the reference enumerator.
+func TestNetRoundTrip(t *testing.T) {
+	g := testGraph()
+	ord := graph.NewTotalOrder(g)
+	for _, qi := range []int{1, 4} {
+		p := gen.Q(qi)
+		want := graph.RefCount(p, g, ord)
+		for _, opts := range []plan.Options{plan.OptimizedUncompressed, plan.AllOptions} {
+			pl := bestPlan(t, p, g, opts)
+			reg := obs.NewRegistry()
+			m, err := StartMaster("127.0.0.1:0", masterFor(t, pl, g, reg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var workers []*Worker
+			for i := 0; i < 2; i++ {
+				w, err := StartWorker(m.Addr(), WorkerConfig{
+					Threads: 2, Store: kv.NewLocal(g), Obs: reg,
+					Name: fmt.Sprintf("w%d", i),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				workers = append(workers, w)
+			}
+			res := waitResult(t, m)
+			for _, w := range workers {
+				if err := w.Wait(); err != nil {
+					t.Errorf("worker %d exit: %v", w.ID(), err)
+				}
+			}
+			m.Close()
+			if res.Matches != want {
+				t.Errorf("q%d compressed=%v: got %d, want %d", qi, pl.Compressed, res.Matches, want)
+			}
+			if res.Tasks < g.NumVertices() {
+				t.Errorf("q%d: only %d tasks for %d vertices", qi, res.Tasks, g.NumVertices())
+			}
+			if res.WorkersJoined != 2 {
+				t.Errorf("q%d: WorkersJoined = %d, want 2", qi, res.WorkersJoined)
+			}
+			if got := reg.Counter("sched.tasks.completed").Value(); got != int64(res.Tasks) {
+				t.Errorf("q%d: sched.tasks.completed = %d, want %d", qi, got, res.Tasks)
+			}
+		}
+	}
+}
+
+// canonEmbeddings sorts a set of embeddings into a canonical order so
+// runs with different schedules compare equal.
+func canonEmbeddings(set [][]int64) {
+	sort.Slice(set, func(i, j int) bool {
+		a, b := set[i], set[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// runCollect runs pl over g on the networked control plane and returns
+// the committed embedding set. restartMid kills one worker after the
+// first commit and joins a replacement.
+func runCollect(t *testing.T, pl *plan.Plan, g *graph.Graph, workerCounts int, restartMid bool) (*Result, [][]int64) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg := masterFor(t, pl, g, reg)
+	var set [][]int64
+	cfg.Emit = func(f []int64) bool {
+		set = append(set, append([]int64(nil), f...))
+		return true
+	}
+	if restartMid {
+		cfg.LeaseDuration = 200 * time.Millisecond
+	}
+	m, err := StartMaster("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	var workers []*Worker
+	for i := 0; i < workerCounts; i++ {
+		w, err := StartWorker(m.Addr(), WorkerConfig{
+			Threads: 2, Store: kv.NewLocal(g), Obs: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	if restartMid {
+		// Wait for the first commit, then crash worker 0 and join a
+		// replacement: the run must survive and count nothing twice.
+		completed := reg.Counter("sched.tasks.completed")
+		for completed.Value() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		workers[0].Kill()
+		w, err := StartWorker(m.Addr(), WorkerConfig{
+			Threads: 2, Store: kv.NewLocal(g), Obs: reg, Name: "replacement",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	res := waitResult(t, m)
+	canonEmbeddings(set)
+	return res, set
+}
+
+// TestNetDeterminismProperty is the cross-deployment property test: the
+// canonicalized embedding set and match count are identical across
+// worker counts and injected worker restarts, on seeded random graphs.
+func TestNetDeterminismProperty(t *testing.T) {
+	spec := gen.RandomGraphSpec{MinN: 24, MaxN: 72, Models: []string{"er-sparse", "powerlaw"}}
+	seeds := []int64{3, 11}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		g := gen.RandomDataGraph(spec, seed)
+		ord := graph.NewTotalOrder(g)
+		p := gen.Q(4)
+		pl := bestPlan(t, p, g, plan.OptimizedUncompressed)
+		want := graph.RefCount(p, g, ord)
+
+		var ref [][]int64
+		for i, workers := range []int{1, 2, 4} {
+			res, set := runCollect(t, pl, g, workers, false)
+			if res.Matches != want || int64(len(set)) != want {
+				t.Fatalf("seed %d workers=%d: matches=%d emitted=%d want=%d",
+					seed, workers, res.Matches, len(set), want)
+			}
+			if i == 0 {
+				ref = set
+				continue
+			}
+			for j := range set {
+				for k := range set[j] {
+					if set[j][k] != ref[j][k] {
+						t.Fatalf("seed %d workers=%d: embedding %d differs from 1-worker run", seed, workers, j)
+					}
+				}
+			}
+		}
+		// Worker restart mid-run: same set, nothing lost or duplicated.
+		res, set := runCollect(t, pl, g, 2, true)
+		if res.Matches != want || int64(len(set)) != want {
+			t.Fatalf("seed %d restart: matches=%d emitted=%d want=%d", seed, res.Matches, len(set), want)
+		}
+		for j := range set {
+			for k := range set[j] {
+				if set[j][k] != ref[j][k] {
+					t.Fatalf("seed %d restart: embedding %d differs", seed, j)
+				}
+			}
+		}
+	}
+}
+
+// dialRaw opens a raw RPC client speaking the Sched protocol, for
+// protocol-level tests that play misbehaving workers.
+func dialRaw(t *testing.T, addr string) *rpc.Client {
+	t.Helper()
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestStealProtocol drives the steal path deterministically with raw RPC
+// clients: a straggler hoards the whole queue, an idle worker steals half
+// its backlog, revocations flow back, and a duplicate completion of a
+// stolen task is dropped by exactly-once dedup.
+func TestStealProtocol(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 30, EdgesPer: 3, Triad: 0.4, Seed: 7})
+	pl := bestPlan(t, gen.Triangle(), g, plan.OptimizedUncompressed)
+	reg := obs.NewRegistry()
+	cfg := masterFor(t, pl, g, reg)
+	cfg.LeaseBatch = 64
+	cfg.LeaseDuration = time.Minute // no expiry interference
+	m, err := StartMaster("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	hoarder := dialRaw(t, m.Addr())
+	var joinA JoinReply
+	if err := hoarder.Call("Sched.Join", &JoinArgs{Name: "hoarder"}, &joinA); err != nil {
+		t.Fatal(err)
+	}
+	var leaseA LeaseReply
+	if err := hoarder.Call("Sched.Lease", &LeaseArgs{WorkerID: joinA.WorkerID, Max: 64}, &leaseA); err != nil {
+		t.Fatal(err)
+	}
+	if len(leaseA.Tasks) == 0 {
+		t.Fatal("hoarder leased no tasks")
+	}
+	// The hoarder reports exactly one task running; the rest is backlog.
+	runningID := leaseA.Tasks[0].ID
+	var hb HeartbeatReply
+	if err := hoarder.Call("Sched.Heartbeat",
+		&HeartbeatArgs{WorkerID: joinA.WorkerID, Running: []int64{runningID}}, &hb); err != nil {
+		t.Fatal(err)
+	}
+
+	thief := dialRaw(t, m.Addr())
+	var joinB JoinReply
+	if err := thief.Call("Sched.Join", &JoinArgs{Name: "thief"}, &joinB); err != nil {
+		t.Fatal(err)
+	}
+	var leaseB LeaseReply
+	if err := thief.Call("Sched.Lease", &LeaseArgs{WorkerID: joinB.WorkerID, Max: 8}, &leaseB); err != nil {
+		t.Fatal(err)
+	}
+	if len(leaseB.Tasks) == 0 {
+		t.Fatal("thief stole nothing from the hoarder's backlog")
+	}
+	for _, wt := range leaseB.Tasks {
+		if !wt.Stolen {
+			t.Errorf("task %d handed to thief not marked Stolen", wt.ID)
+		}
+		if wt.ID == runningID {
+			t.Errorf("stole task %d the hoarder reported running", wt.ID)
+		}
+	}
+	if got := reg.Counter("sched.steals").Value(); got != int64(len(leaseB.Tasks)) {
+		t.Errorf("sched.steals = %d, want %d", got, len(leaseB.Tasks))
+	}
+
+	// The hoarder's next heartbeat revokes the stolen tasks.
+	if err := hoarder.Call("Sched.Heartbeat",
+		&HeartbeatArgs{WorkerID: joinA.WorkerID, Running: []int64{runningID}}, &hb); err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.Revoked) != len(leaseB.Tasks) {
+		t.Errorf("revoked %d tasks, want %d", len(hb.Revoked), len(leaseB.Tasks))
+	}
+
+	// Both report the same stolen task done: the thief (current holder)
+	// commits; the hoarder's late completion is a dropped duplicate.
+	stolen := leaseB.Tasks[0].ID
+	var repB ReportReply
+	if err := thief.Call("Sched.Report", &ReportArgs{
+		WorkerID: joinB.WorkerID, TaskID: stolen, Stats: exec.Stats{Matches: 5},
+	}, &repB); err != nil {
+		t.Fatal(err)
+	}
+	if !repB.Accepted {
+		t.Error("thief's completion of stolen task not accepted")
+	}
+	var repA ReportReply
+	if err := hoarder.Call("Sched.Report", &ReportArgs{
+		WorkerID: joinA.WorkerID, TaskID: stolen, Stats: exec.Stats{Matches: 5},
+	}, &repA); err != nil {
+		t.Fatal(err)
+	}
+	if repA.Accepted {
+		t.Error("duplicate completion accepted: match double-count")
+	}
+	if got := reg.Counter("sched.tasks.duplicate").Value(); got != 1 {
+		t.Errorf("sched.tasks.duplicate = %d, want 1", got)
+	}
+	if got := reg.Counter("sched.tasks.completed").Value(); got != 1 {
+		t.Errorf("sched.tasks.completed = %d, want 1", got)
+	}
+}
+
+// TestDrainProtocol: Drain returns only once every live worker has seen
+// a Done=true reply — the finisher departs via its final ReportReply,
+// while a parked bystander holds Drain at false until its next Lease.
+func TestDrainProtocol(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 30, EdgesPer: 3, Triad: 0.4, Seed: 7})
+	pl := bestPlan(t, gen.Triangle(), g, plan.OptimizedUncompressed)
+	cfg := masterFor(t, pl, g, obs.NewRegistry())
+	cfg.LeaseBatch = 64
+	cfg.LeaseDuration = time.Minute
+	m, err := StartMaster("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	finisher := dialRaw(t, m.Addr())
+	bystander := dialRaw(t, m.Addr())
+	var joinA, joinB JoinReply
+	if err := finisher.Call("Sched.Join", &JoinArgs{Name: "finisher"}, &joinA); err != nil {
+		t.Fatal(err)
+	}
+	if err := bystander.Call("Sched.Join", &JoinArgs{Name: "bystander"}, &joinB); err != nil {
+		t.Fatal(err)
+	}
+
+	// The finisher leases and completes every task; its last ReportReply
+	// carries Done=true, so it counts as departed immediately.
+	for {
+		var lease LeaseReply
+		if err := finisher.Call("Sched.Lease", &LeaseArgs{WorkerID: joinA.WorkerID, Max: 64}, &lease); err != nil {
+			t.Fatal(err)
+		}
+		if lease.Done {
+			break
+		}
+		if len(lease.Tasks) == 0 {
+			t.Fatal("live run handed out no tasks")
+		}
+		var rep ReportReply
+		for _, wt := range lease.Tasks {
+			rep = ReportReply{}
+			if err := finisher.Call("Sched.Report", &ReportArgs{
+				WorkerID: joinA.WorkerID, TaskID: wt.ID,
+			}, &rep); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rep.Done {
+			break
+		}
+	}
+	if _, err := m.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The bystander has not spoken since the run finished: it would see
+	// an EOF if the master closed now, and Drain says so.
+	if m.Drain(50 * time.Millisecond) {
+		t.Fatal("Drain reported all workers departed while the bystander is still parked")
+	}
+	var lease LeaseReply
+	if err := bystander.Call("Sched.Lease", &LeaseArgs{WorkerID: joinB.WorkerID}, &lease); err != nil {
+		t.Fatal(err)
+	}
+	if !lease.Done {
+		t.Fatal("post-finish Lease did not report Done")
+	}
+	if !m.Drain(time.Second) {
+		t.Fatal("Drain still false after every worker observed Done")
+	}
+}
+
+// TestLeaseExpiryProtocol drives lease expiry deterministically: a worker
+// joins, leases tasks, and goes silent. The heartbeat breaker opens, the
+// worker is fenced, its tasks are re-queued, and a live worker finishes
+// the run with exactly-once counts.
+func TestLeaseExpiryProtocol(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 60, EdgesPer: 3, Triad: 0.4, Seed: 9})
+	ord := graph.NewTotalOrder(g)
+	p := gen.Triangle()
+	pl := bestPlan(t, p, g, plan.OptimizedUncompressed)
+	want := graph.RefCount(p, g, ord)
+
+	reg := obs.NewRegistry()
+	cfg := masterFor(t, pl, g, reg)
+	cfg.LeaseDuration = 100 * time.Millisecond
+	m, err := StartMaster("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// The silent worker leases a batch and never speaks again.
+	silent := dialRaw(t, m.Addr())
+	var join JoinReply
+	if err := silent.Call("Sched.Join", &JoinArgs{Name: "silent"}, &join); err != nil {
+		t.Fatal(err)
+	}
+	var lease LeaseReply
+	if err := silent.Call("Sched.Lease", &LeaseArgs{WorkerID: join.WorkerID, Max: 16}, &lease); err != nil {
+		t.Fatal(err)
+	}
+	if len(lease.Tasks) == 0 {
+		t.Fatal("silent worker leased no tasks")
+	}
+	// Report every leased task as running so nothing is stealable: the
+	// only way the run can finish is through lease expiry.
+	running := make([]int64, len(lease.Tasks))
+	for i, wt := range lease.Tasks {
+		running[i] = wt.ID
+	}
+	var hb HeartbeatReply
+	if err := silent.Call("Sched.Heartbeat", &HeartbeatArgs{WorkerID: join.WorkerID, Running: running}, &hb); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := StartWorker(m.Addr(), WorkerConfig{Threads: 2, Store: kv.NewLocal(g), Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitResult(t, m)
+	if err := w.Wait(); err != nil {
+		t.Errorf("live worker exit: %v", err)
+	}
+	if res.Matches != want {
+		t.Errorf("matches = %d, want %d (lost or duplicated embeddings)", res.Matches, want)
+	}
+	if res.LeasesExpired < len(lease.Tasks) {
+		t.Errorf("LeasesExpired = %d, want ≥ %d", res.LeasesExpired, len(lease.Tasks))
+	}
+	if res.TasksRetried < len(lease.Tasks) {
+		t.Errorf("TasksRetried = %d, want ≥ %d", res.TasksRetried, len(lease.Tasks))
+	}
+	if got := reg.Counter("sched.lease.expired").Value(); got != int64(res.LeasesExpired) {
+		t.Errorf("sched.lease.expired = %d, Result says %d", got, res.LeasesExpired)
+	}
+	if got := reg.Counter("cluster.tasks.retried").Value(); got != int64(res.TasksRetried) {
+		t.Errorf("cluster.tasks.retried = %d, Result says %d", got, res.TasksRetried)
+	}
+	if got := reg.Counter("cluster.tasks.failed").Value(); got != 0 {
+		t.Errorf("cluster.tasks.failed = %d, want 0", got)
+	}
+
+	// The fenced worker is told so on its next call.
+	var after LeaseReply
+	if err := silent.Call("Sched.Lease", &LeaseArgs{WorkerID: join.WorkerID, Max: 1}, &after); err != nil {
+		t.Fatal(err)
+	}
+	if !after.Fenced {
+		t.Error("silent worker not fenced after lease expiry")
+	}
+}
+
+// slowStore adds fixed latency to every adjacency query, stretching a
+// run so chaos tests can reliably crash a worker mid-task.
+type slowStore struct {
+	kv.Store
+	delay time.Duration
+}
+
+func (s slowStore) GetAdj(v int64) ([]int64, error) {
+	time.Sleep(s.delay)
+	return s.Store.GetAdj(v)
+}
+
+// TestNetChaosKillWorkerMidTask is the end-to-end chaos test: a real
+// worker is crashed (connection severed, nothing reported — kv.Server
+// Close crash semantics) while holding leases mid-run; lease expiry
+// re-executes its tasks elsewhere and the final counts are exact.
+func TestNetChaosKillWorkerMidTask(t *testing.T) {
+	g := testGraph()
+	ord := graph.NewTotalOrder(g)
+	p := gen.Q(5)
+	pl := bestPlan(t, p, g, plan.AllOptions)
+	want := graph.RefCount(p, g, ord)
+
+	reg := obs.NewRegistry()
+	cfg := masterFor(t, pl, g, reg)
+	cfg.LeaseDuration = 200 * time.Millisecond
+	m, err := StartMaster("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	store := slowStore{kv.NewLocal(g), 200 * time.Microsecond}
+	victim, err := StartWorker(m.Addr(), WorkerConfig{Threads: 4, Store: store, Obs: reg, Name: "victim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the victim has committed work (so it demonstrably ran
+	// tasks) and heartbeated a running set (so the master holds leases it
+	// cannot hand to a thief), then crash it.
+	completed := reg.Counter("sched.tasks.completed")
+	heartbeats := reg.Counter("sched.heartbeats")
+	for completed.Value() == 0 || heartbeats.Value() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	victim.Kill()
+
+	survivor, err := StartWorker(m.Addr(), WorkerConfig{Threads: 2, Store: store, Obs: reg, Name: "survivor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitResult(t, m)
+	if err := survivor.Wait(); err != nil {
+		t.Errorf("survivor exit: %v", err)
+	}
+	if res.Matches != want {
+		t.Errorf("matches = %d, want %d (lost or duplicated embeddings after crash)", res.Matches, want)
+	}
+	if res.LeasesExpired == 0 {
+		t.Error("victim crashed mid-run but no lease expired")
+	}
+	if res.TasksRetried == 0 {
+		t.Error("no task was re-executed after the crash")
+	}
+	if got := reg.Counter("sched.lease.expired").Value(); got != int64(res.LeasesExpired) {
+		t.Errorf("sched.lease.expired = %d, Result says %d", got, res.LeasesExpired)
+	}
+	if got := reg.Counter("cluster.tasks.retried").Value(); got != int64(res.TasksRetried) {
+		t.Errorf("cluster.tasks.retried = %d, Result says %d", got, res.TasksRetried)
+	}
+	if err := victim.Wait(); err == nil {
+		t.Error("killed worker reported a clean exit")
+	}
+}
+
+// TestNetMultiProcess runs the genuine multi-process deployment: the
+// master and kv storage nodes in this process, two workers re-exec'd as
+// separate OS processes dialing both over loopback TCP.
+func TestNetMultiProcess(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 150, EdgesPer: 3, Triad: 0.4, Seed: 5})
+	ord := graph.NewTotalOrder(g)
+	p := gen.Q(4)
+	pl := bestPlan(t, p, g, plan.AllOptions)
+	want := graph.RefCount(p, g, ord)
+
+	servers, addrs, err := kv.ServeGraph(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	reg := obs.NewRegistry()
+	cfg := masterFor(t, pl, g, reg)
+	cfg.StoreAddrs = addrs
+	m, err := StartMaster("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var procs []*WorkerProc
+	for i := 0; i < 2; i++ {
+		proc, err := SpawnWorkerProcess(m.Addr(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, proc)
+	}
+	res := waitResult(t, m)
+	for i, proc := range procs {
+		if err := proc.WaitTimeout(10 * time.Second); err != nil {
+			t.Errorf("worker process %d: %v", i, err)
+		}
+	}
+	if res.Matches != want {
+		t.Errorf("multi-process matches = %d, want %d", res.Matches, want)
+	}
+	if res.WorkersJoined != 2 {
+		t.Errorf("WorkersJoined = %d, want 2", res.WorkersJoined)
+	}
+	if res.Stats.DBQueries == 0 {
+		t.Error("workers reported no DB queries: did they really dial the storage nodes?")
+	}
+}

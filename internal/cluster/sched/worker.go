@@ -1,0 +1,426 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"benu/internal/exec"
+	"benu/internal/graph"
+	"benu/internal/kv"
+	"benu/internal/obs"
+	"benu/internal/plan"
+	"benu/internal/vcbc"
+)
+
+// WorkerConfig parameterizes one worker machine.
+type WorkerConfig struct {
+	// Threads is the number of working threads (≥ 1). Default 2.
+	Threads int
+	// CacheBytes is the machine's DB cache capacity (0 disables).
+	CacheBytes int64
+	// Store overrides the adjacency store. nil dials the storage nodes
+	// the master names in JoinReply.StoreAddrs.
+	Store kv.Store
+	// Name optionally labels the worker in logs and errors.
+	Name string
+	// Obs selects the worker-local metrics registry (exec.*, source.*,
+	// cache.* names, plus the cluster.task spans). nil means
+	// obs.Default().
+	Obs *obs.Registry
+}
+
+// ErrFenced reports that the master declared this worker dead (its
+// lease expired) and its remaining work was re-queued elsewhere.
+var ErrFenced = errors.New("sched: worker fenced by master (lease expired)")
+
+// Worker is one joined worker machine: a pull loop leasing task batches
+// from the master, Threads executor threads draining them, and a
+// heartbeat loop renewing the lease. Construct with StartWorker; the
+// worker runs in the background until the master reports the run done,
+// the connection drops, or Close/Kill.
+type Worker struct {
+	id     int
+	name   string
+	conn   net.Conn
+	client *rpc.Client
+	reg    *obs.Registry
+
+	src        *exec.CachedSource
+	dialed     *kv.Client // non-nil when we own the store connection
+	heartbeat  time.Duration
+	leaseBatch int
+
+	quit     chan struct{}
+	quitOnce sync.Once
+	done     chan struct{}
+	killed   bool // set by Kill: suppress graceful teardown reporting
+
+	mu      sync.Mutex
+	err     error
+	revoked map[int64]struct{}
+	running map[int64]struct{}
+	stats   exec.Stats
+	tasks   int
+}
+
+// StartWorker dials the master at addr, joins, and starts executing.
+func StartWorker(addr string, cfg WorkerConfig) (*Worker, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 2
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sched: dial master %s: %w", addr, err)
+	}
+	client := rpc.NewClient(conn)
+	var join JoinReply
+	if err := client.Call("Sched.Join", &JoinArgs{Name: cfg.Name}, &join); err != nil {
+		client.Close()
+		return nil, fmt.Errorf("sched: join: %w", err)
+	}
+	pl, err := plan.UnmarshalPlan(join.Plan)
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	prog, err := exec.Compile(pl)
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	ord, err := graph.OrderFromRanks(join.Ranks)
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	if ord.Len() != join.NumVertices {
+		client.Close()
+		return nil, fmt.Errorf("sched: join sent %d ranks for %d vertices", ord.Len(), join.NumVertices)
+	}
+
+	store := cfg.Store
+	var dialed *kv.Client
+	if store == nil {
+		if len(join.StoreAddrs) == 0 {
+			client.Close()
+			return nil, fmt.Errorf("sched: no WorkerConfig.Store and the master names no storage nodes")
+		}
+		dialed, err = kv.Dial(join.StoreAddrs, join.NumVertices)
+		if err != nil {
+			client.Close()
+			return nil, err
+		}
+		store = dialed
+	}
+	src := exec.NewCachedSourceWith(store, cfg.CacheBytes, exec.SourceOptions{
+		Compact:   join.CompactAdjacency,
+		BatchSize: join.PrefetchBatchSize,
+		Obs:       reg,
+	})
+
+	w := &Worker{
+		name:       cfg.Name,
+		conn:       conn,
+		client:     client,
+		reg:        reg,
+		src:        src,
+		dialed:     dialed,
+		heartbeat:  join.HeartbeatEvery,
+		leaseBatch: 2 * cfg.Threads,
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+		revoked:    map[int64]struct{}{},
+		running:    map[int64]struct{}{},
+	}
+	w.id = join.WorkerID
+	if len(join.Degrees) != 0 && len(join.Degrees) != join.NumVertices {
+		client.Close()
+		return nil, fmt.Errorf("sched: join sent %d degrees for %d vertices", len(join.Degrees), join.NumVertices)
+	}
+	if pl.Pattern.Labeled() && len(join.Labels) != join.NumVertices {
+		client.Close()
+		return nil, fmt.Errorf("sched: labeled plan but join sent %d labels for %d vertices", len(join.Labels), join.NumVertices)
+	}
+	go w.run(prog, pl, ord, join, cfg.Threads)
+	return w, nil
+}
+
+// ID returns the worker's master-assigned identity.
+func (w *Worker) ID() int { return w.id }
+
+// Wait blocks until the worker exits (run done, fenced, killed, or a
+// transport error) and returns why. A clean exit returns nil.
+func (w *Worker) Wait() error {
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Stats returns the executor counters this worker committed so far and
+// the number of tasks it completed.
+func (w *Worker) Stats() (exec.Stats, int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats, w.tasks
+}
+
+// Close shuts the worker down gracefully: it stops leasing, finishes
+// and reports in-flight tasks, and disconnects. The master re-queues
+// anything it never reported.
+func (w *Worker) Close() error {
+	w.stop(nil)
+	<-w.done
+	return nil
+}
+
+// Kill crashes the worker: the master connection is severed immediately
+// and nothing in flight is reported — the failure mode lease expiry
+// exists for. Chaos tests call this mid-task.
+func (w *Worker) Kill() {
+	w.mu.Lock()
+	w.killed = true
+	w.mu.Unlock()
+	w.client.Close() // severs the TCP conn; in-flight RPCs fail
+	w.stop(errors.New("sched: worker killed"))
+}
+
+// stop requests shutdown with the given cause (first cause wins).
+func (w *Worker) stop(cause error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = cause
+	}
+	w.mu.Unlock()
+	w.quitOnce.Do(func() { close(w.quit) })
+}
+
+func (w *Worker) stopped() bool {
+	select {
+	case <-w.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// run is the worker body: a dispatcher leasing batches into taskCh,
+// Threads executor goroutines draining it, and a heartbeat ticker.
+func (w *Worker) run(prog *exec.Program, pl *plan.Plan, ord *graph.TotalOrder, join JoinReply, threads int) {
+	defer close(w.done)
+	taskCh := make(chan WireTask)
+
+	var tg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		tg.Add(1)
+		go func() {
+			defer tg.Done()
+			w.threadLoop(prog, pl, ord, join, taskCh)
+		}()
+	}
+
+	var hg sync.WaitGroup
+	hg.Add(1)
+	go func() {
+		defer hg.Done()
+		w.heartbeatLoop()
+	}()
+
+	w.dispatchLoop(taskCh)
+	close(taskCh)
+	tg.Wait()
+	w.quitOnce.Do(func() { close(w.quit) }) // release the heartbeater
+	hg.Wait()
+	w.src.Close()
+	if w.dialed != nil {
+		w.dialed.Close()
+	}
+	w.client.Close()
+}
+
+// dispatchLoop pulls task batches from the master whenever the threads
+// are hungry and feeds them through taskCh.
+func (w *Worker) dispatchLoop(taskCh chan<- WireTask) {
+	for {
+		if w.stopped() {
+			return
+		}
+		var reply LeaseReply
+		err := w.client.Call("Sched.Lease", &LeaseArgs{WorkerID: w.id, Max: w.leaseBatch}, &reply)
+		if err != nil {
+			w.stop(fmt.Errorf("sched: lease: %w", err))
+			return
+		}
+		if reply.Fenced {
+			w.stop(ErrFenced)
+			return
+		}
+		if reply.Done {
+			return
+		}
+		for _, t := range reply.Tasks {
+			select {
+			case taskCh <- t:
+			case <-w.quit:
+				return
+			}
+		}
+		if len(reply.Tasks) == 0 {
+			backoff := reply.Backoff
+			if backoff <= 0 {
+				backoff = 10 * time.Millisecond
+			}
+			select {
+			case <-time.After(backoff):
+			case <-w.quit:
+				return
+			}
+		}
+	}
+}
+
+// threadLoop is one executor thread: run each task, buffer its
+// emissions, report the attempt.
+func (w *Worker) threadLoop(prog *exec.Program, pl *plan.Plan, ord *graph.TotalOrder, join JoinReply, taskCh <-chan WireTask) {
+	var matches [][]int64
+	var codes []*vcbc.Code
+	eopts := exec.Options{
+		TriangleCacheEntries: join.TriangleCacheEntries,
+		Obs:                  w.reg,
+		Prefetch:             join.Prefetch,
+		CompactAdjacency:     join.CompactAdjacency,
+	}
+	if join.WantMatches && !pl.Compressed {
+		eopts.Emit = func(f []int64) bool {
+			matches = append(matches, append([]int64(nil), f...))
+			return true
+		}
+	}
+	if join.WantCodes && pl.Compressed {
+		eopts.EmitCode = func(c *vcbc.Code) bool {
+			codes = append(codes, c.Clone())
+			return true
+		}
+	}
+	if pl.DegreeFiltered && len(join.Degrees) > 0 {
+		degrees := join.Degrees
+		eopts.DegreeOf = func(v int64) int { return int(degrees[v]) }
+	}
+	if pl.Pattern.Labeled() {
+		labels := join.Labels
+		eopts.LabelOf = func(v int64) int64 { return labels[v] }
+	}
+	e := exec.NewExecutor(prog, w.src, join.NumVertices, ord, eopts)
+
+	for wt := range taskCh {
+		if w.taskRevoked(wt.ID) {
+			continue
+		}
+		w.setRunning(wt.ID, true)
+		matches, codes = matches[:0], codes[:0]
+		sp := w.reg.StartSpan("cluster.task")
+		stats, err := e.Run(wt.Task)
+		d := sp.End()
+		w.setRunning(wt.ID, false)
+		if w.stopped() && w.isKilled() {
+			return // crashed: report nothing, let the lease expire
+		}
+		report := ReportArgs{
+			WorkerID:   w.id,
+			TaskID:     wt.ID,
+			DurationNs: d.Nanoseconds(),
+		}
+		if err != nil {
+			report.Err = err.Error()
+		} else {
+			report.Stats = stats
+			report.Matches = matches
+			report.Codes = codes
+		}
+		var reply ReportReply
+		if cerr := w.client.Call("Sched.Report", &report, &reply); cerr != nil {
+			w.stop(fmt.Errorf("sched: report: %w", cerr))
+			return
+		}
+		if err == nil && reply.Accepted {
+			w.mu.Lock()
+			w.stats.Add(stats)
+			w.tasks++
+			w.mu.Unlock()
+		}
+		if reply.Done {
+			w.quitOnce.Do(func() { close(w.quit) })
+			return
+		}
+	}
+}
+
+func (w *Worker) isKilled() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.killed
+}
+
+func (w *Worker) taskRevoked(id int64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.revoked[id]
+	return ok
+}
+
+func (w *Worker) setRunning(id int64, on bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if on {
+		w.running[id] = struct{}{}
+	} else {
+		delete(w.running, id)
+	}
+}
+
+// heartbeatLoop renews the lease and learns about revocations.
+func (w *Worker) heartbeatLoop() {
+	interval := w.heartbeat
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.quit:
+			return
+		case <-t.C:
+		}
+		w.mu.Lock()
+		running := make([]int64, 0, len(w.running))
+		for id := range w.running {
+			running = append(running, id)
+		}
+		w.mu.Unlock()
+		var reply HeartbeatReply
+		if err := w.client.Call("Sched.Heartbeat", &HeartbeatArgs{WorkerID: w.id, Running: running}, &reply); err != nil {
+			w.stop(fmt.Errorf("sched: heartbeat: %w", err))
+			return
+		}
+		if reply.Fenced {
+			w.stop(ErrFenced)
+			return
+		}
+		if len(reply.Revoked) > 0 {
+			w.mu.Lock()
+			for _, id := range reply.Revoked {
+				w.revoked[id] = struct{}{}
+			}
+			w.mu.Unlock()
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // TotalOrder is the total order ≺ on data vertices required by the
 // symmetry-breaking technique. Following SEED (and §II-A of the paper),
@@ -42,6 +45,28 @@ func IdentityOrder(n int) *TotalOrder {
 		rank[i] = int64(i)
 	}
 	return &TotalOrder{rank: rank}
+}
+
+// Ranks exposes the materialized rank array, indexed by vertex id, so
+// the order can be shipped to remote workers (the control plane's
+// JoinReply). The slice is shared with the order — treat it as
+// immutable.
+func (o *TotalOrder) Ranks() []int64 { return o.rank }
+
+// OrderFromRanks reconstructs a TotalOrder from a rank array received
+// over the wire. The payload crosses a trust boundary, so it is
+// validated to be a permutation of [0, len) instead of trusted: a
+// malformed array would otherwise index out of bounds inside the
+// executor's hottest filter loops.
+func OrderFromRanks(rank []int64) (*TotalOrder, error) {
+	seen := make([]bool, len(rank))
+	for _, r := range rank {
+		if r < 0 || r >= int64(len(rank)) || seen[r] {
+			return nil, fmt.Errorf("graph: rank array of %d entries is not a permutation", len(rank))
+		}
+		seen[r] = true
+	}
+	return &TotalOrder{rank: append([]int64(nil), rank...)}, nil
 }
 
 // Less reports whether v ≺ w.

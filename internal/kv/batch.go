@@ -217,23 +217,45 @@ func (c *Client) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
 	return out, nil
 }
 
+// routeScratch is the reusable per-call state of routeBatch: one keys
+// and one positions bucket per partition.
+type routeScratch struct {
+	keys [][]int64
+	idxs [][]int
+}
+
 // routeBatch groups request positions by owning partition and serves
-// each group with one RPC.
+// each group with one RPC, ascending by partition (deterministic, where
+// the map grouping it replaces visited partitions in random order).
+// Buckets come from a per-client pool instead of being rebuilt per call:
+// serve callbacks must not retain keys/idxs past their return, which
+// holds for the RPC paths above (gob encodes synchronously).
 func (c *Client) routeBatch(vs []int64, serve func(p int, keys []int64, idxs []int) error) error {
-	byPart := make(map[int][]int)
+	np := len(c.pools)
+	sc, _ := c.scratch.Get().(*routeScratch)
+	if sc == nil || len(sc.keys) != np {
+		sc = &routeScratch{keys: make([][]int64, np), idxs: make([][]int, np)}
+	}
+	defer func() {
+		for p := 0; p < np; p++ {
+			sc.keys[p] = sc.keys[p][:0]
+			sc.idxs[p] = sc.idxs[p][:0]
+		}
+		c.scratch.Put(sc)
+	}()
 	for i, v := range vs {
 		if v < 0 || int(v) >= c.n {
 			return fmt.Errorf("kv: vertex %d out of range [0,%d)", v, c.n)
 		}
-		p := int(v) % len(c.pools)
-		byPart[p] = append(byPart[p], i)
+		p := int(v) % np
+		sc.keys[p] = append(sc.keys[p], v)
+		sc.idxs[p] = append(sc.idxs[p], i)
 	}
-	for p, idxs := range byPart {
-		keys := make([]int64, len(idxs))
-		for j, i := range idxs {
-			keys[j] = vs[i]
+	for p := 0; p < np; p++ {
+		if len(sc.idxs[p]) == 0 {
+			continue
 		}
-		if err := serve(p, keys, idxs); err != nil {
+		if err := serve(p, sc.keys[p], sc.idxs[p]); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package kv
+
+// raceEnabled reports whether the race detector instruments this build;
+// the allocation-regression test skips under it (instrumentation
+// allocates on its own schedule, so AllocsPerRun counts are
+// meaningless there).
+const raceEnabled = false

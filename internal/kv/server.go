@@ -131,6 +131,11 @@ type Client struct {
 	pools []*connPool
 	// metrics counts remote traffic observed by this client.
 	metrics Metrics
+	// scratch pools per-partition routing buffers for routeBatch: batch
+	// gets run on every executor thread's hot path, and rebuilding the
+	// partition→positions grouping per call was the dominant per-batch
+	// allocation.
+	scratch sync.Pool
 }
 
 // connPool is a tiny round-robin-free pool: take a connection, return

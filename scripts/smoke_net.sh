@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Multi-process smoke test: build the real binaries, run one benu-master
+# and two benu-worker processes over loopback TCP on a small dataset,
+# and check the master's reported match count against the single-process
+# benu run of the same pattern × preset. Bounded to seconds — this is
+# the CI gate that the shipped binaries actually deploy.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PATTERN=${PATTERN:-q4}
+PRESET=${PRESET:-as}
+PORT=${PORT:-17077}
+
+bin=$(mktemp -d)
+trap 'rm -rf "$bin"; kill $(jobs -p) 2>/dev/null || true' EXIT
+
+go build -o "$bin/benu" ./cmd/benu
+go build -o "$bin/benu-master" ./cmd/benu-master
+go build -o "$bin/benu-worker" ./cmd/benu-worker
+
+# Reference count from the single-process deployment ("matches: N").
+ref=$("$bin/benu" -pattern "$PATTERN" -preset "$PRESET" | sed -n 's/^matches: \([0-9]*\).*/\1/p')
+if [ -z "$ref" ]; then
+    echo "smoke_net: could not parse reference match count" >&2
+    exit 1
+fi
+
+"$bin/benu-master" -pattern "$PATTERN" -preset "$PRESET" -listen "127.0.0.1:$PORT" >"$bin/master.out" 2>&1 &
+master_pid=$!
+
+# Wait for the master to bind before pointing workers at it.
+for _ in $(seq 1 50); do
+    grep -q "serving tasks" "$bin/master.out" 2>/dev/null && break
+    sleep 0.1
+done
+
+"$bin/benu-worker" -master "127.0.0.1:$PORT" -threads 2 -name smoke-w1 >"$bin/w1.out" 2>&1 &
+"$bin/benu-worker" -master "127.0.0.1:$PORT" -threads 2 -name smoke-w2 >"$bin/w2.out" 2>&1 &
+
+if ! wait "$master_pid"; then
+    echo "smoke_net: master failed" >&2
+    cat "$bin/master.out" >&2
+    exit 1
+fi
+wait
+
+net=$(sed -n 's/^matches=\([0-9]*\).*/\1/p' "$bin/master.out")
+if [ "$net" != "$ref" ]; then
+    echo "smoke_net: multi-process count $net != single-process count $ref" >&2
+    cat "$bin/master.out" >&2
+    exit 1
+fi
+workers=$(sed -n 's/.*workers=\([0-9]*\).*/\1/p' "$bin/master.out")
+if [ "$workers" != "2" ]; then
+    echo "smoke_net: master saw $workers workers, want 2" >&2
+    cat "$bin/master.out" >&2
+    exit 1
+fi
+echo "smoke_net: OK ($PATTERN on $PRESET: $net matches across 2 worker processes)"
