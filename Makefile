@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test short race vet lint bench bench-json bench-gate check diff chaos smoke-net fuzz tidy-check clean
+.PHONY: all build test short race vet lint bench bench-json bench-gate check diff chaos smoke-net smoke-disk fuzz tidy-check clean
 
 all: check
 
@@ -49,6 +49,13 @@ chaos:
 smoke-net:
 	./scripts/smoke_net.sh
 
+## smoke-disk: disk-store smoke — build CSR files with benu-store,
+## enumerate over the mmap'd disk backend (single file and sharded),
+## cross-check counts against the in-memory run, and verify a
+## corrupted shard fails loudly (seconds, CI-gated)
+smoke-disk:
+	./scripts/smoke_disk.sh
+
 ## fuzz: run each native fuzz target for $(FUZZTIME) (default 30s)
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzGraphParse -fuzztime=$(FUZZTIME) ./internal/graph
@@ -56,6 +63,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzUvarint -fuzztime=$(FUZZTIME) ./internal/varint
 	$(GO) test -run='^$$' -fuzz=FuzzPlanDecode -fuzztime=$(FUZZTIME) ./internal/plan
 	$(GO) test -run='^$$' -fuzz=FuzzVCBCRoundTrip -fuzztime=$(FUZZTIME) ./internal/vcbc
+	$(GO) test -run='^$$' -fuzz=FuzzCSRDecode -fuzztime=$(FUZZTIME) ./internal/csr
 
 ## vet: stock static analysis
 vet:

@@ -297,8 +297,8 @@ func NewResilientStore(store Store, opts ResilientStoreOptions) *kv.Resilient {
 }
 
 // ObserveStore wraps store with per-query latency observation recording
-// into reg: histograms kv.<backend>.get_latency_ns and
-// kv.<backend>.batchget_latency_ns plus an error counter (see
+// into reg: a kv.<backend>.batchget_latency_ns histogram (single-key
+// demand misses are one-key batches) plus an error counter (see
 // docs/METRICS.md). Use with RunOnStore; Count/Enumerate wrap their
 // store automatically when Options.Metrics or Options.Observer is set.
 func ObserveStore(store Store, reg *Metrics) Store { return kv.ObserveStore(store, reg) }
@@ -315,6 +315,32 @@ func ServeGraph(g *Graph, p int) (servers []*kv.Server, addrs []string, err erro
 func DialStore(addrs []string, numVertices int) (*kv.Client, error) {
 	return kv.Dial(addrs, numVertices)
 }
+
+// OpenDisk memory-maps an immutable CSR store file built by
+// `benu-store build` (internal/csr) and serves it zero-copy through the
+// Store interface; graphs larger than RAM enumerate at page-cache
+// speed. Per-partition files compose with NewPartitionedStore or
+// NewReplicatedStore — see docs/STORAGE.md.
+func OpenDisk(path string) (*kv.Disk, error) { return kv.OpenDisk(path, nil) }
+
+// NewPartitionedStore routes reads across hash partitions (vertex v
+// lives in parts[v mod len(parts)]): the composition step for sharded
+// deployments of OpenDisk files or any other per-partition stores.
+func NewPartitionedStore(parts []Store, numVertices int) Store {
+	return kv.NewPartitioned(parts, numVertices)
+}
+
+// NewReplicatedStore extends the partition router to N replicas per
+// partition with deterministic read fan-out and breaker-driven
+// failover: replicas[p][r] is replica r of partition p. See
+// docs/STORAGE.md for the failover semantics and the store.replica.*
+// metrics.
+func NewReplicatedStore(replicas [][]Store, numVertices int, opts ReplicatedStoreOptions) (Store, error) {
+	return kv.NewReplicated(replicas, numVertices, opts)
+}
+
+// ReplicatedStoreOptions configures NewReplicatedStore.
+type ReplicatedStoreOptions = kv.ReplicatedOptions
 
 // BruteForceCount counts matches by plain backtracking — the reference
 // implementation used as ground truth in this repository's tests.
@@ -345,7 +371,8 @@ type DeltaEnumerator = exec.DeltaEnumerator
 //
 //	d, _ := benu.NewDeltaEnumerator(p)
 //	store.AddEdge(a, b)
-//	n, _ := d.Count(store, store.NumVertices(), ord, a, b, exec.Options{})
+//	src := exec.StoreSource{S: store}
+//	n, _ := d.Count(src, store.NumVertices(), ord, a, b, exec.Options{})
 func NewDeltaEnumerator(p *Pattern) (*DeltaEnumerator, error) {
 	return exec.NewDeltaEnumerator(p, plan.OptimizedUncompressed)
 }

@@ -188,7 +188,7 @@ func TestFacadeDelta(t *testing.T) {
 	// Inserting (0, 3) closes the triangle {0, 2, 3}.
 	ident := graph.IdentityOrder(6)
 	store.AddEdge(0, 3)
-	n, err := d.Count(store, store.NumVertices(), ident, 0, 3, exec.Options{})
+	n, err := d.Count(exec.StoreSource{S: store}, store.NumVertices(), ident, 0, 3, exec.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

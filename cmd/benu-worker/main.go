@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"benu/internal/cluster/sched"
@@ -31,12 +33,19 @@ func main() {
 		cacheMB = flag.Int("cache-mb", 32, "DB cache capacity in MiB (0 = off)")
 		name    = flag.String("name", "", "worker label used in logs")
 		metrics = flag.Bool("metrics", false, "print the worker's metrics snapshot on exit (see docs/METRICS.md)")
+		parts   = flag.String("store-parts", "", "comma-separated store partitions served on this machine, as part/parts (e.g. 0,2/4); the master prefers leasing local-start tasks")
 	)
 	flag.Parse()
 
+	storeParts, numParts, err := parseParts(*parts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benu-worker:", err)
+		os.Exit(1)
+	}
 	if err := run(runConfig{
 		master: *master, threads: *threads, cacheMB: *cacheMB,
 		name: *name, metrics: *metrics,
+		storeParts: storeParts, numParts: numParts,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "benu-worker:", err)
 		os.Exit(1)
@@ -45,21 +54,50 @@ func main() {
 
 // runConfig carries the parsed command-line options.
 type runConfig struct {
-	master  string
-	threads int
-	cacheMB int
-	name    string
-	metrics bool
+	master     string
+	threads    int
+	cacheMB    int
+	name       string
+	metrics    bool
+	storeParts []int
+	numParts   int
+}
+
+// parseParts parses the -store-parts syntax "i,j,.../n" into the
+// locality advertisement of sched.WorkerConfig. Empty means none.
+func parseParts(s string) ([]int, int, error) {
+	if s == "" {
+		return nil, 0, nil
+	}
+	idxs, denom, ok := strings.Cut(s, "/")
+	if !ok {
+		return nil, 0, fmt.Errorf("-store-parts %q: want parts/numparts, e.g. 0,2/4", s)
+	}
+	n, err := strconv.Atoi(denom)
+	if err != nil || n < 1 {
+		return nil, 0, fmt.Errorf("-store-parts %q: bad partition count %q", s, denom)
+	}
+	var parts []int
+	for _, tok := range strings.Split(idxs, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || p < 0 || p >= n {
+			return nil, 0, fmt.Errorf("-store-parts %q: bad partition %q", s, tok)
+		}
+		parts = append(parts, p)
+	}
+	return parts, n, nil
 }
 
 func run(rc runConfig) error {
 	reg := obs.NewRegistry()
 	start := time.Now()
 	w, err := sched.StartWorker(rc.master, sched.WorkerConfig{
-		Threads:    rc.threads,
-		CacheBytes: int64(rc.cacheMB) << 20,
-		Name:       rc.name,
-		Obs:        reg,
+		Threads:       rc.threads,
+		CacheBytes:    int64(rc.cacheMB) << 20,
+		Name:          rc.name,
+		Obs:           reg,
+		StoreParts:    rc.storeParts,
+		StoreNumParts: rc.numParts,
 	})
 	if err != nil {
 		return err

@@ -9,6 +9,7 @@
 //	benu -pattern triangle -preset as -uncompressed -v
 //	benu -pattern q4 -preset ok -metrics
 //	benu -pattern square -preset as -output results.vcbc
+//	benu -pattern q4 -preset as -csr as.csr   # adjacency from benu-store CSR files
 //
 // -output streams the results to a file: a VCBC-compressed stream for
 // compressed plans (count or expand it with benu-decode), plain
@@ -52,6 +53,7 @@ func main() {
 		prefetch     = flag.Bool("prefetch", false, "batch-prefetch ENU candidate adjacency before enumerating")
 		pfWorkers    = flag.Int("prefetch-workers", 0, "async prefetch goroutines per machine (0 = synchronous inline)")
 		compact      = flag.Bool("compact", false, "use the compact varint-delta adjacency encoding in cache and fetches")
+		csrPath      = flag.String("csr", "", "serve adjacency from mmap'd CSR file(s) built by benu-store: a single file, or the prefix of <path>.<part> shards")
 		output       = flag.String("output", "", "write results to this file (VCBC stream for compressed plans, text otherwise; decode with benu-decode)")
 		metrics      = flag.Bool("metrics", false, "print the run's metrics snapshot (see docs/METRICS.md)")
 		metricsJSON  = flag.String("metrics-json", "", "write the run's metrics snapshot as JSON to this file")
@@ -69,6 +71,7 @@ func main() {
 		cliqueCache: *cliqueCache, output: *output, verbose: *verbose,
 		metrics: *metrics, metricsJSON: *metricsJSON,
 		prefetch: *prefetch, prefetchWorkers: *pfWorkers, compact: *compact,
+		csr:   *csrPath,
 		retry: *retry, deadline: *deadline, failFast: *failFast,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "benu:", err)
@@ -90,6 +93,7 @@ type runConfig struct {
 	prefetch                   bool
 	prefetchWorkers            int
 	compact                    bool
+	csr                        string
 	retry                      int
 	deadline                   time.Duration
 	failFast                   bool
@@ -149,10 +153,22 @@ func run(rc runConfig) error {
 
 	// A private registry isolates the snapshot to exactly this run.
 	var reg *obs.Registry
-	store := kv.Store(kv.NewLocal(g))
 	if rc.metrics || rc.metricsJSON != "" {
 		reg = obs.NewRegistry()
 		cfg.Obs = reg
+	}
+	var store kv.Store
+	if rc.csr != "" {
+		s, closeStores, err := openDiskStore(rc.csr, g.NumVertices(), reg)
+		if err != nil {
+			return err
+		}
+		defer closeStores()
+		store = s
+	} else {
+		store = kv.NewLocal(g)
+	}
+	if reg != nil {
 		store = kv.ObserveStore(store, reg)
 	}
 
@@ -290,6 +306,62 @@ func coverList(pl *plan.Plan) []int {
 		}
 	}
 	return out
+}
+
+// openDiskStore opens the CSR file(s) written by `benu-store build` at
+// path and composes them into one Store: a single whole-graph file
+// serves directly, per-partition shards (<path>.0 … <path>.P-1)
+// compose through the partition router. The returned closer releases
+// every mapping; call it only after the run is drained.
+func openDiskStore(path string, n int, reg *obs.Registry) (kv.Store, func(), error) {
+	open := func(p string) (*kv.Disk, error) { return kv.OpenDisk(p, reg) }
+	if _, err := os.Stat(path); err == nil {
+		d, err := open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, parts := d.Partition(); parts != 1 {
+			d.Close()
+			return nil, nil, fmt.Errorf("%s holds one of %d partitions; pass the shard prefix instead", path, parts)
+		}
+		if d.NumVertices() != n {
+			d.Close()
+			return nil, nil, fmt.Errorf("%s stores %d vertices, data graph has %d", path, d.NumVertices(), n)
+		}
+		return d, func() { d.Close() }, nil
+	}
+	first, err := open(path + ".0")
+	if err != nil {
+		return nil, nil, fmt.Errorf("no CSR file at %s or %s.0: %w", path, path, err)
+	}
+	_, parts := first.Partition()
+	disks := []*kv.Disk{first}
+	closeAll := func() {
+		for _, d := range disks {
+			d.Close()
+		}
+	}
+	for p := 1; p < parts; p++ {
+		d, err := open(fmt.Sprintf("%s.%d", path, p))
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		disks = append(disks, d)
+	}
+	stores := make([]kv.Store, parts)
+	for p, d := range disks {
+		if gotPart, gotParts := d.Partition(); gotPart != p || gotParts != parts {
+			closeAll()
+			return nil, nil, fmt.Errorf("%s.%d holds partition %d/%d, want %d/%d", path, p, gotPart, gotParts, p, parts)
+		}
+		if d.NumVertices() != n {
+			closeAll()
+			return nil, nil, fmt.Errorf("%s.%d stores %d vertices, data graph has %d", path, p, d.NumVertices(), n)
+		}
+		stores[p] = d
+	}
+	return kv.NewPartitioned(stores, n), closeAll, nil
 }
 
 func max64(a, b int64) int64 {

@@ -56,7 +56,7 @@ func main() {
 		}
 		applied++
 		for i := range patterns {
-			d, err := deltas[i].Count(store, store.NumVertices(), ord, a, b, exec.Options{})
+			d, err := deltas[i].Count(exec.StoreSource{S: store}, store.NumVertices(), ord, a, b, exec.Options{})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -3,9 +3,12 @@ package check
 import (
 	"testing"
 
+	"benu/internal/cluster"
 	"benu/internal/gen"
 	"benu/internal/graph"
 	"benu/internal/kv"
+	"benu/internal/obs"
+	"benu/internal/plan"
 )
 
 // Chaos differential tests: the fault-tolerant backends run over a
@@ -102,5 +105,80 @@ func TestResilientBackendsTransparentWhenHealthy(t *testing.T) {
 	}
 	for _, m := range RunBatch(cfg) {
 		t.Error(m.String())
+	}
+}
+
+// replicaChaosBackend builds the cluster backend over a 2×2 replica
+// deployment where deadReplica (or every replica, when deadReplica < 0)
+// of each partition fails permanently. No kv.Resilient rides on top —
+// replica failover must carry the recovery alone.
+func replicaChaosBackend(t *testing.T, deadReplica int) Backend {
+	t.Helper()
+	return Backend{
+		Name: "replica-chaos",
+		Run: func(pl *plan.Plan, g *graph.Graph, ord *graph.TotalOrder) (*Outcome, error) {
+			const parts, reps = 2, 2
+			replicas := make([][]kv.Store, parts)
+			for p := range replicas {
+				shard := kv.Shard(g, p, parts)
+				for r := 0; r < reps; r++ {
+					var s kv.Store = kv.NewMapStore(shard, g.NumVertices())
+					if r == deadReplica || deadReplica < 0 {
+						f := kv.NewFaulty(s)
+						f.FailEveryN = 1 // dead for good: every call errors
+						s = f
+					}
+					replicas[p] = append(replicas[p], s)
+				}
+			}
+			store, err := kv.NewReplicated(replicas, g.NumVertices(), kv.ReplicatedOptions{
+				Obs: obs.NewRegistry(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			cfg := cluster.Config{
+				Workers:          2,
+				ThreadsPerWorker: 2,
+				CacheBytes:       g.SizeBytes()/2 + 1, // small: evictions force re-reads
+				Tau:              4,
+				Obs:              obs.NewRegistry(),
+			}
+			return runCluster(pl, g, ord, store, cfg)
+		},
+	}
+}
+
+// TestChaosReplicaFailoverExactWithOneReplicaDown kills one replica of
+// every partition permanently and runs the full cluster over what
+// remains: counts and canonical embedding sets must be exact — replica
+// failover is a correctness mechanism, not best-effort.
+func TestChaosReplicaFailoverExactWithOneReplicaDown(t *testing.T) {
+	b := replicaChaosBackend(t, 0)
+	for _, p := range []*graph.Pattern{gen.Triangle(), gen.Q(1)} {
+		for _, seed := range []int64{71, 72} {
+			g := gen.RandomDataGraph(sparseSpec, seed)
+			for _, v := range ShortVariants() {
+				if m := Validate(p, g, v, b); m != nil {
+					t.Errorf("%s/%s seed %d: %s", p.Name(), v.Name, seed, m.String())
+				}
+			}
+		}
+	}
+}
+
+// TestChaosReplicaAllReplicasDown is the loud-failure counterweight:
+// with every replica of every partition dead, the run must surface an
+// error — never a silently wrong count.
+func TestChaosReplicaAllReplicasDown(t *testing.T) {
+	b := replicaChaosBackend(t, -1)
+	g := gen.RandomDataGraph(sparseSpec, 73)
+	m := Validate(gen.Triangle(), g, Variants()[1], b)
+	if m == nil {
+		t.Fatal("all replicas dead but the run matched the reference")
+	}
+	if m.Err == nil {
+		t.Fatalf("all replicas dead produced a count (%d vs %d) instead of an error",
+			m.GotCount, m.WantCount)
 	}
 }

@@ -2,6 +2,8 @@ package check
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -9,6 +11,7 @@ import (
 
 	"benu/internal/cluster"
 	"benu/internal/cluster/sched"
+	"benu/internal/csr"
 	"benu/internal/estimate"
 	"benu/internal/exec"
 	"benu/internal/gen"
@@ -63,9 +66,9 @@ type Backend struct {
 //
 //   - "exec": the executor driven directly, single thread, uncached
 //     source over the in-memory KV store — the minimal deployment.
-//   - "batched": a simulated cluster whose reads are routed one-by-one
-//     through the BatchGetAdj path of a hash-partitioned store, so the
-//     batch codepath is cross-validated against serial reads.
+//   - "batched": a simulated cluster over a hash-partitioned store, so
+//     the partition-routing codepath (grouped keys, per-partition
+//     round trips) is cross-validated against the single-store columns.
 //   - "cluster-split": the full simulated cluster — several machines and
 //     threads, a deliberately small DB cache (evictions), a tiny triangle
 //     cache, and τ low enough that most start vertices split into
@@ -111,7 +114,7 @@ func Backends(wrap StoreWrap) []Backend {
 				for i := range parts {
 					parts[i] = kv.NewMapStore(kv.Shard(g, i, len(parts)), g.NumVertices())
 				}
-				store := batchRouted{inner: wrap(kv.NewPartitioned(parts, g.NumVertices()))}
+				store := wrap(kv.NewPartitioned(parts, g.NumVertices()))
 				cfg := cluster.Config{
 					Workers:          2,
 					ThreadsPerWorker: 2,
@@ -149,6 +152,64 @@ func Backends(wrap StoreWrap) []Backend {
 					Obs:               obs.NewRegistry(),
 				}
 				return runCluster(pl, g, ord, wrap(kv.NewLocal(g)), cfg)
+			},
+		},
+		{
+			// "disk": the mmap'd CSR backend — the graph is serialized to
+			// two hash-partition files in a temp dir, each opened as a
+			// kv.Disk and composed under kv.NewPartitioned; compact
+			// adjacency end to end (disk lists are compact natively).
+			Name: "disk",
+			Run: func(pl *plan.Plan, g *graph.Graph, ord *graph.TotalOrder) (*Outcome, error) {
+				dir, err := os.MkdirTemp("", "benu-csr-")
+				if err != nil {
+					return nil, err
+				}
+				defer os.RemoveAll(dir)
+				const parts = 2
+				reg := obs.NewRegistry()
+				stores := make([]kv.Store, parts)
+				for i := 0; i < parts; i++ {
+					path := filepath.Join(dir, fmt.Sprintf("part%d.csr", i))
+					if err := csr.WriteGraphFile(path, g, parts, i); err != nil {
+						return nil, err
+					}
+					d, err := kv.OpenDisk(path, reg)
+					if err != nil {
+						return nil, err
+					}
+					defer d.Close()
+					stores[i] = d
+				}
+				cfg := cluster.Config{
+					Workers:          2,
+					ThreadsPerWorker: 2,
+					CacheBytes:       g.SizeBytes() * 2,
+					Tau:              4,
+					CompactAdjacency: true,
+					Obs:              obs.NewRegistry(),
+				}
+				return runCluster(pl, g, ord, wrap(kv.NewPartitioned(stores, g.NumVertices())), cfg)
+			},
+		},
+		{
+			// "replica": 2 partitions × 2 replicas with deterministic read
+			// fan-out — on a healthy store the replica router must be
+			// invisible (identical counts and embedding sets).
+			Name: "replica",
+			Run: func(pl *plan.Plan, g *graph.Graph, ord *graph.TotalOrder) (*Outcome, error) {
+				store, err := replicatedStore(g, wrap, 2, 2, kv.ReplicatedOptions{Obs: obs.NewRegistry()})
+				if err != nil {
+					return nil, err
+				}
+				cfg := cluster.Config{
+					Workers:          2,
+					ThreadsPerWorker: 2,
+					CacheBytes:       g.SizeBytes() * 2,
+					Tau:              4,
+					Obs:              obs.NewRegistry(),
+				}
+				return runCluster(pl, g, ord, store, cfg)
 			},
 		},
 		{
@@ -249,6 +310,38 @@ func ResilientBackends(wrap StoreWrap) []Backend {
 			},
 		},
 		{
+			// "replica-faulty": replica failover as the first recovery
+			// layer — each replica is independently fault-wrapped, reads
+			// fail over inside the partitioned store, and kv.Resilient on
+			// top retries the rare moments when every replica of a
+			// partition misbehaves at once. Under permanent faults every
+			// replica fails identically, the replica set exhausts, and the
+			// error surfaces through the retry budget — loud, never wrong.
+			Name: "replica-faulty",
+			Run: func(pl *plan.Plan, g *graph.Graph, ord *graph.TotalOrder) (*Outcome, error) {
+				inner, err := replicatedStore(g, wrap, 2, 2, kv.ReplicatedOptions{
+					DisableBreaker: true, // µs-scale chaos sweeps would flap real cooldowns
+					Obs:            obs.NewRegistry(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				store := kv.NewResilient(inner, kv.ResilientOptions{
+					Policy:         pol,
+					DisableBreaker: true,
+					Obs:            obs.NewRegistry(),
+				})
+				cfg := cluster.Config{
+					Workers:          2,
+					ThreadsPerWorker: 2,
+					CacheBytes:       g.SizeBytes() * 2,
+					Tau:              4,
+					Obs:              obs.NewRegistry(),
+				}
+				return runCluster(pl, g, ord, store, cfg)
+			},
+		},
+		{
 			// "net-retry": the networked control plane with a task
 			// re-execution budget — a failed attempt on a worker re-queues
 			// the task, exactly-once commit healing what the store would
@@ -261,20 +354,20 @@ func ResilientBackends(wrap StoreWrap) []Backend {
 	}
 }
 
-// batchRouted forces every serial GetAdj through the store's batched
-// path, so BatchGetAdj is exercised (and cross-validated) wherever the
-// executor reads.
-type batchRouted struct{ inner kv.Store }
-
-func (s batchRouted) GetAdj(v int64) ([]int64, error) {
-	out, err := kv.BatchGetAdj(s.inner, []int64{v})
-	if err != nil {
-		return nil, err
+// replicatedStore builds the standard replica deployment of the matrix:
+// parts hash partitions × reps replicas, each replica an independently
+// wrapped MapStore copy of its partition (so fault injection is
+// per-replica, the way real replica failures are independent).
+func replicatedStore(g *graph.Graph, wrap StoreWrap, parts, reps int, opts kv.ReplicatedOptions) (*kv.Partitioned, error) {
+	replicas := make([][]kv.Store, parts)
+	for p := range replicas {
+		shard := kv.Shard(g, p, parts)
+		for r := 0; r < reps; r++ {
+			replicas[p] = append(replicas[p], wrap(kv.NewMapStore(shard, g.NumVertices())))
+		}
 	}
-	return out[0], nil
+	return kv.NewReplicated(replicas, g.NumVertices(), opts)
 }
-
-func (s batchRouted) NumVertices() int { return s.inner.NumVertices() }
 
 // runCluster executes pl on the simulated cluster and collects the
 // Outcome, expanding VCBC codes when the plan is compressed.

@@ -96,12 +96,22 @@ type truncatingStore struct {
 	victim int64
 }
 
-func (s truncatingStore) GetAdj(v int64) ([]int64, error) {
-	adj, err := s.inner.GetAdj(v)
-	if err != nil || v != s.victim || len(adj) == 0 {
-		return adj, err
+func (s truncatingStore) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
+	lists, err := s.inner.GetAdjBatch(vs)
+	if err != nil {
+		return nil, err
 	}
-	return adj[:len(adj)-1], nil
+	for i, v := range vs {
+		if v != s.victim {
+			continue
+		}
+		adj, err := lists[i].Decode()
+		if err != nil || len(adj) == 0 {
+			continue
+		}
+		lists[i] = graph.EncodeAdjList(adj[:len(adj)-1])
+	}
+	return lists, nil
 }
 
 func (s truncatingStore) NumVertices() int { return s.inner.NumVertices() }

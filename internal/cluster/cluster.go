@@ -311,13 +311,11 @@ func RunContext(ctx context.Context, pl *plan.Plan, store kv.Store, ord *graph.T
 	runWorker := func(w int) {
 		{
 			// One machine: a shared cached source and a work queue
-			// drained by ThreadsPerWorker threads. A resilient store is
+			// drained by ThreadsPerWorker threads. A context-binding
+			// store (kv.Resilient, or any decorator chain over one) is
 			// rebound to the run's context so cancellation also stops
 			// its retry loops mid-backoff.
-			mstore := store
-			if rs, ok := store.(*kv.Resilient); ok {
-				mstore = rs.WithContext(runCtx)
-			}
+			mstore := kv.WithContext(store, runCtx)
 			src := exec.NewCachedSourceWith(mstore, cfg.CacheBytes, exec.SourceOptions{
 				Compact:         cfg.CompactAdjacency,
 				PrefetchWorkers: cfg.PrefetchWorkers,

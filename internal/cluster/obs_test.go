@@ -65,8 +65,10 @@ func TestObsMatchesResult(t *testing.T) {
 	if got := snap.Histograms["cluster.worker.busy_ns"].Count; got != int64(cfg.Workers) {
 		t.Errorf("worker busy histogram count = %d, want %d", got, cfg.Workers)
 	}
-	// The observed store times exactly the queries that missed the cache.
-	if got := snap.Histograms["kv.local.get_latency_ns"].Count; got != res.DBQueries {
+	// The observed store times exactly the queries that missed the cache:
+	// without prefetch every miss is a single-key batch, so the batch
+	// latency histogram counts one trip per DB query.
+	if got := snap.Histograms["kv.local.batchget_latency_ns"].Count; got != res.DBQueries {
 		t.Errorf("kv latency histogram count = %d, want %d DB queries", got, res.DBQueries)
 	}
 	// Cache counters aggregate the per-worker stats.

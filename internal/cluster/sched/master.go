@@ -158,6 +158,11 @@ type workerRec struct {
 	// br is the heartbeat breaker: silence feeds failures, heartbeats
 	// feed successes, open means dead.
 	br *resilience.Breaker
+	// serves marks the adjacency-store hash partitions this worker
+	// co-hosts (JoinArgs.StoreParts); numParts is the partitioning those
+	// indexes refer to. Empty means no locality preference.
+	serves   map[int]struct{}
+	numParts int
 }
 
 // errHeartbeatMissed is what an expiry scan records into a silent
@@ -524,6 +529,13 @@ func (s *schedService) Join(args *JoinArgs, reply *JoinReply) error {
 		spans:    &obs.Histogram{},
 		br:       resilience.NewBreaker(m.cfg.Breaker, m.reg),
 	}
+	if len(args.StoreParts) > 0 && args.StoreNumParts > 0 {
+		w.serves = make(map[int]struct{}, len(args.StoreParts))
+		for _, p := range args.StoreParts {
+			w.serves[p] = struct{}{}
+		}
+		w.numParts = args.StoreNumParts
+	}
 	m.workers = append(m.workers, w)
 	m.workersGauge.Add(1)
 	m.mu.Unlock()
@@ -592,13 +604,26 @@ func (s *schedService) Lease(args *LeaseArgs, reply *LeaseReply) error {
 	if max <= 0 || max > m.cfg.LeaseBatch {
 		max = m.cfg.LeaseBatch
 	}
-	for len(reply.Tasks) < max && len(m.pending) > 0 {
-		idx := m.pending[len(m.pending)-1]
-		m.pending = m.pending[:len(m.pending)-1]
-		ts := &m.state[idx]
-		if ts.st != taskPending {
-			continue // stale queue entry (stolen/re-leased elsewhere)
+	// Compact stale queue entries (stolen/re-leased elsewhere) so the
+	// locality pick only weighs genuinely pending tasks.
+	live := m.pending[:0]
+	for _, idx := range m.pending {
+		if m.state[idx].st == taskPending {
+			live = append(live, idx)
 		}
+	}
+	m.pending = live
+	var local func(task int) bool
+	if len(w.serves) > 0 {
+		local = func(idx int) bool {
+			_, ok := w.serves[int(m.tasks[idx].Start)%w.numParts]
+			return ok
+		}
+	}
+	var chosen []int
+	chosen, m.pending = leasePick(m.pending, max, local)
+	for _, idx := range chosen {
+		ts := &m.state[idx]
 		ts.st = taskLeased
 		ts.worker = w.id
 		w.leased[idx] = struct{}{}
@@ -615,6 +640,51 @@ func (s *schedService) Lease(args *LeaseArgs, reply *LeaseReply) error {
 		m.leasedC.Add(int64(len(reply.Tasks)))
 	}
 	return nil
+}
+
+// leasePick selects up to max tasks to lease from the LIFO pending
+// stack (served from the tail: fresh re-queues drain first). When the
+// worker advertises store locality, tasks whose start vertex lives in a
+// partition it serves are taken first — the data is already on that
+// machine, so the lease costs no remote adjacency traffic — still in
+// LIFO order within each class. The pick is work-conserving: when local
+// tasks cannot fill the batch, non-local ones top it up, so locality
+// never idles a worker. Returns the chosen task indexes in lease order
+// and the remaining stack (original order, chosen entries removed).
+func leasePick(pending []int, max int, local func(task int) bool) (chosen, rest []int) {
+	if max <= 0 || len(pending) == 0 {
+		return nil, pending
+	}
+	if local == nil {
+		cut := len(pending) - max
+		if cut < 0 {
+			cut = 0
+		}
+		for i := len(pending) - 1; i >= cut; i-- {
+			chosen = append(chosen, pending[i])
+		}
+		return chosen, pending[:cut]
+	}
+	taken := make([]bool, len(pending))
+	for i := len(pending) - 1; i >= 0 && len(chosen) < max; i-- {
+		if local(pending[i]) {
+			chosen = append(chosen, pending[i])
+			taken[i] = true
+		}
+	}
+	for i := len(pending) - 1; i >= 0 && len(chosen) < max; i-- {
+		if !taken[i] {
+			chosen = append(chosen, pending[i])
+			taken[i] = true
+		}
+	}
+	rest = pending[:0]
+	for i, idx := range pending {
+		if !taken[i] {
+			rest = append(rest, idx)
+		}
+	}
+	return chosen, rest
 }
 
 // stealLocked reassigns up to max tasks from the straggler with the

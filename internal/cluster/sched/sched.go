@@ -51,6 +51,15 @@ import (
 type JoinArgs struct {
 	// Name optionally labels the worker in logs and errors.
 	Name string
+	// StoreParts lists the hash partitions of the adjacency store this
+	// worker serves locally (it co-hosts those storage nodes, or holds
+	// their CSR files on its disk). The master prefers leasing it tasks
+	// whose start vertex lives in one of them. Nil means no locality
+	// preference.
+	StoreParts []int
+	// StoreNumParts is the partition count StoreParts indexes refer to
+	// (vertex v lives in partition v mod StoreNumParts).
+	StoreNumParts int
 }
 
 // JoinReply hands a joining worker everything it needs to execute

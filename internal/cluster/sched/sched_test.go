@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/rpc"
 	"os"
+	"reflect"
 	"sort"
 	"testing"
 	"time"
@@ -496,9 +497,9 @@ type slowStore struct {
 	delay time.Duration
 }
 
-func (s slowStore) GetAdj(v int64) ([]int64, error) {
+func (s slowStore) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
 	time.Sleep(s.delay)
-	return s.Store.GetAdj(v)
+	return s.Store.GetAdjBatch(vs)
 }
 
 // TestNetChaosKillWorkerMidTask is the end-to-end chaos test: a real
@@ -615,5 +616,120 @@ func TestNetMultiProcess(t *testing.T) {
 	}
 	if res.Stats.DBQueries == 0 {
 		t.Error("workers reported no DB queries: did they really dial the storage nodes?")
+	}
+}
+
+// TestLeasePickPolicy unit-tests the locality-aware lease selection:
+// LIFO within each class, local tasks first, work-conserving fill, and
+// order-preserving removal from the stack.
+func TestLeasePickPolicy(t *testing.T) {
+	isEven := func(task int) bool { return task%2 == 0 }
+
+	// No locality info: plain LIFO pop.
+	chosen, rest := leasePick([]int{1, 2, 3, 4}, 2, nil)
+	if !reflect.DeepEqual(chosen, []int{4, 3}) || !reflect.DeepEqual(rest, []int{1, 2}) {
+		t.Errorf("nil local: chosen %v rest %v", chosen, rest)
+	}
+
+	// Local tasks picked first, LIFO within the class; the stack keeps
+	// its order minus the chosen entries.
+	chosen, rest = leasePick([]int{1, 2, 3, 4, 5}, 2, isEven)
+	if !reflect.DeepEqual(chosen, []int{4, 2}) {
+		t.Errorf("local-first: chosen %v, want [4 2]", chosen)
+	}
+	if !reflect.DeepEqual(rest, []int{1, 3, 5}) {
+		t.Errorf("local-first: rest %v, want [1 3 5]", rest)
+	}
+
+	// Work-conserving: local supply short of max tops up with the most
+	// recent non-local tasks.
+	chosen, rest = leasePick([]int{1, 2, 3, 5, 7}, 3, isEven)
+	if !reflect.DeepEqual(chosen, []int{2, 7, 5}) {
+		t.Errorf("fill: chosen %v, want [2 7 5]", chosen)
+	}
+	if !reflect.DeepEqual(rest, []int{1, 3}) {
+		t.Errorf("fill: rest %v, want [1 3]", rest)
+	}
+
+	// No local tasks at all: degenerates to LIFO.
+	chosen, _ = leasePick([]int{1, 3, 5}, 2, isEven)
+	if !reflect.DeepEqual(chosen, []int{5, 3}) {
+		t.Errorf("no locals: chosen %v, want [5 3]", chosen)
+	}
+
+	// max ≥ stack drains everything.
+	chosen, rest = leasePick([]int{1, 2}, 10, isEven)
+	if len(chosen) != 2 || len(rest) != 0 {
+		t.Errorf("drain: chosen %v rest %v", chosen, rest)
+	}
+
+	// Empty and non-positive max are no-ops.
+	if c, r := leasePick(nil, 4, isEven); c != nil || r != nil {
+		t.Errorf("empty stack: %v %v", c, r)
+	}
+	if c, _ := leasePick([]int{1}, 0, isEven); c != nil {
+		t.Errorf("max=0: %v", c)
+	}
+}
+
+// TestLeaseLocalityProtocol drives locality through the wire protocol: a
+// worker that joins advertising partition 0 of 2 receives even-start
+// tasks while they last, and still receives odd-start ones afterwards
+// (work conservation).
+func TestLeaseLocalityProtocol(t *testing.T) {
+	g := testGraph()
+	pl := bestPlan(t, gen.Triangle(), g, plan.OptimizedUncompressed)
+	cfg := masterFor(t, pl, g, obs.NewRegistry())
+	cfg.LeaseBatch = 16
+	cfg.LeaseDuration = time.Minute
+	m, err := StartMaster("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	const parts = 2
+	c := dialRaw(t, m.Addr())
+	var join JoinReply
+	if err := c.Call("Sched.Join", &JoinArgs{
+		Name: "local0", StoreParts: []int{0}, StoreNumParts: parts,
+	}, &join); err != nil {
+		t.Fatal(err)
+	}
+	var leased []WireTask
+	for {
+		var lease LeaseReply
+		if err := c.Call("Sched.Lease", &LeaseArgs{WorkerID: join.WorkerID, Max: 16}, &lease); err != nil {
+			t.Fatal(err)
+		}
+		if len(lease.Tasks) == 0 {
+			break
+		}
+		leased = append(leased, lease.Tasks...)
+	}
+	if len(leased) == 0 {
+		t.Fatal("no tasks leased")
+	}
+	// Count the local tasks in the whole queue, then check the lease
+	// order served every one of them before any non-local task.
+	locals := 0
+	for _, wt := range leased {
+		if wt.Task.Start%parts == 0 {
+			locals++
+		}
+	}
+	if locals == 0 || locals == len(leased) {
+		t.Fatalf("degenerate task mix: %d local of %d", locals, len(leased))
+	}
+	for i, wt := range leased {
+		isLocal := wt.Task.Start%parts == 0
+		if i < locals && !isLocal {
+			t.Fatalf("lease position %d is non-local (start %d) while local tasks remained",
+				i, wt.Task.Start)
+		}
+		if i >= locals && isLocal {
+			t.Fatalf("local task (start %d) leased at position %d, after non-local ones",
+				wt.Task.Start, i)
+		}
 	}
 }

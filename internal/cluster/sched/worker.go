@@ -27,6 +27,11 @@ type WorkerConfig struct {
 	Store kv.Store
 	// Name optionally labels the worker in logs and errors.
 	Name string
+	// StoreParts / StoreNumParts advertise which adjacency-store hash
+	// partitions this machine serves locally (see JoinArgs); the master
+	// then prefers leasing it tasks starting in those partitions.
+	StoreParts    []int
+	StoreNumParts int
 	// Obs selects the worker-local metrics registry (exec.*, source.*,
 	// cache.* names, plus the cluster.task spans). nil means
 	// obs.Default().
@@ -82,7 +87,8 @@ func StartWorker(addr string, cfg WorkerConfig) (*Worker, error) {
 	}
 	client := rpc.NewClient(conn)
 	var join JoinReply
-	if err := client.Call("Sched.Join", &JoinArgs{Name: cfg.Name}, &join); err != nil {
+	args := &JoinArgs{Name: cfg.Name, StoreParts: cfg.StoreParts, StoreNumParts: cfg.StoreNumParts}
+	if err := client.Call("Sched.Join", args, &join); err != nil {
 		client.Close()
 		return nil, fmt.Errorf("sched: join: %w", err)
 	}

@@ -1,0 +1,52 @@
+package csr
+
+import (
+	"bytes"
+	"testing"
+
+	"benu/internal/gen"
+)
+
+// FuzzCSRDecode feeds arbitrary bytes to Decode and, when they pass
+// validation, reads every stored list. Decode is the trust boundary for
+// disk images, so the invariant is the repository-wide decoder contract:
+// errors, never panics, and a validated File serves every slot without
+// failing.
+func FuzzCSRDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	g := gen.DemoDataGraph()
+	for _, pp := range [][2]int{{1, 0}, {3, 1}} {
+		var buf bytes.Buffer
+		if err := Write(&buf, g.NumVertices(), pp[0], pp[1], g.Adj); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		// A near-valid seed: correct header, corrupt tail.
+		b := append([]byte(nil), buf.Bytes()...)
+		if len(b) > HeaderSize {
+			b[len(b)-1] ^= 0xff
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Validation passed: every owned vertex must be readable and its
+		// payload decodable (Decode promised it pre-validated them).
+		for v := int64(0); v < int64(file.NumVertices()); v++ {
+			if !file.Owns(v) {
+				continue
+			}
+			l, err := file.List(v)
+			if err != nil {
+				t.Fatalf("List(%d) on validated file: %v", v, err)
+			}
+			if _, err := l.Decode(); err != nil {
+				t.Fatalf("slot for %d failed decode after validation: %v", v, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package csr
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile falls back to a heap read on platforms without mmap support.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	data, err = io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

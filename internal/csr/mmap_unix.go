@@ -1,0 +1,26 @@
+//go:build unix
+
+package csr
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The returned unmap releases
+// the mapping; it is nil when the data is heap-backed (empty files —
+// mmap of length 0 is an error on most Unixes).
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	if size == 0 {
+		return nil, nil, nil
+	}
+	if size < 0 || size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("file size %d not mappable", size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -53,7 +53,7 @@ func TestDeltaCountEqualsDifference(t *testing.T) {
 				ca := graph.RefCount(p, after, ident)
 				_ = countBefore
 
-				delta, err := d.Count(store, after.NumVertices(), ident, a, b, Options{})
+				delta, err := d.Count(StoreSource{S: store}, after.NumVertices(), ident, a, b, Options{})
 				if err != nil {
 					t.Fatal(err)
 				}

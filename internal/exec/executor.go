@@ -9,9 +9,9 @@ import (
 	"benu/internal/vcbc"
 )
 
-// AdjSource provides adjacency sets to DBQ instructions. kv.Store
-// satisfies it, as do *CachedSource and the plain in-memory adapter
-// GraphSource.
+// AdjSource provides adjacency sets to DBQ instructions. *CachedSource
+// satisfies it, as do the adapters GraphSource (in-memory graph) and
+// StoreSource (uncached kv.Store).
 type AdjSource interface {
 	GetAdj(v int64) ([]int64, error)
 }

@@ -86,6 +86,15 @@ type SourceOptions struct {
 // not say otherwise.
 const defaultBatchSize = 64
 
+// StoreSource adapts a kv.Store as an uncached AdjSource: every read is
+// a single-key store round trip through the batched SPI, decoded per
+// call. Delta queries over a mutating store use it — caching would serve
+// stale adjacency; everything else wants CachedSource.
+type StoreSource struct{ S kv.Store }
+
+// GetAdj implements AdjSource.
+func (s StoreSource) GetAdj(v int64) ([]int64, error) { return kv.GetAdj(s.S, v) }
+
 // flight is one in-progress store fetch that concurrent misses share.
 type flight struct {
 	done    chan struct{}
@@ -257,7 +266,7 @@ func (s *CachedSource) fetchOne(v int64) (*flight, error) {
 // lead performs the leader's store fetch for flight fl and completes it.
 func (s *CachedSource) lead(fl *flight, v int64) {
 	if fl.compact {
-		lists, err := kv.GetAdjBatch(s.store, []int64{v})
+		lists, err := s.store.GetAdjBatch([]int64{v})
 		if err == nil {
 			fl.list = lists[0]
 			s.account(1, fl.list.SizeBytes())
@@ -267,7 +276,7 @@ func (s *CachedSource) lead(fl *flight, v int64) {
 			fl.err = err
 		}
 	} else {
-		adj, err := s.store.GetAdj(v)
+		adj, err := kv.GetAdj(s.store, v)
 		if err == nil {
 			fl.adj = adj
 			s.account(1, int64(len(adj))*8)
@@ -403,7 +412,7 @@ func (s *CachedSource) fetchBatch(keys []int64) error {
 	var err error
 	if s.opts.Compact {
 		var lists []graph.AdjList
-		lists, err = kv.GetAdjBatch(s.store, mine)
+		lists, err = s.store.GetAdjBatch(mine)
 		if err == nil {
 			var bytes, saved int64
 			for i, l := range lists {

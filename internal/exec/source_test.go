@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"benu/internal/gen"
+	"benu/internal/graph"
 	"benu/internal/kv"
 	"benu/internal/obs"
 	"benu/internal/plan"
@@ -55,7 +56,7 @@ func TestCachedSourceZeroCapacity(t *testing.T) {
 	}
 }
 
-// gateStore blocks every GetAdj until the gate opens, so a test can pile
+// gateStore blocks every read until the gate opens, so a test can pile
 // concurrent misses onto one key and count how many reach the store.
 type gateStore struct {
 	kv.Store
@@ -63,10 +64,10 @@ type gateStore struct {
 	calls atomic.Int64
 }
 
-func (s *gateStore) GetAdj(v int64) ([]int64, error) {
+func (s *gateStore) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
 	s.calls.Add(1)
 	<-s.gate
-	return s.Store.GetAdj(v)
+	return s.Store.GetAdjBatch(vs)
 }
 
 // The regression the single-flight table exists for: before it, two

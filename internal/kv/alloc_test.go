@@ -33,6 +33,28 @@ func TestRouteBatchAllocs(t *testing.T) {
 	}
 }
 
+// TestRouteBatchSingleKeyAllocs pins the demand-miss fast path: a
+// single-key batch — what every TCP cache miss becomes — must route with
+// zero allocations, not just the ≤1 amortized budget of the pooled
+// multi-key path. The caller's slice is the key group and the shared
+// oneIdx slice is the position group, so nothing is built per call.
+func TestRouteBatchSingleKeyAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; AllocsPerRun counts are not meaningful")
+	}
+	c := &Client{n: 1 << 20, pools: make([]*connPool, 4)}
+	vs := []int64{12345}
+	serve := func(p int, keys []int64, idxs []int) error { return nil }
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := c.routeBatch(vs, serve); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("single-key routeBatch allocates %.1f times per call, want 0", allocs)
+	}
+}
+
 // TestRouteBatchGrouping locks the routing contract the pooled scratch
 // must preserve: partitions served ascending, positions in input order,
 // keys aligned with positions, out-of-range vertices rejected.

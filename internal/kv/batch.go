@@ -2,129 +2,88 @@ package kv
 
 import (
 	"fmt"
+	"sync"
 
 	"benu/internal/graph"
 )
 
-// Batched reads. The paper's implementation queries HBase at adjacency-set
-// granularity to amortize per-query latency (§III-B); batching multiple
-// vertex keys into one round trip amortizes it further when a caller
-// knows several keys up front (the ENU-stage prefetcher, cache warm-up).
+// Batched reads and request routing. The paper's implementation queries
+// HBase at adjacency-set granularity to amortize per-query latency
+// (§III-B); batching multiple vertex keys into one round trip amortizes
+// it further when a caller knows several keys up front (the ENU-stage
+// prefetcher, cache warm-up). The wire and storage currency is the
+// compact varint-delta graph.AdjList — typically 4-8x smaller than raw
+// int64s on power-law graphs.
 //
-// Two batched shapes exist:
+// Both multi-node stores (Partitioned and the TCP Client) route a batch
+// the same way: group request positions by owning partition, ask each
+// partition once. The grouping runs on every executor thread's hot
+// path, so its buckets come from a per-store sync.Pool instead of being
+// rebuilt per call, and the single-key case (a cache demand miss)
+// bypasses the buckets entirely — zero allocations steady-state,
+// enforced by the AllocsPerRun tests in alloc_test.go.
+
+// routeScratch is the reusable per-call state of routeBatch: one keys
+// and one positions bucket per partition.
+type routeScratch struct {
+	keys [][]int64
+	idxs [][]int
+}
+
+// oneIdx is the positions slice of every single-key route: the key is at
+// position 0. Shared and read-only.
+var oneIdx = []int{0}
+
+// routeBatch groups request positions by owning partition (v mod np) and
+// serves each group with one call, ascending by partition
+// (deterministic, where a map grouping would visit partitions in random
+// order). n bounds valid vertex ids; scratch pools *routeScratch
+// buckets. serve callbacks must not retain or mutate keys/idxs past
+// their return — both may be pooled or caller-owned memory.
 //
-//   - BatchStore / BatchGetAdj: raw [][]int64 adjacency sets;
-//   - Provider / GetAdjBatch: compact graph.AdjList payloads — the wire
-//     format of the adjacency data plane (varint-delta encoded, typically
-//     4-8x smaller than raw int64s on power-law graphs).
-//
-// Error semantics, uniform across every backend and both shapes:
-// batched reads are FAIL-FAST with NO PARTIAL RESULTS. If any key of a
-// batch fails, the call returns (nil, err) — never a partially filled
-// slice — so callers can install results into caches without checking
-// per-key validity. A backend that fans a batch out over several round
-// trips (Partitioned, the TCP client) stops at the first failing trip.
-
-// BatchStore is implemented by stores that can serve several adjacency
-// sets in one call.
-type BatchStore interface {
-	Store
-	// BatchGetAdj returns the adjacency sets of vs, parallel to vs.
-	// On error the result is nil (fail-fast, no partial results).
-	BatchGetAdj(vs []int64) ([][]int64, error)
-}
-
-// Provider is the compact batched interface of the adjacency data plane:
-// every backend serves multiple keys per round trip as graph.AdjList
-// payloads. All shipped backends (Local, Partitioned, MapStore, Mutable,
-// the TCP Client, Faulty, Observed) implement it.
-type Provider interface {
-	Store
-	// GetAdjBatch returns the compact adjacency lists of vs, parallel to
-	// vs. On error the result is nil (fail-fast, no partial results).
-	GetAdjBatch(vs []int64) ([]graph.AdjList, error)
-}
-
-// BatchGetAdj fetches several adjacency sets from any store, using the
-// batched fast path when the store provides one and falling back to
-// serial gets otherwise. Fail-fast: on any error the result is nil —
-// adjacency sets fetched before the failing key are discarded, so a
-// caller never installs a partial batch.
-func BatchGetAdj(s Store, vs []int64) ([][]int64, error) {
-	if b, ok := s.(BatchStore); ok {
-		return b.BatchGetAdj(vs)
-	}
-	out := make([][]int64, len(vs))
-	for i, v := range vs {
-		adj, err := s.GetAdj(v)
-		if err != nil {
-			return nil, err
+// Single-key batches — the cache demand-miss path — skip the bucket
+// machinery: the caller's own slice is the key group.
+func routeBatch(scratch *sync.Pool, np, n int, vs []int64, serve func(p int, keys []int64, idxs []int) error) error {
+	if len(vs) == 1 {
+		v := vs[0]
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("kv: vertex %d out of range [0,%d)", v, n)
 		}
-		out[i] = adj
+		return serve(int(v)%np, vs, oneIdx)
 	}
-	return out, nil
-}
-
-// GetAdjBatch fetches several compact adjacency lists from any store:
-// Providers serve natively, everything else is served through BatchGetAdj
-// and encoded. Same fail-fast, no-partial-results contract as
-// BatchGetAdj.
-func GetAdjBatch(s Store, vs []int64) ([]graph.AdjList, error) {
-	if p, ok := s.(Provider); ok {
-		return p.GetAdjBatch(vs)
+	sc, _ := scratch.Get().(*routeScratch)
+	if sc == nil || len(sc.keys) != np {
+		sc = &routeScratch{keys: make([][]int64, np), idxs: make([][]int, np)}
 	}
-	adjs, err := BatchGetAdj(s, vs)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]graph.AdjList, len(adjs))
-	for i, adj := range adjs {
-		out[i] = graph.EncodeAdjList(adj)
-	}
-	return out, nil
-}
-
-// BatchGetAdj implements BatchStore. One metered trip for the whole
-// batch.
-func (s *Local) BatchGetAdj(vs []int64) ([][]int64, error) {
-	out := make([][]int64, len(vs))
-	var bytes int64
-	for i, v := range vs {
-		if v < 0 || int(v) >= s.g.NumVertices() {
-			return nil, fmt.Errorf("kv: vertex %d out of range [0,%d)", v, s.g.NumVertices())
+	defer func() {
+		for p := 0; p < np; p++ {
+			sc.keys[p] = sc.keys[p][:0]
+			sc.idxs[p] = sc.idxs[p][:0]
 		}
-		out[i] = s.g.Adj(v)
-		bytes += int64(len(out[i])) * 8
-	}
-	s.metrics.RecordBatch(len(vs), bytes)
-	return out, nil
-}
-
-// BatchGetAdj implements BatchStore.
-func (s *MapStore) BatchGetAdj(vs []int64) ([][]int64, error) {
-	out := make([][]int64, len(vs))
-	var bytes int64
+		scratch.Put(sc)
+	}()
 	for i, v := range vs {
-		adj, ok := s.data[v]
-		if !ok {
-			return nil, fmt.Errorf("kv: vertex %d not stored in this partition", v)
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("kv: vertex %d out of range [0,%d)", v, n)
 		}
-		out[i] = adj
-		bytes += int64(len(adj)) * 8
+		p := int(v) % np
+		sc.keys[p] = append(sc.keys[p], v)
+		sc.idxs[p] = append(sc.idxs[p], i)
 	}
-	s.metrics.RecordBatch(len(vs), bytes)
-	return out, nil
+	for p := 0; p < np; p++ {
+		if len(sc.idxs[p]) == 0 {
+			continue
+		}
+		if err := serve(p, sc.keys[p], sc.idxs[p]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// BatchGetArgs is the RPC request for AdjService.BatchGet and
-// AdjService.BatchGetCompact.
+// BatchGetArgs is the RPC request for AdjService.BatchGetCompact.
 type BatchGetArgs struct {
 	Vertices []int64
-}
-
-// BatchGetReply is the RPC response for AdjService.BatchGet.
-type BatchGetReply struct {
-	Adjs [][]int64
 }
 
 // BatchGetCompactReply is the RPC response for AdjService.BatchGetCompact:
@@ -135,20 +94,10 @@ type BatchGetCompactReply struct {
 	Lists [][]byte
 }
 
-// BatchGet returns the adjacency sets of args.Vertices in one round trip.
-func (s *AdjService) BatchGet(args *BatchGetArgs, reply *BatchGetReply) error {
-	adjs, err := BatchGetAdj(s.store, args.Vertices)
-	if err != nil {
-		return err
-	}
-	reply.Adjs = adjs
-	return nil
-}
-
 // BatchGetCompact returns the compact adjacency lists of args.Vertices
 // in one round trip.
 func (s *AdjService) BatchGetCompact(args *BatchGetArgs, reply *BatchGetCompactReply) error {
-	lists, err := GetAdjBatch(s.store, args.Vertices)
+	lists, err := s.store.GetAdjBatch(args.Vertices)
 	if err != nil {
 		return err
 	}
@@ -159,36 +108,12 @@ func (s *AdjService) BatchGetCompact(args *BatchGetArgs, reply *BatchGetCompactR
 	return nil
 }
 
-// BatchGetAdj implements BatchStore for the TCP client: keys are grouped
-// by owning partition and each partition is asked once. Fail-fast: the
-// first failing partition call fails the whole batch with a nil result.
-func (c *Client) BatchGetAdj(vs []int64) ([][]int64, error) {
-	out := make([][]int64, len(vs))
-	err := c.routeBatch(vs, func(p int, keys []int64, idxs []int) error {
-		var reply BatchGetReply
-		if err := c.call(p, "AdjService.BatchGet", &BatchGetArgs{Vertices: keys}, &reply); err != nil {
-			return fmt.Errorf("kv: batch get: %w", err)
-		}
-		if len(reply.Adjs) != len(keys) {
-			return fmt.Errorf("kv: batch get returned %d sets for %d keys", len(reply.Adjs), len(keys))
-		}
-		var bytes int64
-		for j, i := range idxs {
-			out[i] = reply.Adjs[j]
-			bytes += int64(len(reply.Adjs[j])) * 8
-		}
-		c.metrics.RecordBatch(len(keys), bytes)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// GetAdjBatch implements Provider for the TCP client over the compact
-// wire format. Received payloads are validated once (Validate walks the
-// encoding) so downstream lazy decodes cannot fail on corrupt bytes.
+// GetAdjBatch implements Store for the TCP client over the compact wire
+// format: keys are grouped by owning partition and each partition is
+// asked once. Fail-fast: the first failing partition call fails the
+// whole batch with a nil result. Received payloads are validated once
+// (Validate walks the encoding) so downstream lazy decodes cannot fail
+// on corrupt bytes.
 func (c *Client) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
 	out := make([]graph.AdjList, len(vs))
 	err := c.routeBatch(vs, func(p int, keys []int64, idxs []int) error {
@@ -217,47 +142,8 @@ func (c *Client) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
 	return out, nil
 }
 
-// routeScratch is the reusable per-call state of routeBatch: one keys
-// and one positions bucket per partition.
-type routeScratch struct {
-	keys [][]int64
-	idxs [][]int
-}
-
-// routeBatch groups request positions by owning partition and serves
-// each group with one RPC, ascending by partition (deterministic, where
-// the map grouping it replaces visited partitions in random order).
-// Buckets come from a per-client pool instead of being rebuilt per call:
-// serve callbacks must not retain keys/idxs past their return, which
-// holds for the RPC paths above (gob encodes synchronously).
+// routeBatch routes one batch over the client's storage nodes through
+// the shared pooled router.
 func (c *Client) routeBatch(vs []int64, serve func(p int, keys []int64, idxs []int) error) error {
-	np := len(c.pools)
-	sc, _ := c.scratch.Get().(*routeScratch)
-	if sc == nil || len(sc.keys) != np {
-		sc = &routeScratch{keys: make([][]int64, np), idxs: make([][]int, np)}
-	}
-	defer func() {
-		for p := 0; p < np; p++ {
-			sc.keys[p] = sc.keys[p][:0]
-			sc.idxs[p] = sc.idxs[p][:0]
-		}
-		c.scratch.Put(sc)
-	}()
-	for i, v := range vs {
-		if v < 0 || int(v) >= c.n {
-			return fmt.Errorf("kv: vertex %d out of range [0,%d)", v, c.n)
-		}
-		p := int(v) % np
-		sc.keys[p] = append(sc.keys[p], v)
-		sc.idxs[p] = append(sc.idxs[p], i)
-	}
-	for p := 0; p < np; p++ {
-		if len(sc.idxs[p]) == 0 {
-			continue
-		}
-		if err := serve(p, sc.keys[p], sc.idxs[p]); err != nil {
-			return err
-		}
-	}
-	return nil
+	return routeBatch(&c.scratch, len(c.pools), c.n, vs, serve)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"benu/internal/gen"
+	"benu/internal/graph"
 )
 
 func TestBatchGetLocal(t *testing.T) {
@@ -45,7 +46,7 @@ func TestBatchGetTCP(t *testing.T) {
 
 	// Keys spread over all partitions, including repeats.
 	vs := []int64{0, 1, 2, 50, 51, 52, 119, 0}
-	adjs, err := client.BatchGetAdj(vs)
+	adjs, err := BatchGetAdj(client, vs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,21 +61,23 @@ func TestBatchGetTCP(t *testing.T) {
 			}
 		}
 	}
-	if _, err := client.BatchGetAdj([]int64{5, -1}); err == nil {
+	if _, err := client.GetAdjBatch([]int64{5, -1}); err == nil {
 		t.Error("negative key accepted")
 	}
-	// Generic helper hits the batched path for the client.
-	adjs2, err := BatchGetAdj(client, vs[:3])
-	if err != nil || len(adjs2) != 3 {
-		t.Fatalf("BatchGetAdj via interface: %v", err)
+	// Compact batch path returns one encoded list per key.
+	lists, err := client.GetAdjBatch(vs[:3])
+	if err != nil || len(lists) != 3 {
+		t.Fatalf("GetAdjBatch: %v", err)
 	}
 }
 
 // errStore fails every read; for failure-propagation tests.
 type errStore struct{ n int }
 
-func (s errStore) GetAdj(int64) ([]int64, error) { return nil, errors.New("disk on fire") }
-func (s errStore) NumVertices() int              { return s.n }
+func (s errStore) GetAdjBatch([]int64) ([]graph.AdjList, error) {
+	return nil, errors.New("disk on fire")
+}
+func (s errStore) NumVertices() int { return s.n }
 
 func TestBatchGetPropagatesErrors(t *testing.T) {
 	if _, err := BatchGetAdj(errStore{n: 5}, []int64{1, 2}); err == nil {

@@ -1,0 +1,120 @@
+package kv
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"benu/internal/csr"
+	"benu/internal/gen"
+	"benu/internal/obs"
+)
+
+func TestDiskMatchesLocal(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 250, EdgesPer: 4, Seed: 12})
+	path := filepath.Join(t.TempDir(), "g.csr")
+	if err := csr.WriteGraphFile(path, g, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	d, err := OpenDisk(path, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.NumVertices() != g.NumVertices() {
+		t.Fatalf("NumVertices = %d", d.NumVertices())
+	}
+	local := NewLocal(g)
+	for v := int64(0); v < int64(g.NumVertices()); v++ {
+		got, err := GetAdj(d, v)
+		if err != nil {
+			t.Fatalf("GetAdj(%d): %v", v, err)
+		}
+		want, _ := GetAdj(local, v)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("disk adj(%d) = %v, want %v", v, got, want)
+		}
+	}
+	if _, err := GetAdj(d, int64(g.NumVertices())); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if reg.Counter("store.disk.opens").Value() != 1 {
+		t.Error("store.disk.opens not counted")
+	}
+	if got := reg.Counter("store.disk.reads").Value(); got != int64(g.NumVertices()) {
+		t.Errorf("store.disk.reads = %d, want %d", got, g.NumVertices())
+	}
+	if reg.Counter("store.disk.read_bytes").Value() != d.Metrics().Bytes() {
+		t.Error("read_bytes disagrees with the store metrics")
+	}
+	if d.Metrics().Queries() != int64(g.NumVertices()) {
+		t.Errorf("queries = %d", d.Metrics().Queries())
+	}
+}
+
+// TestDiskShardedPartitioned composes per-part disk files with the
+// partition router — the deployment shape `benu-store build -parts N`
+// exists for.
+func TestDiskShardedPartitioned(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 151, EdgesPer: 3, Seed: 13})
+	const parts = 3
+	dir := t.TempDir()
+	stores := make([]Store, parts)
+	for p := 0; p < parts; p++ {
+		path := filepath.Join(dir, "part.csr")
+		if err := csr.WriteGraphFile(path+string(rune('0'+p)), g, parts, p); err != nil {
+			t.Fatal(err)
+		}
+		d, err := OpenDisk(path+string(rune('0'+p)), obs.NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		if part, np := d.Partition(); part != p || np != parts {
+			t.Fatalf("Partition() = (%d,%d)", part, np)
+		}
+		stores[p] = d
+	}
+	ps := NewPartitioned(stores, g.NumVertices())
+	vs := make([]int64, g.NumVertices())
+	for i := range vs {
+		vs[i] = int64(i)
+	}
+	adjs, err := BatchGetAdj(ps, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vs {
+		want := g.Adj(v)
+		if len(adjs[i]) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(adjs[i], want) {
+			t.Fatalf("sharded disk adj(%d) mismatch", v)
+		}
+	}
+}
+
+func TestDiskWrongPartitionRejected(t *testing.T) {
+	g := gen.DemoDataGraph()
+	path := filepath.Join(t.TempDir(), "p1.csr")
+	if err := csr.WriteGraphFile(path, g, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDisk(path, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// Vertex 0 lives in partition 0; this file holds partition 1.
+	if _, err := d.GetAdjBatch([]int64{0}); err == nil {
+		t.Error("read of a vertex from another partition accepted")
+	}
+}
+
+func TestOpenDiskMissingFile(t *testing.T) {
+	if _, err := OpenDisk(filepath.Join(t.TempDir(), "nope.csr"), obs.NewRegistry()); err == nil {
+		t.Error("missing file opened")
+	}
+}

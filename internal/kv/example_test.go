@@ -1,0 +1,73 @@
+package kv_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"benu/internal/csr"
+	"benu/internal/gen"
+	"benu/internal/kv"
+)
+
+// ExampleStore shows the storage SPI contract: every backend serves
+// compact adjacency batches through the one interface, and raw []int64
+// views come from the package adapters, not from the backends.
+func ExampleStore() {
+	g := gen.DemoDataGraph()
+	var s kv.Store = kv.NewLocal(g)
+
+	// The native currency: one compact varint-delta list per key.
+	lists, err := s.GetAdjBatch([]int64{0, 1, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("lists:", len(lists), "first degree:", lists[0].Len())
+
+	// Adapters decode to raw adjacency slices when callers want them.
+	adj, err := kv.GetAdj(s, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("adj(0):", adj)
+	// Output:
+	// lists: 3 first degree: 6
+	// adj(0): [1 2 3 4 6 7]
+}
+
+// ExampleOpenDisk shows the disk deployment end to end: build per-part
+// CSR files the way `benu-store build -parts 2` does, open them as
+// zero-copy mmap'd stores, and compose them with the partition router.
+func ExampleOpenDisk() {
+	g := gen.DemoDataGraph()
+	dir, err := os.MkdirTemp("", "benu-csr-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	const parts = 2
+	stores := make([]kv.Store, parts)
+	for p := 0; p < parts; p++ {
+		path := filepath.Join(dir, fmt.Sprintf("g.csr.%d", p))
+		if err := csr.WriteGraphFile(path, g, parts, p); err != nil {
+			log.Fatal(err)
+		}
+		d, err := kv.OpenDisk(path, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer d.Close()
+		stores[p] = d
+	}
+
+	s := kv.NewPartitioned(stores, g.NumVertices())
+	adj, err := kv.GetAdj(s, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("adj(0):", adj)
+	// Output:
+	// adj(0): [1 2 3 4 6 7]
+}

@@ -22,9 +22,9 @@ import (
 var ErrInjected = errors.New("kv: injected failure")
 
 // Faulty wraps a Store and injects errors on a configurable schedule.
-// Queries are numbered 1, 2, 3, … across GetAdj and BatchGetAdj (one
-// number per requested vertex); a query fails when the schedule selects
-// its number. The zero schedule never fails, so a Faulty with no knobs
+// Queries are numbered 1, 2, 3, … across batches (one number per
+// requested vertex, so batched reads hit the same failure schedule as
+// serial ones); a query fails when the schedule selects its number. The zero schedule never fails, so a Faulty with no knobs
 // set behaves like its inner store (plus call counting).
 //
 // Failures are permanent by default: the schedule is oblivious to
@@ -136,37 +136,15 @@ func (s *Faulty) delay() {
 	}
 }
 
-// GetAdj implements Store.
-func (s *Faulty) GetAdj(v int64) ([]int64, error) {
-	s.delay()
-	n := s.calls.Add(1)
-	if s.fail(n, v) {
-		s.injected.Add(1)
-		return nil, fmt.Errorf("query %d (vertex %d): %w", n, v, ErrInjected)
-	}
-	return s.inner.GetAdj(v)
-}
-
-// BatchGetAdj implements BatchStore: each requested vertex counts as one
-// query, so batched reads hit the same failure schedule as serial ones.
-// Fail-fast: an injected failure anywhere in the batch yields a nil
-// result (no partial sets).
-func (s *Faulty) BatchGetAdj(vs []int64) ([][]int64, error) {
-	s.delay()
-	if err := s.failBatch(vs); err != nil {
-		return nil, err
-	}
-	return BatchGetAdj(s.inner, vs)
-}
-
-// GetAdjBatch implements Provider under the same per-vertex numbering
-// and fail-fast rules as BatchGetAdj.
+// GetAdjBatch implements Store: each requested vertex counts as one
+// query against the failure schedule. Fail-fast: an injected failure
+// anywhere in the batch yields a nil result (no partial sets).
 func (s *Faulty) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
 	s.delay()
 	if err := s.failBatch(vs); err != nil {
 		return nil, err
 	}
-	return GetAdjBatch(s.inner, vs)
+	return s.inner.GetAdjBatch(vs)
 }
 
 // failBatch numbers every requested vertex and injects the first

@@ -16,7 +16,7 @@ func TestFaultyFailEveryN(t *testing.T) {
 	s.FailEveryN = 3
 	var failures int
 	for i := 0; i < 9; i++ {
-		_, err := s.GetAdj(int64(i % 4))
+		_, err := GetAdj(s, int64(i%4))
 		if err != nil {
 			if !errors.Is(err, ErrInjected) {
 				t.Fatalf("failure does not wrap ErrInjected: %v", err)
@@ -35,14 +35,14 @@ func TestFaultyFailEveryN(t *testing.T) {
 func TestFaultyFailOnceAt(t *testing.T) {
 	s := NewFaulty(NewLocal(faultyTestGraph()))
 	s.FailOnceAt = 2
-	if _, err := s.GetAdj(0); err != nil {
+	if _, err := GetAdj(s, 0); err != nil {
 		t.Fatalf("query 1 failed: %v", err)
 	}
-	if _, err := s.GetAdj(1); !errors.Is(err, ErrInjected) {
+	if _, err := GetAdj(s, 1); !errors.Is(err, ErrInjected) {
 		t.Fatalf("query 2 should fail with ErrInjected, got %v", err)
 	}
 	for i := 0; i < 8; i++ {
-		if _, err := s.GetAdj(int64(i % 4)); err != nil {
+		if _, err := GetAdj(s, int64(i%4)); err != nil {
 			t.Fatalf("query after the one-shot failure failed: %v", err)
 		}
 	}
@@ -52,7 +52,7 @@ func TestFaultyZeroScheduleIsTransparent(t *testing.T) {
 	g := faultyTestGraph()
 	s := NewFaulty(NewLocal(g))
 	for v := int64(0); v < 4; v++ {
-		adj, err := s.GetAdj(v)
+		adj, err := GetAdj(s, v)
 		if err != nil {
 			t.Fatalf("GetAdj(%d): %v", v, err)
 		}
@@ -66,10 +66,10 @@ func TestFaultyBatchCountsPerVertex(t *testing.T) {
 	s := NewFaulty(NewLocal(faultyTestGraph()))
 	s.FailEveryN = 3
 	// Batch of 2 succeeds (queries 1, 2), next batch of 2 hits query 3.
-	if _, err := s.BatchGetAdj([]int64{0, 1}); err != nil {
+	if _, err := BatchGetAdj(s, []int64{0, 1}); err != nil {
 		t.Fatalf("first batch failed: %v", err)
 	}
-	if _, err := s.BatchGetAdj([]int64{2, 3}); !errors.Is(err, ErrInjected) {
+	if _, err := BatchGetAdj(s, []int64{2, 3}); !errors.Is(err, ErrInjected) {
 		t.Fatalf("second batch should fail with ErrInjected, got %v", err)
 	}
 }

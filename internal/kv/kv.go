@@ -2,22 +2,41 @@
 // the data graph in (the paper uses HBase; we build the store from
 // scratch). Keys are data-vertex ids, values are adjacency sets.
 //
-// Three backends share one interface:
+// One interface, many backends. Store is the storage SPI: every backend
+// serves batches of compact varint-delta graph.AdjList payloads — the
+// wire and cache format of the adjacency data plane — plus the global
+// vertex count. Everything else (single-key reads, raw []int64 sets)
+// is an adapter over that one method, not a backend obligation:
 //
 //   - Local: a wrapper over an in-memory graph, for single-process runs
 //     and tests. Queries are still metered so communication-cost
 //     experiments work without sockets.
-//   - Partitioned: hash-partitions vertices over several Stores (the
-//     building block for multi-node stores).
+//   - MapStore: an explicit vertex→adjacency map — the storage-node side
+//     of a partitioned deployment.
+//   - Partitioned: hash-partitions vertices over several Stores, with
+//     optional replica sets per partition and breaker-driven failover
+//     (replicated.go).
+//   - Disk: an immutable mmap'd CSR file built by `benu-store build`,
+//     served zero-copy (disk.go / internal/csr).
 //   - TCP server/client (server.go): a real networked store over stdlib
-//     net/rpc, used by the distributed example and integration tests.
+//     net/rpc, used by the distributed example, the networked control
+//     plane, and integration tests.
+//   - Mutable: an updatable store for dynamic-graph queries (mutable.go).
 //
-// Every backend also speaks the batched data plane (batch.go): multiple
-// keys per round trip, served either as raw []int64 sets (BatchStore) or
-// as compact varint-delta graph.AdjList payloads (Provider).
+// Decorators compose over any backend: Observed (latency histograms),
+// Resilient (retries + circuit breaker), Faulty (fault injection).
+// Capability probes are the composition mechanism — ContextBinder lets
+// a caller rebind a run-scoped context down a decorator chain without
+// knowing which concrete decorator it holds (see WithContext).
+//
+// Error semantics, uniform across every backend: batched reads are
+// FAIL-FAST with NO PARTIAL RESULTS. If any key of a batch fails, the
+// call returns (nil, err) — never a partially filled slice — so callers
+// can install results into caches without checking per-key validity.
 package kv
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -25,37 +44,88 @@ import (
 	"benu/internal/graph"
 )
 
-// Store serves adjacency sets by vertex id.
+// Store is the storage SPI: it serves compact adjacency lists by vertex
+// id, several keys per round trip. This is the only interface a backend
+// implements; single-key and raw reads are package-level adapters
+// (GetAdj, BatchGetAdj).
 //
-// Implementations must be safe for concurrent use: every worker thread of
-// every simulated machine queries the store directly.
+// Implementations must be safe for concurrent use: every worker thread
+// of every machine queries the store directly.
 type Store interface {
-	// GetAdj returns the adjacency set of v, sorted ascending. The caller
-	// must treat the result as immutable (backends share their storage).
-	GetAdj(v int64) ([]int64, error)
+	// GetAdjBatch returns the compact adjacency lists of vs, parallel to
+	// vs, each sorted ascending. The caller must treat results as
+	// immutable (backends share their storage). On error the result is
+	// nil (fail-fast, no partial results).
+	GetAdjBatch(vs []int64) ([]graph.AdjList, error)
 	// NumVertices returns the number of vertices in the stored graph.
 	NumVertices() int
+}
+
+// ContextBinder is the capability probe for decorators that scope their
+// work to a context (today: Resilient, whose retries and attempt
+// deadlines are bounded by it). Callers rebind through the package-level
+// WithContext, which degrades to a no-op on stores without the
+// capability.
+type ContextBinder interface {
+	Store
+	// WithContext returns a copy of the store bound to ctx. The copy
+	// shares all backend state (connections, breakers, metrics); only
+	// the cancellation scope changes.
+	WithContext(ctx context.Context) Store
+}
+
+// WithContext rebinds a run-scoped context into s if it has the
+// ContextBinder capability, and returns s unchanged otherwise. This is
+// how the cluster runtime scopes store retries to a run without
+// type-switching on concrete decorators.
+func WithContext(s Store, ctx context.Context) Store {
+	if cb, ok := s.(ContextBinder); ok {
+		return cb.WithContext(ctx)
+	}
+	return s
+}
+
+// GetAdj is the single-key adapter: it fetches one adjacency set through
+// the batched SPI and decodes it. The result is freshly decoded and
+// owned by the caller.
+func GetAdj(s Store, v int64) ([]int64, error) {
+	lists, err := s.GetAdjBatch([]int64{v})
+	if err != nil {
+		return nil, err
+	}
+	adj, err := lists[0].Decode()
+	if err != nil {
+		return nil, fmt.Errorf("kv: decode adjacency of %d: %w", v, err)
+	}
+	return adj, nil
+}
+
+// BatchGetAdj is the raw batched adapter: compact lists fetched through
+// the SPI and decoded to []int64 sets, parallel to vs. Same fail-fast,
+// no-partial-results contract as the SPI itself.
+func BatchGetAdj(s Store, vs []int64) ([][]int64, error) {
+	lists, err := s.GetAdjBatch(vs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int64, len(lists))
+	for i, l := range lists {
+		if out[i], err = l.Decode(); err != nil {
+			return nil, fmt.Errorf("kv: decode adjacency of %d: %w", vs[i], err)
+		}
+	}
+	return out, nil
 }
 
 // Metrics counts store traffic. All fields are manipulated atomically.
 //
 // Queries counts requested keys (one per vertex, batched or not), Trips
 // counts store round trips (a batch of k keys is k queries but one
-// trip), and Bytes is the payload volume — 8 bytes per adjacency entry
-// on the raw path, the encoded size on the compact path.
+// trip), and Bytes is the compact payload volume (AdjList.SizeBytes).
 type Metrics struct {
 	queries atomic.Int64
 	trips   atomic.Int64
 	bytes   atomic.Int64
-}
-
-// Record notes one single-key query returning n adjacency entries. An
-// adjacency entry travels as 8 bytes, matching Graph.SizeBytes
-// accounting.
-func (m *Metrics) Record(n int) {
-	m.queries.Add(1)
-	m.trips.Add(1)
-	m.bytes.Add(int64(n) * 8)
 }
 
 // RecordBatch notes one batched round trip serving keys queries with the
@@ -96,24 +166,14 @@ type Local struct {
 // NewLocal stores g in a Local store.
 func NewLocal(g *graph.Graph) *Local { return &Local{g: g} }
 
-// GetAdj implements Store.
-func (s *Local) GetAdj(v int64) ([]int64, error) {
-	if v < 0 || int(v) >= s.g.NumVertices() {
-		return nil, fmt.Errorf("kv: vertex %d out of range [0,%d)", v, s.g.NumVertices())
-	}
-	adj := s.g.Adj(v)
-	s.metrics.Record(len(adj))
-	return adj, nil
-}
-
 // NumVertices implements Store.
 func (s *Local) NumVertices() int { return s.g.NumVertices() }
 
 // Metrics exposes the store's traffic counters.
 func (s *Local) Metrics() *Metrics { return &s.metrics }
 
-// GetAdjBatch implements Provider. The compact index is built once, on
-// first use (the graph is immutable), so compact reads are zero-copy.
+// GetAdjBatch implements Store. The compact index is built once, on
+// first use (the graph is immutable), so reads are zero-copy.
 func (s *Local) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
 	s.compactOnce.Do(func() { s.compact = graph.NewCompactAdjacency(s.g) })
 	out := make([]graph.AdjList, len(vs))
@@ -129,21 +189,6 @@ func (s *Local) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
 	return out, nil
 }
 
-// Partitioned hash-partitions vertex ids across several stores, the way
-// a distributed table spreads regions across region servers. Partition of
-// v is v mod len(parts).
-type Partitioned struct {
-	parts []Store
-	n     int
-}
-
-// NewPartitioned builds a partitioned store over the given parts. Each
-// part must hold the adjacency sets for the vertex ids congruent to its
-// index (see Shard).
-func NewPartitioned(parts []Store, numVertices int) *Partitioned {
-	return &Partitioned{parts: parts, n: numVertices}
-}
-
 // Shard extracts the subgraph adjacency data for partition i of p from g:
 // a map from each owned vertex to its full adjacency set.
 func Shard(g *graph.Graph, i, p int) map[int64][]int64 {
@@ -154,82 +199,6 @@ func Shard(g *graph.Graph, i, p int) map[int64][]int64 {
 		}
 	}
 	return out
-}
-
-// GetAdj implements Store by routing to the owning partition.
-func (s *Partitioned) GetAdj(v int64) ([]int64, error) {
-	if v < 0 || int(v) >= s.n {
-		return nil, fmt.Errorf("kv: vertex %d out of range [0,%d)", v, s.n)
-	}
-	return s.parts[int(v)%len(s.parts)].GetAdj(v)
-}
-
-// NumVertices implements Store.
-func (s *Partitioned) NumVertices() int { return s.n }
-
-// BatchGetAdj implements BatchStore: keys are grouped by owning
-// partition and each partition is asked once (through its own batched
-// fast path when it has one). Fail-fast: any partition error fails the
-// whole batch with no partial results.
-func (s *Partitioned) BatchGetAdj(vs []int64) ([][]int64, error) {
-	out := make([][]int64, len(vs))
-	err := s.route(vs, func(part Store, keys []int64, idxs []int) error {
-		adjs, err := BatchGetAdj(part, keys)
-		if err != nil {
-			return err
-		}
-		for j, i := range idxs {
-			out[i] = adjs[j]
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// GetAdjBatch implements Provider under the same routing and fail-fast
-// rules as BatchGetAdj.
-func (s *Partitioned) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
-	out := make([]graph.AdjList, len(vs))
-	err := s.route(vs, func(part Store, keys []int64, idxs []int) error {
-		lists, err := GetAdjBatch(part, keys)
-		if err != nil {
-			return err
-		}
-		for j, i := range idxs {
-			out[i] = lists[j]
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// route groups request positions by owning partition and hands each
-// partition its keys plus their positions in the original request.
-func (s *Partitioned) route(vs []int64, serve func(part Store, keys []int64, idxs []int) error) error {
-	byPart := make(map[int][]int)
-	for i, v := range vs {
-		if v < 0 || int(v) >= s.n {
-			return fmt.Errorf("kv: vertex %d out of range [0,%d)", v, s.n)
-		}
-		p := int(v) % len(s.parts)
-		byPart[p] = append(byPart[p], i)
-	}
-	for p, idxs := range byPart {
-		keys := make([]int64, len(idxs))
-		for j, i := range idxs {
-			keys[j] = vs[i]
-		}
-		if err := serve(s.parts[p], keys, idxs); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // MapStore is a Store over an explicit vertex→adjacency map; the storage
@@ -248,24 +217,14 @@ func NewMapStore(data map[int64][]int64, n int) *MapStore {
 	return &MapStore{data: data, n: n}
 }
 
-// GetAdj implements Store.
-func (s *MapStore) GetAdj(v int64) ([]int64, error) {
-	adj, ok := s.data[v]
-	if !ok {
-		return nil, fmt.Errorf("kv: vertex %d not stored in this partition", v)
-	}
-	s.metrics.Record(len(adj))
-	return adj, nil
-}
-
 // NumVertices implements Store.
 func (s *MapStore) NumVertices() int { return s.n }
 
 // Metrics exposes the store's traffic counters.
 func (s *MapStore) Metrics() *Metrics { return &s.metrics }
 
-// GetAdjBatch implements Provider; the per-vertex encodings are built
-// once on first use (the stored data is immutable).
+// GetAdjBatch implements Store; the per-vertex encodings are built once
+// on first use (the stored data is immutable).
 func (s *MapStore) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
 	s.compactOnce.Do(func() {
 		s.compact = make(map[int64]graph.AdjList, len(s.data))

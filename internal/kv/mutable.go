@@ -31,37 +31,11 @@ func NewMutable(g *graph.Graph) *Mutable {
 	return s
 }
 
-// GetAdj implements Store. The returned slice must be treated as
-// immutable; updates replace slices rather than mutating them in place,
-// so a reader holding an old slice keeps a consistent snapshot.
-func (s *Mutable) GetAdj(v int64) ([]int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if v < 0 || int(v) >= len(s.adj) {
-		return nil, fmt.Errorf("kv: vertex %d out of range [0,%d)", v, len(s.adj))
-	}
-	return s.adj[v], nil
-}
-
-// BatchGetAdj implements BatchStore: one consistent snapshot of all
-// requested sets (the read lock spans the whole batch). Fail-fast, no
+// GetAdjBatch implements Store: one consistent snapshot of all
+// requested sets (the read lock spans the whole batch). Updatable
+// storage cannot memoize encodings, so compact lists are encoded per
+// call — the price of the zero-maintenance update path. Fail-fast, no
 // partial results.
-func (s *Mutable) BatchGetAdj(vs []int64) ([][]int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([][]int64, len(vs))
-	for i, v := range vs {
-		if v < 0 || int(v) >= len(s.adj) {
-			return nil, fmt.Errorf("kv: vertex %d out of range [0,%d)", v, len(s.adj))
-		}
-		out[i] = s.adj[v]
-	}
-	return out, nil
-}
-
-// GetAdjBatch implements Provider. Updatable storage cannot memoize
-// encodings, so compact lists are encoded per call — the price of the
-// zero-maintenance update path.
 func (s *Mutable) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

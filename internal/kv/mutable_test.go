@@ -24,7 +24,7 @@ func TestMutableBasicOps(t *testing.T) {
 	if s.NumEdges() != 1 {
 		t.Errorf("edges = %d", s.NumEdges())
 	}
-	adj, err := s.GetAdj(0)
+	adj, err := GetAdj(s, 0)
 	if err != nil || !reflect.DeepEqual(adj, []int64{1}) {
 		t.Errorf("adj(0) = %v, %v", adj, err)
 	}
@@ -40,7 +40,7 @@ func TestMutableBasicOps(t *testing.T) {
 	if s.Degree(0) != 0 || s.Degree(99) != 0 {
 		t.Error("degree wrong")
 	}
-	if _, err := s.GetAdj(-1); err == nil {
+	if _, err := GetAdj(s, -1); err == nil {
 		t.Error("negative vertex accepted")
 	}
 }
@@ -51,7 +51,7 @@ func TestMutableKeepsAdjacencySorted(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		s.AddEdge(0, rng.Int63n(200)+1)
 	}
-	adj, _ := s.GetAdj(0)
+	adj, _ := GetAdj(s, 0)
 	for i := 1; i < len(adj); i++ {
 		if adj[i-1] >= adj[i] {
 			t.Fatalf("adjacency unsorted at %d: %v", i, adj[i-3:i+1])
@@ -105,13 +105,13 @@ func TestMutableOldSlicesStayConsistent(t *testing.T) {
 	s := NewMutable(graph.FromEdges(0, nil))
 	s.AddEdge(0, 1)
 	s.AddEdge(0, 3)
-	before, _ := s.GetAdj(0)
+	before, _ := GetAdj(s, 0)
 	s.AddEdge(0, 2)
 	// The previously returned slice is an untouched snapshot.
 	if !reflect.DeepEqual(before, []int64{1, 3}) {
 		t.Errorf("old slice mutated: %v", before)
 	}
-	after, _ := s.GetAdj(0)
+	after, _ := GetAdj(s, 0)
 	if !reflect.DeepEqual(after, []int64{1, 2, 3}) {
 		t.Errorf("new slice wrong: %v", after)
 	}
@@ -132,7 +132,7 @@ func TestMutableConcurrentReadersAndWriter(t *testing.T) {
 					return
 				default:
 				}
-				adj, err := s.GetAdj(rng.Int63n(100))
+				adj, err := GetAdj(s, rng.Int63n(100))
 				if err != nil {
 					t.Error(err)
 					return

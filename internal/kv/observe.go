@@ -1,38 +1,37 @@
 package kv
 
 import (
+	"context"
 	"time"
 
 	"benu/internal/graph"
 	"benu/internal/obs"
 )
 
-// Store observation: ObserveStore wraps any backend with per-query
+// Store observation: ObserveStore wraps any backend with per-round-trip
 // latency histograms, named after the backend so a snapshot separates
 // in-process from networked cost (kv.local.* vs kv.tcp.*). Latency
-// timing costs two clock reads per query, so it is opt-in — the cached
-// hot path never pays it unless a registry is wired in (cmd/benu
+// timing costs two clock reads per round trip, so it is opt-in — the
+// cached hot path never pays it unless a registry is wired in (cmd/benu
 // -metrics, benu.Options.Metrics/Observer).
 
-// Observed is a Store decorator that times every query into a registry.
-// It preserves the batched fast path of BatchStore backends.
+// Observed is a Store decorator that times every batched read into a
+// registry.
 type Observed struct {
 	store    Store
-	getLat   *obs.Histogram
 	batchLat *obs.Histogram
 	errors   *obs.Counter
 }
 
 // ObserveStore wraps store with latency observation recording into reg.
-// Metric names are "kv.<backend>.get_latency_ns",
-// "kv.<backend>.batchget_latency_ns", and "kv.<backend>.errors", where
-// <backend> identifies the outermost store implementation (local,
-// partitioned, tcp, map, mutable, or store for unknown types).
+// Metric names are "kv.<backend>.batchget_latency_ns" and
+// "kv.<backend>.errors", where <backend> identifies the outermost store
+// implementation (local, partitioned, replicated, tcp, map, mutable,
+// disk, resilient, faulty, or store for unknown types).
 func ObserveStore(store Store, reg *obs.Registry) *Observed {
 	name := backendName(store)
 	return &Observed{
 		store:    store,
-		getLat:   reg.Histogram("kv." + name + ".get_latency_ns"),
 		batchLat: reg.Histogram("kv." + name + ".batchget_latency_ns"),
 		errors:   reg.Counter("kv." + name + ".errors"),
 	}
@@ -40,10 +39,13 @@ func ObserveStore(store Store, reg *obs.Registry) *Observed {
 
 // backendName maps a Store implementation to its snapshot label.
 func backendName(s Store) string {
-	switch s.(type) {
+	switch s := s.(type) {
 	case *Local:
 		return "local"
 	case *Partitioned:
+		if s.Replicated() {
+			return "replicated"
+		}
 		return "partitioned"
 	case *Client:
 		return "tcp"
@@ -51,6 +53,8 @@ func backendName(s Store) string {
 		return "map"
 	case *Mutable:
 		return "mutable"
+	case *Disk:
+		return "disk"
 	case *Resilient:
 		return "resilient"
 	case *Faulty:
@@ -60,42 +64,31 @@ func backendName(s Store) string {
 	}
 }
 
-// GetAdj implements Store, timing the underlying query.
-func (o *Observed) GetAdj(v int64) ([]int64, error) {
-	t0 := time.Now()
-	adj, err := o.store.GetAdj(v)
-	o.getLat.RecordDuration(time.Since(t0))
-	if err != nil {
-		o.errors.Inc()
-	}
-	return adj, err
-}
-
-// NumVertices implements Store.
-func (o *Observed) NumVertices() int { return o.store.NumVertices() }
-
-// BatchGetAdj implements BatchStore: one timed round through the wrapped
-// store's batched path (or the serial fallback).
-func (o *Observed) BatchGetAdj(vs []int64) ([][]int64, error) {
-	t0 := time.Now()
-	adjs, err := BatchGetAdj(o.store, vs)
-	o.batchLat.RecordDuration(time.Since(t0))
-	if err != nil {
-		o.errors.Inc()
-	}
-	return adjs, err
-}
-
-// GetAdjBatch implements Provider: one timed round through the wrapped
-// store's compact path (or the encode-on-top fallback).
+// GetAdjBatch implements Store: one timed round trip through the
+// wrapped store.
 func (o *Observed) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
 	t0 := time.Now()
-	lists, err := GetAdjBatch(o.store, vs)
+	lists, err := o.store.GetAdjBatch(vs)
 	o.batchLat.RecordDuration(time.Since(t0))
 	if err != nil {
 		o.errors.Inc()
 	}
 	return lists, err
+}
+
+// NumVertices implements Store.
+func (o *Observed) NumVertices() int { return o.store.NumVertices() }
+
+// WithContext implements ContextBinder by rebinding the wrapped store
+// (a no-op observation-wise: the copy records into the same histograms).
+func (o *Observed) WithContext(ctx context.Context) Store {
+	inner := WithContext(o.store, ctx)
+	if inner == o.store {
+		return o
+	}
+	c := *o
+	c.store = inner
+	return &c
 }
 
 // Unwrap returns the wrapped store.

@@ -23,15 +23,15 @@ func decodeAll(t *testing.T, lists []graph.AdjList) [][]int64 {
 	return out
 }
 
-// providerBackends builds every shipped Provider over the same graph, so
-// one test sweeps the whole compact data plane. The TCP client is tested
-// separately (it needs servers).
-func providerBackends(g *graph.Graph) map[string]Provider {
+// providerBackends builds every shipped in-process backend over the same
+// graph, so one test sweeps the whole compact data plane. The TCP client
+// is tested separately (it needs servers).
+func providerBackends(g *graph.Graph) map[string]Store {
 	parts := make([]Store, 3)
 	for i := range parts {
 		parts[i] = NewMapStore(Shard(g, i, len(parts)), g.NumVertices())
 	}
-	return map[string]Provider{
+	return map[string]Store{
 		"local":       NewLocal(g),
 		"map":         NewMapStore(Shard(g, 0, 1), g.NumVertices()),
 		"partitioned": NewPartitioned(parts, g.NumVertices()),
@@ -80,11 +80,10 @@ func TestGetAdjBatchFailFastNoPartialResults(t *testing.T) {
 			t.Fatalf("%s: partial results returned alongside error", name)
 		}
 	}
-	// Same contract through the generic helper over a Store with no
-	// Provider fast path.
-	lists, err := GetAdjBatch(errStore{n: 5}, []int64{1, 2})
-	if err == nil || lists != nil {
-		t.Fatalf("helper fallback: lists=%v err=%v", lists, err)
+	// Same contract through the raw decoding adapter.
+	adjs, err := BatchGetAdj(errStore{n: 5}, []int64{1, 2})
+	if err == nil || adjs != nil {
+		t.Fatalf("adapter: adjs=%v err=%v", adjs, err)
 	}
 }
 
@@ -135,8 +134,8 @@ func TestGetAdjBatchTripAccounting(t *testing.T) {
 	if m.Bytes() <= 0 {
 		t.Errorf("bytes = %d, want > 0", m.Bytes())
 	}
-	// A serial read is one query and one trip.
-	if _, err := s.GetAdj(0); err != nil {
+	// A serial read through the adapter is one query and one trip.
+	if _, err := GetAdj(s, 0); err != nil {
 		t.Fatal(err)
 	}
 	if m.Queries() != 6 || m.Trips() != 2 {

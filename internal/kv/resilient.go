@@ -12,8 +12,8 @@ import (
 // inherits from the HBase client (§III, §VI): bounded retries with
 // exponential backoff, an optional per-attempt deadline, and a
 // per-backend circuit breaker. It composes over every backend — Local,
-// Partitioned, MapStore, Mutable, the TCP Client, Observed, Faulty —
-// and preserves their batched fast paths (BatchStore and Provider).
+// Partitioned, MapStore, Mutable, Disk, the TCP Client, Observed,
+// Faulty.
 //
 // The per-attempt deadline also bounds stores that cannot be cancelled
 // from the outside (a wedged TCP connection, say): the attempt runs in
@@ -68,10 +68,11 @@ func NewResilient(inner Store, opts ResilientOptions) *Resilient {
 	return r
 }
 
-// WithContext returns a copy of r bound to ctx. The copy shares the
-// retrier and breaker (and so the backend-health view and metrics) with
-// r; only the cancellation scope changes.
-func (r *Resilient) WithContext(ctx context.Context) *Resilient {
+// WithContext implements ContextBinder: it returns a copy of r bound to
+// ctx. The copy shares the retrier and breaker (and so the
+// backend-health view and metrics) with r; only the cancellation scope
+// changes.
+func (r *Resilient) WithContext(ctx context.Context) Store {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -90,22 +91,12 @@ func (r *Resilient) Breaker() *resilience.Breaker { return r.brk }
 // backend, so it is served without the retry machinery.
 func (r *Resilient) NumVertices() int { return r.inner.NumVertices() }
 
-// GetAdj implements Store with retries, deadline, and breaker.
-func (r *Resilient) GetAdj(v int64) ([]int64, error) {
-	return doResilient(r, func() ([]int64, error) { return r.inner.GetAdj(v) })
-}
-
-// BatchGetAdj implements BatchStore. The whole batch is one attempt
-// (batched reads are fail-fast with no partial results, so retrying the
-// full batch is exact, not approximate).
-func (r *Resilient) BatchGetAdj(vs []int64) ([][]int64, error) {
-	return doResilient(r, func() ([][]int64, error) { return BatchGetAdj(r.inner, vs) })
-}
-
-// GetAdjBatch implements Provider under the same one-attempt-per-batch
-// rule as BatchGetAdj.
+// GetAdjBatch implements Store with retries, deadline, and breaker. The
+// whole batch is one attempt (batched reads are fail-fast with no
+// partial results, so retrying the full batch is exact, not
+// approximate).
 func (r *Resilient) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
-	return doResilient(r, func() ([]graph.AdjList, error) { return GetAdjBatch(r.inner, vs) })
+	return doResilient(r, func() ([]graph.AdjList, error) { return r.inner.GetAdjBatch(vs) })
 }
 
 // doResilient runs one read under the retry policy: each attempt first

@@ -36,8 +36,8 @@ func TestResilientTransparentOnHealthyStore(t *testing.T) {
 	plain := NewLocal(g)
 	res := fastResilient(NewLocal(g), 4, obs.NewRegistry())
 	for v := int64(0); v < int64(g.NumVertices()); v++ {
-		want, _ := plain.GetAdj(v)
-		got, err := res.GetAdj(v)
+		want, _ := GetAdj(plain, v)
+		got, err := GetAdj(res, v)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,14 +49,14 @@ func TestResilientTransparentOnHealthyStore(t *testing.T) {
 		t.Error("NumVertices mismatch")
 	}
 	wantB, _ := BatchGetAdj(plain, []int64{0, 3, 4})
-	gotB, err := res.BatchGetAdj([]int64{0, 3, 4})
+	gotB, err := BatchGetAdj(res, []int64{0, 3, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(gotB, wantB) {
 		t.Error("BatchGetAdj mismatch")
 	}
-	wantL, _ := GetAdjBatch(plain, []int64{1, 2})
+	wantL, _ := plain.GetAdjBatch([]int64{1, 2})
 	gotL, err := res.GetAdjBatch([]int64{1, 2})
 	if err != nil {
 		t.Fatal(err)
@@ -81,7 +81,7 @@ func TestResilientAbsorbsTransientFaults(t *testing.T) {
 	res := fastResilient(f, 4, reg)
 	for round := 0; round < 3; round++ {
 		for v := int64(0); v < 5; v++ {
-			if _, err := res.GetAdj(v); err != nil {
+			if _, err := GetAdj(res, v); err != nil {
 				t.Fatalf("round %d vertex %d: %v", round, v, err)
 			}
 		}
@@ -103,7 +103,7 @@ func TestResilientBatchAbsorbsTransientFaults(t *testing.T) {
 	f.FailEveryN = 3
 	res := fastResilient(f, 6, obs.NewRegistry())
 	want, _ := BatchGetAdj(NewLocal(resilientTestGraph()), []int64{0, 1, 2, 3, 4})
-	got, err := res.BatchGetAdj([]int64{0, 1, 2, 3, 4})
+	got, err := BatchGetAdj(res, []int64{0, 1, 2, 3, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestResilientExhaustsOnPermanentFaults(t *testing.T) {
 	f := NewFaulty(NewLocal(resilientTestGraph()))
 	f.FailEveryN = 1 // every query fails, retries cannot help
 	res := fastResilient(f, 3, reg)
-	_, err := res.GetAdj(0)
+	_, err := GetAdj(res, 0)
 	if err == nil {
 		t.Fatal("expected failure")
 	}
@@ -151,13 +151,13 @@ func TestResilientBreakerOpensOnDeadBackend(t *testing.T) {
 	// Hammer the dead store; after the threshold the breaker must open
 	// and short-circuit instead of reaching the backend.
 	for i := 0; i < 10; i++ {
-		res.GetAdj(0)
+		GetAdj(res, 0)
 	}
 	if res.Breaker().State() != resilience.StateOpen {
 		t.Fatalf("breaker state = %v, want open", res.Breaker().State())
 	}
 	callsWhenOpen := f.Calls()
-	if _, err := res.GetAdj(1); !errors.Is(err, resilience.ErrBreakerOpen) {
+	if _, err := GetAdj(res, 1); !errors.Is(err, resilience.ErrBreakerOpen) {
 		t.Errorf("open breaker error = %v", err)
 	}
 	if f.Calls() != callsWhenOpen {
@@ -183,7 +183,7 @@ func TestResilientPerAttemptDeadlineBoundsWedgedStore(t *testing.T) {
 		Obs:            reg,
 	})
 	start := time.Now()
-	_, err := res.GetAdj(0)
+	_, err := GetAdj(res, 0)
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("wedged store succeeded?")
@@ -207,7 +207,7 @@ func TestResilientWithContextCancellation(t *testing.T) {
 	res := base.WithContext(ctx)
 	done := make(chan error, 1)
 	go func() {
-		_, err := res.GetAdj(0)
+		_, err := GetAdj(res, 0)
 		done <- err
 	}()
 	time.Sleep(5 * time.Millisecond)
@@ -230,10 +230,10 @@ func TestFaultyTransientGuaranteesNextQuery(t *testing.T) {
 	f := NewFaulty(NewLocal(resilientTestGraph()))
 	f.Transient = true
 	f.FailOnceAt = 1
-	if _, err := f.GetAdj(2); err == nil {
+	if _, err := GetAdj(f, 2); err == nil {
 		t.Fatal("scheduled failure did not fire")
 	}
-	if _, err := f.GetAdj(2); err != nil {
+	if _, err := GetAdj(f, 2); err != nil {
 		t.Fatalf("transient failure was not redeemed on retry: %v", err)
 	}
 }
@@ -245,7 +245,7 @@ func TestFaultyFailRateDeterministicPerSeed(t *testing.T) {
 		f.Seed = seed
 		out := make([]bool, 50)
 		for i := range out {
-			_, err := f.GetAdj(int64(i % 5))
+			_, err := GetAdj(f, int64(i%5))
 			out[i] = err != nil
 		}
 		return out
@@ -269,7 +269,7 @@ func TestFaultyLatencyInjection(t *testing.T) {
 	f := NewFaulty(NewLocal(resilientTestGraph()))
 	f.Latency = 10 * time.Millisecond
 	start := time.Now()
-	if _, err := f.GetAdj(0); err != nil {
+	if _, err := GetAdj(f, 0); err != nil {
 		t.Fatal(err)
 	}
 	if d := time.Since(start); d < 10*time.Millisecond {

@@ -17,29 +17,11 @@ import (
 // example and the integration tests exercise this path end to end; the
 // simulated cluster defaults to the in-process backends for speed.
 
-// GetArgs is the RPC request for AdjService.Get.
-type GetArgs struct {
-	Vertex int64
-}
-
-// GetReply is the RPC response for AdjService.Get.
-type GetReply struct {
-	Adj []int64
-}
-
-// AdjService is the RPC-exported adjacency store.
+// AdjService is the RPC-exported adjacency store. The wire protocol is
+// compact-only: BatchGetCompact (batch.go) serves varint-delta AdjList
+// payloads, single-key reads are one-element batches.
 type AdjService struct {
 	store Store
-}
-
-// Get returns the adjacency set of args.Vertex.
-func (s *AdjService) Get(args *GetArgs, reply *GetReply) error {
-	adj, err := s.store.GetAdj(args.Vertex)
-	if err != nil {
-		return err
-	}
-	reply.Adj = adj
-	return nil
 }
 
 // Server is one storage node: a TCP listener serving an AdjService.
@@ -251,19 +233,6 @@ func (c *Client) call(p int, method string, args, reply any) error {
 func isServerError(err error) bool {
 	var se rpc.ServerError
 	return errors.As(err, &se)
-}
-
-// GetAdj implements Store by calling the owning storage node.
-func (c *Client) GetAdj(v int64) ([]int64, error) {
-	if v < 0 || int(v) >= c.n {
-		return nil, fmt.Errorf("kv: vertex %d out of range [0,%d)", v, c.n)
-	}
-	var reply GetReply
-	if err := c.call(int(v)%len(c.pools), "AdjService.Get", &GetArgs{Vertex: v}, &reply); err != nil {
-		return nil, fmt.Errorf("kv: get %d: %w", v, err)
-	}
-	c.metrics.Record(len(reply.Adj))
-	return reply.Adj, nil
 }
 
 // NumVertices implements Store.

@@ -37,8 +37,8 @@ func TestClientRedialsAfterServerRestart(t *testing.T) {
 	defer client.Close()
 
 	// Prime the pool with a live connection.
-	want, _ := store.GetAdj(0)
-	got, err := client.GetAdj(0)
+	want, _ := GetAdj(store, 0)
+	got, err := GetAdj(client, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestClientRedialsAfterServerRestart(t *testing.T) {
 
 	// The next call rides the stale pooled connection, must observe the
 	// transport error, flush, redial, and still succeed.
-	got, err = client.GetAdj(0)
+	got, err = GetAdj(client, 0)
 	if err != nil {
 		t.Fatalf("post-restart call did not redial: %v", err)
 	}
@@ -84,7 +84,7 @@ func TestClientFlushesPoolOnTransportError(t *testing.T) {
 	}
 	defer client.Close()
 
-	if _, err := client.GetAdj(0); err != nil {
+	if _, err := GetAdj(client, 0); err != nil {
 		t.Fatal(err)
 	}
 	pool := client.pools[0]
@@ -96,7 +96,7 @@ func TestClientFlushesPoolOnTransportError(t *testing.T) {
 	}
 
 	srv.Close()
-	if _, err := client.GetAdj(0); err == nil {
+	if _, err := GetAdj(client, 0); err == nil {
 		t.Fatal("call against a dead node succeeded")
 	}
 	pool.mu.Lock()
@@ -121,7 +121,7 @@ func TestServerErrorKeepsConnectionPooled(t *testing.T) {
 	}
 	defer client.Close()
 
-	if _, err := client.GetAdj(5); err == nil {
+	if _, err := GetAdj(client, 5); err == nil {
 		t.Fatal("missing vertex accepted")
 	}
 	pool := client.pools[0]
@@ -132,7 +132,7 @@ func TestServerErrorKeepsConnectionPooled(t *testing.T) {
 		t.Fatalf("app-level error cost a socket: %d idle conns, want 1", idle)
 	}
 	// And the kept connection still works.
-	if adj, err := client.GetAdj(0); err != nil || len(adj) != 1 {
+	if adj, err := GetAdj(client, 0); err != nil || len(adj) != 1 {
 		t.Fatalf("pooled conn unusable after app error: adj=%v err=%v", adj, err)
 	}
 }
@@ -145,11 +145,11 @@ func TestClientErrorWhenServerStaysDown(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if _, err := client.GetAdj(0); err != nil {
+	if _, err := GetAdj(client, 0); err != nil {
 		t.Fatal(err)
 	}
 	srv.Close()
-	if _, err = client.GetAdj(0); err == nil {
+	if _, err = GetAdj(client, 0); err == nil {
 		t.Fatal("call against a permanently dead node succeeded")
 	}
 }

@@ -27,12 +27,13 @@ var Paths = []string{
 	"internal/vcbc",
 	"internal/plan",
 	"internal/graph",
+	"internal/csr",
 }
 
 // Analyzer is the decode-safety check.
 var Analyzer = &analysis.Analyzer{
 	Name: "decodesafe",
-	Doc: "forbids panic in the wire-decode packages (varint, vcbc, plan, graph): decoders " +
+	Doc: "forbids panic in the wire-decode packages (varint, vcbc, plan, graph, csr): decoders " +
 		"return errors, they do not crash workers on corrupt frames; Must* constructors " +
 		"are exempt, other sites need //benulint:panicok",
 	Run: run,
