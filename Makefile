@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test short race vet lint bench bench-json bench-gate check diff chaos smoke-net smoke-disk fuzz tidy-check clean
+.PHONY: all build test short race vet lint bench bench-json bench-gate check diff chaos chaos-net smoke-net smoke-disk fuzz tidy-check clean
 
 all: check
 
@@ -37,11 +37,22 @@ diff:
 
 ## chaos: fault-injected verification under the race detector — the
 ## resilient differential columns over transiently faulty stores
-## (including the networked net-retry column), task re-execution and
-## cancellation tests, the TCP acceptance scenario, and the control
-## plane's kill-a-worker-mid-task crash test
+## (including the networked net-retry and net-journal columns), task
+## re-execution and cancellation tests, the TCP acceptance scenario,
+## the control plane's crash tests (kill-a-worker-mid-task,
+## kill-the-master-mid-run with journal recovery), epoch fencing,
+## duplicate-delivery dedup, and the RPC fault injector
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaos|TestNetChaos|TestResilient|TestTaskRetry|TestFailFast|TestRunContext|TestLeaseExpiry|TestSteal' ./internal/check ./internal/cluster ./internal/cluster/sched ./internal/kv
+	$(GO) test -race -count=1 -run 'TestChaos|TestNetChaos|TestResilient|TestTaskRetry|TestFailFast|TestRunContext|TestLeaseExpiry|TestSteal|TestJournal|TestEpoch|TestDuplicate|TestWorkerShutdown|TestFlakyConn' ./internal/check ./internal/cluster ./internal/cluster/sched ./internal/kv
+
+## chaos-net: cross-process crash recovery — SIGKILL a journaled
+## benu-master mid-run and restart it on the same ports/journal
+## (workers rejoin the new epoch, replay resumes exactly-once), and
+## SIGKILL a benu-worker mid-run (lease expiry heals it); match counts
+## cross-checked against the single-process run (tens of seconds,
+## CI-gated)
+chaos-net:
+	./scripts/chaos_net.sh
 
 ## smoke-net: multi-process smoke — one benu-master and two benu-worker
 ## OS processes over loopback TCP on a small dataset, match count
@@ -64,6 +75,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPlanDecode -fuzztime=$(FUZZTIME) ./internal/plan
 	$(GO) test -run='^$$' -fuzz=FuzzVCBCRoundTrip -fuzztime=$(FUZZTIME) ./internal/vcbc
 	$(GO) test -run='^$$' -fuzz=FuzzCSRDecode -fuzztime=$(FUZZTIME) ./internal/csr
+	$(GO) test -run='^$$' -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/cluster/sched/journal
 
 ## vet: stock static analysis
 vet:

@@ -14,12 +14,25 @@
 // count and scheduling summary. Workers that join late, die mid-task,
 // or straggle are handled by the protocol: the run completes as long as
 // at least one worker survives.
+//
+// With -journal the master writes a crash-consistent journal of the job
+// and every committed task, so a master killed mid-run can be restarted
+// with the same flags and journal path: it replays the completed work,
+// bumps the epoch to fence the dead incarnation's stragglers, and
+// serves only the remaining tasks. Pair it with -store-listen so the
+// restarted process serves the adjacency partitions on the same
+// addresses the surviving workers already dialed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
 	"time"
 
 	"benu/internal/cluster/sched"
@@ -37,7 +50,9 @@ func main() {
 		graphPath    = flag.String("graph", "", "data graph edge-list file (overrides -preset)")
 		presetName   = flag.String("preset", "as", "synthetic dataset preset: as, lj, ok, uk, fs")
 		listen       = flag.String("listen", "127.0.0.1:7077", "address to serve the task queue on")
+		journalPath  = flag.String("journal", "", "crash-recovery journal path; reusing a dead master's journal resumes its run")
 		partitions   = flag.Int("store-partitions", 2, "adjacency storage nodes served from this process")
+		storeListen  = flag.String("store-listen", "", "base host:port for the storage nodes (partition i served on port+i); empty picks ephemeral ports")
 		tau          = flag.Int("tau", 500, "task splitting degree threshold (0 = off)")
 		uncompressed = flag.Bool("uncompressed", false, "disable VCBC compression")
 		degreeFilter = flag.Bool("degree-filter", false, "add degree filtering conditions (§IV-A extension)")
@@ -50,7 +65,8 @@ func main() {
 
 	if err := run(runConfig{
 		pattern: *patternName, graphPath: *graphPath, preset: *presetName,
-		listen: *listen, partitions: *partitions, tau: *tau,
+		listen: *listen, journal: *journalPath,
+		partitions: *partitions, storeListen: *storeListen, tau: *tau,
 		uncompressed: *uncompressed, degreeFilter: *degreeFilter,
 		retry: *retry, lease: *lease, metrics: *metrics, verbose: *verbose,
 	}); err != nil {
@@ -63,7 +79,9 @@ func main() {
 type runConfig struct {
 	pattern, graphPath, preset string
 	listen                     string
+	journal                    string
 	partitions                 int
+	storeListen                string
 	tau                        int
 	uncompressed               bool
 	degreeFilter               bool
@@ -95,19 +113,37 @@ func run(rc runConfig) error {
 		return err
 	}
 	defer d.close()
-	fmt.Printf("master: serving tasks on %s (%d storage nodes)\n", d.master.Addr(), len(d.servers))
+	fmt.Printf("master: serving tasks on %s (%d storage nodes, epoch %d)\n",
+		d.master.Addr(), len(d.servers), d.master.Result().Epoch)
+	if n := d.master.Result().Replayed; n > 0 {
+		fmt.Printf("master: resumed from %s (%d tasks already committed)\n", rc.journal, n)
+	}
 
-	res, err := d.master.Wait(nil)
+	// A first SIGINT/SIGTERM shuts down gracefully: every committed task
+	// is already fsync'd to the journal, so there is nothing to flush —
+	// just stop serving and tell the operator how to resume. A second
+	// signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := d.master.Wait(ctx)
+	if ctx.Err() != nil {
+		stop()
+		if rc.journal != "" {
+			return fmt.Errorf("interrupted; resume with -journal %s", rc.journal)
+		}
+		return fmt.Errorf("interrupted (no -journal, run not resumable)")
+	}
 	if err != nil {
 		return err
 	}
 	// Let parked workers pick up their Done replies before the deferred
 	// close severs connections — otherwise they exit on an EOF.
 	d.master.Drain(2 * time.Second)
-	fmt.Printf("matches=%d tasks=%d (split=%d) workers=%d steals=%d expired=%d retried=%d duplicates=%d wall=%s\n",
-		res.Matches, res.Tasks, res.SplitTasks, res.WorkersJoined,
+	fmt.Printf("matches=%d tasks=%d (split=%d, replayed=%d) workers=%d steals=%d expired=%d retried=%d duplicates=%d stale=%d wall=%s\n",
+		res.Matches, res.Tasks, res.SplitTasks, res.Replayed, res.WorkersJoined,
 		res.Steals, res.LeasesExpired, res.TasksRetried, res.DuplicateReports,
-		res.Wall.Round(time.Millisecond))
+		res.StaleCalls, res.Wall.Round(time.Millisecond))
 	if rc.metrics {
 		fmt.Print(d.reg.Snapshot().Text())
 	}
@@ -156,7 +192,7 @@ func start(rc runConfig) (*deployment, error) {
 	if rc.partitions <= 0 {
 		rc.partitions = 1
 	}
-	servers, addrs, err := kv.ServeGraph(g, rc.partitions)
+	servers, addrs, err := serveStores(g, rc.partitions, rc.storeListen)
 	if err != nil {
 		return nil, err
 	}
@@ -171,6 +207,7 @@ func start(rc runConfig) (*deployment, error) {
 		TaskRetries:   rc.retry,
 		LeaseDuration: rc.lease,
 		StoreAddrs:    addrs,
+		JournalPath:   rc.journal,
 		Obs:           reg,
 	})
 	if err != nil {
@@ -180,4 +217,38 @@ func start(rc runConfig) (*deployment, error) {
 		return nil, err
 	}
 	return &deployment{master: m, servers: servers, reg: reg}, nil
+}
+
+// serveStores shards g over p storage nodes. With base == "" they take
+// ephemeral loopback ports (kv.ServeGraph); with base == "host:port"
+// partition i is served on port+i, so a restarted master reappears on
+// the addresses its surviving workers already dialed — kv clients
+// redial severed pool connections, crash recovery depends on it.
+func serveStores(g *graph.Graph, p int, base string) ([]*kv.Server, []string, error) {
+	if base == "" {
+		return kv.ServeGraph(g, p)
+	}
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-store-listen: %w", err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-store-listen: bad port %q", portStr)
+	}
+	var servers []*kv.Server
+	var addrs []string
+	for i := 0; i < p; i++ {
+		store := kv.NewMapStore(kv.Shard(g, i, p), g.NumVertices())
+		srv, err := kv.Serve(net.JoinHostPort(host, strconv.Itoa(port+i)), store)
+		if err != nil {
+			for _, s := range servers {
+				s.Close()
+			}
+			return nil, nil, err
+		}
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	return servers, addrs, nil
 }

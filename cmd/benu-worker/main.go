@@ -11,19 +11,29 @@
 //
 // The worker exits 0 when the master reports the run done, and non-zero
 // when it is fenced (its lease expired while it was unresponsive) or
-// the master becomes unreachable.
+// the master stays unreachable past the -rejoin-for window. Within that
+// window, control-plane RPCs retry with capped backoff and the worker
+// re-joins a restarted master (a new epoch) as a fresh worker — in-flight
+// results are reported to the new incarnation, never thrown away.
+//
+// SIGINT/SIGTERM drains gracefully: the worker stops leasing, finishes
+// and reports every task it already holds, and exits 0. A second signal
+// kills it the default way.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"benu/internal/cluster/sched"
 	"benu/internal/obs"
+	"benu/internal/resilience"
 )
 
 func main() {
@@ -34,6 +44,7 @@ func main() {
 		name    = flag.String("name", "", "worker label used in logs")
 		metrics = flag.Bool("metrics", false, "print the worker's metrics snapshot on exit (see docs/METRICS.md)")
 		parts   = flag.String("store-parts", "", "comma-separated store partitions served on this machine, as part/parts (e.g. 0,2/4); the master prefers leasing local-start tasks")
+		rejoin  = flag.Duration("rejoin-for", 30*time.Second, "how long to retry an unreachable master before giving up (0 = fail on first error)")
 	)
 	flag.Parse()
 
@@ -46,6 +57,7 @@ func main() {
 		master: *master, threads: *threads, cacheMB: *cacheMB,
 		name: *name, metrics: *metrics,
 		storeParts: storeParts, numParts: numParts,
+		rejoinFor: *rejoin,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "benu-worker:", err)
 		os.Exit(1)
@@ -61,6 +73,24 @@ type runConfig struct {
 	metrics    bool
 	storeParts []int
 	numParts   int
+	rejoinFor  time.Duration
+}
+
+// retryPolicy sizes a capped-backoff policy to roughly cover window:
+// after the backoff ramps 100ms → 1s, each further attempt buys about a
+// second of patience.
+func retryPolicy(window time.Duration) *resilience.Policy {
+	if window <= 0 {
+		return nil
+	}
+	attempts := 4 + int(window/time.Second)
+	return &resilience.Policy{
+		MaxAttempts: attempts,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  time.Second,
+		Multiplier:  2,
+		Jitter:      0.2,
+	}
 }
 
 // parseParts parses the -store-parts syntax "i,j,.../n" into the
@@ -91,19 +121,45 @@ func parseParts(s string) ([]int, int, error) {
 func run(rc runConfig) error {
 	reg := obs.NewRegistry()
 	start := time.Now()
-	w, err := sched.StartWorker(rc.master, sched.WorkerConfig{
+	cfg := sched.WorkerConfig{
 		Threads:       rc.threads,
 		CacheBytes:    int64(rc.cacheMB) << 20,
 		Name:          rc.name,
 		Obs:           reg,
 		StoreParts:    rc.storeParts,
 		StoreNumParts: rc.numParts,
-	})
+		Retry:         retryPolicy(rc.rejoinFor),
+	}
+	// The initial join retries within the same window the in-run RPCs
+	// get: a worker may legitimately start before the master is up, or
+	// mid-way through a master restart.
+	w, err := sched.StartWorker(rc.master, cfg)
+	for deadline := start.Add(rc.rejoinFor); err != nil && time.Now().Before(deadline); {
+		fmt.Fprintf(os.Stderr, "benu-worker: %v (retrying until %s)\n", err, deadline.Round(time.Second).Format("15:04:05"))
+		time.Sleep(500 * time.Millisecond)
+		w, err = sched.StartWorker(rc.master, cfg)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("worker %d: joined %s (%d threads)\n", w.ID(), rc.master, rc.threads)
+
+	// First SIGINT/SIGTERM: stop leasing, finish and report what we
+	// hold, exit clean. Second signal: the default handler kills us.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "worker %d: %v: draining leased tasks (again to kill)\n", w.ID(), s)
+		signal.Stop(sig)
+		w.Shutdown()
+	}()
 	err = w.Wait()
+	signal.Stop(sig)
+	close(sig)
 	stats, tasks := w.Stats()
 	fmt.Printf("worker %d: tasks=%d matches=%d dbq=%d wall=%s\n",
 		w.ID(), tasks, stats.Matches, stats.DBQueries, time.Since(start).Round(time.Millisecond))

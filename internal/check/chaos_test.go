@@ -1,14 +1,19 @@
 package check
 
 import (
+	"path/filepath"
+	"reflect"
 	"testing"
+	"time"
 
 	"benu/internal/cluster"
+	"benu/internal/cluster/sched"
 	"benu/internal/gen"
 	"benu/internal/graph"
 	"benu/internal/kv"
 	"benu/internal/obs"
 	"benu/internal/plan"
+	"benu/internal/resilience"
 )
 
 // Chaos differential tests: the fault-tolerant backends run over a
@@ -164,6 +169,121 @@ func TestChaosReplicaFailoverExactWithOneReplicaDown(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// laggedStore stretches every adjacency read so a run lasts long enough
+// to be crashed mid-flight deterministically.
+type laggedStore struct {
+	kv.Store
+	delay time.Duration
+}
+
+func (s laggedStore) GetAdjBatch(vs []int64) ([]graph.AdjList, error) {
+	time.Sleep(s.delay)
+	return s.Store.GetAdjBatch(vs)
+}
+
+// TestChaosNetMasterRestart is the kill-master differential: a journaled
+// networked run is crashed mid-flight, the master restarts on the same
+// address and journal, the surviving worker rejoins — and the resumed
+// run's Outcome (count AND canonical embedding multiset) must be
+// bit-identical to the brute-force reference. Run for both an
+// uncompressed and a VCBC-compressed plan, since journal replay must
+// re-emit plain matches and compressed codes alike.
+func TestChaosNetMasterRestart(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 120, EdgesPer: 4, Triad: 0.4, Seed: 81})
+	ord := graph.NewTotalOrder(g)
+	p := gen.Triangle()
+	want := Reference(p, g, ord)
+
+	for _, v := range []Variant{Variants()[1], Variants()[3]} { // opt, vcbc
+		t.Run(v.Name, func(t *testing.T) {
+			pl, err := BuildPlan(p, g, v.Opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jpath := filepath.Join(t.TempDir(), "job.journal")
+
+			// Incarnation 1: journaled master, one slow worker, killed
+			// after at least two commits are on disk.
+			reg1 := obs.NewRegistry()
+			cfg1 := netJournalConfig(pl, g, ord, jpath, reg1)
+			col1 := newCollector(pl, g, ord)
+			col1.hook(&cfg1.Emit, &cfg1.EmitCode)
+			m1, err := sched.StartMaster("127.0.0.1:0", cfg1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr := m1.Addr()
+			w, err := sched.StartWorker(addr, sched.WorkerConfig{
+				Threads: 2,
+				Store:   laggedStore{kv.NewLocal(g), 300 * time.Microsecond},
+				Obs:     obs.NewRegistry(),
+				Retry: &resilience.Policy{
+					MaxAttempts: 200,
+					BaseBackoff: 2 * time.Millisecond,
+					MaxBackoff:  25 * time.Millisecond,
+					Multiplier:  2,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed := reg1.Counter("sched.tasks.completed")
+			for committed.Value() < 2 {
+				time.Sleep(time.Millisecond)
+			}
+			m1.Close() // kill: journal already holds every committed task
+
+			// Incarnation 2: same address and journal, fresh collector —
+			// replayed commits are re-emitted, so it sees the full run.
+			cfg2 := netJournalConfig(pl, g, ord, jpath, obs.NewRegistry())
+			col2 := newCollector(pl, g, ord)
+			col2.hook(&cfg2.Emit, &cfg2.EmitCode)
+			m2, err := sched.StartMaster(addr, cfg2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m2.Close()
+			res, err := m2.Wait(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Wait(); err != nil {
+				t.Errorf("worker exit after master restart: %v", err)
+			}
+			if res.Epoch != 2 || res.Replayed == 0 {
+				t.Errorf("resumed run: epoch=%d replayed=%d, want epoch 2 and replayed > 0",
+					res.Epoch, res.Replayed)
+			}
+			got, err := col2.outcome(res.Matches)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Count != want.Count {
+				t.Errorf("count = %d, want %d", got.Count, want.Count)
+			}
+			if !reflect.DeepEqual(got.Embeddings, want.Embeddings) {
+				t.Errorf("resumed run's embedding set differs from the reference (%d vs %d embeddings)",
+					len(got.Embeddings), len(want.Embeddings))
+			}
+		})
+	}
+}
+
+// netJournalConfig is the master config the restart chaos test uses for
+// both incarnations — identical job, fresh observables per incarnation.
+func netJournalConfig(pl *plan.Plan, g *graph.Graph, ord *graph.TotalOrder, jpath string, reg *obs.Registry) sched.MasterConfig {
+	return sched.MasterConfig{
+		Plan:        pl,
+		NumVertices: g.NumVertices(),
+		Ord:         ord,
+		Degree:      g.Degree,
+		Tau:         4,
+		TaskRetries: 8,
+		JournalPath: jpath,
+		Obs:         reg,
 	}
 }
 

@@ -351,6 +351,30 @@ func ResilientBackends(wrap StoreWrap) []Backend {
 				return runNet(pl, g, ord, wrap(kv.NewLocal(g)), sched.MasterConfig{Tau: 4, TaskRetries: 8}, 2, 2)
 			},
 		},
+		{
+			// "net-journal": the networked control plane committing every
+			// task through the crash-recovery journal. On a healthy run
+			// the journal is pure overhead, so this column proves the
+			// write-ahead path changes nothing about the results; the
+			// master-restart chaos test exercises the replay half.
+			// NoSync because a matrix sweep fsyncing per task would
+			// measure the disk, not the protocol.
+			Name: "net-journal",
+			Run: func(pl *plan.Plan, g *graph.Graph, ord *graph.TotalOrder) (*Outcome, error) {
+				dir, err := os.MkdirTemp("", "benu-net-journal-")
+				if err != nil {
+					return nil, err
+				}
+				defer os.RemoveAll(dir)
+				cfg := sched.MasterConfig{
+					Tau:           4,
+					TaskRetries:   8,
+					JournalPath:   filepath.Join(dir, "job.journal"),
+					JournalNoSync: true,
+				}
+				return runNet(pl, g, ord, wrap(kv.NewLocal(g)), cfg, 2, 2)
+			},
+		},
 	}
 }
 

@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the RPC-layer fault injector the chaos tests drive:
+// deterministic, connection-level misbehavior between workers and the
+// master, without touching either one's logic.
+//
+// Fault taxonomy, mapped to where each fault genuinely lives on a
+// stream transport:
+//
+//   - delay: every read is served late (FlakyConfig.Delay). Retries
+//     under a per-attempt timeout then abandon calls the master still
+//     executes — which is exactly how duplicate Report deliveries are
+//     born. (TCP cannot literally duplicate application bytes; the
+//     duplicate comes from the caller retrying, so that is how it is
+//     injected.)
+//   - drop: a write is swallowed whole (DropEveryNthWrite). On a
+//     gob-framed stream a missing chunk corrupts the stream — the peer
+//     sees a decode error and the connection is effectively dead,
+//     which is precisely what "the network dropped my message" means
+//     to net/rpc.
+//   - sever: the connection is cut abruptly, either after a byte
+//     budget (SeverAfter) or on command (Sever/SeverAll) — the
+//     mid-conversation crash that forces session teardown and rejoin.
+//
+// ErrInjected marks every injected failure so tests (and confused
+// readers of test logs) can tell chaos from genuine bugs.
+
+// ErrInjected is the root cause of every failure this file fabricates.
+var ErrInjected = errors.New("sched: injected fault")
+
+// FlakyConfig selects which faults a FlakyConn injects. The zero value
+// injects nothing.
+type FlakyConfig struct {
+	// Delay is added before each Read returns data — symmetric-enough
+	// latency injection for request/response RPC, without perturbing
+	// write paths that hold locks.
+	Delay time.Duration
+	// SeverAfter cuts the connection once this many bytes have moved
+	// through it (reads + writes). 0 disables.
+	SeverAfter int64
+	// DropEveryNthWrite swallows every Nth Write call (1 = every
+	// write, 2 = every second...). 0 disables. The stream is closed
+	// right after the drop: a gob stream with a hole in it is dead
+	// anyway, this just makes the failure prompt instead of letting
+	// the peer diagnose a corrupt frame.
+	DropEveryNthWrite int
+}
+
+// FlakyConn wraps a net.Conn with injected faults. Safe for the
+// concurrent Read/Write/Close usage net/rpc exercises.
+type FlakyConn struct {
+	net.Conn
+	cfg    FlakyConfig
+	budget atomic.Int64 // remaining bytes before sever; <0 = unlimited
+	writes atomic.Int64
+	closed atomic.Bool
+}
+
+// NewFlakyConn wraps inner with cfg's faults.
+func NewFlakyConn(inner net.Conn, cfg FlakyConfig) *FlakyConn {
+	c := &FlakyConn{Conn: inner, cfg: cfg}
+	if cfg.SeverAfter > 0 {
+		c.budget.Store(cfg.SeverAfter)
+	} else {
+		c.budget.Store(-1)
+	}
+	return c
+}
+
+// Sever cuts the connection abruptly: both peers see transport errors
+// on their in-flight and future calls.
+func (c *FlakyConn) Sever() {
+	if c.closed.CompareAndSwap(false, true) {
+		c.Conn.Close()
+	}
+}
+
+// Severed reports whether a fault (or Sever) already cut the conn.
+func (c *FlakyConn) Severed() bool { return c.closed.Load() }
+
+// Close makes an explicit close indistinguishable from a sever so the
+// byte budget cannot resurrect a closed conn.
+func (c *FlakyConn) Close() error {
+	c.Sever()
+	return nil
+}
+
+// spend burns n bytes of the sever budget, cutting the conn when it
+// hits zero. Reports whether the conn is still alive.
+func (c *FlakyConn) spend(n int) bool {
+	if c.budget.Load() < 0 {
+		return !c.closed.Load()
+	}
+	if c.budget.Add(-int64(n)) <= 0 {
+		c.Sever()
+		return false
+	}
+	return true
+}
+
+func (c *FlakyConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.cfg.Delay > 0 {
+		time.Sleep(c.cfg.Delay)
+	}
+	if !c.spend(n) && err == nil {
+		return n, ErrInjected
+	}
+	return n, err
+}
+
+func (c *FlakyConn) Write(p []byte) (int, error) {
+	if c.cfg.DropEveryNthWrite > 0 {
+		if c.writes.Add(1)%int64(c.cfg.DropEveryNthWrite) == 0 {
+			// Swallow the write, then kill the stream (see FlakyConfig).
+			c.Sever()
+			return len(p), nil
+		}
+	}
+	n, err := c.Conn.Write(p)
+	if !c.spend(n) && err == nil {
+		return n, ErrInjected
+	}
+	return n, err
+}
+
+// FlakyListener wraps every accepted connection in a FlakyConn, so a
+// server under test (the master via MasterConfig.WrapConn covers the
+// per-conn case; this covers whole-listener chaos) misbehaves uniformly.
+type FlakyListener struct {
+	net.Listener
+	cfg FlakyConfig
+
+	mu    sync.Mutex
+	conns []*FlakyConn
+}
+
+// NewFlakyListener wraps inner; every accepted conn gets cfg's faults.
+func NewFlakyListener(inner net.Listener, cfg FlakyConfig) *FlakyListener {
+	return &FlakyListener{Listener: inner, cfg: cfg}
+}
+
+func (l *FlakyListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	fc := NewFlakyConn(conn, l.cfg)
+	l.mu.Lock()
+	l.conns = append(l.conns, fc)
+	l.mu.Unlock()
+	return fc, nil
+}
+
+// SeverAll cuts every connection accepted so far — the whole-network
+// blip that forces every worker into its rejoin path at once.
+func (l *FlakyListener) SeverAll() {
+	l.mu.Lock()
+	conns := append([]*FlakyConn(nil), l.conns...)
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Sever()
+	}
+}

@@ -1,0 +1,537 @@
+// Package journal is the crash-consistent write-ahead log of a
+// control-plane job (internal/cluster/sched). The master keeps the
+// whole run — pending queue, lease table, committed emissions — in
+// memory; without a journal a master crash loses the job. With one,
+// every commit point is appended synchronously before it is
+// acknowledged, so a re-launched master replays the file and resumes
+// with completed tasks skipped and exactly-once accounting intact.
+//
+// Three record types cover the job lifecycle:
+//
+//   - JobSpec, written once when the journal is created: the plan's
+//     wire form plus the task-generation inputs. A restarted master
+//     regenerates its task queue deterministically from the same
+//     flags and refuses a journal whose spec does not match — resuming
+//     someone else's job would silently corrupt both.
+//   - Epoch, written once per master incarnation: the fencing token.
+//     Every wire RPC carries the epoch it was issued under, and the
+//     master rejects calls from earlier incarnations idempotently.
+//   - Completion, written at each commit point *before* the worker's
+//     report is acknowledged: task ID, duration, executor stats, and
+//     the emission payloads (matches / VCBC codes) that traveled in
+//     the report. Replay re-emits them, so a resumed run's output is
+//     bit-identical to an uninterrupted one.
+//
+// The file format is an append-only sequence of checksummed,
+// length-prefixed records behind an 8-byte magic header:
+//
+//	header  := "BENUJNL1"
+//	record  := len u32le | crc32(payload) u32le | payload
+//	payload := type byte | body (varint-encoded fields)
+//
+// Recovery follows the classic WAL rule: replay stops at the first
+// record that is truncated or fails its checksum (a torn tail from a
+// crash mid-append), and Open truncates the file back to the last
+// valid record before appending anything new. Decode never panics on
+// corrupt input — the decodesafe analyzer enforces that, and
+// FuzzJournalReplay hunts for violations.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"benu/internal/exec"
+	"benu/internal/varint"
+	"benu/internal/vcbc"
+)
+
+// magic identifies (and versions) the file format.
+const magic = "BENUJNL1"
+
+// Record types.
+const (
+	recSpec       = 1
+	recEpoch      = 2
+	recCompletion = 3
+)
+
+// maxRecord caps a single record's payload so a corrupt length prefix
+// cannot drive a giant allocation during replay.
+const maxRecord = 1 << 28
+
+// recHeader is the per-record framing: u32 length + u32 CRC.
+const recHeader = 8
+
+// JobSpec pins the journal to one job: the plan every worker executes
+// plus the inputs task generation is derived from. Two runs with equal
+// specs generate identical task queues, which is what makes replay by
+// task ID sound.
+type JobSpec struct {
+	// Plan is the plan's canonical wire form (plan.MarshalJSON).
+	Plan []byte
+	// NumVertices is |V(G)| of the data graph.
+	NumVertices int
+	// Tau is the §V-B task-splitting threshold.
+	Tau int
+	// Tasks is the generated task count, cross-checked on resume.
+	Tasks int
+	// RanksHash fingerprints the symmetry-breaking total order.
+	RanksHash uint64
+}
+
+// Equal reports whether two specs describe the same job.
+func (s *JobSpec) Equal(o *JobSpec) bool {
+	return s.NumVertices == o.NumVertices && s.Tau == o.Tau &&
+		s.Tasks == o.Tasks && s.RanksHash == o.RanksHash &&
+		string(s.Plan) == string(o.Plan)
+}
+
+// HashRanks fingerprints a total order for JobSpec.RanksHash (FNV-1a
+// over the rank sequence).
+func HashRanks(ranks []int64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, r := range ranks {
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= uint64(byte(uint64(r) >> shift))
+			h *= prime
+		}
+	}
+	return h
+}
+
+// Completion is one committed task: the exactly-once unit of the
+// control plane. Everything the master needs to account for the task —
+// stats and emission payloads — rides in the record, so replay commits
+// it again without re-executing anything.
+type Completion struct {
+	TaskID     int64
+	DurationNs int64
+	Stats      exec.Stats
+	Matches    [][]int64
+	Codes      []*vcbc.Code
+}
+
+// Replay is the decoded state of a journal: what a restarted master
+// resumes from.
+type Replay struct {
+	// Spec is the job identity record, nil when the journal holds none
+	// yet (a crash before the first record).
+	Spec *JobSpec
+	// Epoch is the highest master epoch recorded; the resuming master
+	// runs at Epoch+1.
+	Epoch uint64
+	// Completions are the committed tasks, in commit order. Task IDs
+	// may repeat only if the file was produced by a buggy writer;
+	// consumers must dedupe by ID.
+	Completions []Completion
+	// Records counts the valid records read.
+	Records int
+	// Torn reports that replay stopped at a truncated or corrupt
+	// record (a torn tail) rather than the end of the file.
+	Torn bool
+}
+
+// ErrBadHeader reports a file that is not a journal (foreign or
+// incompatible magic). Open refuses to touch such a file.
+var ErrBadHeader = errors.New("journal: bad file header")
+
+// Decode replays journal bytes. It returns the replayed state and the
+// byte length of the valid prefix (header plus every intact record) —
+// the offset a writer must truncate to before appending. The only
+// error is ErrBadHeader for a file that is not a journal at all;
+// record-level corruption is not an error, it just sets Replay.Torn.
+// Decode never panics, whatever the input.
+func Decode(data []byte) (*Replay, int, error) {
+	if len(data) >= len(magic) && string(data[:len(magic)]) != magic {
+		return nil, 0, ErrBadHeader
+	}
+	rep := &Replay{}
+	if len(data) < len(magic) {
+		// Empty or torn-header file: nothing valid, including the header.
+		rep.Torn = len(data) > 0
+		return rep, 0, nil
+	}
+	off := len(magic)
+	for {
+		if off == len(data) {
+			return rep, off, nil // clean end
+		}
+		if len(data)-off < recHeader {
+			break // torn framing
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n < 1 || n > maxRecord || n > len(data)-off-recHeader {
+			break // torn or corrupt length
+		}
+		payload := data[off+recHeader : off+recHeader+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt payload
+		}
+		if !applyRecord(rep, payload) {
+			break // structurally invalid body: stop, like a torn tail
+		}
+		rep.Records++
+		off += recHeader + n
+	}
+	rep.Torn = true
+	return rep, off, nil
+}
+
+// applyRecord decodes one checksummed payload into rep, reporting
+// whether it parsed cleanly.
+func applyRecord(rep *Replay, payload []byte) bool {
+	body := payload[1:]
+	switch payload[0] {
+	case recSpec:
+		spec, ok := decodeSpec(body)
+		if !ok {
+			return false
+		}
+		if rep.Spec == nil {
+			rep.Spec = spec
+		} else if !rep.Spec.Equal(spec) {
+			return false // two conflicting specs: the file is not trustworthy
+		}
+		return true
+	case recEpoch:
+		val, n, err := varint.Uvarint(body)
+		if err != nil || n != len(body) {
+			return false
+		}
+		if val > rep.Epoch {
+			rep.Epoch = val
+		}
+		return true
+	case recCompletion:
+		c, ok := decodeCompletion(body)
+		if !ok {
+			return false
+		}
+		rep.Completions = append(rep.Completions, *c)
+		return true
+	default:
+		return false // unknown record type: format drift, stop here
+	}
+}
+
+// Options parameterizes Open. The zero value is the production
+// configuration: every append is fsync'd before it is acknowledged.
+type Options struct {
+	// NoSync skips the per-append fsync. Only for tests and
+	// differential-matrix speed, where the "crash" never outlives the
+	// OS page cache.
+	NoSync bool
+}
+
+// Log is an open journal positioned for appending. Appends are not
+// concurrency-safe; the master serializes them under its own lock.
+type Log struct {
+	f      *os.File
+	nosync bool
+	buf    []byte
+}
+
+// Open opens (creating if absent) the journal at path, replays it, and
+// truncates a torn tail so the log is positioned at its last valid
+// record. The returned Replay is what the caller resumes from.
+func Open(path string, opts Options) (*Log, *Replay, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := readAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+	rep, valid, err := Decode(data)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %s: %w", path, err)
+	}
+	l := &Log{f: f, nosync: opts.NoSync}
+	if valid == 0 {
+		// Fresh file (or a header torn mid-write): start over.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if _, err := f.WriteAt([]byte(magic), 0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		valid = len(magic)
+	} else if valid < len(data) {
+		// Torn tail: drop it before appending anything after it.
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := l.sync(); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return l, rep, nil
+}
+
+// readAll reads the whole file from the start.
+func readAll(f *os.File) ([]byte, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, st.Size())
+	if _, err := f.ReadAt(data, 0); err != nil && st.Size() > 0 {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Close closes the underlying file. Committed records are already
+// durable — every append synced before returning.
+func (l *Log) Close() error { return l.f.Close() }
+
+// AppendSpec appends the job identity record. Returns the bytes
+// appended (framing included).
+func (l *Log) AppendSpec(s *JobSpec) (int, error) {
+	body := []byte{recSpec}
+	body = varint.Append(body, uint64(len(s.Plan)))
+	body = append(body, s.Plan...)
+	body = appendInt(body, int64(s.NumVertices))
+	body = appendInt(body, int64(s.Tau))
+	body = appendInt(body, int64(s.Tasks))
+	body = varint.Append(body, s.RanksHash)
+	return l.appendRecord(body)
+}
+
+// AppendEpoch appends a master-incarnation record.
+func (l *Log) AppendEpoch(epoch uint64) (int, error) {
+	body := varint.Append([]byte{recEpoch}, epoch)
+	return l.appendRecord(body)
+}
+
+// AppendCompletion appends one committed task. The caller must not
+// acknowledge the commit to the worker until this returns nil: that
+// ordering is the whole crash-consistency argument.
+func (l *Log) AppendCompletion(c *Completion) (int, error) {
+	body := []byte{recCompletion}
+	body = appendInt(body, c.TaskID)
+	body = appendInt(body, c.DurationNs)
+	body = appendInt(body, c.Stats.Matches)
+	body = appendInt(body, c.Stats.Codes)
+	body = appendInt(body, c.Stats.DBQueries)
+	body = appendInt(body, c.Stats.IntOps)
+	body = appendInt(body, c.Stats.EnuSteps)
+	body = appendInt(body, c.Stats.ResultSize)
+	body = appendInt(body, c.Stats.TriHits)
+	body = appendInt(body, c.Stats.TriMisses)
+	body = appendRows(body, c.Matches)
+	body = varint.Append(body, uint64(len(c.Codes)))
+	for _, code := range c.Codes {
+		body = appendInts(body, code.CoverVertices)
+		body = appendInt64s(body, code.Helve)
+		body = appendInts(body, code.FreeVertices)
+		body = appendRows(body, code.Images)
+	}
+	return l.appendRecord(body)
+}
+
+// appendRecord frames body (length + CRC), writes it, and syncs.
+func (l *Log) appendRecord(body []byte) (int, error) {
+	if len(body) > maxRecord {
+		return 0, fmt.Errorf("journal: record of %d bytes exceeds the %d-byte cap", len(body), maxRecord)
+	}
+	l.buf = l.buf[:0]
+	l.buf = binary.LittleEndian.AppendUint32(l.buf, uint32(len(body)))
+	l.buf = binary.LittleEndian.AppendUint32(l.buf, crc32.ChecksumIEEE(body))
+	l.buf = append(l.buf, body...)
+	if _, err := l.f.Write(l.buf); err != nil {
+		return 0, err
+	}
+	if err := l.sync(); err != nil {
+		return 0, err
+	}
+	return len(l.buf), nil
+}
+
+func (l *Log) sync() error {
+	if l.nosync {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// ---- varint field encoding ----
+//
+// Every integer field is zigzag varint encoded, so negative values
+// (defensive — vertex ids and counters are non-negative in practice)
+// round-trip exactly.
+
+func appendInt(dst []byte, v int64) []byte {
+	return varint.Append(dst, uint64(v)<<1^uint64(v>>63))
+}
+
+func appendInt64s(dst []byte, vs []int64) []byte {
+	dst = varint.Append(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = appendInt(dst, v)
+	}
+	return dst
+}
+
+func appendInts(dst []byte, vs []int) []byte {
+	dst = varint.Append(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = appendInt(dst, int64(v))
+	}
+	return dst
+}
+
+func appendRows(dst []byte, rows [][]int64) []byte {
+	dst = varint.Append(dst, uint64(len(rows)))
+	for _, row := range rows {
+		dst = appendInt64s(dst, row)
+	}
+	return dst
+}
+
+// ---- decoding (never panics; every length is bounds-checked) ----
+
+type decoder struct {
+	b  []byte
+	ok bool
+}
+
+func (d *decoder) uvarint() uint64 {
+	if !d.ok {
+		return 0
+	}
+	v, n, err := varint.Uvarint(d.b)
+	if err != nil {
+		d.ok = false
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) int64() int64 {
+	u := d.uvarint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// count reads a collection length and validates it against the bytes
+// remaining (each element encodes to at least one byte), so a corrupt
+// count cannot drive a giant allocation.
+func (d *decoder) count() int {
+	v := d.uvarint()
+	if !d.ok || v > uint64(len(d.b)) {
+		d.ok = false
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if !d.ok || n < 0 || n > len(d.b) {
+		d.ok = false
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *decoder) int64s() []int64 {
+	n := d.count()
+	if !d.ok {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.int64()
+	}
+	return out
+}
+
+func (d *decoder) ints() []int {
+	n := d.count()
+	if !d.ok {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(d.int64())
+	}
+	return out
+}
+
+func (d *decoder) rows() [][]int64 {
+	n := d.count()
+	if !d.ok {
+		return nil
+	}
+	out := make([][]int64, n)
+	for i := range out {
+		out[i] = d.int64s()
+	}
+	return out
+}
+
+func decodeSpec(body []byte) (*JobSpec, bool) {
+	d := &decoder{b: body, ok: true}
+	s := &JobSpec{}
+	n := d.count()
+	s.Plan = append([]byte(nil), d.bytes(n)...)
+	s.NumVertices = int(d.int64())
+	s.Tau = int(d.int64())
+	s.Tasks = int(d.int64())
+	s.RanksHash = d.uvarint()
+	if !d.ok || len(d.b) != 0 {
+		return nil, false
+	}
+	return s, true
+}
+
+func decodeCompletion(body []byte) (*Completion, bool) {
+	d := &decoder{b: body, ok: true}
+	c := &Completion{}
+	c.TaskID = d.int64()
+	c.DurationNs = d.int64()
+	c.Stats.Matches = d.int64()
+	c.Stats.Codes = d.int64()
+	c.Stats.DBQueries = d.int64()
+	c.Stats.IntOps = d.int64()
+	c.Stats.EnuSteps = d.int64()
+	c.Stats.ResultSize = d.int64()
+	c.Stats.TriHits = d.int64()
+	c.Stats.TriMisses = d.int64()
+	c.Matches = d.rows()
+	nCodes := d.count()
+	for i := 0; i < nCodes && d.ok; i++ {
+		code := &vcbc.Code{}
+		code.CoverVertices = d.ints()
+		code.Helve = d.int64s()
+		code.FreeVertices = d.ints()
+		code.Images = d.rows()
+		c.Codes = append(c.Codes, code)
+	}
+	if !d.ok || len(d.b) != 0 {
+		return nil, false
+	}
+	return c, true
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"benu/internal/cluster"
+	"benu/internal/cluster/sched/journal"
 	"benu/internal/exec"
 	"benu/internal/graph"
 	"benu/internal/obs"
@@ -58,6 +59,22 @@ type MasterConfig struct {
 	Breaker resilience.BreakerConfig
 	// StoreAddrs are handed to workers that dial their own store.
 	StoreAddrs []string
+	// JournalPath enables crash-consistent recovery: every committed
+	// completion is appended (and fsync'd) to this write-ahead log
+	// before the worker's report is acknowledged, and StartMaster
+	// replays an existing journal — completed tasks are skipped, their
+	// stats and emissions re-applied, and the master runs at the next
+	// epoch so calls from the previous incarnation are fenced. Empty
+	// disables journaling (the PR 7 in-memory-only behavior).
+	JournalPath string
+	// JournalNoSync skips the per-commit fsync — recovery then survives
+	// a process crash but not an OS crash. For tests and the
+	// differential matrix, where the fsync cost dwarfs the tiny runs.
+	JournalNoSync bool
+	// WrapConn, when set, wraps every accepted connection before it is
+	// served — the chaos tests' hook for injecting RPC-layer faults
+	// (see FlakyConn). nil serves connections as accepted.
+	WrapConn func(net.Conn) net.Conn
 	// Emit / EmitCode receive committed results on the master, called
 	// from RPC handler goroutines under the master's lock — they must
 	// not call back into the Master. The slice/code is owned by the
@@ -116,6 +133,15 @@ type Result struct {
 	DuplicateReports int
 	// WorkersJoined is the total number of workers that ever joined.
 	WorkersJoined int
+	// Replayed counts completions restored from the journal rather than
+	// committed live in this incarnation (nonzero only on a resumed run).
+	Replayed int
+	// StaleCalls counts RPCs rejected because they carried a fenced
+	// epoch (a worker that had not yet noticed the master restarted).
+	StaleCalls int
+	// Epoch is the master incarnation the run finished under (1 for a
+	// fresh journal or no journal at all).
+	Epoch uint64
 	// Wall is the end-to-end run time, StartMaster to completion.
 	Wall time.Duration
 	// Stats aggregates the committed executor counters.
@@ -193,8 +219,19 @@ type Master struct {
 	retriedC      *obs.Counter
 	failedC       *obs.Counter
 	remoteTaskH   *obs.Histogram
+	jRecordsC     *obs.Counter
+	jBytesC       *obs.Counter
+	jReplayedC    *obs.Counter
+	epochGauge    *obs.Gauge
+	staleC        *obs.Counter
+
+	// epoch is this incarnation's fencing token: 1 + the highest epoch
+	// the journal recorded, or 1 when starting fresh. Immutable after
+	// StartMaster, so handlers may read it without holding mu.
+	epoch uint64
 
 	mu        sync.Mutex
+	jl        *journal.Log // nil when journaling is disabled
 	tasks     []exec.Task
 	state     []taskState
 	pending   []int // task indexes, served LIFO (fresh re-queues drain first)
@@ -255,6 +292,11 @@ func StartMaster(addr string, cfg MasterConfig) (*Master, error) {
 		retriedC:      reg.Counter("cluster.tasks.retried"),
 		failedC:       reg.Counter("cluster.tasks.failed"),
 		remoteTaskH:   reg.Histogram("sched.task.remote_ns"),
+		jRecordsC:     reg.Counter("sched.journal.records"),
+		jBytesC:       reg.Counter("sched.journal.bytes"),
+		jReplayedC:    reg.Counter("sched.journal.replayed"),
+		epochGauge:    reg.Gauge("sched.epoch"),
+		staleC:        reg.Counter("sched.epoch.stale"),
 		tasks:         tasks,
 		state:         make([]taskState, len(tasks)),
 		done:          make(chan struct{}),
@@ -283,18 +325,30 @@ func StartMaster(addr string, cfg MasterConfig) (*Master, error) {
 			m.labels[v] = cfg.LabelOf(int64(v))
 		}
 	}
+	m.epoch = 1
+	if cfg.JournalPath != "" {
+		if err := m.openJournal(); err != nil {
+			return nil, err
+		}
+	}
+	m.epochGauge.Set(float64(m.epoch))
+	m.res.Epoch = m.epoch
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		m.closeJournalLocked()
 		return nil, fmt.Errorf("sched: listen %s: %w", addr, err)
 	}
 	m.listener = ln
 	m.rpcSrv = rpc.NewServer()
 	if err := m.rpcSrv.RegisterName("Sched", &schedService{m}); err != nil {
 		ln.Close()
+		m.closeJournalLocked()
 		return nil, err
 	}
-	if len(tasks) == 0 {
+	if m.doneCount == len(tasks) {
+		// Nothing left to run: a zero-task plan, or a journal that
+		// already holds every completion (crash after the last commit).
 		m.finish(nil)
 	}
 	m.wg.Add(2)
@@ -303,8 +357,107 @@ func StartMaster(addr string, cfg MasterConfig) (*Master, error) {
 	return m, nil
 }
 
+// openJournal opens (or creates) cfg.JournalPath, pins it to this job,
+// replays any committed completions into the in-memory state, and
+// stamps the new incarnation's epoch. Called from StartMaster before
+// the listener exists, so no locking is needed.
+func (m *Master) openJournal() error {
+	l, rep, err := journal.Open(m.cfg.JournalPath, journal.Options{NoSync: m.cfg.JournalNoSync})
+	if err != nil {
+		return err
+	}
+	spec := &journal.JobSpec{
+		Plan:        m.planBytes,
+		NumVertices: m.cfg.NumVertices,
+		Tau:         m.cfg.Tau,
+		Tasks:       len(m.tasks),
+		RanksHash:   journal.HashRanks(m.ranks),
+	}
+	if rep.Spec == nil {
+		n, err := l.AppendSpec(spec)
+		if err != nil {
+			l.Close()
+			return fmt.Errorf("sched: journal %s: %w", m.cfg.JournalPath, err)
+		}
+		m.jRecordsC.Inc()
+		m.jBytesC.Add(int64(n))
+	} else if !rep.Spec.Equal(spec) {
+		l.Close()
+		return fmt.Errorf("sched: journal %s belongs to a different job (plan/graph/tau mismatch); refusing to resume", m.cfg.JournalPath)
+	}
+	for i := range rep.Completions {
+		c := &rep.Completions[i]
+		idx := int(c.TaskID)
+		if idx < 0 || idx >= len(m.tasks) || m.state[idx].st == taskDone {
+			// Out-of-range IDs cannot occur with a matching spec;
+			// duplicates cannot occur with a correct writer. Skip
+			// defensively either way — replay must not double-count.
+			continue
+		}
+		m.state[idx].st = taskDone
+		m.doneCount++
+		m.res.Replayed++
+		m.jReplayedC.Inc()
+		m.res.Stats.Add(c.Stats)
+		m.res.Matches += c.Stats.Matches
+		m.res.Codes += c.Stats.Codes
+		m.remoteTaskH.Record(c.DurationNs)
+		if m.cfg.Emit != nil {
+			for _, f := range c.Matches {
+				if !m.cfg.Emit(f) {
+					break
+				}
+			}
+		}
+		if m.cfg.EmitCode != nil {
+			for _, code := range c.Codes {
+				if !m.cfg.EmitCode(code) {
+					break
+				}
+			}
+		}
+	}
+	// Drop replayed tasks from the pending stack so they are never
+	// leased again.
+	live := m.pending[:0]
+	for _, idx := range m.pending {
+		if m.state[idx].st != taskDone {
+			live = append(live, idx)
+		}
+	}
+	m.pending = live
+	m.epoch = rep.Epoch + 1
+	n, err := l.AppendEpoch(m.epoch)
+	if err != nil {
+		l.Close()
+		return fmt.Errorf("sched: journal %s: %w", m.cfg.JournalPath, err)
+	}
+	m.jRecordsC.Inc()
+	m.jBytesC.Add(int64(n))
+	m.jl = l
+	return nil
+}
+
+// closeJournalLocked closes the journal if one is open. Caller holds
+// m.mu (or, during StartMaster, has exclusive access).
+func (m *Master) closeJournalLocked() {
+	if m.jl != nil {
+		m.jl.Close()
+		m.jl = nil
+	}
+}
+
 // Addr returns the master's bound address.
 func (m *Master) Addr() string { return m.listener.Addr().String() }
+
+// Result returns a snapshot of the run's accounting so far — notably
+// Epoch and Replayed, fixed at startup. The authoritative final result
+// is the one Wait returns.
+func (m *Master) Result() Result {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.res
+}
 
 // Wait blocks until the run completes (every task committed), fails, or
 // ctx is done, and returns the result.
@@ -374,6 +527,9 @@ func (m *Master) Close() error {
 	m.mu.Unlock()
 	close(m.quit)
 	m.wg.Wait()
+	m.mu.Lock()
+	m.closeJournalLocked()
+	m.mu.Unlock()
 	return err
 }
 
@@ -386,6 +542,9 @@ func (m *Master) acceptLoop() {
 		conn, err := m.listener.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if m.cfg.WrapConn != nil {
+			conn = m.cfg.WrapConn(conn)
 		}
 		m.mu.Lock()
 		if m.closed {
@@ -541,6 +700,7 @@ func (s *schedService) Join(args *JoinArgs, reply *JoinReply) error {
 	m.mu.Unlock()
 
 	reply.WorkerID = w.id
+	reply.Epoch = m.epoch
 	reply.Plan = m.planBytes
 	reply.NumVertices = m.cfg.NumVertices
 	reply.Ranks = m.ranks
@@ -573,6 +733,20 @@ func (m *Master) workerForLocked(id int) (*workerRec, error) {
 	return m.workers[id], nil
 }
 
+// staleLocked fences a call from a previous master incarnation. It must
+// run before the worker ID is even resolved: a restarted master assigns
+// IDs from zero again, so an old incarnation's WorkerID may collide
+// with a different live worker — touching any state keyed by it would
+// corrupt the new incarnation's accounting. Caller holds m.mu.
+func (m *Master) staleLocked(epoch uint64) bool {
+	if epoch == m.epoch {
+		return false
+	}
+	m.res.StaleCalls++
+	m.staleC.Inc()
+	return true
+}
+
 // doneReplyLocked reports whether the run has finished, marking w as
 // having observed completion when it has (Drain waits on that mark).
 // Caller holds m.mu.
@@ -587,6 +761,10 @@ func (s *schedService) Lease(args *LeaseArgs, reply *LeaseReply) error {
 	m := s.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.staleLocked(args.Epoch) {
+		reply.Stale = true
+		return nil
+	}
 	w, err := m.workerForLocked(args.WorkerID)
 	if err != nil {
 		return err
@@ -749,6 +927,10 @@ func (s *schedService) Report(args *ReportArgs, reply *ReportReply) error {
 	m := s.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.staleLocked(args.Epoch) {
+		reply.Stale = true
+		return nil
+	}
 	w, err := m.workerForLocked(args.WorkerID)
 	if err != nil {
 		return err
@@ -777,11 +959,34 @@ func (s *schedService) Report(args *ReportArgs, reply *ReportReply) error {
 
 	if ts.st == taskDone {
 		// Exactly-once: a second completion (stolen or expired task
-		// that finished anyway) is dropped, not double-counted.
+		// that finished anyway, or a worker retrying a Report whose
+		// reply was lost in transit) is dropped, not double-counted.
 		m.res.DuplicateReports++
 		m.duplicateC.Inc()
 		reply.Done = m.doneReplyLocked(w)
 		return nil
+	}
+	if m.jl != nil {
+		// Journal the completion before committing it in memory. A
+		// crash after the append replays this task as done and the
+		// worker's retried report drops as a duplicate; a crash before
+		// it re-queues the task. Either way: exactly once. An append
+		// failure means commits can no longer be made durable — fail
+		// the run loudly rather than silently degrade.
+		n, jerr := m.jl.AppendCompletion(&journal.Completion{
+			TaskID:     args.TaskID,
+			DurationNs: args.DurationNs,
+			Stats:      args.Stats,
+			Matches:    args.Matches,
+			Codes:      args.Codes,
+		})
+		if jerr != nil {
+			m.finishLocked(fmt.Errorf("sched: journal %s: %w", m.cfg.JournalPath, jerr))
+			reply.Done = m.doneReplyLocked(w)
+			return nil
+		}
+		m.jRecordsC.Inc()
+		m.jBytesC.Add(int64(n))
 	}
 	ts.st = taskDone
 	m.doneCount++
@@ -817,6 +1022,10 @@ func (s *schedService) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) err
 	m := s.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.staleLocked(args.Epoch) {
+		reply.Stale = true
+		return nil
+	}
 	w, err := m.workerForLocked(args.WorkerID)
 	if err != nil {
 		return err

@@ -30,6 +30,15 @@
 //   - A failed attempt (a worker-side executor or store error) is
 //     re-queued until Config.TaskRetries is exhausted, then fails the
 //     run loudly.
+//   - The master itself can crash and restart: with a journal
+//     (MasterConfig.JournalPath, package journal) every committed
+//     completion is written synchronously before it is acknowledged,
+//     and a re-launched master replays the file, skips done tasks, and
+//     re-queues only the rest. Each incarnation runs at a fresh epoch;
+//     every RPC carries the epoch it was issued under, and calls from
+//     an older incarnation are rejected idempotently (Stale replies),
+//     so a report raced across a restart can never double-commit or
+//     corrupt the new incarnation's accounting.
 //
 // The wire protocol (this file) mirrors internal/kv's client/server
 // shape: gob-encoded net/rpc over TCP, one service ("Sched") with four
@@ -68,6 +77,11 @@ type JoinArgs struct {
 type JoinReply struct {
 	// WorkerID identifies this worker in every subsequent call.
 	WorkerID int
+	// Epoch is the master incarnation that issued this identity. The
+	// worker echoes it in every subsequent call; after a master restart
+	// the echo no longer matches and the call is rejected as Stale,
+	// telling the worker to re-Join.
+	Epoch uint64
 	// Plan is the plan.MarshalJSON broadcast payload.
 	Plan []byte
 	// NumVertices is |V(G)| of the data graph.
@@ -117,6 +131,8 @@ type WireTask struct {
 type LeaseArgs struct {
 	WorkerID int
 	Max      int
+	// Epoch is the master incarnation the worker joined (JoinReply.Epoch).
+	Epoch uint64
 }
 
 // LeaseReply carries the leased tasks, or the reason there are none.
@@ -132,6 +148,9 @@ type LeaseReply struct {
 	// are available right now (the queue may refill via failures or
 	// late-joining work).
 	Backoff time.Duration
+	// Stale: the caller's epoch predates this master incarnation (the
+	// master restarted). The worker must discard its leases and re-Join.
+	Stale bool
 }
 
 // ReportArgs is the RPC request for Sched.Report: one finished task
@@ -139,6 +158,9 @@ type LeaseReply struct {
 type ReportArgs struct {
 	WorkerID int
 	TaskID   int64
+	// Epoch is the master incarnation the task was leased under. A
+	// report from a fenced epoch is rejected without touching state.
+	Epoch uint64
 	// Err is the attempt's failure, "" on success. A failed attempt
 	// carries no results.
 	Err string
@@ -160,6 +182,9 @@ type ReportReply struct {
 	Accepted bool
 	// Done: the run is complete; the worker should exit.
 	Done bool
+	// Stale: the report's epoch predates this master incarnation; it
+	// was rejected idempotently. The worker must re-Join.
+	Stale bool
 }
 
 // HeartbeatArgs is the RPC request for Sched.Heartbeat: lease renewal
@@ -168,6 +193,8 @@ type ReportReply struct {
 type HeartbeatArgs struct {
 	WorkerID int
 	Running  []int64
+	// Epoch is the master incarnation the worker joined.
+	Epoch uint64
 }
 
 // HeartbeatReply returns revocations: tasks stolen from this worker's
@@ -176,4 +203,6 @@ type HeartbeatReply struct {
 	Revoked []int64
 	Done    bool
 	Fenced  bool
+	// Stale: the caller's epoch predates this master incarnation.
+	Stale bool
 }

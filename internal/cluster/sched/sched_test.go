@@ -261,7 +261,7 @@ func TestStealProtocol(t *testing.T) {
 		t.Fatal(err)
 	}
 	var leaseA LeaseReply
-	if err := hoarder.Call("Sched.Lease", &LeaseArgs{WorkerID: joinA.WorkerID, Max: 64}, &leaseA); err != nil {
+	if err := hoarder.Call("Sched.Lease", &LeaseArgs{WorkerID: joinA.WorkerID, Max: 64, Epoch: joinA.Epoch}, &leaseA); err != nil {
 		t.Fatal(err)
 	}
 	if len(leaseA.Tasks) == 0 {
@@ -271,7 +271,7 @@ func TestStealProtocol(t *testing.T) {
 	runningID := leaseA.Tasks[0].ID
 	var hb HeartbeatReply
 	if err := hoarder.Call("Sched.Heartbeat",
-		&HeartbeatArgs{WorkerID: joinA.WorkerID, Running: []int64{runningID}}, &hb); err != nil {
+		&HeartbeatArgs{WorkerID: joinA.WorkerID, Running: []int64{runningID}, Epoch: joinA.Epoch}, &hb); err != nil {
 		t.Fatal(err)
 	}
 
@@ -281,7 +281,7 @@ func TestStealProtocol(t *testing.T) {
 		t.Fatal(err)
 	}
 	var leaseB LeaseReply
-	if err := thief.Call("Sched.Lease", &LeaseArgs{WorkerID: joinB.WorkerID, Max: 8}, &leaseB); err != nil {
+	if err := thief.Call("Sched.Lease", &LeaseArgs{WorkerID: joinB.WorkerID, Max: 8, Epoch: joinB.Epoch}, &leaseB); err != nil {
 		t.Fatal(err)
 	}
 	if len(leaseB.Tasks) == 0 {
@@ -301,7 +301,7 @@ func TestStealProtocol(t *testing.T) {
 
 	// The hoarder's next heartbeat revokes the stolen tasks.
 	if err := hoarder.Call("Sched.Heartbeat",
-		&HeartbeatArgs{WorkerID: joinA.WorkerID, Running: []int64{runningID}}, &hb); err != nil {
+		&HeartbeatArgs{WorkerID: joinA.WorkerID, Running: []int64{runningID}, Epoch: joinA.Epoch}, &hb); err != nil {
 		t.Fatal(err)
 	}
 	if len(hb.Revoked) != len(leaseB.Tasks) {
@@ -313,7 +313,7 @@ func TestStealProtocol(t *testing.T) {
 	stolen := leaseB.Tasks[0].ID
 	var repB ReportReply
 	if err := thief.Call("Sched.Report", &ReportArgs{
-		WorkerID: joinB.WorkerID, TaskID: stolen, Stats: exec.Stats{Matches: 5},
+		WorkerID: joinB.WorkerID, TaskID: stolen, Stats: exec.Stats{Matches: 5}, Epoch: joinB.Epoch,
 	}, &repB); err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func TestStealProtocol(t *testing.T) {
 	}
 	var repA ReportReply
 	if err := hoarder.Call("Sched.Report", &ReportArgs{
-		WorkerID: joinA.WorkerID, TaskID: stolen, Stats: exec.Stats{Matches: 5},
+		WorkerID: joinA.WorkerID, TaskID: stolen, Stats: exec.Stats{Matches: 5}, Epoch: joinA.Epoch,
 	}, &repA); err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +366,7 @@ func TestDrainProtocol(t *testing.T) {
 	// carries Done=true, so it counts as departed immediately.
 	for {
 		var lease LeaseReply
-		if err := finisher.Call("Sched.Lease", &LeaseArgs{WorkerID: joinA.WorkerID, Max: 64}, &lease); err != nil {
+		if err := finisher.Call("Sched.Lease", &LeaseArgs{WorkerID: joinA.WorkerID, Max: 64, Epoch: joinA.Epoch}, &lease); err != nil {
 			t.Fatal(err)
 		}
 		if lease.Done {
@@ -379,7 +379,7 @@ func TestDrainProtocol(t *testing.T) {
 		for _, wt := range lease.Tasks {
 			rep = ReportReply{}
 			if err := finisher.Call("Sched.Report", &ReportArgs{
-				WorkerID: joinA.WorkerID, TaskID: wt.ID,
+				WorkerID: joinA.WorkerID, TaskID: wt.ID, Epoch: joinA.Epoch,
 			}, &rep); err != nil {
 				t.Fatal(err)
 			}
@@ -398,7 +398,7 @@ func TestDrainProtocol(t *testing.T) {
 		t.Fatal("Drain reported all workers departed while the bystander is still parked")
 	}
 	var lease LeaseReply
-	if err := bystander.Call("Sched.Lease", &LeaseArgs{WorkerID: joinB.WorkerID}, &lease); err != nil {
+	if err := bystander.Call("Sched.Lease", &LeaseArgs{WorkerID: joinB.WorkerID, Epoch: joinB.Epoch}, &lease); err != nil {
 		t.Fatal(err)
 	}
 	if !lease.Done {
@@ -436,7 +436,7 @@ func TestLeaseExpiryProtocol(t *testing.T) {
 		t.Fatal(err)
 	}
 	var lease LeaseReply
-	if err := silent.Call("Sched.Lease", &LeaseArgs{WorkerID: join.WorkerID, Max: 16}, &lease); err != nil {
+	if err := silent.Call("Sched.Lease", &LeaseArgs{WorkerID: join.WorkerID, Max: 16, Epoch: join.Epoch}, &lease); err != nil {
 		t.Fatal(err)
 	}
 	if len(lease.Tasks) == 0 {
@@ -449,7 +449,7 @@ func TestLeaseExpiryProtocol(t *testing.T) {
 		running[i] = wt.ID
 	}
 	var hb HeartbeatReply
-	if err := silent.Call("Sched.Heartbeat", &HeartbeatArgs{WorkerID: join.WorkerID, Running: running}, &hb); err != nil {
+	if err := silent.Call("Sched.Heartbeat", &HeartbeatArgs{WorkerID: join.WorkerID, Running: running, Epoch: join.Epoch}, &hb); err != nil {
 		t.Fatal(err)
 	}
 
@@ -482,7 +482,7 @@ func TestLeaseExpiryProtocol(t *testing.T) {
 
 	// The fenced worker is told so on its next call.
 	var after LeaseReply
-	if err := silent.Call("Sched.Lease", &LeaseArgs{WorkerID: join.WorkerID, Max: 1}, &after); err != nil {
+	if err := silent.Call("Sched.Lease", &LeaseArgs{WorkerID: join.WorkerID, Max: 1, Epoch: join.Epoch}, &after); err != nil {
 		t.Fatal(err)
 	}
 	if !after.Fenced {
@@ -699,7 +699,7 @@ func TestLeaseLocalityProtocol(t *testing.T) {
 	var leased []WireTask
 	for {
 		var lease LeaseReply
-		if err := c.Call("Sched.Lease", &LeaseArgs{WorkerID: join.WorkerID, Max: 16}, &lease); err != nil {
+		if err := c.Call("Sched.Lease", &LeaseArgs{WorkerID: join.WorkerID, Max: 16, Epoch: join.Epoch}, &lease); err != nil {
 			t.Fatal(err)
 		}
 		if len(lease.Tasks) == 0 {

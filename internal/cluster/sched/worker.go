@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -13,6 +15,7 @@ import (
 	"benu/internal/kv"
 	"benu/internal/obs"
 	"benu/internal/plan"
+	"benu/internal/resilience"
 	"benu/internal/vcbc"
 )
 
@@ -32,6 +35,15 @@ type WorkerConfig struct {
 	// then prefers leasing it tasks starting in those partitions.
 	StoreParts    []int
 	StoreNumParts int
+	// Retry makes the worker survive control-plane blips: every
+	// master RPC is retried under this policy (capped exponential
+	// backoff, optional per-attempt Timeout), and a transport error or
+	// a fenced/stale reply tears the session down and re-Joins —
+	// rejoining a restarted master under its new epoch, with only
+	// still-pending tasks re-leased. nil disables all of it: the first
+	// transport error stops the worker (the pre-journal behavior, which
+	// tests that orchestrate failures directly still rely on).
+	Retry *resilience.Policy
 	// Obs selects the worker-local metrics registry (exec.*, source.*,
 	// cache.* names, plus the cluster.task spans). nil means
 	// obs.Default().
@@ -42,29 +54,66 @@ type WorkerConfig struct {
 // lease expired) and its remaining work was re-queued elsewhere.
 var ErrFenced = errors.New("sched: worker fenced by master (lease expired)")
 
+// errStaleEpoch is the retryable error a stale/fenced reply turns into
+// inside the call layer: the session is gone, the next attempt rejoins.
+var errStaleEpoch = errors.New("sched: session fenced (master restarted or lease expired)")
+
+// session is one join with one master incarnation: the connection, the
+// identity it assigned, and the epoch every call echoes. A transport
+// error or a stale reply kills the whole session; the replacement gets
+// a fresh generation number so work leased under the old one can be
+// told apart.
+type session struct {
+	client *rpc.Client
+	id     int
+	epoch  uint64
+	gen    int
+}
+
+// leasedTask is a task plus the session generation it was leased under.
+type leasedTask struct {
+	WireTask
+	gen int
+}
+
 // Worker is one joined worker machine: a pull loop leasing task batches
 // from the master, Threads executor threads draining them, and a
 // heartbeat loop renewing the lease. Construct with StartWorker; the
 // worker runs in the background until the master reports the run done,
-// the connection drops, or Close/Kill.
+// the connection drops, or Close/Shutdown/Kill.
 type Worker struct {
-	id     int
-	name   string
-	conn   net.Conn
-	client *rpc.Client
-	reg    *obs.Registry
+	name       string
+	masterAddr string
+	joinArgs   JoinArgs
+	planBytes  []byte
+	reg        *obs.Registry
+
+	retrier     *resilience.Retrier // nil: no retries, no rejoin
+	retryCtx    context.Context
+	retryCancel context.CancelFunc
+	rejoinsC    *obs.Counter
+	dropStaleC  *obs.Counter
 
 	src        *exec.CachedSource
 	dialed     *kv.Client // non-nil when we own the store connection
 	heartbeat  time.Duration
 	leaseBatch int
 
-	quit     chan struct{}
-	quitOnce sync.Once
-	done     chan struct{}
-	killed   bool // set by Kill: suppress graceful teardown reporting
+	quit      chan struct{}
+	quitOnce  sync.Once
+	drain     chan struct{}
+	drainOnce sync.Once
+	done      chan struct{}
+
+	// rejoinMu serializes re-Join attempts so concurrent loops hitting
+	// the same dead session produce one replacement, not three.
+	rejoinMu sync.Mutex
 
 	mu      sync.Mutex
+	sess    *session // nil between a teardown and the next rejoin
+	gen     int
+	id      int  // last assigned WorkerID, for ID()
+	killed  bool // set by Kill: suppress graceful teardown reporting
 	err     error
 	revoked map[int64]struct{}
 	running map[int64]struct{}
@@ -87,8 +136,8 @@ func StartWorker(addr string, cfg WorkerConfig) (*Worker, error) {
 	}
 	client := rpc.NewClient(conn)
 	var join JoinReply
-	args := &JoinArgs{Name: cfg.Name, StoreParts: cfg.StoreParts, StoreNumParts: cfg.StoreNumParts}
-	if err := client.Call("Sched.Join", args, &join); err != nil {
+	args := JoinArgs{Name: cfg.Name, StoreParts: cfg.StoreParts, StoreNumParts: cfg.StoreNumParts}
+	if err := client.Call("Sched.Join", &args, &join); err != nil {
 		client.Close()
 		return nil, fmt.Errorf("sched: join: %w", err)
 	}
@@ -134,19 +183,29 @@ func StartWorker(addr string, cfg WorkerConfig) (*Worker, error) {
 
 	w := &Worker{
 		name:       cfg.Name,
-		conn:       conn,
-		client:     client,
+		masterAddr: addr,
+		joinArgs:   args,
+		planBytes:  join.Plan,
 		reg:        reg,
+		rejoinsC:   reg.Counter("sched.worker.rejoins"),
+		dropStaleC: reg.Counter("sched.worker.dropped_stale"),
 		src:        src,
 		dialed:     dialed,
 		heartbeat:  join.HeartbeatEvery,
 		leaseBatch: 2 * cfg.Threads,
 		quit:       make(chan struct{}),
+		drain:      make(chan struct{}),
 		done:       make(chan struct{}),
+		gen:        1,
+		id:         join.WorkerID,
 		revoked:    map[int64]struct{}{},
 		running:    map[int64]struct{}{},
 	}
-	w.id = join.WorkerID
+	w.sess = &session{client: client, id: join.WorkerID, epoch: join.Epoch, gen: 1}
+	w.retryCtx, w.retryCancel = context.WithCancel(context.Background())
+	if cfg.Retry != nil {
+		w.retrier = resilience.NewRetrier(*cfg.Retry, reg)
+	}
 	if len(join.Degrees) != 0 && len(join.Degrees) != join.NumVertices {
 		client.Close()
 		return nil, fmt.Errorf("sched: join sent %d degrees for %d vertices", len(join.Degrees), join.NumVertices)
@@ -159,8 +218,13 @@ func StartWorker(addr string, cfg WorkerConfig) (*Worker, error) {
 	return w, nil
 }
 
-// ID returns the worker's master-assigned identity.
-func (w *Worker) ID() int { return w.id }
+// ID returns the worker's master-assigned identity (the latest one,
+// when rejoining has re-identified it).
+func (w *Worker) ID() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
 
 // Wait blocks until the worker exits (run done, fenced, killed, or a
 // transport error) and returns why. A clean exit returns nil.
@@ -188,14 +252,29 @@ func (w *Worker) Close() error {
 	return nil
 }
 
+// Shutdown drains the worker: it stops leasing new tasks but — unlike
+// Close — lets every task already leased (queued or executing) finish
+// and report before disconnecting, so a SIGTERM'd worker hands the
+// master completed work, not an expired lease. Blocks until the worker
+// has exited.
+func (w *Worker) Shutdown() error {
+	w.drainOnce.Do(func() { close(w.drain) })
+	<-w.done
+	return nil
+}
+
 // Kill crashes the worker: the master connection is severed immediately
 // and nothing in flight is reported — the failure mode lease expiry
 // exists for. Chaos tests call this mid-task.
 func (w *Worker) Kill() {
 	w.mu.Lock()
 	w.killed = true
+	s := w.sess
 	w.mu.Unlock()
-	w.client.Close() // severs the TCP conn; in-flight RPCs fail
+	if s != nil {
+		s.client.Close() // severs the TCP conn; in-flight RPCs fail
+	}
+	w.retryCancel() // abort backoff sleeps and rejoin attempts
 	w.stop(errors.New("sched: worker killed"))
 }
 
@@ -218,11 +297,179 @@ func (w *Worker) stopped() bool {
 	}
 }
 
+func (w *Worker) draining() bool {
+	select {
+	case <-w.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+func (w *Worker) isKilled() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.killed
+}
+
+// session returns the current session, nil if it was torn down.
+func (w *Worker) session() *session {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sess
+}
+
+func (w *Worker) curGen() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.gen
+}
+
+// teardown retires s: the connection is closed and, if s is still the
+// current session, the worker is left session-less until rejoin.
+func (w *Worker) teardown(s *session) {
+	w.mu.Lock()
+	if w.sess == s {
+		w.sess = nil
+	}
+	w.mu.Unlock()
+	s.client.Close()
+}
+
+// rejoin establishes a replacement session: dial, Join (under whatever
+// epoch the master now runs), bump the generation, and forget
+// session-scoped state — revocations and the running set referred to
+// leases that died with the old session. Returns a retryable error on
+// connection failure (the master may still be restarting) and a
+// permanent one when the worker is done for (killed, or the master now
+// serves a different job).
+func (w *Worker) rejoin() (*session, error) {
+	w.rejoinMu.Lock()
+	defer w.rejoinMu.Unlock()
+	w.mu.Lock()
+	if w.sess != nil { // another loop already rejoined
+		s := w.sess
+		w.mu.Unlock()
+		return s, nil
+	}
+	killed := w.killed
+	w.mu.Unlock()
+	if killed {
+		return nil, resilience.Permanent(errors.New("sched: worker killed"))
+	}
+	conn, err := net.Dial("tcp", w.masterAddr)
+	if err != nil {
+		return nil, fmt.Errorf("sched: redial master %s: %w", w.masterAddr, err)
+	}
+	client := rpc.NewClient(conn)
+	var join JoinReply
+	args := w.joinArgs
+	if err := client.Call("Sched.Join", &args, &join); err != nil {
+		client.Close()
+		return nil, fmt.Errorf("sched: rejoin: %w", err)
+	}
+	if !bytes.Equal(join.Plan, w.planBytes) {
+		client.Close()
+		return nil, resilience.Permanent(fmt.Errorf("sched: master at %s now serves a different job", w.masterAddr))
+	}
+	w.mu.Lock()
+	w.gen++
+	w.id = join.WorkerID
+	w.sess = &session{client: client, id: join.WorkerID, epoch: join.Epoch, gen: w.gen}
+	w.revoked = map[int64]struct{}{}
+	w.running = map[int64]struct{}{}
+	s := w.sess
+	w.mu.Unlock()
+	w.rejoinsC.Inc()
+	return s, nil
+}
+
+// wireReply lets the call layer see epoch fencing uniformly across
+// reply types.
+type wireReply interface{ staleEpoch() bool }
+
+func (r *LeaseReply) staleEpoch() bool     { return r.Stale }
+func (r *ReportReply) staleEpoch() bool    { return r.Stale }
+func (r *HeartbeatReply) staleEpoch() bool { return r.Stale }
+
+// callOnce performs one RPC attempt bounded by ctx. On ctx expiry the
+// call is abandoned but may still land on the master — which is exactly
+// how a retried Report becomes a duplicate delivery; the master's
+// by-task-ID dedup is what makes that safe.
+func callOnce(ctx context.Context, c *rpc.Client, method string, args, reply any) error {
+	call := c.Go(method, args, reply, make(chan *rpc.Call, 1))
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case done := <-call.Done:
+		return done.Error
+	}
+}
+
+// callSched performs one logical RPC against the master. mk builds the
+// arguments for whichever session the attempt runs under (identity and
+// epoch change across rejoins). Without a retry policy it is a plain
+// call on the current session — any failure is the caller's problem,
+// as before journaling existed. With one, transport errors and
+// stale/fenced replies tear the session down, rejoin, and retry under
+// the policy's budget; an rpc.ServerError is an application error from
+// a live master and is never retried. Returns the reply and the
+// session generation that produced it.
+func callSched[R any](w *Worker, method string, mk func(id int, epoch uint64) any) (*R, int, error) {
+	if w.retrier == nil {
+		s := w.session()
+		if s == nil {
+			return nil, 0, errStaleEpoch
+		}
+		reply := new(R)
+		if err := s.client.Call(method, mk(s.id, s.epoch), reply); err != nil {
+			return nil, s.gen, err
+		}
+		if sr, ok := any(reply).(wireReply); ok && sr.staleEpoch() {
+			return nil, s.gen, errStaleEpoch
+		}
+		return reply, s.gen, nil
+	}
+	var out *R
+	var gen int
+	err := w.retrier.Do(w.retryCtx, func(ctx context.Context) error {
+		s := w.session()
+		if s == nil {
+			var rerr error
+			if s, rerr = w.rejoin(); rerr != nil {
+				return rerr
+			}
+		}
+		reply := new(R)
+		if err := callOnce(ctx, s.client, method, mk(s.id, s.epoch), reply); err != nil {
+			if _, ok := err.(rpc.ServerError); ok {
+				// The master answered: the connection is healthy and
+				// the request itself was rejected. Retrying cannot help.
+				return resilience.Permanent(err)
+			}
+			// Transport failure (or attempt timeout): assume the
+			// session is gone and rejoin on the next attempt.
+			w.teardown(s)
+			return err
+		}
+		if sr, ok := any(reply).(wireReply); ok && sr.staleEpoch() {
+			w.teardown(s)
+			return errStaleEpoch
+		}
+		out, gen = reply, s.gen
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, gen, nil
+}
+
 // run is the worker body: a dispatcher leasing batches into taskCh,
 // Threads executor goroutines draining it, and a heartbeat ticker.
 func (w *Worker) run(prog *exec.Program, pl *plan.Plan, ord *graph.TotalOrder, join JoinReply, threads int) {
 	defer close(w.done)
-	taskCh := make(chan WireTask)
+	taskCh := make(chan leasedTask)
 
 	var tg sync.WaitGroup
 	for th := 0; th < threads; th++ {
@@ -249,32 +496,46 @@ func (w *Worker) run(prog *exec.Program, pl *plan.Plan, ord *graph.TotalOrder, j
 	if w.dialed != nil {
 		w.dialed.Close()
 	}
-	w.client.Close()
+	if s := w.session(); s != nil {
+		s.client.Close()
+	}
+	w.retryCancel()
 }
 
 // dispatchLoop pulls task batches from the master whenever the threads
-// are hungry and feeds them through taskCh.
-func (w *Worker) dispatchLoop(taskCh chan<- WireTask) {
+// are hungry and feeds them through taskCh. It returns on shutdown,
+// drain (graceful: queued tasks still execute and report), fencing
+// without a retry policy, or the run completing.
+func (w *Worker) dispatchLoop(taskCh chan<- leasedTask) {
 	for {
-		if w.stopped() {
+		if w.stopped() || w.draining() {
 			return
 		}
-		var reply LeaseReply
-		err := w.client.Call("Sched.Lease", &LeaseArgs{WorkerID: w.id, Max: w.leaseBatch}, &reply)
+		reply, gen, err := callSched[LeaseReply](w, "Sched.Lease", func(id int, epoch uint64) any {
+			return &LeaseArgs{WorkerID: id, Max: w.leaseBatch, Epoch: epoch}
+		})
 		if err != nil {
 			w.stop(fmt.Errorf("sched: lease: %w", err))
 			return
 		}
 		if reply.Fenced {
-			w.stop(ErrFenced)
-			return
+			if w.retrier == nil {
+				w.stop(ErrFenced)
+				return
+			}
+			// Fenced but resilient: our leases are re-queued, so rejoin
+			// as a fresh worker and keep pulling.
+			if s := w.session(); s != nil && s.gen == gen {
+				w.teardown(s)
+			}
+			continue
 		}
 		if reply.Done {
 			return
 		}
 		for _, t := range reply.Tasks {
 			select {
-			case taskCh <- t:
+			case taskCh <- leasedTask{WireTask: t, gen: gen}:
 			case <-w.quit:
 				return
 			}
@@ -286,6 +547,8 @@ func (w *Worker) dispatchLoop(taskCh chan<- WireTask) {
 			}
 			select {
 			case <-time.After(backoff):
+			case <-w.drain:
+				return
 			case <-w.quit:
 				return
 			}
@@ -295,7 +558,7 @@ func (w *Worker) dispatchLoop(taskCh chan<- WireTask) {
 
 // threadLoop is one executor thread: run each task, buffer its
 // emissions, report the attempt.
-func (w *Worker) threadLoop(prog *exec.Program, pl *plan.Plan, ord *graph.TotalOrder, join JoinReply, taskCh <-chan WireTask) {
+func (w *Worker) threadLoop(prog *exec.Program, pl *plan.Plan, ord *graph.TotalOrder, join JoinReply, taskCh <-chan leasedTask) {
 	var matches [][]int64
 	var codes []*vcbc.Code
 	eopts := exec.Options{
@@ -330,6 +593,14 @@ func (w *Worker) threadLoop(prog *exec.Program, pl *plan.Plan, ord *graph.TotalO
 		if w.taskRevoked(wt.ID) {
 			continue
 		}
+		if wt.gen != w.curGen() {
+			// Leased under a session that has since died: the master
+			// (old or new incarnation) already considers this lease
+			// lost and will re-queue the task, so running it here would
+			// only manufacture a duplicate.
+			w.dropStaleC.Inc()
+			continue
+		}
 		w.setRunning(wt.ID, true)
 		matches, codes = matches[:0], codes[:0]
 		sp := w.reg.StartSpan("cluster.task")
@@ -339,20 +610,29 @@ func (w *Worker) threadLoop(prog *exec.Program, pl *plan.Plan, ord *graph.TotalO
 		if w.stopped() && w.isKilled() {
 			return // crashed: report nothing, let the lease expire
 		}
-		report := ReportArgs{
-			WorkerID:   w.id,
-			TaskID:     wt.ID,
-			DurationNs: d.Nanoseconds(),
-		}
-		if err != nil {
-			report.Err = err.Error()
-		} else {
-			report.Stats = stats
-			report.Matches = matches
-			report.Codes = codes
-		}
-		var reply ReportReply
-		if cerr := w.client.Call("Sched.Report", &report, &reply); cerr != nil {
+		// Report under whatever session is current — a completed result
+		// is never thrown away. If the session died mid-task the retry
+		// path rejoins first, and the commit lands under the new
+		// identity and epoch; the master commits by task ID, so it does
+		// not matter who reports it (dedup drops it if someone else,
+		// or a previous incarnation's journal, got there first).
+		reply, _, cerr := callSched[ReportReply](w, "Sched.Report", func(id int, epoch uint64) any {
+			report := &ReportArgs{
+				WorkerID:   id,
+				Epoch:      epoch,
+				TaskID:     wt.ID,
+				DurationNs: d.Nanoseconds(),
+			}
+			if err != nil {
+				report.Err = err.Error()
+			} else {
+				report.Stats = stats
+				report.Matches = matches
+				report.Codes = codes
+			}
+			return report
+		})
+		if cerr != nil {
 			w.stop(fmt.Errorf("sched: report: %w", cerr))
 			return
 		}
@@ -367,12 +647,6 @@ func (w *Worker) threadLoop(prog *exec.Program, pl *plan.Plan, ord *graph.TotalO
 			return
 		}
 	}
-}
-
-func (w *Worker) isKilled() bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.killed
 }
 
 func (w *Worker) taskRevoked(id int64) bool {
@@ -412,14 +686,22 @@ func (w *Worker) heartbeatLoop() {
 			running = append(running, id)
 		}
 		w.mu.Unlock()
-		var reply HeartbeatReply
-		if err := w.client.Call("Sched.Heartbeat", &HeartbeatArgs{WorkerID: w.id, Running: running}, &reply); err != nil {
+		reply, gen, err := callSched[HeartbeatReply](w, "Sched.Heartbeat", func(id int, epoch uint64) any {
+			return &HeartbeatArgs{WorkerID: id, Running: running, Epoch: epoch}
+		})
+		if err != nil {
 			w.stop(fmt.Errorf("sched: heartbeat: %w", err))
 			return
 		}
 		if reply.Fenced {
-			w.stop(ErrFenced)
-			return
+			if w.retrier == nil {
+				w.stop(ErrFenced)
+				return
+			}
+			if s := w.session(); s != nil && s.gen == gen {
+				w.teardown(s)
+			}
+			continue
 		}
 		if len(reply.Revoked) > 0 {
 			w.mu.Lock()

@@ -28,13 +28,14 @@ var Paths = []string{
 	"internal/plan",
 	"internal/graph",
 	"internal/csr",
+	"internal/cluster/sched/journal",
 }
 
 // Analyzer is the decode-safety check.
 var Analyzer = &analysis.Analyzer{
 	Name: "decodesafe",
-	Doc: "forbids panic in the wire-decode packages (varint, vcbc, plan, graph, csr): decoders " +
-		"return errors, they do not crash workers on corrupt frames; Must* constructors " +
+	Doc: "forbids panic in the wire-decode packages (varint, vcbc, plan, graph, csr, journal): " +
+		"decoders return errors, they do not crash workers on corrupt frames; Must* constructors " +
 		"are exempt, other sites need //benulint:panicok",
 	Run: run,
 }

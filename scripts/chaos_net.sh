@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Cross-process chaos test for the networked control plane's crash
+# recovery. Two scenarios, both checked against the single-process
+# reference count:
+#
+#   kill-master: a journaled benu-master is SIGKILLed mid-run and
+#     restarted on the same ports with the same journal. The surviving
+#     workers rejoin the new epoch, the journal replays the committed
+#     prefix, and the resumed run must report the exact reference count
+#     with replayed > 0 — exactly-once across a master crash.
+#
+#   kill-worker: one of two benu-workers is SIGKILLed mid-run; its
+#     leases expire and re-queue, and the run must still report the
+#     exact reference count.
+#
+# Bounded to tens of seconds — this is the CI gate that crash recovery
+# works between real processes, not just in-process test harnesses.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PATTERN=${PATTERN:-q4}
+PRESET=${PRESET:-as}
+PORT=${PORT:-17177}
+STORE_PORT=$((PORT + 100))
+
+bin=$(mktemp -d)
+trap 'rm -rf "$bin"; kill -9 $(jobs -p) 2>/dev/null || true' EXIT
+
+go build -o "$bin/benu" ./cmd/benu
+go build -o "$bin/benu-master" ./cmd/benu-master
+go build -o "$bin/benu-worker" ./cmd/benu-worker
+
+# Reference count from the single-process deployment ("matches: N").
+ref=$("$bin/benu" -pattern "$PATTERN" -preset "$PRESET" | sed -n 's/^matches: \([0-9]*\).*/\1/p')
+if [ -z "$ref" ]; then
+    echo "chaos_net: could not parse reference match count" >&2
+    exit 1
+fi
+
+wait_bound() { # wait_bound <logfile>
+    for _ in $(seq 1 100); do
+        grep -q "serving tasks" "$1" 2>/dev/null && return 0
+        sleep 0.1
+    done
+    echo "chaos_net: master never bound ($1)" >&2
+    cat "$1" >&2
+    return 1
+}
+
+master_flags=(-pattern "$PATTERN" -preset "$PRESET" -listen "127.0.0.1:$PORT"
+    -store-listen "127.0.0.1:$STORE_PORT" -retry 8 -lease 2s)
+
+### Scenario 1: kill -9 the journaled master mid-run, restart, resume.
+journal="$bin/job.journal"
+"$bin/benu-master" "${master_flags[@]}" -journal "$journal" >"$bin/m1.out" 2>&1 &
+m1=$!
+wait_bound "$bin/m1.out"
+
+"$bin/benu-worker" -master "127.0.0.1:$PORT" -threads 2 -name chaos-w1 -rejoin-for 60s >"$bin/w1.out" 2>&1 &
+w1=$!
+"$bin/benu-worker" -master "127.0.0.1:$PORT" -threads 2 -name chaos-w2 -rejoin-for 60s >"$bin/w2.out" 2>&1 &
+w2=$!
+
+# Let both workers finish their initial join before injecting faults,
+# then kill once the journal has grown past its post-join baseline —
+# i.e. at least one more task committed (the job-spec record alone is
+# over a kilobyte, so raw size is no signal of committed work).
+for _ in $(seq 1 100); do
+    grep -q "joined" "$bin/w1.out" 2>/dev/null && grep -q "joined" "$bin/w2.out" 2>/dev/null && break
+    sleep 0.05
+done
+baseline=$(stat -c%s "$journal" 2>/dev/null || echo 0)
+for _ in $(seq 1 200); do
+    size=$(stat -c%s "$journal" 2>/dev/null || echo 0)
+    [ "$size" -gt "$baseline" ] && break
+    kill -0 "$m1" 2>/dev/null || break
+    sleep 0.05
+done
+if kill -9 "$m1" 2>/dev/null; then
+    echo "chaos_net: master SIGKILLed mid-run (journal at ${size:-0} bytes)"
+else
+    echo "chaos_net: run finished before the kill; restart still exercises replay-to-done"
+fi
+wait "$m1" 2>/dev/null || true
+
+"$bin/benu-master" "${master_flags[@]}" -journal "$journal" >"$bin/m2.out" 2>&1 &
+m2=$!
+wait_bound "$bin/m2.out"
+
+if ! wait "$m2"; then
+    echo "chaos_net: restarted master failed" >&2
+    cat "$bin/m2.out" >&2
+    exit 1
+fi
+if ! wait "$w1" || ! wait "$w2"; then
+    echo "chaos_net: a worker failed to survive the master restart" >&2
+    tail -5 "$bin/w1.out" "$bin/w2.out" >&2
+    exit 1
+fi
+
+net=$(sed -n 's/^matches=\([0-9]*\).*/\1/p' "$bin/m2.out")
+if [ "$net" != "$ref" ]; then
+    echo "chaos_net: resumed count $net != reference $ref" >&2
+    cat "$bin/m1.out" "$bin/m2.out" >&2
+    exit 1
+fi
+replayed=$(sed -n 's/.*replayed=\([0-9]*\).*/\1/p' "$bin/m2.out")
+if [ -z "$replayed" ] || [ "$replayed" -eq 0 ]; then
+    echo "chaos_net: restarted master replayed nothing (journal dead on arrival?)" >&2
+    cat "$bin/m2.out" >&2
+    exit 1
+fi
+echo "chaos_net: kill-master OK ($net matches, $replayed tasks replayed from the journal)"
+
+### Scenario 2: kill -9 one worker mid-run; lease expiry heals it.
+"$bin/benu-master" "${master_flags[@]}" >"$bin/m3.out" 2>&1 &
+m3=$!
+wait_bound "$bin/m3.out"
+
+"$bin/benu-worker" -master "127.0.0.1:$PORT" -threads 2 -name chaos-victim >"$bin/w3.out" 2>&1 &
+w3=$!
+"$bin/benu-worker" -master "127.0.0.1:$PORT" -threads 2 -name chaos-survivor >"$bin/w4.out" 2>&1 &
+w4=$!
+
+for _ in $(seq 1 100); do
+    grep -q "joined" "$bin/w3.out" 2>/dev/null && break
+    sleep 0.05
+done
+if kill -9 "$w3" 2>/dev/null; then
+    echo "chaos_net: worker SIGKILLed mid-run"
+fi
+wait "$w3" 2>/dev/null || true
+
+if ! wait "$m3"; then
+    echo "chaos_net: master failed after losing a worker" >&2
+    cat "$bin/m3.out" >&2
+    exit 1
+fi
+wait "$w4" || true
+
+net=$(sed -n 's/^matches=\([0-9]*\).*/\1/p' "$bin/m3.out")
+if [ "$net" != "$ref" ]; then
+    echo "chaos_net: count after worker kill $net != reference $ref" >&2
+    cat "$bin/m3.out" >&2
+    exit 1
+fi
+echo "chaos_net: kill-worker OK ($net matches despite a SIGKILLed worker)"
