@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test short race vet lint bench bench-json bench-gate check diff chaos chaos-net smoke-net smoke-disk fuzz tidy-check clean
+.PHONY: all build test short race race-chaos vet lint lint-sarif bench bench-json bench-gate check diff chaos chaos-net smoke-net smoke-disk fuzz tidy-check clean
 
 all: check
 
@@ -23,11 +23,22 @@ test:
 short:
 	$(GO) test -short ./...
 
-## race: race-detector pass over the concurrent packages (obs registry,
-## simulated cluster, networked control plane, KV store, cache,
-## differential harness, executor data plane, resilience layer)
+## race: race-detector pass over the full module, in -short mode so the
+## experiment regenerators (already covered by `make test`) don't pay
+## the ~10x race-runtime tax; every package — not a hand-picked list —
+## so new concurrency can't dodge the detector by landing in an
+## unlisted package
 race:
-	$(GO) test -race ./internal/obs ./internal/cluster ./internal/cluster/sched ./internal/kv ./internal/cache ./internal/check ./internal/exec ./internal/resilience
+	$(GO) test -race -short ./...
+
+## race-chaos: the fault-injection suite under the race detector over
+## the WHOLE module — crash recovery, epoch fencing, journal replay,
+## duplicate delivery, and the RPC fault injector with -race watching
+## every access. `make chaos` runs the same pattern over the four
+## packages that own those tests; this lane runs ./... so a chaos test
+## added anywhere else is still raced (its own CI job)
+race-chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestNetChaos|TestResilient|TestTaskRetry|TestFailFast|TestRunContext|TestLeaseExpiry|TestSteal|TestJournal|TestEpoch|TestDuplicate|TestWorkerShutdown|TestFlakyConn' ./...
 
 ## diff: the differential matrix in its quick configuration — every
 ## preset pattern × random data graphs × plan variants × backends,
@@ -82,9 +93,15 @@ vet:
 	$(GO) vet ./...
 
 ## lint: the project's own analyzer suite — determinism, instrswitch,
-## metricname, ctxflow, decodesafe (docs/LINTING.md) over every package
+## metricname, ctxflow, decodesafe, lockorder, goroleak, wiresafe,
+## hotpath (docs/LINTING.md) over every package
 lint:
 	$(GO) run ./cmd/benu-lint ./...
+
+## lint-sarif: the same suite as SARIF 2.1.0 on stdout, for GitHub code
+## scanning annotations (exit status matches `make lint`)
+lint-sarif:
+	$(GO) run ./cmd/benu-lint -sarif ./...
 
 ## tidy-check: go.mod/go.sum must be tidy (CI hygiene job; needs a
 ## clean working tree to be meaningful)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"benu/internal/lint"
@@ -34,8 +36,12 @@ func TestAnalyzerInventory(t *testing.T) {
 		"ctxflow":     true,
 		"decodesafe":  true,
 		"determinism": true,
+		"goroleak":    true,
+		"hotpath":     true,
 		"instrswitch": true,
+		"lockorder":   true,
 		"metricname":  true,
+		"wiresafe":    true,
 	}
 	got := lint.Analyzers()
 	if len(got) != len(want) {
@@ -45,8 +51,33 @@ func TestAnalyzerInventory(t *testing.T) {
 		if !want[a.Name] {
 			t.Errorf("unexpected analyzer %q in suite", a.Name)
 		}
+	}
+}
+
+// TestListSelfCheck backs `benu-lint -list`: every registered analyzer
+// must carry a doc string (that is what -list prints) and a golden
+// fixture module under internal/lint/<name>/testdata/mod — an analyzer
+// without fixture coverage is an analyzer whose regressions nobody
+// catches.
+func TestListSelfCheck(t *testing.T) {
+	for _, a := range lint.Analyzers() {
+		if a.Name == "" {
+			t.Fatal("analyzer with empty name in suite")
+		}
 		if a.Doc == "" {
-			t.Errorf("analyzer %q has no Doc", a.Name)
+			t.Errorf("analyzer %q has no Doc string (-list would print a blank line)", a.Name)
+		}
+		fixture := filepath.Join("..", "..", "internal", "lint", a.Name, "testdata", "mod")
+		info, err := os.Stat(fixture)
+		if err != nil {
+			t.Errorf("analyzer %q has no golden fixture: %v", a.Name, err)
+			continue
+		}
+		if !info.IsDir() {
+			t.Errorf("analyzer %q fixture path %s is not a directory", a.Name, fixture)
+		}
+		if _, err := os.Stat(filepath.Join(fixture, "go.mod")); err != nil {
+			t.Errorf("analyzer %q fixture is not a self-contained module: %v", a.Name, err)
 		}
 	}
 }

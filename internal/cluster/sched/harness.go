@@ -95,6 +95,7 @@ func (p *WorkerProc) Kill() error { return p.cmd.Process.Kill() }
 // process is still alive after the deadline.
 func (p *WorkerProc) WaitTimeout(d time.Duration) error {
 	done := make(chan error, 1)
+	//benulint:daemon abandon-on-timeout: the buffered send never blocks, and Wait returns once the timeout path kills the process
 	go func() { done <- p.cmd.Wait() }()
 	select {
 	case err := <-done:

@@ -973,6 +973,7 @@ func (s *schedService) Report(args *ReportArgs, reply *ReportReply) error {
 		// it re-queues the task. Either way: exactly once. An append
 		// failure means commits can no longer be made durable — fail
 		// the run loudly rather than silently degrade.
+		//benulint:lock the fsync under m.mu IS the commit protocol: journal order must match commit order
 		n, jerr := m.jl.AppendCompletion(&journal.Completion{
 			TaskID:     args.TaskID,
 			DurationNs: args.DurationNs,

@@ -364,6 +364,7 @@ func (w *Worker) rejoin() (*session, error) {
 	client := rpc.NewClient(conn)
 	var join JoinReply
 	args := w.joinArgs
+	//benulint:lock rejoinMu exists to single-flight this RPC: concurrent loops must wait, not race a second Join
 	if err := client.Call("Sched.Join", &args, &join); err != nil {
 		client.Close()
 		return nil, fmt.Errorf("sched: rejoin: %w", err)

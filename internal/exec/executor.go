@@ -272,6 +272,8 @@ func (e *Executor) Run(t Task) (Stats, error) {
 
 // run interprets instructions from pc onward; an ENU instruction loops
 // over its candidate set and recurses for the instruction suffix.
+//
+//benulint:hotpath executor inner loop: one frame per embedding prefix, zero allocs steady-state (TestExecutorSteadyStateAllocs)
 func (e *Executor) run(pc int) error {
 	for pc < len(e.prog.instrs) {
 		in := &e.prog.instrs[pc]
@@ -399,12 +401,15 @@ func (e *Executor) prefetchENU(set []int64, split bool) error {
 
 // enuSource returns the candidate slice an ENU instruction iterates.
 // A V(G) source materializes the full vertex range once per executor.
+//
+//benulint:hotpath runs once per ENU step; the V(G) table builds once per executor
 func (e *Executor) enuSource(in *cInstr) []int64 {
 	r := in.ops[0]
 	if r != vgReg {
 		return e.regs[r]
 	}
 	if len(e.vgAll) != e.numV {
+		//benulint:alloc one-time lazy V(G) materialization, reused for the executor's lifetime
 		e.vgAll = make([]int64, e.numV)
 		for i := range e.vgAll {
 			e.vgAll[i] = int64(i)
@@ -417,6 +422,8 @@ func (e *Executor) enuSource(in *cInstr) []int64 {
 // and apply the filtering conditions, writing the result into the
 // instruction's scratch buffer. Operands parked in encoded form by a
 // lazy DBQ are merged straight off their delta streams.
+//
+//benulint:hotpath one INT instruction per embedding prefix; all scratch is receiver-owned
 func (e *Executor) execIntersect(in *cInstr) error {
 	e.stats.IntOps++
 	buf := e.bufs[in.buf][:0]
@@ -489,6 +496,8 @@ func (e *Executor) execIntersect(in *cInstr) error {
 // shapes — encoded∩materialized and encoded∩encoded — stream the
 // payload bytes once, galloping or merging per the size heuristic,
 // without ever building the operand as a []int64.
+//
+//benulint:hotpath fused lazy-DBQ intersection; streams encoded deltas through ktmp scratch
 func (e *Executor) intersectEncoded(dst []int64, enc0, enc1 graph.AdjList, nenc int, sets [][]int64, filters []cFilter) ([]int64, error) {
 	if len(sets) == 0 {
 		var err error
@@ -558,6 +567,8 @@ func (e *Executor) intersectEncoded(dst []int64, enc0, enc1 graph.AdjList, nenc 
 }
 
 // appendFiltered appends the elements of src passing filters to dst.
+//
+//benulint:hotpath per-candidate filter loop inside INT evaluation
 func (e *Executor) appendFiltered(dst, src []int64, filters []cFilter) []int64 {
 	if len(filters) == 0 {
 		return append(dst, src...)
@@ -574,6 +585,8 @@ func (e *Executor) appendFiltered(dst, src []int64, filters []cFilter) []int64 {
 // set first so intermediates shrink quickly. Intermediates ping-pong
 // between the two ktmp scratch buffers; the final step (with filters)
 // appends to dst, which must outlive deeper recursion levels.
+//
+//benulint:hotpath k-way intersection fold; intermediates ping-pong between ktmp buffers
 func (e *Executor) foldIntersect(dst []int64, sets [][]int64, filters []cFilter) []int64 {
 	small := 0
 	for i, s := range sets {
@@ -604,6 +617,8 @@ func (e *Executor) foldIntersect(dst []int64, sets [][]int64, filters []cFilter)
 }
 
 // intersectFiltered merges two sorted sets applying filters on the fly.
+//
+//benulint:hotpath innermost merge loop of every materialized intersection
 func (e *Executor) intersectFiltered(dst, a, b []int64, filters []cFilter) []int64 {
 	if len(a) > len(b) {
 		a, b = b, a
@@ -630,6 +645,8 @@ func (e *Executor) intersectFiltered(dst, a, b []int64, filters []cFilter) []int
 }
 
 // passes evaluates the filtering conditions against candidate v.
+//
+//benulint:hotpath runs once per candidate vertex per filter set
 func (e *Executor) passes(filters []cFilter, v int64) bool {
 	for _, f := range filters {
 		fv := e.f[f.vertex]

@@ -45,11 +45,7 @@ var oneIdx = []int{0}
 // machinery: the caller's own slice is the key group.
 func routeBatch(scratch *sync.Pool, np, n int, vs []int64, serve func(p int, keys []int64, idxs []int) error) error {
 	if len(vs) == 1 {
-		v := vs[0]
-		if v < 0 || int(v) >= n {
-			return fmt.Errorf("kv: vertex %d out of range [0,%d)", v, n)
-		}
-		return serve(int(v)%np, vs, oneIdx)
+		return routeOne(np, n, vs, serve)
 	}
 	sc, _ := scratch.Get().(*routeScratch)
 	if sc == nil || len(sc.keys) != np {
@@ -79,6 +75,20 @@ func routeBatch(scratch *sync.Pool, np, n int, vs []int64, serve func(p int, key
 		}
 	}
 	return nil
+}
+
+// routeOne serves a single-key batch — the cache demand-miss path —
+// without touching the bucket machinery: the caller's own slice is the
+// key group and the shared oneIdx is its position list.
+//
+//benulint:hotpath single-key routing runs on every cache demand miss; zero-alloc per alloc_test.go
+func routeOne(np, n int, vs []int64, serve func(p int, keys []int64, idxs []int) error) error {
+	v := vs[0]
+	if v < 0 || int(v) >= n {
+		//benulint:alloc cold path: an invalid vertex id aborts the batch
+		return fmt.Errorf("kv: vertex %d out of range [0,%d)", v, n)
+	}
+	return serve(int(v)%np, vs, oneIdx)
 }
 
 // BatchGetArgs is the RPC request for AdjService.BatchGetCompact.

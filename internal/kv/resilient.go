@@ -136,6 +136,7 @@ func runBounded[T any](ctx context.Context, f func() (T, error)) (T, error) {
 		err error
 	}
 	ch := make(chan result, 1)
+	//benulint:daemon abandon-on-timeout by contract: the buffered send never blocks, so the goroutine exits when f returns
 	go func() {
 		v, err := f()
 		ch <- result{v, err}

@@ -97,6 +97,12 @@ func (p *Pass) Suppressed(pos token.Pos, tag string) bool {
 	return false
 }
 
+// Directive extracts "<tag>" from a "//benulint:<tag> reason..."
+// comment, or "" when the comment is not a benulint directive. Beyond
+// suppressions, analyzers use it for opt-in annotations read from doc
+// comments (hotpath's //benulint:hotpath contract).
+func Directive(text string) string { return directiveTag(text) }
+
 // directiveTag extracts "<tag>" from a "//benulint:<tag> reason..."
 // comment, or "" when the comment is not a benulint directive.
 func directiveTag(text string) string {

@@ -1,0 +1,176 @@
+// Package goroleak keeps goroutines in the long-lived packages tied to
+// a shutdown path. The control plane (master, workers, heartbeat loops,
+// RPC servers) runs for the life of the process and restarts under
+// chaos testing; a `go` statement whose goroutine nothing ever joins or
+// signals is a leak that -race and the drain tests can only catch when
+// the leaked goroutine happens to touch shared state during the window
+// a test is watching.
+//
+// The rule: the spawned function body must observably participate in a
+// shutdown protocol — receive from or range over a channel, call
+// close(), mark a sync.WaitGroup (Done/Wait), or consult a
+// context.Context's Done()/Err(). Spawning a named same-package
+// function is resolved and its body checked; spawning something the
+// analyzer cannot see into (an external function, a method value, a
+// dynamic call) is flagged, because the shutdown tie — if any — is
+// invisible at the spawn site.
+//
+// Intentional fire-and-forget daemons carry //benulint:daemon <reason>
+// on the `go` statement.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"benu/internal/lint/analysis"
+)
+
+// Paths scopes the analyzer to the long-lived packages: the ones whose
+// processes survive past a single function call and therefore must
+// drain their goroutines on shutdown. Short-lived helpers (a goroutine
+// per request that exits with the request) live in these packages too —
+// they still must be joined, which is what the drain tests assert.
+var Paths = []string{
+	"internal/cluster",
+	"internal/cluster/sched",
+	"internal/kv",
+	"internal/exec",
+	"internal/obs",
+	"internal/cache",
+	"internal/resilience",
+	"cmd/benu-master",
+	"cmd/benu-worker",
+}
+
+// Analyzer is the goroutine-shutdown check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "every `go` statement in the long-lived packages (cluster, sched, kv, exec, obs, cache, " +
+		"resilience, master/worker CLIs) must be tied to a shutdown path: the spawned body " +
+		"receives from a channel, ranges one, closes one, marks a WaitGroup, or consults " +
+		"ctx.Done/Err; intentional daemons carry //benulint:daemon <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.InScope(pass.Pkg.Path(), Paths) {
+		return nil, nil
+	}
+
+	// Index the package's function declarations so `go w.run(...)` can be
+	// resolved to its body.
+	decls := map[types.Object]*ast.FuncDecl{}
+	pass.WalkFiles(func(n ast.Node) bool {
+		if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				decls[obj] = fd
+			}
+		}
+		return true
+	})
+
+	pass.WalkFiles(func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if pass.Suppressed(g.Pos(), "daemon") {
+			return true
+		}
+
+		var body *ast.BlockStmt
+		var calleeName string
+		switch fun := ast.Unparen(g.Call.Fun).(type) {
+		case *ast.FuncLit:
+			body = fun.Body
+			calleeName = "the goroutine body"
+		case *ast.Ident:
+			if fd, found := resolve(pass, decls, fun); found {
+				body = fd.Body
+			}
+			calleeName = fun.Name
+		case *ast.SelectorExpr:
+			if fd, found := resolve(pass, decls, fun.Sel); found {
+				body = fd.Body
+			}
+			calleeName = fun.Sel.Name
+		default:
+			calleeName = "the spawned function"
+		}
+
+		if body == nil {
+			pass.Reportf(g.Pos(), "goroutine spawns %s, which this analysis cannot see into: tie the "+
+				"goroutine to a shutdown path at the spawn site (wrap it in a literal that marks a "+
+				"WaitGroup or watches ctx.Done) or justify with //benulint:daemon <reason>", calleeName)
+			return true
+		}
+		if !tiedToShutdown(pass, body) {
+			pass.Reportf(g.Pos(), "goroutine (%s) has no shutdown tie: the body neither receives from a "+
+				"channel, closes one, marks a sync.WaitGroup, nor consults a context; long-lived packages "+
+				"must join every goroutine on drain (docs/LINTING.md) — or justify with //benulint:daemon <reason>",
+				calleeName)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// resolve maps an identifier used in a `go` call to a same-package
+// function declaration with a body.
+func resolve(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, id *ast.Ident) (*ast.FuncDecl, bool) {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	fd, ok := decls[obj]
+	return fd, ok
+}
+
+// tiedToShutdown reports whether body contains any construct that
+// participates in a shutdown protocol. Nested function literals count:
+// a goroutine that defers wg.Done() via a closure is tied.
+func tiedToShutdown(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			// <-ch: receiving is how done-channels and tickers are watched.
+			if n.Op == token.ARROW {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			// `for v := range ch` exits when the channel closes.
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					tied = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				// close(ch): the goroutine IS the shutdown signal.
+				if fun.Name == "close" {
+					if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+						tied = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+					switch fn.FullName() {
+					case "(*sync.WaitGroup).Done", "(*sync.WaitGroup).Wait":
+						tied = true
+					case "(context.Context).Done", "(context.Context).Err":
+						tied = true
+					}
+				}
+			}
+		}
+		return !tied
+	})
+	return tied
+}

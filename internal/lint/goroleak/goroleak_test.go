@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"benu/internal/lint/goroleak"
+	"benu/internal/lint/linttest"
+)
+
+func TestGoroleak(t *testing.T) {
+	linttest.Run(t, goroleak.Analyzer, "testdata/mod")
+}

@@ -1,0 +1,3 @@
+module example.com/goroleakfix
+
+go 1.22

@@ -1,0 +1,98 @@
+// Package cluster (in-scope path suffix internal/cluster) exercises the
+// goroleak analyzer: goroutines tied to done channels, WaitGroups, and
+// contexts are silent; untied loops, and spawns the analyzer cannot see
+// into, are flagged.
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type node struct {
+	done chan struct{}
+	work chan int
+	wg   sync.WaitGroup
+}
+
+func (n *node) tiedByDoneChannel() {
+	go func() {
+		for {
+			select {
+			case <-n.done:
+				return
+			case v := <-n.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+func (n *node) tiedByWaitGroup() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		step()
+	}()
+}
+
+func (n *node) tiedByRange() {
+	go func() {
+		for v := range n.work {
+			_ = v
+		}
+	}()
+}
+
+func (n *node) tiedByContext(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			step()
+		}
+	}()
+}
+
+// loop watches the done channel, so spawning it by name is fine: the
+// analyzer resolves same-package callees and checks their bodies.
+func (n *node) loop() {
+	for {
+		select {
+		case <-n.done:
+			return
+		default:
+			step()
+		}
+	}
+}
+
+func (n *node) tiedByName() {
+	go n.loop()
+}
+
+// spin never consults any shutdown signal.
+func (n *node) spin() {
+	for {
+		step()
+	}
+}
+
+func (n *node) untied() {
+	go n.spin() // want "no shutdown tie"
+}
+
+func (n *node) untiedLiteral() {
+	go func() { // want "no shutdown tie"
+		for {
+			step()
+		}
+	}()
+}
+
+// time.Sleep is an external function: the analyzer cannot inspect its
+// body, so the shutdown tie (none) is invisible at the spawn site.
+func (n *node) opaque() {
+	go time.Sleep(time.Second) // want "cannot see into"
+}
+
+func step() {}

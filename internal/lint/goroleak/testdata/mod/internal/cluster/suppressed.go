@@ -1,0 +1,12 @@
+// Negative fixture: an intentional process-lifetime daemon, justified
+// with //benulint:daemon, stays silent.
+package cluster
+
+func (n *node) metricsFlusher() {
+	//benulint:daemon metrics flusher intentionally runs for the life of the process
+	go func() {
+		for {
+			step()
+		}
+	}()
+}

@@ -1,0 +1,10 @@
+// Package other is outside the analyzer's path scope: the untied
+// goroutine here must not be reported.
+package other
+
+func leakElsewhere() {
+	go func() {
+		for {
+		}
+	}()
+}

@@ -1,0 +1,261 @@
+// Package hotpath turns the steady-state-zero-alloc invariant of PR 6
+// into a compile-time check. `TestExecutorSteadyStateAllocs` proves the
+// executor inner loop allocates ~nothing per embedding — but only for
+// the one code path the test drives, and only after the regression has
+// already landed. Annotating a function
+//
+//	//benulint:hotpath <reason>
+//
+// in its doc comment declares the invariant where the code lives, and
+// this analyzer rejects the constructs that allocate on every
+// invocation:
+//
+//   - make/new and composite literals (slice, map, or &T{}) — fresh
+//     heap values per call; hot paths reuse pooled or receiver-owned
+//     scratch instead
+//   - append that grows a different slice than it reassigns — the
+//     sanctioned recycle idiom is `x = append(x, ...)` (including
+//     `x = append(x[:0], ...)`) or returning the append directly, both
+//     of which amortize to zero once capacity is warm
+//   - closures that capture enclosing variables — each closure value
+//     allocates, and captured variables escape to the heap
+//   - interface boxing — passing a concrete value where an interface is
+//     expected allocates to box it (the classic hidden cost in
+//     fmt/error paths)
+//
+// One-off sites inside an annotated function (a lazily built table, a
+// cold error path) carry //benulint:alloc <reason>.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"benu/internal/lint/analysis"
+)
+
+// Analyzer is the zero-alloc hot-path check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "functions annotated //benulint:hotpath must not allocate: no make/new/composite " +
+		"literals, no append that grows a slice other than the one it reassigns, no closures " +
+		"capturing enclosing variables, no interface boxing at call sites; one-off cold sites " +
+		"inside an annotated function carry //benulint:alloc <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pass.WalkFiles(func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok {
+			return true
+		}
+		if fd.Body != nil && annotated(fd) {
+			c := &checker{pass: pass, fn: fd}
+			c.check(fd.Body)
+		}
+		return false // FuncDecls don't nest; literals are handled inside check
+	})
+	return nil, nil
+}
+
+// annotated reports whether the declaration's doc comment carries the
+// //benulint:hotpath directive.
+func annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if analysis.Directive(c.Text) == "hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+}
+
+func (c *checker) reportf(pos ast.Node, format string, args ...any) {
+	if c.pass.Suppressed(pos.Pos(), "alloc") {
+		return
+	}
+	c.pass.Reportf(pos.Pos(), "//benulint:hotpath function %s: "+format+
+		" (justify cold sites with //benulint:alloc <reason>)",
+		append([]any{c.fn.Name.Name}, args...)...)
+}
+
+// check walks the annotated body. Append calls are judged against their
+// surrounding statement, so the walk tracks whether a given CallExpr is
+// in sanctioned position (reassignment or return).
+func (c *checker) check(body *ast.BlockStmt) {
+	sanctionedAppends := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// x = append(x, ...) / x = append(x[:0], ...): parallel
+			// assignment positions must line up.
+			for i, rhs := range n.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && c.isBuiltin(call, "append") && i < len(n.Lhs) {
+					if appendRecyclesLHS(n.Lhs[i], call) {
+						sanctionedAppends[call] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			// return append(dst, ...): the caller owns dst's growth;
+			// amortized like the reassignment form.
+			for _, r := range n.Results {
+				if call, ok := r.(*ast.CallExpr); ok && c.isBuiltin(call, "append") {
+					sanctionedAppends[call] = true
+				}
+			}
+		}
+
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.checkCall(n, sanctionedAppends)
+		case *ast.CompositeLit:
+			c.reportf(n, "composite literal allocates per call; reuse pooled or receiver-owned scratch")
+			return false
+		case *ast.UnaryExpr:
+			// &x of a local that then escapes is caught by the boxing and
+			// composite-literal rules; &T{} is a CompositeLit child.
+		case *ast.FuncLit:
+			if capt := c.captures(n); capt != "" {
+				c.reportf(n, "closure captures %s: each closure value allocates and captured variables escape", capt)
+			}
+			return false // don't descend: the literal runs elsewhere
+		}
+		return true
+	})
+}
+
+func (c *checker) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func (c *checker) checkCall(call *ast.CallExpr, sanctioned map[*ast.CallExpr]bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				c.reportf(call, "%s allocates per call; hoist the allocation out of the hot path", id.Name)
+			case "append":
+				if !sanctioned[call] {
+					c.reportf(call, "append grows a slice it does not reassign: use the recycle idiom "+
+						"x = append(x, ...) or return the append directly")
+				}
+			}
+			return
+		}
+	}
+	c.checkBoxing(call)
+}
+
+// checkBoxing flags arguments whose concrete value is implicitly boxed
+// into an interface parameter, plus explicit conversions to interface
+// types.
+func (c *checker) checkBoxing(call *ast.CallExpr) {
+	// T(x) conversion: flag interface targets.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && !c.isInterface(call.Args[0]) {
+			c.reportf(call, "conversion to interface %s boxes the value", types.TypeString(tv.Type, nil))
+		}
+		return
+	}
+
+	sig, ok := c.pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := c.pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		c.reportf(arg, "argument boxes %s into interface %s, allocating per call",
+			types.TypeString(at, nil), types.TypeString(pt, nil))
+	}
+}
+
+func (c *checker) isInterface(e ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(e)
+	return t != nil && types.IsInterface(t)
+}
+
+// appendRecyclesLHS reports whether call's first argument is the same
+// slice expression as lhs, directly or as a reslice of it
+// (x = append(x, ...), x = append(x[:0], ...)).
+func appendRecyclesLHS(lhs ast.Expr, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	arg := ast.Unparen(call.Args[0])
+	if sl, ok := arg.(*ast.SliceExpr); ok {
+		arg = ast.Unparen(sl.X)
+	}
+	return exprString(lhs) == exprString(arg)
+}
+
+func exprString(e ast.Expr) string {
+	return types.ExprString(ast.Unparen(e))
+}
+
+// captures names a variable the literal captures from its enclosing
+// function ("" when it captures nothing). A variable is captured when
+// it is used inside the literal but declared outside it and inside the
+// annotated function (package-level objects are not captures).
+func (c *checker) captures(lit *ast.FuncLit) string {
+	fnStart, fnEnd := c.fn.Pos(), c.fn.End()
+	var captured string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		pos := obj.Pos()
+		// Declared inside the annotated function but outside the literal.
+		if pos >= fnStart && pos < fnEnd && (pos < lit.Pos() || pos >= lit.End()) {
+			captured = obj.Name()
+		}
+		return true
+	})
+	return captured
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"benu/internal/lint/hotpath"
+	"benu/internal/lint/linttest"
+)
+
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, hotpath.Analyzer, "testdata/mod")
+}

@@ -1,0 +1,3 @@
+module example.com/hotfix
+
+go 1.22

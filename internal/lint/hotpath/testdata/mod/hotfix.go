@@ -1,0 +1,64 @@
+// Package hotfix exercises the hotpath analyzer: only functions whose
+// doc comment carries //benulint:hotpath are checked, and within them
+// every allocating construct is flagged except the sanctioned
+// append-recycle idioms.
+package hotfix
+
+type engine struct {
+	buf  []int64
+	sets [][]int64
+}
+
+// recycle is the sanctioned shape: append reassigns the slice it grows,
+// including through a [:0] reslice, and the return-append form.
+//
+//benulint:hotpath steady-state enumeration path
+func (e *engine) recycle(vs []int64) []int64 {
+	e.buf = e.buf[:0]
+	for _, v := range vs {
+		e.buf = append(e.buf, v)
+	}
+	e.sets = append(e.sets[:0], e.buf)
+	return append(e.buf, 1)
+}
+
+//benulint:hotpath inner loop
+func (e *engine) makes(n int) {
+	e.buf = make([]int64, n) // want "make allocates per call"
+}
+
+//benulint:hotpath inner loop
+func (e *engine) news() *int64 {
+	return new(int64) // want "new allocates per call"
+}
+
+//benulint:hotpath inner loop
+func (e *engine) growsOther(dst []int64) []int64 {
+	e.buf = append(dst, 1) // want "append grows a slice it does not reassign"
+	return e.buf
+}
+
+//benulint:hotpath inner loop
+func (e *engine) literal() {
+	e.buf = []int64{1, 2} // want "composite literal allocates per call"
+}
+
+//benulint:hotpath inner loop
+func (e *engine) closes(x int64) func() int64 {
+	return func() int64 { return x } // want "closure captures x"
+}
+
+func sink(v any) {}
+
+//benulint:hotpath inner loop
+func (e *engine) boxes(v int64) {
+	sink(v) // want `argument boxes int64 into interface`
+}
+
+// unannotated is full of allocations and entirely silent: the contract
+// is opt-in.
+func (e *engine) unannotated(n int) []int64 {
+	out := make([]int64, 0, n)
+	out = append(out, []int64{1, 2, 3}...)
+	return out
+}

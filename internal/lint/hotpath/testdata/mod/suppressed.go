@@ -1,0 +1,16 @@
+// Negative fixture: a cold one-off site inside an annotated function,
+// justified with //benulint:alloc, stays silent.
+package hotfix
+
+type lazy struct {
+	table []int64
+}
+
+//benulint:hotpath lookup path; table builds once on first use
+func (l *lazy) get(i int) int64 {
+	if l.table == nil {
+		//benulint:alloc one-time lazy initialization, amortized across all lookups
+		l.table = make([]int64, 1024)
+	}
+	return l.table[i]
+}

@@ -16,8 +16,12 @@ import (
 	"benu/internal/lint/ctxflow"
 	"benu/internal/lint/decodesafe"
 	"benu/internal/lint/determinism"
+	"benu/internal/lint/goroleak"
+	"benu/internal/lint/hotpath"
 	"benu/internal/lint/instrswitch"
+	"benu/internal/lint/lockorder"
 	"benu/internal/lint/metricname"
+	"benu/internal/lint/wiresafe"
 )
 
 // Analyzers returns the project's analyzer suite in reporting order.
@@ -26,8 +30,12 @@ func Analyzers() []*analysis.Analyzer {
 		ctxflow.Analyzer,
 		decodesafe.Analyzer,
 		determinism.Analyzer,
+		goroleak.Analyzer,
+		hotpath.Analyzer,
 		instrswitch.Analyzer,
+		lockorder.Analyzer,
 		metricname.Analyzer,
+		wiresafe.Analyzer,
 	}
 }
 

@@ -1,0 +1,704 @@
+// Package lockorder enforces the two locking disciplines the
+// control-plane refactors (PR 7-9) live by:
+//
+//  1. Consistent acquisition order. Within a package, every pair of
+//     mutexes must always be acquired in the same order. The analyzer
+//     builds a per-package lock-acquisition graph — an edge A→B for
+//     every place lock B is taken while A is held — and reports every
+//     cycle. A 2-cycle (A taken under B here, B taken under A there) is
+//     a deadlock waiting for the right interleaving; it will pass every
+//     test that doesn't hit both paths concurrently.
+//
+//  2. No blocking while holding a mutex. A mutex held across a blocking
+//     call — an RPC (`rpc.Client.Call`), a `net.Conn` write, a journal
+//     append (which fsyncs), `File.Sync`, a channel send, `time.Sleep`,
+//     `WaitGroup.Wait` — serializes every other critical-section user
+//     behind I/O, and under failure (a peer that never answers) turns a
+//     slow path into a stuck master. The check is transitive within the
+//     package: calling a package-local helper that blocks counts.
+//
+// The analysis is a linear abstract interpretation of each function
+// body: branch bodies run on a copy of the held-lock set, a branch that
+// terminates (returns/panics) discards its effects — so the ubiquitous
+// `if bad { mu.Unlock(); return }` early exit doesn't poison the main
+// path — and `defer mu.Unlock()` keeps the lock held to function exit,
+// matching its runtime meaning. Goroutine bodies start with an empty
+// held set (they run concurrently, not under the spawner's locks).
+//
+// Intentional violations — a fault injector that sleeps in Read on
+// purpose, a commit path whose fsync-under-lock IS the ordering
+// guarantee — carry //benulint:lock <reason> on the offending line.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"benu/internal/lint/analysis"
+)
+
+// Analyzer is the lock-discipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "builds a per-package lock-acquisition graph from sync.Mutex/RWMutex usage and " +
+		"reports cyclic (deadlock-prone) acquisition orders, plus any mutex held across a " +
+		"blocking call (RPC, net.Conn write, fsync, channel send, time.Sleep); justify " +
+		"intentional cases with //benulint:lock",
+	Run: run,
+}
+
+// heldLock is one acquisition on the abstract stack.
+type heldLock struct {
+	key   string
+	write bool
+	pos   token.Pos
+}
+
+// edge is the first observed "to acquired while from held" site.
+type edge struct {
+	from, to        string
+	fromPos, acqPos token.Pos
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	blocking map[*types.Func]string // package-local functions that (transitively) block
+	edges    map[[2]string]*edge
+	funcName string
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{
+		pass:     pass,
+		blocking: map[*types.Func]string{},
+		edges:    map[[2]string]*edge{},
+	}
+
+	// Pass 1: which package-local functions contain a direct blocking
+	// operation? Then propagate over the package-local call graph to a
+	// fixpoint, so lock-held calls to blocking helpers are caught too.
+	// Iteration is in source order throughout so that diagnostic
+	// positions and "blocks on X" attributions are stable across runs.
+	type decl struct {
+		fn *types.Func
+		fd *ast.FuncDecl
+	}
+	var decls []decl
+	pass.WalkFiles(func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			return true
+		}
+		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			decls = append(decls, decl{fn, fd})
+			if what := c.directBlocker(fd.Body); what != "" {
+				c.blocking[fn] = what
+			}
+		}
+		return true
+	})
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if _, done := c.blocking[d.fn]; done {
+				continue
+			}
+			var via string
+			ast.Inspect(d.fd.Body, func(n ast.Node) bool {
+				if via != "" {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := c.calleeFunc(call); callee != nil {
+					if what, ok := c.blocking[callee]; ok {
+						via = callee.Name() + " (" + what + ")"
+						return false
+					}
+				}
+				return true
+			})
+			if via != "" {
+				c.blocking[d.fn] = via
+				changed = true
+			}
+		}
+	}
+
+	// Pass 2: abstract interpretation of every function body.
+	for _, d := range decls {
+		c.funcName = d.fn.Name()
+		held := []heldLock{}
+		c.walkStmts(d.fd.Body.List, &held)
+	}
+
+	c.reportCycles()
+	return nil, nil
+}
+
+// directBlocker reports the first direct blocking operation in body
+// ("" if none), ignoring nested function literals (they run on their
+// own goroutine or at an unknown later time).
+func (c *checker) directBlocker(body *ast.BlockStmt) string {
+	var what string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			what = "channel send"
+		case *ast.CallExpr:
+			what = c.blockingCall(n)
+		}
+		return what == ""
+	})
+	return what
+}
+
+// blockingCall names the blocking operation call performs, "" if none.
+// The set mirrors the failure modes the chaos tests inject: RPCs,
+// socket writes, fsyncs, sleeps, joins.
+func (c *checker) blockingCall(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	switch fn.FullName() {
+	case "(*net/rpc.Client).Call":
+		return "rpc.Client.Call (synchronous RPC)"
+	case "time.Sleep":
+		return "time.Sleep"
+	case "(*os.File).Sync":
+		return "File.Sync (fsync)"
+	case "(*sync.WaitGroup).Wait":
+		return "WaitGroup.Wait"
+	case "(net.Conn).Write", "(net.Conn).Read":
+		return "net.Conn " + strings.ToLower(fn.Name())
+	}
+	// Journal appends write and fsync before returning — the
+	// crash-consistency contract makes them blocking by design.
+	if fn.Pkg() != nil && analysis.PathHasSuffix(fn.Pkg().Path(), "cluster/sched/journal") &&
+		strings.HasPrefix(fn.Name(), "Append") {
+		return "journal.Log." + fn.Name() + " (fsync'd append)"
+	}
+	// A Write/Read method on any concrete net.Conn implementation.
+	if (fn.Name() == "Write" || fn.Name() == "Read") && c.implementsConn(fn) {
+		return "net.Conn " + strings.ToLower(fn.Name())
+	}
+	return ""
+}
+
+// implementsConn reports whether fn's receiver type implements net.Conn
+// (resolved through this package's import of net; false when net is not
+// imported, which also means no conns flow here).
+func (c *checker) implementsConn(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	for _, imp := range c.pass.Pkg.Imports() {
+		if imp.Path() != "net" {
+			continue
+		}
+		obj := imp.Scope().Lookup("Conn")
+		if obj == nil {
+			return false
+		}
+		iface, ok := obj.Type().Underlying().(*types.Interface)
+		if !ok {
+			return false
+		}
+		return types.Implements(sig.Recv().Type(), iface)
+	}
+	return false
+}
+
+// calleeFunc resolves a call to the package-local function it invokes
+// (nil for builtins, external functions, and dynamic calls).
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := c.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() != c.pass.Pkg {
+		return nil
+	}
+	return fn
+}
+
+// mutexOp classifies a call as a mutex acquisition/release. kind is one
+// of "lock", "rlock", "unlock", "runlock"; key canonicalizes the mutex.
+func (c *checker) mutexOp(call *ast.CallExpr) (key, kind string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", ""
+	}
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock":
+		kind = "lock"
+	case "(*sync.RWMutex).RLock":
+		kind = "rlock"
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock":
+		kind = "unlock"
+	case "(*sync.RWMutex).RUnlock":
+		kind = "runlock"
+	default:
+		return "", ""
+	}
+	return c.lockKey(sel.X), kind
+}
+
+// lockKey canonicalizes the expression the mutex method was invoked on,
+// so `m.mu` means the same lock in every method of the type:
+// "Master.mu" for a field, "pkg.varname" for a package-level lock, and
+// a function-scoped name for locals (which cannot participate in
+// cross-function ordering anyway).
+func (c *checker) lockKey(e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if t := derefAll(c.pass.TypesInfo.TypeOf(x.X)); t != nil {
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[x]
+		if obj == nil {
+			break
+		}
+		if obj.Parent() == c.pass.Pkg.Scope() {
+			return c.pass.Pkg.Name() + "." + x.Name
+		}
+		// A method called on a struct that embeds the mutex: name the
+		// lock after the embedding type, not the local variable.
+		if t := derefAll(obj.Type()); t != nil {
+			if named, ok := t.(*types.Named); ok && !isSyncMutex(named) {
+				return named.Obj().Name() + ".(embedded mutex)"
+			}
+		}
+		return c.funcName + ":" + x.Name
+	}
+	return types.ExprString(e)
+}
+
+func isSyncMutex(named *types.Named) bool {
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+func derefAll(t types.Type) types.Type {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// ---- abstract interpretation ----
+
+// walkStmts runs the statement list against held, returning true when
+// the list terminates (cannot fall through to a following statement).
+func (c *checker) walkStmts(stmts []ast.Stmt, held *[]heldLock) bool {
+	for _, s := range stmts {
+		if c.walkStmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) walkStmt(s ast.Stmt, held *[]heldLock) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		c.scanExpr(s.X, held)
+	case *ast.SendStmt:
+		c.scanExpr(s.Chan, held)
+		c.scanExpr(s.Value, held)
+		c.checkBlocked(s.Arrow, "channel send", held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.scanExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.scanExpr(e, held)
+				return false
+			}
+			return true
+		})
+	case *ast.DeferStmt:
+		// defer x.Unlock() pairs with the Lock above it: the lock stays
+		// held to function exit, which is exactly what ignoring the
+		// release here models. Other deferred work runs at exit with an
+		// unknowable held set; analyze closures in isolation.
+		if key, kind := c.mutexOp(s.Call); key != "" && (kind == "unlock" || kind == "runlock") {
+			return false
+		}
+		for _, a := range s.Call.Args {
+			c.scanExpr(a, held)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			empty := []heldLock{}
+			c.walkStmts(fl.Body.List, &empty)
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			c.scanExpr(a, held)
+		}
+		// The goroutine runs concurrently: it does not inherit the
+		// spawner's locks, and blocking inside it is its own affair.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			empty := []heldLock{}
+			c.walkStmts(fl.Body.List, &empty)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanExpr(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		c.scanExpr(s.Cond, held)
+		bodyHeld := cloneHeld(*held)
+		bodyTerm := c.walkStmts(s.Body.List, &bodyHeld)
+		var elseHeld []heldLock
+		elseTerm := false
+		if s.Else != nil {
+			elseHeld = cloneHeld(*held)
+			elseTerm = c.walkStmt(s.Else, &elseHeld)
+		}
+		switch {
+		case bodyTerm && s.Else == nil:
+			// `if bad { mu.Unlock(); return }`: the early exit's lock
+			// effects never reach the fallthrough path.
+		case bodyTerm && elseTerm:
+			return true
+		case bodyTerm:
+			*held = elseHeld
+		case elseTerm || s.Else == nil:
+			*held = bodyHeld
+		default:
+			*held = unionHeld(bodyHeld, elseHeld)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, held)
+		}
+		loopHeld := cloneHeld(*held)
+		c.walkStmts(s.Body.List, &loopHeld)
+		if s.Post != nil {
+			c.walkStmt(s.Post, &loopHeld)
+		}
+		// Assume lock usage inside the loop is balanced per iteration.
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, held)
+		loopHeld := cloneHeld(*held)
+		c.walkStmts(s.Body.List, &loopHeld)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, held)
+		}
+		c.walkCases(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		c.walkCases(s.Body, held)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault {
+				c.checkBlocked(send.Arrow, "channel send (in select without default)", held)
+			}
+			caseHeld := cloneHeld(*held)
+			c.walkStmts(cc.Body, &caseHeld)
+		}
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, held)
+	}
+	return false
+}
+
+func (c *checker) walkCases(body *ast.BlockStmt, held *[]heldLock) {
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			c.scanExpr(e, held)
+		}
+		caseHeld := cloneHeld(*held)
+		c.walkStmts(cc.Body, &caseHeld)
+	}
+}
+
+// scanExpr processes the calls inside an expression in source order.
+func (c *checker) scanExpr(e ast.Expr, held *[]heldLock) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			empty := []heldLock{}
+			c.walkStmts(n.Body.List, &empty)
+			return false
+		case *ast.CallExpr:
+			// An immediately-invoked literal runs here, under our locks.
+			if fl, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				for _, a := range n.Args {
+					c.scanExpr(a, held)
+				}
+				c.walkStmts(fl.Body.List, held)
+				return false
+			}
+			c.handleCall(n, held)
+		}
+		return true
+	})
+}
+
+func (c *checker) handleCall(call *ast.CallExpr, held *[]heldLock) {
+	if key, kind := c.mutexOp(call); key != "" {
+		switch kind {
+		case "lock", "rlock":
+			c.acquire(heldLock{key: key, write: kind == "lock", pos: call.Pos()}, held)
+		case "unlock", "runlock":
+			release(key, held)
+		}
+		return
+	}
+	if what := c.blockingCall(call); what != "" {
+		c.checkBlocked(call.Pos(), what, held)
+		return
+	}
+	if callee := c.calleeFunc(call); callee != nil {
+		if what, ok := c.blocking[callee]; ok {
+			c.checkBlocked(call.Pos(), "call to "+callee.Name()+", which blocks on "+what, held)
+		}
+	}
+}
+
+func (c *checker) acquire(l heldLock, held *[]heldLock) {
+	suppressed := c.pass.Suppressed(l.pos, "lock")
+	for _, h := range *held {
+		if h.key == l.key {
+			if h.write && l.write && !suppressed {
+				c.pass.Reportf(l.pos, "mutex %s is acquired while already held (self-deadlock); "+
+					"restructure, or justify with //benulint:lock <reason>", l.key)
+			}
+			*held = append(*held, l)
+			return
+		}
+	}
+	if !suppressed {
+		for _, h := range *held {
+			k := [2]string{h.key, l.key}
+			if _, seen := c.edges[k]; !seen {
+				c.edges[k] = &edge{from: h.key, to: l.key, fromPos: h.pos, acqPos: l.pos}
+			}
+		}
+	}
+	*held = append(*held, l)
+}
+
+func release(key string, held *[]heldLock) {
+	for i := len(*held) - 1; i >= 0; i-- {
+		if (*held)[i].key == key {
+			*held = append((*held)[:i], (*held)[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *checker) checkBlocked(pos token.Pos, what string, held *[]heldLock) {
+	if len(*held) == 0 || c.pass.Suppressed(pos, "lock") {
+		return
+	}
+	names := make([]string, 0, len(*held))
+	for _, h := range *held {
+		names = append(names, h.key)
+	}
+	c.pass.Reportf(pos, "%s while holding mutex %s: blocking under a lock serializes every "+
+		"other critical-section user behind I/O and can deadlock under failure; release the "+
+		"lock first, or justify with //benulint:lock <reason>", what, strings.Join(names, ", "))
+}
+
+func cloneHeld(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+// unionHeld merges two branch outcomes, deduplicating by key: either
+// branch may have left the lock held, so the fallthrough path must be
+// checked as if it were.
+func unionHeld(a, b []heldLock) []heldLock {
+	out := cloneHeld(a)
+	for _, l := range b {
+		found := false
+		for _, h := range out {
+			if h.key == l.key {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// ---- cycle reporting ----
+
+func (c *checker) reportCycles() {
+	adj := map[string][]string{}
+	for k := range c.edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	for _, tos := range adj {
+		sort.Strings(tos)
+	}
+
+	// 2-cycles get the precise both-directions message; each unordered
+	// pair reports once, at the lexicographically first edge.
+	reported := map[[2]string]bool{}
+	var pairs [][2]string
+	for k := range c.edges {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, k := range pairs {
+		rev := [2]string{k[1], k[0]}
+		if k[0] == k[1] || reported[k] || reported[rev] {
+			continue
+		}
+		if other, ok := c.edges[rev]; ok {
+			e := c.edges[k]
+			c.pass.Reportf(e.acqPos, "inconsistent lock order: %s is acquired while holding %s here, "+
+				"but %s is acquired while holding %s at %s; the two paths deadlock when interleaved — "+
+				"pick one acquisition order (see docs/LINTING.md)",
+				e.to, e.from, e.from, e.to, c.pass.Fset.Position(other.acqPos))
+			reported[k], reported[rev] = true, true
+		}
+	}
+
+	// Longer cycles (A→B→C→A without any 2-cycle): report the chain.
+	for _, start := range sortedKeys(adj) {
+		if path := findCycle(adj, start); path != nil {
+			covered := false
+			for i := 0; i < len(path)-1; i++ {
+				k := [2]string{path[i], path[i+1]}
+				if reported[k] || reported[[2]string{k[1], k[0]}] {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				continue
+			}
+			e := c.edges[[2]string{path[0], path[1]}]
+			c.pass.Reportf(e.acqPos, "cyclic lock-acquisition order %s: some pair of these locks is "+
+				"taken in both orders across the package; break the cycle by fixing one acquisition site",
+				strings.Join(path, " → "))
+			for i := 0; i < len(path)-1; i++ {
+				reported[[2]string{path[i], path[i+1]}] = true
+			}
+		}
+	}
+}
+
+// findCycle returns the first cycle reachable from start as a node path
+// (first == last), or nil.
+func findCycle(adj map[string][]string, start string) []string {
+	var path []string
+	onPath := map[string]bool{}
+	visited := map[string]bool{}
+	var dfs func(n string) []string
+	dfs = func(n string) []string {
+		path = append(path, n)
+		onPath[n] = true
+		for _, m := range adj[n] {
+			if onPath[m] {
+				// Trim the path to the cycle portion.
+				for i, p := range path {
+					if p == m {
+						return append(append([]string(nil), path[i:]...), m)
+					}
+				}
+			}
+			if !visited[m] {
+				if cyc := dfs(m); cyc != nil {
+					return cyc
+				}
+			}
+		}
+		onPath[n] = false
+		visited[n] = true
+		path = path[:len(path)-1]
+		return nil
+	}
+	return dfs(start)
+}
+
+func sortedKeys(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

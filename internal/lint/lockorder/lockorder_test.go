@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"benu/internal/lint/linttest"
+	"benu/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "testdata/mod")
+}

@@ -1,0 +1,3 @@
+module example.com/lockfix
+
+go 1.22

@@ -1,0 +1,98 @@
+// Package lockfix exercises the lockorder analyzer: acquisition-order
+// cycles, blocking calls under a held mutex (directly and through a
+// package-local helper), and the control-flow shapes the abstract
+// interpreter must model (early-exit unlocks, deferred unlocks,
+// goroutine bodies).
+package lockfix
+
+import (
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+type Server struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	mu sync.Mutex
+	ch chan int
+	cl *rpc.Client
+}
+
+// consistent takes a before b. On its own this is fine; reversed below
+// takes them in the other order, so the pair forms a 2-cycle. The
+// report lands on the lexicographically-first direction's acquisition
+// site — this one.
+func (s *Server) consistent() {
+	s.a.Lock()
+	s.b.Lock() // want "inconsistent lock order"
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *Server) reversed() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+func (s *Server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding mutex Server\.mu`
+	s.mu.Unlock()
+}
+
+func (s *Server) sendUnderLock() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while holding mutex"
+	s.mu.Unlock()
+}
+
+func (s *Server) rpcUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.Call("Svc.M", 1, nil) // want `rpc\.Client\.Call \(synchronous RPC\) while holding mutex`
+}
+
+// earlyExit releases on both paths before sleeping: the early return's
+// unlock must not leak into the fallthrough path's held set, and the
+// main path's unlock precedes the sleep.
+func (s *Server) earlyExit(bad bool) {
+	s.mu.Lock()
+	if bad {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// helper blocks, but holds nothing itself: silent here, and the reason
+// transitive() below is flagged.
+func (s *Server) helper() {
+	time.Sleep(time.Millisecond)
+}
+
+func (s *Server) transitive() {
+	s.mu.Lock()
+	s.helper() // want `call to helper, which blocks on time\.Sleep`
+	s.mu.Unlock()
+}
+
+// spawner's goroutine runs concurrently — it does not inherit the
+// spawner's lock, so the sleep inside is silent.
+func (s *Server) spawner() {
+	s.mu.Lock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+	s.mu.Unlock()
+}
+
+func (s *Server) double() {
+	s.mu.Lock()
+	s.mu.Lock() // want "self-deadlock"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}

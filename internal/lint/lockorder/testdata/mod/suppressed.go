@@ -1,0 +1,39 @@
+// Negative fixture: every construct here would be a finding without its
+// //benulint:lock justification, so the file asserts the suppression
+// path stays silent.
+package lockfix
+
+import (
+	"sync"
+	"time"
+)
+
+type Daemon struct {
+	mu sync.Mutex
+	x  sync.Mutex
+	y  sync.Mutex
+}
+
+func (d *Daemon) injectLatency() {
+	d.mu.Lock()
+	//benulint:lock fault injector: the sleep under the lock IS the injected fault
+	time.Sleep(time.Millisecond)
+	d.mu.Unlock()
+}
+
+// xThenY's suppressed acquisition records no edge, so the reversed
+// order in yThenX does not complete a cycle.
+func (d *Daemon) xThenY() {
+	d.x.Lock()
+	//benulint:lock teardown runs single-threaded; acquisition order is irrelevant here
+	d.y.Lock()
+	d.y.Unlock()
+	d.x.Unlock()
+}
+
+func (d *Daemon) yThenX() {
+	d.y.Lock()
+	d.x.Lock()
+	d.x.Unlock()
+	d.y.Unlock()
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// SARIF output — the interchange format GitHub code scanning ingests to
+// render findings as inline PR annotations. Only the fields that
+// pipeline consumes are emitted; the structures below are a minimal but
+// valid SARIF 2.1.0 document, with one run whose tool driver declares
+// every analyzer in the suite as a rule (so rules with zero findings
+// still appear in the catalog).
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           *sarifRegion          `json:"region,omitempty"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 document on w. File URIs
+// are made relative to root (the repository root) so GitHub can anchor
+// annotations; findings outside root keep their absolute path. Every
+// analyzer in the suite is declared as a rule regardless of whether it
+// fired, so consumers see the full rule catalog.
+func WriteSARIF(w io.Writer, root string, findings []Finding) error {
+	driver := sarifDriver{
+		Name:           "benu-lint",
+		InformationURI: "docs/LINTING.md",
+	}
+	for _, a := range Analyzers() {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		r := sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+		}
+		if f.Pos.Filename != "" {
+			uri := f.Pos.Filename
+			if root != "" {
+				if rel, err := filepath.Rel(root, uri); err == nil && filepath.IsLocal(rel) {
+					uri = filepath.ToSlash(rel)
+				}
+			}
+			loc := sarifPhysicalLocation{ArtifactLocation: sarifArtifactLocation{URI: uri}}
+			if f.Pos.Line > 0 {
+				loc.Region = &sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column}
+			}
+			r.Locations = []sarifLocation{{PhysicalLocation: loc}}
+		}
+		results = append(results, r)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	})
+}

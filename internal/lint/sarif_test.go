@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+func sampleFindings() []Finding {
+	return []Finding{
+		{
+			Analyzer: "lockorder",
+			Pos:      token.Position{Filename: "/repo/internal/cluster/sched/worker.go", Line: 367, Column: 12},
+			Message:  "rpc.Client.Call (synchronous RPC) while holding mutex Worker.rejoinMu",
+		},
+		{
+			Analyzer: "goroleak",
+			Pos:      token.Position{Filename: "/repo/internal/kv/resilient.go", Line: 139, Column: 2},
+			Message:  "goroutine has no shutdown tie",
+		},
+		{
+			// Position-less finding (cross-package doc drift).
+			Analyzer: "metricname",
+			Message:  "docs/METRICS.md documents sched.ghost but nothing registers it",
+		},
+	}
+}
+
+// TestJSONRoundTrip pins the -json wire format: a Finding array must
+// survive encode/decode unchanged, because CI tooling parses it.
+func TestJSONRoundTrip(t *testing.T) {
+	in := sampleFindings()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out []Finding
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip changed length: %d != %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("finding %d changed in round trip:\n in: %+v\nout: %+v", i, in[i], out[i])
+		}
+	}
+}
+
+// TestSARIFRoundTrip decodes the -sarif document and checks that every
+// finding's (rule, file, line, column, message) tuple survives, that
+// paths are relativized against the given root, and that the rule
+// catalog covers the full suite.
+func TestSARIFRoundTrip(t *testing.T) {
+	in := sampleFindings()
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/repo", in); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	var doc sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", doc.Version)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "benu-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has an empty description", r.ID)
+		}
+	}
+	for _, a := range Analyzers() {
+		if !ruleIDs[a.Name] {
+			t.Errorf("rule catalog is missing analyzer %s", a.Name)
+		}
+	}
+
+	if len(run.Results) != len(in) {
+		t.Fatalf("got %d results, want %d", len(run.Results), len(in))
+	}
+	for i, f := range in {
+		r := run.Results[i]
+		if r.RuleID != f.Analyzer {
+			t.Errorf("result %d ruleId = %q, want %q", i, r.RuleID, f.Analyzer)
+		}
+		if r.Message.Text != f.Message {
+			t.Errorf("result %d message = %q, want %q", i, r.Message.Text, f.Message)
+		}
+		if f.Pos.Filename == "" {
+			if len(r.Locations) != 0 {
+				t.Errorf("result %d: position-less finding grew a location", i)
+			}
+			continue
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result %d: got %d locations, want 1", i, len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		wantURI := f.Pos.Filename[len("/repo/"):]
+		if loc.ArtifactLocation.URI != wantURI {
+			t.Errorf("result %d uri = %q, want %q (relative to root)", i, loc.ArtifactLocation.URI, wantURI)
+		}
+		if loc.Region == nil || loc.Region.StartLine != f.Pos.Line || loc.Region.StartColumn != f.Pos.Column {
+			t.Errorf("result %d region = %+v, want line %d col %d", i, loc.Region, f.Pos.Line, f.Pos.Column)
+		}
+	}
+}

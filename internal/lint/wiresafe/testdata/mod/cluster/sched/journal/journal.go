@@ -1,0 +1,26 @@
+// Package journal mimics the real journal's path suffix
+// (cluster/sched/journal) so the fixture can exercise the Append*
+// record-encoder rule.
+package journal
+
+type Log struct{}
+
+func (l *Log) AppendCompletion(r *CompletionRec) error { return nil }
+
+type CompletionRec struct {
+	Task    int
+	Matches [][]int64
+}
+
+type BadRec struct {
+	Extras map[int]int
+}
+
+func (l *Log) AppendBad(r *BadRec) error { return nil }
+
+func use(l *Log) error {
+	if err := l.AppendCompletion(&CompletionRec{}); err != nil {
+		return err
+	}
+	return l.AppendBad(&BadRec{}) // want "is a map"
+}

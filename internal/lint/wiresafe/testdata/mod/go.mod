@@ -1,0 +1,3 @@
+module example.com/wirefix
+
+go 1.22

@@ -1,0 +1,15 @@
+// Negative fixture: a justified //benulint:wire suppression keeps a
+// deliberately map-bearing debug payload silent.
+package wirefix
+
+import "net/rpc"
+
+type DebugDump struct {
+	State map[string]string
+}
+
+func debugCall(cl *rpc.Client) error {
+	var reply CleanReply
+	//benulint:wire debug-only endpoint; encode nondeterminism is acceptable off the commit path
+	return cl.Call("Svc.Dump", &DebugDump{}, &reply)
+}

@@ -1,0 +1,119 @@
+// Package wirefix exercises the wiresafe analyzer across the three
+// wire-crossing shapes: rpc client calls, rpc service registration, and
+// gob encoders. (Journal record encoders are covered by the sibling
+// cluster/sched/journal fixture package.)
+package wirefix
+
+import (
+	"encoding/gob"
+	"io"
+	"net/rpc"
+)
+
+// CleanArgs is fixed-layout: every field exported, no maps, funcs,
+// channels, or interfaces anywhere in its structure.
+type CleanArgs struct {
+	ID    int64
+	Names []string
+	Inner CleanInner
+}
+
+type CleanInner struct {
+	Vs []int64
+}
+
+type CleanReply struct {
+	N int
+}
+
+// MapArgs carries a map: gob encodes map entries in random iteration
+// order, so two encodes of the same value differ.
+type MapArgs struct {
+	Counts map[string]int
+}
+
+// DroppedArgs has an unexported field that gob silently drops.
+type DroppedArgs struct {
+	ID    int64
+	epoch uint64
+}
+
+// FuncReply embeds the unencodable.
+type FuncReply struct {
+	Callback func() error
+	Wake     chan struct{}
+}
+
+// AnyArgs hides its layout behind an interface.
+type AnyArgs struct {
+	Payload any
+}
+
+// Blob owns its wire layout via a custom encoder: the unexported field
+// is its own business.
+type Blob struct {
+	raw []byte
+}
+
+func (b Blob) GobEncode() ([]byte, error) { return b.raw, nil }
+func (b *Blob) GobDecode(p []byte) error  { b.raw = append(b.raw[:0], p...); return nil }
+
+type BlobArgs struct {
+	B Blob
+}
+
+func calls(cl *rpc.Client) error {
+	var reply CleanReply
+	if err := cl.Call("Svc.Clean", &CleanArgs{}, &reply); err != nil {
+		return err
+	}
+	if err := cl.Call("Svc.Blob", &BlobArgs{}, &reply); err != nil {
+		return err
+	}
+	if err := cl.Call("Svc.Map", &MapArgs{}, &reply); err != nil { // want "is a map"
+		return err
+	}
+	if err := cl.Call("Svc.Dropped", &DroppedArgs{}, &reply); err != nil { // want "silently dropped by gob"
+		return err
+	}
+	if err := cl.Call("Svc.Func", &CleanArgs{}, &FuncReply{}); err != nil { // want "gob cannot encode"
+		return err
+	}
+	return cl.Call("Svc.Any", &AnyArgs{}, &reply) // want "is an interface"
+}
+
+// Svc's exported methods are enumerated at the Register site: BadM's
+// map-bearing argument is reported there. (Its own type — findings
+// dedup per named type, so reusing MapArgs would be absorbed by the
+// client-call report above.)
+type StealthArgs struct {
+	Tags map[string]bool
+}
+
+type Svc struct{}
+
+func (s *Svc) GoodM(a CleanArgs, r *CleanReply) error  { return nil }
+func (s *Svc) BadM(a StealthArgs, r *CleanReply) error { return nil }
+
+type CleanSvc struct{}
+
+func (s *CleanSvc) M(a CleanArgs, r *CleanReply) error { return nil }
+
+func register(srv *rpc.Server) error {
+	if err := srv.Register(&CleanSvc{}); err != nil {
+		return err
+	}
+	return srv.Register(&Svc{}) // want "is a map"
+}
+
+type ChanRec struct {
+	Wake chan int
+}
+
+func encode(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(&CleanArgs{}); err != nil {
+		return err
+	}
+	return enc.Encode(&ChanRec{}) // want "gob cannot encode"
+}

@@ -1,0 +1,255 @@
+// Package wiresafe keeps the wire-crossing types fixed-layout. Every
+// struct that reaches a net/rpc call, an rpc service registration, a
+// gob encoder, or a journal record encoder is serialized by gob — and
+// gob has two failure modes this analyzer forbids:
+//
+//   - Unexported fields are silently dropped. The struct compiles, the
+//     tests that only exercise in-process paths pass, and the field is
+//     zero on the far side of the wire. (The exactly-once commit
+//     protocol of PR 9 depends on every ReportArgs field surviving the
+//     hop.)
+//
+//   - Maps encode in random iteration order, and funcs/channels do not
+//     encode at all. A map-bearing wire struct is how nondeterministic
+//     encodes sneak back into a pipeline whose correctness story is
+//     bit-identical replay (determinism analyzer, journal replay tests).
+//
+// Types with a custom encoder (GobEncode or MarshalBinary in the method
+// set) define their own layout and are exempt. Intentional exceptions
+// carry //benulint:wire <reason> at the call site.
+package wiresafe
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"benu/internal/lint/analysis"
+)
+
+// Analyzer is the wire-layout check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wiresafe",
+	Doc: "types reaching net/rpc calls, rpc.Register'd service methods, gob encoders, or journal " +
+		"record encoders must be fixed-layout: no maps (nondeterministic encode order), no " +
+		"funcs/channels (not encodable), no unexported fields (silently dropped by gob); types " +
+		"with GobEncode/MarshalBinary define their own layout and are exempt; justify exceptions " +
+		"with //benulint:wire",
+	Run: run,
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// reported dedups findings per root named type: a type used in ten
+	// RPC calls is one problem, not ten.
+	reported map[string]bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass, reported: map[string]bool{}}
+	pass.WalkFiles(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		c.checkCall(call)
+		return true
+	})
+	return nil, nil
+}
+
+// checkCall recognizes the wire-crossing call shapes and routes their
+// payload arguments into the structural check.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	switch fn.FullName() {
+	case "(*net/rpc.Client).Call", "(*net/rpc.Client).Go":
+		// Call(method, args, reply): args and reply cross the wire.
+		if len(call.Args) >= 3 {
+			c.checkPayload(call.Args[1], call.Pos(), "rpc argument")
+			c.checkPayload(call.Args[2], call.Pos(), "rpc reply")
+		}
+	case "(*net/rpc.Server).Register", "net/rpc.Register":
+		if len(call.Args) >= 1 {
+			c.checkService(call.Args[0], call.Pos())
+		}
+	case "(*net/rpc.Server).RegisterName", "net/rpc.RegisterName":
+		if len(call.Args) >= 2 {
+			c.checkService(call.Args[1], call.Pos())
+		}
+	case "(*encoding/gob.Encoder).Encode", "(*encoding/gob.Decoder).Decode":
+		if len(call.Args) >= 1 {
+			c.checkPayload(call.Args[0], call.Pos(), "gob value")
+		}
+	default:
+		// Journal record encoders: Append* methods on the journal Log
+		// hand their pointer parameters to the record codec.
+		if fn.Pkg() != nil && analysis.PathHasSuffix(fn.Pkg().Path(), "cluster/sched/journal") &&
+			strings.HasPrefix(fn.Name(), "Append") {
+			for _, a := range call.Args {
+				c.checkPayload(a, call.Pos(), "journal record")
+			}
+		}
+	}
+}
+
+// checkService enumerates the exported methods of a registered rpc
+// service receiver and checks every (args, *reply) parameter pair: the
+// service side of the wire must hold the same layout discipline as the
+// client side.
+func (c *checker) checkService(recv ast.Expr, pos token.Pos) {
+	t := c.pass.TypesInfo.TypeOf(recv)
+	if t == nil {
+		return
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		m, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || !m.Exported() {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 2 {
+			continue
+		}
+		c.checkType(sig.Params().At(0).Type(), pos, "rpc argument of "+m.Name())
+		c.checkType(sig.Params().At(1).Type(), pos, "rpc reply of "+m.Name())
+	}
+}
+
+func (c *checker) checkPayload(arg ast.Expr, pos token.Pos, what string) {
+	t := c.pass.TypesInfo.TypeOf(arg)
+	if t == nil {
+		return
+	}
+	// Untyped nil (rpc replies for fire-and-forget calls) is fine.
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	c.checkType(t, pos, what)
+}
+
+// checkType runs the recursive structural check on t, reporting at pos.
+func (c *checker) checkType(t types.Type, pos token.Pos, what string) {
+	rootName := typeName(t)
+	if rootName != "" && c.reported[rootName] {
+		return
+	}
+	if c.pass.Suppressed(pos, "wire") {
+		return
+	}
+	var problems []string
+	walk(t, "", map[types.Type]bool{}, &problems)
+	if len(problems) == 0 {
+		return
+	}
+	if rootName != "" {
+		c.reported[rootName] = true
+	}
+	c.pass.Reportf(pos, "%s type %s is not wire-safe: %s; gob-crossing types must be fixed-layout "+
+		"(docs/LINTING.md) — restructure, add a custom GobEncode/MarshalBinary, or justify with "+
+		"//benulint:wire <reason>", what, types.TypeString(t, nil), strings.Join(problems, "; "))
+}
+
+// typeName names the root named type for dedup ("" when anonymous).
+func typeName(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			return pkg.Path() + "." + named.Obj().Name()
+		}
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// hasCustomEncoder reports whether t (or *t) defines GobEncode or
+// MarshalBinary: such types own their wire layout.
+func hasCustomEncoder(t types.Type) bool {
+	for _, name := range []string{"GobEncode", "MarshalBinary"} {
+		if m, _, _ := types.LookupFieldOrMethod(t, true, nil, name); m != nil {
+			if _, ok := m.(*types.Func); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// walk descends t's structure collecting wire-safety violations with
+// their field paths. visited breaks recursion on self-referential
+// types.
+func walk(t types.Type, path string, visited map[types.Type]bool, problems *[]string) {
+	if visited[t] {
+		return
+	}
+	visited[t] = true
+
+	switch u := t.(type) {
+	case *types.Pointer:
+		walk(u.Elem(), path, visited, problems)
+		return
+	case *types.Slice:
+		walk(u.Elem(), path+"[]", visited, problems)
+		return
+	case *types.Array:
+		walk(u.Elem(), path+"[]", visited, problems)
+		return
+	case *types.Named:
+		if hasCustomEncoder(u) {
+			return
+		}
+		walk(u.Underlying(), path, visited, problems)
+		return
+	}
+
+	switch u := t.Underlying().(type) {
+	case *types.Map:
+		*problems = append(*problems, fmt.Sprintf("%s is a map (nondeterministic gob encode order)", loc(path)))
+	case *types.Chan:
+		*problems = append(*problems, fmt.Sprintf("%s is a channel (gob cannot encode it)", loc(path)))
+	case *types.Signature:
+		*problems = append(*problems, fmt.Sprintf("%s is a func (gob cannot encode it)", loc(path)))
+	case *types.Interface:
+		// Non-empty interfaces require gob.Register choreography and
+		// break layout fixity; the empty interface is just as bad.
+		if path != "" { // a bare interface payload (Encode(any)) is the caller's dynamic value
+			*problems = append(*problems, fmt.Sprintf("%s is an interface (layout depends on runtime type)", loc(path)))
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			fpath := f.Name()
+			if path != "" {
+				fpath = path + "." + f.Name()
+			}
+			if !f.Exported() {
+				*problems = append(*problems, fmt.Sprintf("field %s is unexported (silently dropped by gob)", fpath))
+				continue
+			}
+			walk(f.Type(), fpath, visited, problems)
+		}
+	}
+}
+
+func loc(path string) string {
+	if path == "" {
+		return "the value"
+	}
+	return "field " + strings.TrimSuffix(path, "[]")
+}

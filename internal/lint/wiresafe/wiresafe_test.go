@@ -1,0 +1,12 @@
+package wiresafe_test
+
+import (
+	"testing"
+
+	"benu/internal/lint/linttest"
+	"benu/internal/lint/wiresafe"
+)
+
+func TestWiresafe(t *testing.T) {
+	linttest.Run(t, wiresafe.Analyzer, "testdata/mod")
+}

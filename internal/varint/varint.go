@@ -45,6 +45,8 @@ func Append(dst []byte, x uint64) []byte {
 // sorted adjacency set) decodes on an inlinable fast path; everything
 // else goes through uvarintSlow, which peels the 2-byte case (values
 // < 1<<14) before delegating to the general loop.
+//
+//benulint:hotpath one decode per adjacency entry; must stay inlinable and alloc-free
 func Uvarint(b []byte) (uint64, int, error) {
 	if len(b) > 0 && b[0] < 0x80 {
 		return uint64(b[0]), 1, nil
@@ -55,6 +57,8 @@ func Uvarint(b []byte) (uint64, int, error) {
 // uvarintSlow is the out-of-line remainder of Uvarint: the 2-byte fast
 // path, then the general loop for encodings of three or more bytes,
 // truncated input, and 64-bit overflow.
+//
+//benulint:hotpath 2-byte deltas are common on power-law graphs; error values are package singletons
 func uvarintSlow(b []byte) (uint64, int, error) {
 	if len(b) > 1 && b[0] >= 0x80 && b[1] < 0x80 {
 		return uint64(b[0]&0x7f) | uint64(b[1])<<7, 2, nil
